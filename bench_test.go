@@ -1,0 +1,352 @@
+// Package tdp's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (DESIGN.md §4) plus the solver/scaling
+// ablations of DESIGN.md §5. Run with
+//
+//	go test -bench=. -benchmem .
+package tdp
+
+import (
+	"fmt"
+	"testing"
+
+	"tdp/internal/core"
+	"tdp/internal/emul"
+	"tdp/internal/experiments"
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// BenchmarkFig3WaitingFunctions regenerates Fig. 3's patient-vs-impatient
+// waiting-function curves.
+func BenchmarkFig3WaitingFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Estimation regenerates Table III / Fig. 2: the §IV
+// waiting-function estimation control experiment.
+func BenchmarkTable3Estimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4StaticRewards regenerates Fig. 4 (and the §V-A cost
+// figures): the full 48-period static optimization.
+func BenchmarkFig4StaticRewards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5TrafficProfile isolates the profile metrics of Fig. 5 on a
+// pre-solved schedule (the solve itself is Fig. 4's benchmark).
+func BenchmarkFig5TrafficProfile(b *testing.B) {
+	m, err := core.NewStaticModel(experiments.Static48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := m.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.UsageAt(pr.Rewards)
+	}
+}
+
+// BenchmarkTable6DemandPerturbation regenerates Table VI: nine 12-period
+// solves plus price/cost deltas.
+func BenchmarkTable6DemandPerturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6CostSweep regenerates Fig. 6: the capacity-exceedance cost
+// sweep (seven 48-period solves).
+func BenchmarkFig6CostSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7DynamicRewards regenerates Fig. 7: the offline dynamic
+// 48-period optimization (includes the static comparison solve).
+func BenchmarkFig7DynamicRewards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8DynamicProfile isolates the Fig. 8 offered-load recursion.
+func BenchmarkFig8DynamicProfile(b *testing.B) {
+	dm, err := core.NewDynamicModel(experiments.Dynamic48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := dm.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = dm.Load(pr.Rewards)
+	}
+}
+
+// BenchmarkTableXOnlineAdjustment regenerates Table X: a full online day
+// with a period-1 arrival drop (48 single-period re-optimizations).
+func BenchmarkTableXOnlineAdjustment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable12PerturbedRewards regenerates Table XII.
+func BenchmarkTable12PerturbedRewards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable14WaitingPerturbation regenerates Tables XIII–XVI (the
+// same run covers Table XVI's all-period case).
+func BenchmarkTable14WaitingPerturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WaitPerturb(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable16AllPeriodPerturbation isolates the all-period
+// mis-estimation solve of Table XVI.
+func BenchmarkTable16AllPeriodPerturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewStaticModel(experiments.Static12WaitPerturbAll())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTubeOptimizerTiming is §VI-B's price-determination measurement:
+// one online step on the 12-period, 10-type scenario (paper budget: 5 s).
+func BenchmarkTubeOptimizerTiming(b *testing.B) {
+	online, err := core.NewOnlineOptimizer(experiments.Static12(), core.OnlineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := online.Advance(waiting.Dist12[i%12][:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTubeEstimationTiming is §VI-B's waiting-function estimation
+// measurement: 3 periods, 2 types (paper budget: 25 s).
+func BenchmarkTubeEstimationTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12TubeTestbed regenerates the §VI-C testbed emulation
+// (Figs. 11/12): TIP and TDP runs on the 10 MBps bottleneck.
+func BenchmarkFig12TubeTestbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := emul.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		if _, _, err := emul.RunComparison(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProp5MonteCarlo runs the session-level validation of the fluid
+// dynamic model (Prop. 5).
+func BenchmarkProp5MonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Prop5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDropTailSweep runs the packet-level bottleneck load sweep.
+func BenchmarkDropTailSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DropTail(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFiveDollarPlan runs the §VII congestion-dependent autopilot day.
+func BenchmarkFiveDollarPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FiveDollarPlan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControlLoop runs the four-day Fig. 1 loop with fluid users.
+func BenchmarkControlLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Loop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeekLongTrial runs the multi-day loop over the emulated testbed.
+func BenchmarkWeekLongTrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WeekLong(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoPeriodAblation runs the §I day/night-vs-n-period comparison.
+func BenchmarkTwoPeriodAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TwoPeriod(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationSolvers compares the three solvers on the 12-period
+// static model.
+func BenchmarkAblationSolvers(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		solver core.Solver
+	}{
+		{"homotopy", core.SolverHomotopy},
+		{"coordinate", core.SolverCoordinate},
+		{"subgradient", core.SolverSubgradient},
+		{"lbfgs", core.SolverLBFGS},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, err := core.NewStaticModel(experiments.Static12())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.SolveWith(tc.solver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSmoothing compares homotopy schedules of different
+// lengths on the 48-period static model.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	schedules := map[string][]float64{
+		"full7":    optimize.DefaultSchedule(),
+		"short3":   {1, 0.1, 0.01},
+		"single":   {0.01},
+		"coarse":   {1},
+		"veryfine": {1, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001, 0.0003, 0.0001},
+	}
+	for name, schedule := range schedules {
+		b.Run(name, func(b *testing.B) {
+			scn := experiments.Static48()
+			m, err := core.NewStaticModel(scn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := optimize.Homotopy(
+					m.SmoothedObjective,
+					m.CostAt, make([]float64, scn.Periods),
+					optimize.UniformBounds(scn.Periods, 0, m.MaxReward()),
+					schedule, true,
+					optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.F
+			}
+			b.ReportMetric(cost, "cost")
+		})
+	}
+}
+
+// BenchmarkAblationPeriods scales the static solve over the number of
+// periods n ∈ {12, 24, 48, 96}.
+func BenchmarkAblationPeriods(b *testing.B) {
+	for _, n := range []int{12, 24, 48, 96} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			scn := scaledScenario(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewStaticModel(scn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// scaledScenario resamples the 48-period day to n periods.
+func scaledScenario(n int) *core.Scenario {
+	base := experiments.Static48()
+	demand := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		src := i * 48 / n
+		demand[i] = append([]float64(nil), base.Demand[src]...)
+	}
+	capacity := make([]float64, n)
+	for i := range capacity {
+		capacity[i] = 18
+	}
+	return &core.Scenario{
+		Periods:       n,
+		Demand:        demand,
+		Betas:         base.Betas,
+		Capacity:      capacity,
+		Cost:          base.Cost,
+		MaxRewardNorm: base.MaxRewardNorm,
+	}
+}

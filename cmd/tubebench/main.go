@@ -1,0 +1,121 @@
+// Command tubebench regenerates every table and figure of the paper's
+// evaluation and prints paper-vs-measured values. Select a subset with
+// -only (comma-separated ids); list ids with -list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tdp/internal/experiments"
+)
+
+// renderer is any experiment result that can print itself.
+type renderer interface{ Render() string }
+
+// experiment couples an id with its runner.
+type experiment struct {
+	id, desc string
+	run      func() (renderer, error)
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"fig3", "waiting-function shapes (β=0.5 vs 5)", func() (renderer, error) { return experiments.Fig3() }},
+		{"table3", "waiting-function estimation accuracy + Fig. 2", func() (renderer, error) { return experiments.Table3() }},
+		{"fig4fig5", "static 48-period rewards, traffic, costs", func() (renderer, error) { return experiments.Fig4Fig5() }},
+		{"table6", "period-1 demand perturbation (price/cost change)", func() (renderer, error) { return experiments.Table6() }},
+		{"fig6", "residue spread vs cost-of-exceeding-capacity sweep", func() (renderer, error) { return experiments.Fig6() }},
+		{"fig7fig8", "offline dynamic rewards and traffic", func() (renderer, error) { return experiments.Fig7Fig8() }},
+		{"tablex", "online adjustment after an arrival drop", func() (renderer, error) { return experiments.TableX() }},
+		{"table12", "rewards under demand perturbation", func() (renderer, error) { return experiments.Table12() }},
+		{"waitperturb", "waiting-function mis-estimation robustness", func() (renderer, error) { return experiments.WaitPerturb() }},
+		{"timing", "TUBE engine runtimes vs paper budgets", func() (renderer, error) { return experiments.Timing() }},
+		{"testbed", "TUBE testbed emulation (Figs. 11/12)", func() (renderer, error) { return experiments.Testbed() }},
+		{"profiler", "profiling-engine cross-validation", func() (renderer, error) { return experiments.ProfilerCheck() }},
+		{"prop5", "Monte-Carlo validation of the fluid dynamic model", func() (renderer, error) { return experiments.Prop5() }},
+		{"droptail", "packet-level bottleneck loss/occupancy sweep", func() (renderer, error) { return experiments.DropTail() }},
+		{"tcp", "TCP-Reno dynamics at the Fig. 10 bottleneck", func() (renderer, error) { return experiments.TCPAtBottleneck() }},
+		{"fivedollar", "§VII congestion-dependent pricing autopilot", func() (renderer, error) { return experiments.FiveDollarPlan() }},
+		{"twoperiod", "2-period vs n-period TDP (§I inadequacy claim)", func() (renderer, error) { return experiments.TwoPeriod() }},
+		{"capadjust", "cap-adjusted time-varying capacity (§II)", func() (renderer, error) { return experiments.CapAdjusted() }},
+		{"definite", "Appendix D definite-choice model (non-convex)", func() (renderer, error) { return experiments.Definite() }},
+		{"fixedduration", "Appendix G fixed-duration (streaming) sessions", func() (renderer, error) { return experiments.FixedDuration() }},
+		{"loop", "full Fig. 1 control loop with profiling feedback", func() (renderer, error) { return experiments.Loop() }},
+		{"weeklong", "multi-day control loop over the emulated testbed", func() (renderer, error) { return experiments.WeekLong(5) }},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tubebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tubebench", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	exps := catalogue()
+	if *list {
+		for _, e := range exps {
+			fmt.Fprintf(out, "%-12s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	selected := make(map[string]bool)
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+		known := make(map[string]bool, len(exps))
+		for _, e := range exps {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range selected {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return fmt.Errorf("unknown experiment ids: %s", strings.Join(unknown, ", "))
+		}
+	}
+	jsonOut := make(map[string]renderer)
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if *format == "json" {
+			jsonOut[e.id] = res
+			continue
+		}
+		fmt.Fprintf(out, "==== %s — %s ====\n", e.id, e.desc)
+		fmt.Fprintln(out, res.Render())
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig3", "fig4fig5", "table6", "tablex", "testbed"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %q", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "nope"}, &sb); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig3"}, &sb); err != nil {
+		t.Fatalf("run fig3: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 3") {
+		t.Errorf("output missing figure header:\n%s", out)
+	}
+	if strings.Contains(out, "fig4fig5") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig3, table3"}, &sb); err != nil {
+		t.Fatalf("run subset: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "Table III") {
+		t.Errorf("subset output incomplete:\n%s", out)
+	}
+}
+
+func TestCatalogueIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range catalogue() {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.desc == "" {
+			t.Errorf("experiment %q has no description", e.id)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig3", "-format", "json"}, &sb); err != nil {
+		t.Fatalf("run json: %v", err)
+	}
+	var out map[string]map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, sb.String())
+	}
+	fig3, ok := out["fig3"]
+	if !ok {
+		t.Fatalf("missing fig3 key: %v", out)
+	}
+	if _, ok := fig3["Patient"]; !ok {
+		t.Errorf("fig3 payload missing Patient series: %v", fig3)
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-format", "yaml"}, &sb); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command tubeopt computes optimal time-dependent rewards for a pricing
+// scenario described in JSON. With no -scenario flag it runs the paper's
+// §V-A 48-period scenario.
+//
+// Scenario JSON:
+//
+//	{
+//	  "periods": 12,
+//	  "demand": [[4,4],[2,2], ...],   // per period, per session type (10 MBps)
+//	  "betas": [1, 2.5],              // patience index per type
+//	  "capacity": [18, 18, ...],      // per period (10 MBps)
+//	  "costSlope": 3,                 // marginal over-capacity cost ($0.10)
+//	  "dynamic": false                // carry-over dynamic model instead of static
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tdp/internal/core"
+	"tdp/internal/experiments"
+)
+
+type scenarioJSON struct {
+	Periods   int         `json:"periods"`
+	Demand    [][]float64 `json:"demand"`
+	Betas     []float64   `json:"betas"`
+	Capacity  []float64   `json:"capacity"`
+	CostSlope float64     `json:"costSlope"`
+	Dynamic   bool        `json:"dynamic"`
+}
+
+type resultJSON struct {
+	Rewards      []float64 `json:"rewards"`
+	Usage        []float64 `json:"usage"`
+	Cost         float64   `json:"cost"`
+	TIPCost      float64   `json:"tipCost"`
+	SavingsPct   float64   `json:"savingsPct"`
+	RewardOutlay float64   `json:"rewardOutlay"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tubeopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tubeopt", flag.ContinueOnError)
+	path := fs.String("scenario", "", "path to scenario JSON ('-' for stdin; default: paper §V-A)")
+	dynamic := fs.Bool("dynamic", false, "force the dynamic model regardless of the scenario file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		scn    *core.Scenario
+		useDyn bool
+	)
+	switch *path {
+	case "":
+		scn = experiments.Static48()
+	default:
+		var r io.Reader
+		if *path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(*path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		var sj scenarioJSON
+		if err := json.NewDecoder(r).Decode(&sj); err != nil {
+			return fmt.Errorf("decode scenario: %w", err)
+		}
+		if sj.CostSlope <= 0 {
+			sj.CostSlope = 3
+		}
+		scn = &core.Scenario{
+			Periods:  sj.Periods,
+			Demand:   sj.Demand,
+			Betas:    sj.Betas,
+			Capacity: sj.Capacity,
+			Cost:     core.LinearCost(sj.CostSlope),
+		}
+		useDyn = sj.Dynamic
+	}
+	if *dynamic {
+		useDyn = true
+	}
+
+	var pr *core.Pricing
+	if useDyn {
+		m, err := core.NewDynamicModel(scn)
+		if err != nil {
+			return err
+		}
+		if pr, err = m.Solve(); err != nil {
+			return err
+		}
+	} else {
+		m, err := core.NewStaticModel(scn)
+		if err != nil {
+			return err
+		}
+		if pr, err = m.Solve(); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultJSON{
+		Rewards:      pr.Rewards,
+		Usage:        pr.Usage,
+		Cost:         pr.Cost,
+		TIPCost:      pr.TIPCost,
+		SavingsPct:   100 * pr.Savings(),
+		RewardOutlay: pr.RewardOutlay,
+	})
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(res.Rewards) != 48 {
+		t.Errorf("%d rewards, want 48", len(res.Rewards))
+	}
+	if res.Cost >= res.TIPCost {
+		t.Errorf("cost %v not below TIP %v", res.Cost, res.TIPCost)
+	}
+	if res.SavingsPct < 10 {
+		t.Errorf("savings %v%%, want ≥ 10", res.SavingsPct)
+	}
+}
+
+func TestScenarioFromFile(t *testing.T) {
+	scn := scenarioJSON{
+		Periods:   4,
+		Demand:    [][]float64{{10, 5}, {2, 1}, {3, 1}, {12, 6}},
+		Betas:     []float64{0.5, 3},
+		Capacity:  []float64{10, 10, 10, 10},
+		CostSlope: 2,
+	}
+	data, err := json.Marshal(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(res.Rewards) != 4 {
+		t.Errorf("%d rewards, want 4", len(res.Rewards))
+	}
+}
+
+func TestScenarioDynamicFlag(t *testing.T) {
+	scn := scenarioJSON{
+		Periods:   4,
+		Demand:    [][]float64{{10, 5}, {2, 1}, {3, 1}, {12, 6}},
+		Betas:     []float64{0.5, 3},
+		Capacity:  []float64{10, 10, 10, 10},
+		CostSlope: 2,
+	}
+	data, _ := json.Marshal(scn)
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", path, "-dynamic"}, &sb); err != nil {
+		t.Fatalf("run -dynamic: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if res.Cost > res.TIPCost {
+		t.Errorf("dynamic cost %v above TIP %v", res.Cost, res.TIPCost)
+	}
+}
+
+func TestBadScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", path}, &sb); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "missing.json")}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestInvalidScenarioContents(t *testing.T) {
+	scn := scenarioJSON{Periods: 1, Demand: [][]float64{{1}}, Betas: []float64{1}, Capacity: []float64{1}}
+	data, _ := json.Marshal(scn)
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", path}, &sb); err == nil {
+		t.Error("single-period scenario accepted")
+	}
+}

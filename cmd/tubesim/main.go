@@ -1,0 +1,147 @@
+// Command tubesim runs the end-to-end TUBE system against the emulated
+// testbed: it starts the TUBE Optimizer's HTTP price server, drives the
+// §VI-C two-user experiment against it (GUI clients pull prices once per
+// period and report usage), and prints the resulting traffic and price
+// history.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"tdp/internal/core"
+	"tdp/internal/emul"
+	"tdp/internal/tube"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tubesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tubesim", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address for the price server")
+	seed := fs.Int64("seed", 1, "experiment random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The optimizer's demand estimate: the emulation's expected demand in
+	// MB per period, with per-class average patience.
+	cfg := emul.DefaultConfig()
+	cfg.Seed = *seed
+	classes := make([]string, len(cfg.Classes))
+	betas := make([]float64, len(cfg.Classes))
+	for j, cl := range cfg.Classes {
+		classes[j] = cl.Name
+		var s float64
+		for _, u := range cfg.Users {
+			s += u.Beta[cl.Name]
+		}
+		betas[j] = s / float64(len(cfg.Users))
+	}
+	capacity := make([]float64, cfg.Periods)
+	for i := range capacity {
+		capacity[i] = 0.8 * cfg.LinkMBps * cfg.PeriodSeconds
+	}
+	scn := &core.Scenario{
+		Periods:       cfg.Periods,
+		Demand:        cfg.ExpectedDemand(),
+		Betas:         betas,
+		Capacity:      capacity,
+		Cost:          core.LinearCost(cfg.CostSlope),
+		PeriodSeconds: cfg.PeriodSeconds,
+	}
+	opt, err := tube.NewOptimizer(tube.OptimizerConfig{Scenario: scn, Classes: classes})
+	if err != nil {
+		return err
+	}
+	srv, err := tube.NewServer(opt)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown; other errors are
+		// surfaced through failed client pulls below.
+		_ = httpSrv.Serve(ln)
+	}()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "TUBE Optimizer serving prices at %s\n\n", base)
+
+	// GUI clients pull the published schedule once per period; the
+	// emulation then runs under that schedule.
+	gui, err := tube.NewGUI(base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	info, err := gui.PullPrice(ctx)
+	if err != nil {
+		return err
+	}
+	cfg.Rewards = info.Rewards
+
+	tip, tdp, err := emul.RunComparison(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Feed the TDP run's measured per-class usage back through the wire,
+	// period by period, closing each period at the optimizer.
+	for i := 0; i < cfg.Periods; i++ {
+		for _, u := range cfg.Users {
+			for _, cl := range cfg.Classes {
+				vol := tdp.OfferedByUserClassPeriod[u.Name][cl.Name][i]
+				if vol <= 0 {
+					continue
+				}
+				if err := gui.ReportUsage(ctx, tube.UsageReport{
+					User: u.Name, Class: cl.Name, VolumeMB: vol,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := opt.ClosePeriod(); err != nil {
+			return err
+		}
+		if _, err := gui.PullPrice(ctx); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "published rewards ($0.10): %.3f\n\n", info.Rewards)
+	for _, u := range cfg.Users {
+		fmt.Fprintf(out, "%s TIP traffic (MB/period): %.0f\n", u.Name, tip.ServedByUserPeriod[u.Name])
+		fmt.Fprintf(out, "%s TDP traffic (MB/period): %.0f\n", u.Name, tdp.ServedByUserPeriod[u.Name])
+		mc := tdp.MovedByUserClass[u.Name]
+		fmt.Fprintf(out, "%s moved by TDP: web %.1f MB, ftp %.1f MB, video %.1f MB\n\n",
+			u.Name, mc["web"], mc["ftp"], mc["video"])
+	}
+	hist, err := opt.PriceHistory()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "optimizer price history (%d periods closed), GUI pulls: %d\n",
+		len(hist), gui.Pulls())
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTubesimEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seed", "7"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"TUBE Optimizer serving prices",
+		"published rewards",
+		"user1 TIP traffic",
+		"user2 moved by TDP",
+		"GUI pulls: 13", // initial pull + one per closed period
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTubesimBadAddr(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-addr", "256.0.0.1:99999"}, &sb); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Control loop: the paper's Fig. 1 end to end over several simulated
+// days. The ISP starts with a flat (wrong) patience prior, publishes
+// optimized rewards, measures the population's per-class reaction,
+// re-profiles patience with the §IV machinery, and re-prices — watching
+// its estimates converge to the population's true behavior.
+//
+//	go run ./examples/control-loop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdp/internal/core"
+	"tdp/internal/tube"
+)
+
+func main() {
+	// The hidden truth: web is impatient, video is patient.
+	trueBetas := []float64{4, 1.5, 0.5}
+	base := []float64{22, 13, 8, 8, 11, 19, 20, 23, 24, 25, 23, 26}
+	demand := make([][]float64, 12)
+	for i := range demand {
+		demand[i] = []float64{base[i] * 0.2, base[i] * 0.3, base[i] * 0.5}
+	}
+	capacity := make([]float64, 12)
+	for i := range capacity {
+		capacity[i] = 18
+	}
+	cost := core.LinearCost(3)
+
+	population, err := core.NewStaticModel(&core.Scenario{
+		Periods: 12, Demand: demand, Betas: trueBetas,
+		Capacity: capacity, Cost: cost,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctrl, err := tube.NewController(tube.ControllerConfig{
+		Demand:       demand,
+		Classes:      []string{"web", "ftp", "video"},
+		InitialBetas: []float64{2.5, 2.5, 2.5}, // the ISP knows nothing yet
+		Capacity:     capacity,
+		Cost:         cost,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tipCongestion float64
+	for i, x := range base {
+		tipCongestion += cost.Value(x - capacity[i])
+	}
+	fmt.Println("TUBE control loop — publish → react → profile → re-price")
+	fmt.Printf("true patience (web ftp video): %.2f   TIP congestion: %.0f\n\n", trueBetas, tipCongestion)
+	fmt.Println("day   beta estimates (web ftp video)   congestion   reprofiled")
+
+	react := func(rewards []float64) ([][]float64, error) {
+		return population.UsageByType(rewards), nil
+	}
+	for day := 1; day <= 5; day++ {
+		rep, err := ctrl.RunDay(react)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d   %6.2f %6.2f %6.2f %18.1f   %v\n",
+			rep.Day, rep.Betas[0], rep.Betas[1], rep.Betas[2],
+			rep.CongestionCost, rep.Reestimated)
+	}
+	fmt.Println("\nthe flat 2.50 prior resolves into the true ordering (web > ftp > video),")
+	fmt.Println("and every TDP day keeps congestion below the TIP baseline.")
+}

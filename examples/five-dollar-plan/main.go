@@ -1,0 +1,77 @@
+// Five-dollar plan: the paper's §VII closing idea — congestion-dependent
+// pricing on 30-second slots plus a user-side autopilot with a hard
+// monthly budget. Bulk traffic rides the off-peak discounts; a protected
+// "never defer" class runs at any price; the bill stays under $5.
+//
+//	go run ./examples/five-dollar-plan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tdp/internal/core"
+	"tdp/internal/waiting"
+)
+
+func main() {
+	pricer, err := core.NewCongestionPricer(0.8 /* target util */, 0.2 /* gain */, 0.9 /* max discount */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auto := core.NewAutopilot(core.AutopilotConfig{
+		SpendBudget:  50, // $5.00 in $0.10 units
+		NeverDefer:   map[int]bool{1: true},
+		PriceCeiling: 0.3, // bulk traffic only runs when price ≤ $0.03/unit
+	})
+
+	const basePrice = 1.0
+	// Network utilization over the day follows the paper's measured shape
+	// (Table VII), resampled onto 30-second slots, peak ≈ 110%.
+	totals := waiting.Totals(waiting.Demand48())
+	peak := 0.0
+	for _, x := range totals {
+		peak = math.Max(peak, x)
+	}
+
+	const slots = 2880
+	pending := 400 // queued bulk sessions of 0.25 volume units each
+	var served, protectedRuns int
+	var hourlySpend [24]float64
+	for slot := 0; slot < slots; slot++ {
+		util := totals[slot*48/slots] / peak * 1.1
+		price := math.Max(basePrice-pricer.Update(util), 0)
+		hour := slot * 24 / slots
+
+		if slot%10 == 5 { // a call/live-video session every 5 minutes
+			if auto.Decide(1, 0.1, price) == core.RunNow {
+				auto.RecordSpend(0.1 * price)
+				hourlySpend[hour] += 0.1 * price
+				protectedRuns++
+			}
+		}
+		if pending > 0 && slot%2 == 0 { // bulk backlog trickle
+			if auto.Decide(0, 0.25, price) == core.RunNow {
+				auto.RecordSpend(0.25 * price)
+				hourlySpend[hour] += 0.25 * price
+				pending--
+				served++
+			}
+		}
+	}
+
+	fmt.Println("\"$5 a month\" autopilot day (30-second pricing slots)")
+	fmt.Println("hour  spend($)")
+	for h, s := range hourlySpend {
+		bar := ""
+		for i := 0; i < int(s*30); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%4d %9.3f  %s\n", h, s*0.10, bar)
+	}
+	fmt.Printf("\nbulk sessions served: %d/400 (remaining wait for tomorrow's valleys)\n", served)
+	fmt.Printf("protected sessions (never defer): %d ran at market price\n", protectedRuns)
+	fmt.Printf("total spend: $%.2f of the $5.00 budget (full price would be $%.2f)\n",
+		auto.Spent()*0.10, (float64(served)*0.25+float64(protectedRuns)*0.1)*basePrice*0.10)
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small time-dependent-pricing scenario, solve for the
+// optimal per-period rewards, and print the savings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdp/internal/core"
+)
+
+func main() {
+	// A 6-period "day" with a single evening peak. Demand is split into
+	// two session types: patient bulk transfers (β = 0.5) and impatient
+	// interactive traffic (β = 4). Units: 10 MBps and $0.10, as in the
+	// paper's simulations.
+	scn := &core.Scenario{
+		Periods: 6,
+		Demand: [][]float64{
+			{4, 2}, // night: mostly bulk
+			{3, 2},
+			{4, 4},
+			{6, 8}, // evening peak
+			{8, 12},
+			{6, 6},
+		},
+		Betas:    []float64{0.5, 4},
+		Capacity: []float64{14, 14, 14, 14, 14, 14},
+		Cost:     core.LinearCost(3), // $0.30 per 10 MBps of excess
+	}
+
+	model, err := core.NewStaticModel(scn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pricing, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Time-dependent pricing quickstart")
+	fmt.Println("period  TIP demand  reward($0.10)  TDP usage")
+	totals := scn.TotalDemand()
+	for i := 0; i < scn.Periods; i++ {
+		fmt.Printf("%5d %10.1f %13.3f %10.2f\n",
+			i+1, totals[i], pricing.Rewards[i], pricing.Usage[i])
+	}
+	fmt.Printf("\nISP cost: %.2f → %.2f ($0.10 units), savings %.1f%%\n",
+		pricing.TIPCost, pricing.Cost, 100*pricing.Savings())
+	fmt.Printf("reward outlay: %.2f; congestion cost avoided: %.2f\n",
+		pricing.RewardOutlay, pricing.TIPCost-(pricing.Cost-pricing.RewardOutlay))
+}

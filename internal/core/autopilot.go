@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the §VII extension: congestion-dependent pricing on
+// short timescales (periods of ~30 s) with an "auto-pilot" agent on the
+// user side — the mechanism behind the paper's "$5 a month" plan sketch.
+// Users who let the autopilot wait for cheap slots are served almost
+// entirely from otherwise-idle capacity.
+//
+// Semantics follow the paper's billing reading (§I-C: rewards move the
+// baseline usage price): the published reward r_t is a discount for
+// consuming in slot t, so the effective price is max(base − r_t, 0).
+// Cheap slots are the *uncongested* ones — "users wait for time slots in
+// which congestion conditions and prices are sufficiently low" (§VII).
+
+// CongestionPricer sets the current-slot reward from real-time
+// utilization instead of a day-ahead optimization: idle capacity raises
+// the discount to attract deferrable traffic, congestion removes it. The
+// controller is a clamped integrator, so the reward ratchets smoothly.
+type CongestionPricer struct {
+	// Target is the utilization setpoint in [0, 1] (e.g. the paper's 80%).
+	Target float64
+	// Gain converts utilization shortfall into reward units per update.
+	Gain float64
+	// MaxReward caps the published discount (at most the base price).
+	MaxReward float64
+
+	reward float64
+}
+
+// NewCongestionPricer validates and builds a pricer.
+func NewCongestionPricer(target, gain, maxReward float64) (*CongestionPricer, error) {
+	if target < 0 || target > 1 || math.IsNaN(target) {
+		return nil, fmt.Errorf("target utilization %v: %w", target, ErrBadScenario)
+	}
+	if gain <= 0 || maxReward <= 0 {
+		return nil, fmt.Errorf("gain %v, max reward %v: %w", gain, maxReward, ErrBadScenario)
+	}
+	return &CongestionPricer{Target: target, Gain: gain, MaxReward: maxReward}, nil
+}
+
+// Update folds a new utilization sample (load/capacity, may exceed 1)
+// into the published reward and returns it: sustained idleness ratchets
+// the discount up, sustained congestion removes it.
+func (c *CongestionPricer) Update(utilization float64) float64 {
+	c.reward += c.Gain * (c.Target - utilization)
+	c.reward = math.Max(0, math.Min(c.reward, c.MaxReward))
+	return c.reward
+}
+
+// Reward returns the currently published reward (discount).
+func (c *CongestionPricer) Reward() float64 { return c.reward }
+
+// AutopilotConfig is the user's standing instruction set (§VII): "a user
+// need not be bothered once he or she specifies a basic configuration,
+// e.g. the maximum monthly bill, which applications should never be
+// deferred".
+type AutopilotConfig struct {
+	// SpendBudget is the maximum the user will pay per billing cycle in
+	// $0.10 units (the "$5 a month" knob). Zero means unlimited.
+	SpendBudget float64
+	// NeverDefer lists session-type indices that must run immediately
+	// (live video, calls) whatever the price.
+	NeverDefer map[int]bool
+	// PriceCeiling is the highest effective price at which deferrable
+	// sessions run; above it the autopilot waits for a cheaper slot.
+	// Zero means no ceiling.
+	PriceCeiling float64
+}
+
+// Autopilot decides run-or-wait per session given the live effective
+// price, tracking cumulative spend against the budget.
+type Autopilot struct {
+	cfg   AutopilotConfig
+	spent float64
+}
+
+// NewAutopilot builds an autopilot with the given standing configuration.
+func NewAutopilot(cfg AutopilotConfig) *Autopilot {
+	return &Autopilot{cfg: cfg}
+}
+
+// Decision is the autopilot's verdict for one session.
+type Decision int
+
+// Autopilot verdicts.
+const (
+	// RunNow sends the session immediately at the current price.
+	RunNow Decision = iota + 1
+	// Defer waits for a cheaper slot.
+	Defer
+	// Blocked refuses to run the session now because doing so would
+	// exceed the cycle's spend budget; it must wait for a slot cheap
+	// enough to fit.
+	Blocked
+)
+
+// Decide returns the verdict for a session of the given type and volume
+// at the current effective price per volume unit.
+func (a *Autopilot) Decide(sessionType int, volume, price float64) Decision {
+	cost := volume * price
+	overBudget := a.cfg.SpendBudget > 0 && a.spent+cost > a.cfg.SpendBudget
+	if a.cfg.NeverDefer[sessionType] {
+		// The user insists on immediacy — but a hard budget still blocks
+		// when the plan has no headroom left.
+		if overBudget {
+			return Blocked
+		}
+		return RunNow
+	}
+	if overBudget {
+		return Blocked
+	}
+	if a.cfg.PriceCeiling > 0 && price > a.cfg.PriceCeiling {
+		return Defer
+	}
+	return RunNow
+}
+
+// RecordSpend accrues the user's spend after a session actually runs.
+func (a *Autopilot) RecordSpend(amount float64) {
+	if amount > 0 {
+		a.spent += amount
+	}
+}
+
+// Spent returns the cumulative recorded spend this cycle.
+func (a *Autopilot) Spent() float64 { return a.spent }
+
+// Remaining returns the budget headroom (Inf when unlimited).
+func (a *Autopilot) Remaining() float64 {
+	if a.cfg.SpendBudget <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(a.cfg.SpendBudget-a.spent, 0)
+}
+
+// ResetCycle zeroes the spend at the start of a billing cycle.
+func (a *Autopilot) ResetCycle() { a.spent = 0 }

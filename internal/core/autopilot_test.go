@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewCongestionPricerValidation(t *testing.T) {
+	if _, err := NewCongestionPricer(1.5, 1, 1); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("target>1: err = %v, want ErrBadScenario", err)
+	}
+	if _, err := NewCongestionPricer(0.8, 0, 1); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("zero gain: err = %v, want ErrBadScenario", err)
+	}
+	if _, err := NewCongestionPricer(0.8, 1, 0); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("zero max: err = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestCongestionPricerIdleRaisesDiscount(t *testing.T) {
+	c, err := NewCongestionPricer(0.8, 0.5, 3)
+	if err != nil {
+		t.Fatalf("NewCongestionPricer: %v", err)
+	}
+	// Sustained idleness (10% utilization) raises the discount to cap.
+	prev := 0.0
+	for i := 0; i < 20; i++ {
+		r := c.Update(0.1)
+		if r < prev {
+			t.Fatalf("discount fell while idle: %v < %v", r, prev)
+		}
+		prev = r
+	}
+	if prev != 3 {
+		t.Errorf("reward = %v, want capped at 3", prev)
+	}
+	// Sustained congestion (120%) removes the discount entirely.
+	for i := 0; i < 40; i++ {
+		c.Update(1.2)
+	}
+	if c.Reward() != 0 {
+		t.Errorf("reward = %v under congestion, want 0", c.Reward())
+	}
+}
+
+func TestCongestionPricerAtSetpointHolds(t *testing.T) {
+	c, err := NewCongestionPricer(0.8, 1, 2)
+	if err != nil {
+		t.Fatalf("NewCongestionPricer: %v", err)
+	}
+	c.Update(0.3) // push up to 0.5
+	at := c.Reward()
+	c.Update(0.8) // exactly on target: no change
+	if c.Reward() != at {
+		t.Errorf("reward moved at setpoint: %v → %v", at, c.Reward())
+	}
+}
+
+func TestAutopilotDecisions(t *testing.T) {
+	a := NewAutopilot(AutopilotConfig{
+		SpendBudget:  50, // "$5 a month" in $0.10 units
+		NeverDefer:   map[int]bool{9: true},
+		PriceCeiling: 0.4,
+	})
+	// Cheap slot, plenty of budget → run.
+	if d := a.Decide(0, 10, 0.3); d != RunNow {
+		t.Errorf("cheap slot: %v, want RunNow", d)
+	}
+	// Expensive slot → wait for a discount.
+	if d := a.Decide(0, 10, 1); d != Defer {
+		t.Errorf("expensive slot: %v, want Defer", d)
+	}
+	// Never-defer class runs at any price.
+	if d := a.Decide(9, 10, 3); d != RunNow {
+		t.Errorf("never-defer type: %v, want RunNow", d)
+	}
+	// Exhaust the budget: both classes block.
+	a.RecordSpend(48)
+	if d := a.Decide(0, 10, 0.3); d != Blocked {
+		t.Errorf("over budget: %v, want Blocked", d)
+	}
+	if d := a.Decide(9, 10, 0.3); d != Blocked {
+		t.Errorf("over budget never-defer: %v, want Blocked", d)
+	}
+	// A session small enough to fit the remaining budget still runs.
+	if d := a.Decide(0, 5, 0.3); d != RunNow {
+		t.Errorf("within remaining budget: %v, want RunNow", d)
+	}
+}
+
+func TestAutopilotNoCeiling(t *testing.T) {
+	a := NewAutopilot(AutopilotConfig{})
+	if d := a.Decide(0, 100, 5); d != RunNow {
+		t.Errorf("no ceiling, no budget: %v, want RunNow", d)
+	}
+}
+
+func TestAutopilotSpendAccounting(t *testing.T) {
+	a := NewAutopilot(AutopilotConfig{SpendBudget: 10})
+	a.RecordSpend(4)
+	a.RecordSpend(-3) // ignored
+	if a.Spent() != 4 {
+		t.Errorf("Spent = %v, want 4", a.Spent())
+	}
+	if a.Remaining() != 6 {
+		t.Errorf("Remaining = %v, want 6", a.Remaining())
+	}
+	a.ResetCycle()
+	if a.Spent() != 0 {
+		t.Errorf("Spent after reset = %v, want 0", a.Spent())
+	}
+	unlimited := NewAutopilot(AutopilotConfig{})
+	if !math.IsInf(unlimited.Remaining(), 1) {
+		t.Errorf("unlimited Remaining = %v, want +Inf", unlimited.Remaining())
+	}
+}
+
+// TestAutopilotControlLoop drives the full §VII loop: a congestion wave, a
+// pricer reacting to it, and a budget autopilot that ends up served almost
+// entirely from idle slots.
+func TestAutopilotControlLoop(t *testing.T) {
+	pricer, err := NewCongestionPricer(0.8, 0.3, 0.9)
+	if err != nil {
+		t.Fatalf("NewCongestionPricer: %v", err)
+	}
+	const basePrice = 1.0
+	auto := NewAutopilot(AutopilotConfig{SpendBudget: 6, PriceCeiling: 0.3})
+
+	// Square congestion wave: busy 30 slots, idle 30 slots, repeated.
+	var ranBusy, ranIdle int
+	pending := 40 // queued unit-volume sessions
+	for slot := 0; slot < 240 && pending > 0; slot++ {
+		busy := (slot/30)%2 == 0
+		util := 0.35
+		if busy {
+			util = 1.1
+		}
+		reward := pricer.Update(util)
+		price := math.Max(basePrice-reward, 0)
+		if auto.Decide(0, 1, price) == RunNow {
+			auto.RecordSpend(price)
+			pending--
+			if busy {
+				ranBusy++
+			} else {
+				ranIdle++
+			}
+		}
+	}
+	if pending > 0 {
+		t.Fatalf("%d sessions never ran", pending)
+	}
+	if ranIdle <= ranBusy*3 {
+		t.Errorf("autopilot ran %d busy vs %d idle slots — should strongly prefer idle", ranBusy, ranIdle)
+	}
+	// The whole cycle stayed within the tiny budget.
+	if auto.Spent() > 6 {
+		t.Errorf("spent %v over budget 6", auto.Spent())
+	}
+	// And far below what full price would have cost (40 × 1.0).
+	if auto.Spent() > 0.4*40*basePrice {
+		t.Errorf("spent %v, want well below full price 40", auto.Spent())
+	}
+}

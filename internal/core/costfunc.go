@@ -1,0 +1,125 @@
+// Package core implements the paper's contribution: cost-minimizing
+// time-dependent price (reward) optimization for an ISP.
+//
+// It contains the static session model of §II (a convex program under
+// Prop. 3's conditions), the offline dynamic session model of §III-A
+// (single-bottleneck carry-over form of Props. 4–5), the online
+// receding-horizon algorithm of §III-B, the non-convex definite-choice
+// model of Appendix D, the fixed-duration session model of Appendix G,
+// and the congestion-dependent "auto-pilot" extension sketched in §VII.
+//
+// Units follow the paper's simulations: demand in 10 MBps, money in $0.10,
+// so e.g. a reward of 0.49 is $0.049.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tdp/internal/optimize"
+)
+
+// ErrBadScenario is returned when a pricing scenario fails validation.
+var ErrBadScenario = errors.New("core: invalid scenario")
+
+// CostFunc is the ISP's cost of exceeding capacity, the paper's f. Prop. 3
+// requires it to be increasing, convex, and piecewise-linear with bounded
+// slope.
+type CostFunc struct {
+	// Breaks and Slopes define f(x) = Σ_k Slopes[k]·max(x − Breaks[k], 0).
+	// Slopes must be non-negative (convexity); Breaks ascending.
+	Breaks []float64
+	Slopes []float64
+}
+
+// LinearCost returns the paper's simulation form f(x) = slope·max(x, 0).
+func LinearCost(slope float64) CostFunc {
+	return CostFunc{Breaks: []float64{0}, Slopes: []float64{slope}}
+}
+
+// Validate checks convexity (non-negative incremental slopes, at least one
+// positive) and ordering of breakpoints.
+func (f CostFunc) Validate() error {
+	if len(f.Breaks) == 0 || len(f.Breaks) != len(f.Slopes) {
+		return fmt.Errorf("cost with %d breaks, %d slopes: %w", len(f.Breaks), len(f.Slopes), ErrBadScenario)
+	}
+	var total float64
+	for i, s := range f.Slopes {
+		if s < 0 {
+			return fmt.Errorf("cost slope %d is %v (< 0 breaks convexity): %w", i, s, ErrBadScenario)
+		}
+		total += s
+		if i > 0 && f.Breaks[i] < f.Breaks[i-1] {
+			return fmt.Errorf("cost breaks not ascending at %d: %w", i, ErrBadScenario)
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("cost has zero maximum slope: %w", ErrBadScenario)
+	}
+	return nil
+}
+
+// Value evaluates f(x).
+func (f CostFunc) Value(x float64) float64 {
+	var s float64
+	for i, b := range f.Breaks {
+		if d := x - b; d > 0 {
+			s += f.Slopes[i] * d
+		}
+	}
+	return s
+}
+
+// Deriv evaluates f'(x) (the right derivative at kinks).
+func (f CostFunc) Deriv(x float64) float64 {
+	var s float64
+	for i, b := range f.Breaks {
+		if x > b {
+			s += f.Slopes[i]
+		}
+	}
+	return s
+}
+
+// MaxSlope returns the maximum marginal cost of exceeding capacity, the
+// paper's P — both the normalization reward for waiting functions and the
+// natural upper bound for offered rewards in the static model.
+func (f CostFunc) MaxSlope() float64 {
+	var s float64
+	for _, sl := range f.Slopes {
+		s += sl
+	}
+	return s
+}
+
+// Smooth evaluates the softplus-smoothed cost at temperature mu; mu = 0
+// gives the exact value.
+func (f CostFunc) Smooth(x, mu float64) float64 {
+	var s float64
+	for i, b := range f.Breaks {
+		s += f.Slopes[i] * optimize.SmoothMax(x-b, mu)
+	}
+	return s
+}
+
+// SmoothDeriv evaluates d/dx of the smoothed cost.
+func (f CostFunc) SmoothDeriv(x, mu float64) float64 {
+	var s float64
+	for i, b := range f.Breaks {
+		s += f.Slopes[i] * optimize.SmoothMaxDeriv(x-b, mu)
+	}
+	return s
+}
+
+// Scale returns the cost function with all slopes multiplied by a — the
+// Fig. 6 sweep a·f(x).
+func (f CostFunc) Scale(a float64) CostFunc {
+	out := CostFunc{
+		Breaks: append([]float64(nil), f.Breaks...),
+		Slopes: make([]float64, len(f.Slopes)),
+	}
+	for i, s := range f.Slopes {
+		out.Slopes[i] = a * s
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearCost(t *testing.T) {
+	f := LinearCost(3)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tests := []struct{ x, want float64 }{
+		{-5, 0}, {0, 0}, {1, 3}, {2.5, 7.5},
+	}
+	for _, tt := range tests {
+		if got := f.Value(tt.x); got != tt.want {
+			t.Errorf("Value(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if f.MaxSlope() != 3 {
+		t.Errorf("MaxSlope = %v, want 3", f.MaxSlope())
+	}
+	if f.Deriv(1) != 3 || f.Deriv(-1) != 0 {
+		t.Error("Deriv wrong")
+	}
+}
+
+func TestCostFuncValidate(t *testing.T) {
+	bad := []CostFunc{
+		{},
+		{Breaks: []float64{0}, Slopes: []float64{-1}},
+		{Breaks: []float64{0, 1}, Slopes: []float64{1}},
+		{Breaks: []float64{2, 1}, Slopes: []float64{1, 1}},
+		{Breaks: []float64{0}, Slopes: []float64{0}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); !errors.Is(err, ErrBadScenario) {
+			t.Errorf("case %d: err = %v, want ErrBadScenario", i, err)
+		}
+	}
+}
+
+func TestCostFuncPiecewise(t *testing.T) {
+	// Two-tier congestion cost: slope 1 above 0, extra slope 2 above 10.
+	f := CostFunc{Breaks: []float64{0, 10}, Slopes: []float64{1, 2}}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := f.Value(5); got != 5 {
+		t.Errorf("Value(5) = %v, want 5", got)
+	}
+	if got := f.Value(12); got != 12+2*2 {
+		t.Errorf("Value(12) = %v, want 16", got)
+	}
+	if got := f.Deriv(12); got != 3 {
+		t.Errorf("Deriv(12) = %v, want 3", got)
+	}
+	if got := f.MaxSlope(); got != 3 {
+		t.Errorf("MaxSlope = %v, want 3", got)
+	}
+}
+
+func TestCostFuncScale(t *testing.T) {
+	f := LinearCost(3).Scale(2)
+	if got := f.Value(1); got != 6 {
+		t.Errorf("scaled Value(1) = %v, want 6", got)
+	}
+	// Scaling must not alias the original.
+	g := LinearCost(3)
+	_ = g.Scale(10)
+	if g.Value(1) != 3 {
+		t.Error("Scale mutated receiver")
+	}
+}
+
+// Property: the smoothed cost upper-bounds the exact cost and converges as
+// μ→0, and SmoothDeriv matches finite differences.
+func TestCostFuncSmoothProperty(t *testing.T) {
+	f := CostFunc{Breaks: []float64{0, 5}, Slopes: []float64{2, 1}}
+	check := func(xr int16) bool {
+		x := float64(xr) / 100
+		exact := f.Value(x)
+		for _, mu := range []float64{0.5, 0.05} {
+			s := f.Smooth(x, mu)
+			if s < exact-1e-9 || s > exact+mu*math.Ln2*f.MaxSlope()+1e-9 {
+				return false
+			}
+			const h = 1e-6
+			num := (f.Smooth(x+h, mu) - f.Smooth(x-h, mu)) / (2 * h)
+			if math.Abs(num-f.SmoothDeriv(x, mu)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostFuncSmoothZeroMuIsExact(t *testing.T) {
+	f := LinearCost(2)
+	for _, x := range []float64{-3, 0, 4.2} {
+		if f.Smooth(x, 0) != f.Value(x) {
+			t.Errorf("Smooth(%v, 0) = %v, want %v", x, f.Smooth(x, 0), f.Value(x))
+		}
+	}
+}

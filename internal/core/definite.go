@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// DefiniteChoiceModel is Appendix D's alternative to the probabilistic
+// waiting-function model: each session defers *deterministically* to the
+// single period that maximizes its waiting function, rather than spreading
+// probabilistically across periods.
+//
+// The paper notes this model's optimization problem is likely non-convex;
+// indeed the cost here is piecewise-constant-in-argmax and is minimized by
+// multistart coordinate descent rather than the convex machinery.
+//
+// Concretization: the paper leaves the "stay" alternative implicit. Here a
+// session of type j in period i defers to t* = argmax_t w_j(p_{i+t}, t)
+// iff w_j(p_{i+t*}, t*) ≥ Threshold, reading the waiting-function value as
+// the propensity to defer (Threshold 0.5 = "more likely than not").
+type DefiniteChoiceModel struct {
+	scn    *Scenario
+	wfs    []waiting.PowerLaw
+	totals []float64
+	n, m   int
+
+	// Threshold is the minimum waiting-function value at which a session
+	// commits to deferring (default 0.5; see type comment).
+	Threshold float64
+	// Starts is the number of multistart seeds for the non-convex solve
+	// (default 8).
+	Starts int
+	// Seed makes the multistart deterministic.
+	Seed int64
+}
+
+// NewDefiniteChoiceModel validates the scenario and builds the model.
+func NewDefiniteChoiceModel(scn *Scenario) (*DefiniteChoiceModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	wfs, err := scn.buildWaitingFuncs()
+	if err != nil {
+		return nil, err
+	}
+	return &DefiniteChoiceModel{
+		scn:       scn,
+		wfs:       wfs,
+		totals:    scn.TotalDemand(),
+		n:         scn.Periods,
+		m:         len(scn.Betas),
+		Threshold: 0.5,
+		Starts:    8,
+		Seed:      1,
+	}, nil
+}
+
+// Choices returns, for each period i and type j, the deferral target
+// period index (or −1 for staying) under rewards p.
+func (dc *DefiniteChoiceModel) Choices(p []float64) [][]int {
+	out := make([][]int, dc.n)
+	for i := 0; i < dc.n; i++ {
+		out[i] = make([]int, dc.m)
+		for j := 0; j < dc.m; j++ {
+			out[i][j] = dc.choose(p, i, j)
+		}
+	}
+	return out
+}
+
+// choose finds type j's deferral target from period i, or −1 to stay.
+func (dc *DefiniteChoiceModel) choose(p []float64, i, j int) int {
+	best, bestDt := 0.0, -1
+	for dt := 1; dt <= dc.n-1; dt++ {
+		k := (i + dt) % dc.n
+		if v := dc.wfs[j].Value(p[k], dt); v > best {
+			best, bestDt = v, dt
+		}
+	}
+	if bestDt < 0 || best < dc.Threshold {
+		return -1
+	}
+	return (i + bestDt) % dc.n
+}
+
+// UsageAt returns the usage profile after definite-choice deferrals.
+func (dc *DefiniteChoiceModel) UsageAt(p []float64) []float64 {
+	x := append([]float64(nil), dc.totals...)
+	for i := 0; i < dc.n; i++ {
+		for j := 0; j < dc.m; j++ {
+			if k := dc.choose(p, i, j); k >= 0 {
+				d := dc.scn.Demand[i][j]
+				x[i] -= d
+				x[k] += d
+			}
+		}
+	}
+	return x
+}
+
+// CostAt evaluates the objective (23): rewards paid to deferred sessions
+// plus the capacity-exceedance cost.
+func (dc *DefiniteChoiceModel) CostAt(p []float64) float64 {
+	x := append([]float64(nil), dc.totals...)
+	var rewards float64
+	for i := 0; i < dc.n; i++ {
+		for j := 0; j < dc.m; j++ {
+			if k := dc.choose(p, i, j); k >= 0 {
+				d := dc.scn.Demand[i][j]
+				x[i] -= d
+				x[k] += d
+				rewards += p[k] * d
+			}
+		}
+	}
+	c := rewards
+	for i := 0; i < dc.n; i++ {
+		c += dc.scn.Cost.Value(x[i] - dc.scn.Capacity[i])
+	}
+	return c
+}
+
+// TIPCost returns the no-reward cost.
+func (dc *DefiniteChoiceModel) TIPCost() float64 {
+	return dc.CostAt(make([]float64, dc.n))
+}
+
+// Solve searches for good rewards with multistart coordinate descent; the
+// returned pricing is the best local solution found, with no global
+// optimality guarantee (the problem is non-convex, Appendix D).
+func (dc *DefiniteChoiceModel) Solve() (*Pricing, error) {
+	bounds := optimize.UniformBounds(dc.n, 0, math.Min(dc.scn.Cost.MaxSlope(), dc.scn.NormReward()))
+	rng := rand.New(rand.NewSource(dc.Seed))
+	starts := dc.Starts
+	if starts < 1 {
+		starts = 1
+	}
+	solve := func(x0 []float64) (optimize.Result, error) {
+		return optimize.CoordinateDescent(dc.CostAt, x0, bounds,
+			optimize.WithMaxIterations(60), optimize.WithTolerance(1e-6))
+	}
+	res, err := optimize.Multistart(solve, make([]float64, dc.n), bounds, starts, rng)
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("definite-choice solve: %w", err)
+	}
+	// Zero rewards is always feasible; never return anything worse.
+	if tip := dc.TIPCost(); tip < res.F {
+		res.X = make([]float64, dc.n)
+		res.F = tip
+	}
+	return &Pricing{
+		Rewards: res.X,
+		Usage:   dc.UsageAt(res.X),
+		Cost:    res.F,
+		TIPCost: dc.TIPCost(),
+	}, nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// DynamicModel is the offline dynamic session model of §III-A in its
+// single-bottleneck form (Prop. 5): the static model with (a) uniformly
+// distributed arrival times inside each period, and (b) unfinished work
+// carrying over between periods.
+//
+// Per period i the model tracks the fluid recursion
+//
+//	arr_i     = X_i − Out_i(p) + In_i(p)          (arrivals after deferral)
+//	z_i       = backlog_{i−1} + arr_i − A_i        (end-of-period excess)
+//	backlog_i = max(z_i, 0)
+//	cost_i    = p_i·In_i + f(z_i)
+//
+// where f(z_i) is the paper's f(b·N(i)) — the cost of the work remaining
+// at the end of the period. All cost breakpoints must be ≥ 0 so that
+// f(max(z,0)) = f(z).
+//
+// Like StaticModel, the linear-in-p waiting family lets the model
+// precompute kernel tables, so evaluations are O(n²).
+type DynamicModel struct {
+	scn    *Scenario
+	wfs    []waiting.UniformArrival
+	totals []float64
+	inW    []float64
+	outW   [][]float64
+	n, m   int
+
+	// StartBacklog is the work in the system at the start of period 1
+	// (default 0, the paper's 12 am start).
+	StartBacklog float64
+}
+
+// NewDynamicModel validates the scenario and precomputes kernel tables.
+func NewDynamicModel(scn *Scenario) (*DynamicModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	for i, b := range scn.Cost.Breaks {
+		if b < 0 {
+			return nil, fmt.Errorf("dynamic model needs cost breaks ≥ 0, got %v at %d: %w",
+				b, i, ErrBadScenario)
+		}
+	}
+	n, m := scn.Periods, len(scn.Betas)
+	p := scn.NormReward()
+	dm := &DynamicModel{
+		scn:    scn,
+		totals: scn.TotalDemand(),
+		n:      n,
+		m:      m,
+	}
+	dm.wfs = make([]waiting.UniformArrival, m)
+	for j, beta := range scn.Betas {
+		w, err := waiting.NewUniformArrival(beta, n, p)
+		if err != nil {
+			return nil, fmt.Errorf("type %d: %w", j, err)
+		}
+		dm.wfs[j] = w
+	}
+	dm.outW = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		dm.outW[i] = make([]float64, n)
+		for dt := 1; dt <= n-1; dt++ {
+			if scn.NoWrap && i+dt >= n {
+				continue // deferral would cross the day boundary
+			}
+			var s float64
+			for j, d := range scn.Demand[i] {
+				if d != 0 {
+					s += d * dm.wfs[j].DerivP(1, dt)
+				}
+			}
+			dm.outW[i][dt] = s
+		}
+	}
+	dm.inW = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for dt := 1; dt <= n-1; dt++ {
+			k := i - dt
+			if k < 0 {
+				k += n
+			}
+			s += dm.outW[k][dt]
+		}
+		dm.inW[i] = s
+	}
+	return dm, nil
+}
+
+// Scenario returns the model's underlying scenario.
+func (dm *DynamicModel) Scenario() *Scenario { return dm.scn }
+
+// MaxReward returns the reward box bound: the smaller of the maximum
+// marginal capacity-exceedance cost and the normalization reward.
+func (dm *DynamicModel) MaxReward() float64 {
+	return math.Min(dm.scn.Cost.MaxSlope(), dm.scn.NormReward())
+}
+
+// Arrivals returns the post-deferral arrival profile arr_i for rewards p.
+func (dm *DynamicModel) Arrivals(p []float64) []float64 {
+	arr, _ := dm.arrivals(p)
+	return arr
+}
+
+func (dm *DynamicModel) arrivals(p []float64) (arr, in []float64) {
+	n := dm.n
+	arr = make([]float64, n)
+	in = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pi := p[i]; pi > 0 {
+			in[i] = pi * dm.inW[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		var out float64
+		row := dm.outW[i]
+		for dt := 1; dt <= n-1; dt++ {
+			k := i + dt
+			if k >= n {
+				k -= n
+			}
+			if pk := p[k]; pk > 0 {
+				out += row[dt] * pk
+			}
+		}
+		arr[i] = dm.totals[i] - out + in[i]
+	}
+	return arr, in
+}
+
+// Load returns the offered load per period (backlog carried in plus new
+// arrivals) and the end-of-period backlog, the quantities Fig. 8 plots.
+func (dm *DynamicModel) Load(p []float64) (load, backlog []float64) {
+	arr, _ := dm.arrivals(p)
+	n := dm.n
+	load = make([]float64, n)
+	backlog = make([]float64, n)
+	carry := dm.StartBacklog
+	for i := 0; i < n; i++ {
+		load[i] = carry + arr[i]
+		z := load[i] - dm.scn.Capacity[i]
+		if z < 0 {
+			z = 0
+		}
+		backlog[i] = z
+		carry = z
+	}
+	return load, backlog
+}
+
+// CostAt evaluates the exact objective (3) at rewards p.
+func (dm *DynamicModel) CostAt(p []float64) float64 {
+	return dm.costSmoothed(p, 0)
+}
+
+// TIPCost returns the cost with no rewards offered.
+func (dm *DynamicModel) TIPCost() float64 {
+	return dm.CostAt(make([]float64, dm.n))
+}
+
+func (dm *DynamicModel) costSmoothed(p []float64, mu float64) float64 {
+	arr, in := dm.arrivals(p)
+	var c float64
+	carry := dm.StartBacklog
+	for i := 0; i < dm.n; i++ {
+		z := carry + arr[i] - dm.scn.Capacity[i]
+		c += p[i]*in[i] + dm.scn.Cost.Smooth(z, mu)
+		carry = optimize.SmoothMax(z, mu)
+	}
+	return c
+}
+
+// smoothedObjective builds the softplus-smoothed objective with its
+// analytic (adjoint) gradient.
+func (dm *DynamicModel) smoothedObjective(mu float64) optimize.Objective {
+	return optimize.FuncObjective{
+		Fn: func(p []float64) float64 { return dm.costSmoothed(p, mu) },
+		GradFn: func(p, grad []float64) {
+			n := dm.n
+			arr, _ := dm.arrivals(p)
+			z := make([]float64, n)
+			carry := dm.StartBacklog
+			for i := 0; i < n; i++ {
+				z[i] = carry + arr[i] - dm.scn.Capacity[i]
+				carry = optimize.SmoothMax(z[i], mu)
+			}
+			// Adjoint sweep: λ_i = ∂C/∂z_i = f'(z_i) + λ_{i+1}·S'(z_i).
+			lambda := make([]float64, n)
+			for i := n - 1; i >= 0; i-- {
+				lambda[i] = dm.scn.Cost.SmoothDeriv(z[i], mu)
+				if i < n-1 {
+					lambda[i] += lambda[i+1] * optimize.SmoothMaxDeriv(z[i], mu)
+				}
+			}
+			// grad[r] = 2p_r·inW[r] + λ_r·inW[r] − Σ_{i≠r} λ_i·outW[i][t(i→r)].
+			for r := 0; r < n; r++ {
+				g := (2*p[r] + lambda[r]) * dm.inW[r]
+				for dt := 1; dt <= n-1; dt++ {
+					i := r - dt
+					if i < 0 {
+						i += n
+					}
+					if lambda[i] != 0 {
+						g -= lambda[i] * dm.outW[i][dt]
+					}
+				}
+				grad[r] = g
+			}
+		},
+	}
+}
+
+// Solve minimizes the dynamic-model cost over rewards in [0, P].
+func (dm *DynamicModel) Solve() (*Pricing, error) {
+	bounds := optimize.UniformBounds(dm.n, 0, dm.MaxReward())
+	x0 := make([]float64, dm.n)
+	res, err := optimize.Homotopy(
+		func(mu float64) optimize.Objective { return dm.smoothedObjective(mu) },
+		dm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+		optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+	)
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("dynamic solve: %w", err)
+	}
+	p := res.X
+	arr, in := dm.arrivals(p)
+	var outlay float64
+	for i := 0; i < dm.n; i++ {
+		outlay += p[i] * in[i]
+	}
+	return &Pricing{
+		Rewards:      p,
+		Usage:        arr,
+		Cost:         dm.CostAt(p),
+		TIPCost:      dm.TIPCost(),
+		RewardOutlay: outlay,
+		Iterations:   res.Iterations,
+		Evals:        res.Evals,
+	}, nil
+}
+
+// SolveForPeriod optimizes the single reward p_{period+1} with the others
+// held fixed — the online algorithm's inner step against the dynamic cost.
+func (dm *DynamicModel) SolveForPeriod(p []float64, period int) (float64, float64, error) {
+	if period < 0 || period >= dm.n {
+		return 0, 0, fmt.Errorf("period %d of %d: %w", period, dm.n, ErrBadScenario)
+	}
+	work := append([]float64(nil), p...)
+	best, fbest := optimize.Brent(func(t float64) float64 {
+		work[period] = t
+		return dm.CostAt(work)
+	}, 0, dm.MaxReward(), 1e-10)
+	return best, fbest, nil
+}

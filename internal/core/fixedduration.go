@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// FixedDurationModel is Appendix G's variant for sessions that stay in the
+// network a fixed amount of time and then leave (e.g. streaming video):
+// within each period the session count follows Ṅ = ν − d·N, so sessions
+// depart in proportion to how many are active, and congestion shows up as
+// quality degradation on the concurrent load rather than unfinished work.
+//
+// Discretizing one period with constant post-deferral arrival rate ν_i and
+// departure rate d_i gives the exact linear-ODE step
+//
+//	N_i(end) = N_i(start)·e^{−d_i} + (ν_i/d_i)·(1 − e^{−d_i}),
+//
+// with N_i(start) = N_{i−1}(end) + deferred-in sessions (eq. 38). The cost
+// per period is p_i·In_i + f(b·N_i(end) − A_i): the reward outlay plus the
+// congestion cost of the concurrent volume exceeding capacity.
+//
+// Unlike the fixed-size model the recursion is smooth (no max kink), so
+// only the piecewise-linear f needs smoothing during the solve.
+type FixedDurationModel struct {
+	scn    *Scenario
+	totals []float64
+	inW    []float64
+	outW   [][]float64
+	n, m   int
+
+	// DepartRate is d_i per period (same for all periods); 1/DepartRate is
+	// the mean session duration in periods. Must be > 0.
+	DepartRate float64
+	// SessionSize is b, the bandwidth of one session in 10 MBps; demand
+	// figures are divided by it to obtain session counts. Must be > 0.
+	SessionSize float64
+	// StartSessions is N at the start of period 1.
+	StartSessions float64
+}
+
+// NewFixedDurationModel builds the model with the given departure rate.
+func NewFixedDurationModel(scn *Scenario, departRate, sessionSize float64) (*FixedDurationModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	if departRate <= 0 || math.IsNaN(departRate) {
+		return nil, fmt.Errorf("departure rate %v: %w", departRate, ErrBadScenario)
+	}
+	if sessionSize <= 0 || math.IsNaN(sessionSize) {
+		return nil, fmt.Errorf("session size %v: %w", sessionSize, ErrBadScenario)
+	}
+	n, m := scn.Periods, len(scn.Betas)
+	p := scn.NormReward()
+	fm := &FixedDurationModel{
+		scn:         scn,
+		totals:      scn.TotalDemand(),
+		n:           n,
+		m:           m,
+		DepartRate:  departRate,
+		SessionSize: sessionSize,
+	}
+	wfs := make([]waiting.UniformArrival, m)
+	for j, beta := range scn.Betas {
+		w, err := waiting.NewUniformArrival(beta, n, p)
+		if err != nil {
+			return nil, fmt.Errorf("type %d: %w", j, err)
+		}
+		wfs[j] = w
+	}
+	fm.outW = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		fm.outW[i] = make([]float64, n)
+		for dt := 1; dt <= n-1; dt++ {
+			if scn.NoWrap && i+dt >= n {
+				continue // deferral would cross the day boundary
+			}
+			var s float64
+			for j, d := range scn.Demand[i] {
+				if d != 0 {
+					s += d * wfs[j].DerivP(1, dt)
+				}
+			}
+			fm.outW[i][dt] = s
+		}
+	}
+	fm.inW = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for dt := 1; dt <= n-1; dt++ {
+			k := i - dt
+			if k < 0 {
+				k += n
+			}
+			s += fm.outW[k][dt]
+		}
+		fm.inW[i] = s
+	}
+	return fm, nil
+}
+
+// arrivals mirrors DynamicModel.arrivals: post-deferral volume per period.
+func (fm *FixedDurationModel) arrivals(p []float64) (arr, in []float64) {
+	n := fm.n
+	arr = make([]float64, n)
+	in = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pi := p[i]; pi > 0 {
+			in[i] = pi * fm.inW[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		var out float64
+		row := fm.outW[i]
+		for dt := 1; dt <= n-1; dt++ {
+			k := i + dt
+			if k >= n {
+				k -= n
+			}
+			if pk := p[k]; pk > 0 {
+				out += row[dt] * pk
+			}
+		}
+		arr[i] = fm.totals[i] - out + in[i]
+	}
+	return arr, in
+}
+
+// SessionCounts returns end-of-period session counts N_i under rewards p.
+func (fm *FixedDurationModel) SessionCounts(p []float64) []float64 {
+	arr, _ := fm.arrivals(p)
+	out := make([]float64, fm.n)
+	decay := math.Exp(-fm.DepartRate)
+	north := fm.StartSessions
+	for i := 0; i < fm.n; i++ {
+		nu := arr[i] / fm.SessionSize // arrivals in sessions/period
+		north = north*decay + (nu/fm.DepartRate)*(1-decay)
+		out[i] = north
+	}
+	return out
+}
+
+// CostAt evaluates the exact objective (36).
+func (fm *FixedDurationModel) CostAt(p []float64) float64 {
+	return fm.costSmoothed(p, 0)
+}
+
+// TIPCost returns the no-reward cost.
+func (fm *FixedDurationModel) TIPCost() float64 {
+	return fm.CostAt(make([]float64, fm.n))
+}
+
+func (fm *FixedDurationModel) costSmoothed(p []float64, mu float64) float64 {
+	arr, in := fm.arrivals(p)
+	decay := math.Exp(-fm.DepartRate)
+	north := fm.StartSessions
+	var c float64
+	for i := 0; i < fm.n; i++ {
+		nu := arr[i] / fm.SessionSize
+		north = north*decay + (nu/fm.DepartRate)*(1-decay)
+		c += p[i]*in[i] + fm.scn.Cost.Smooth(fm.SessionSize*north-fm.scn.Capacity[i], mu)
+	}
+	return c
+}
+
+// Solve minimizes the fixed-duration cost with the homotopy solver and
+// numeric gradients (the recursion itself is smooth; only f is smoothed).
+func (fm *FixedDurationModel) Solve() (*Pricing, error) {
+	bounds := optimize.UniformBounds(fm.n, 0, math.Min(fm.scn.Cost.MaxSlope(), fm.scn.NormReward()))
+	x0 := make([]float64, fm.n)
+	res, err := optimize.Homotopy(
+		func(mu float64) optimize.Objective {
+			return optimize.FuncObjective{Fn: func(p []float64) float64 {
+				return fm.costSmoothed(p, mu)
+			}}
+		},
+		fm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+		optimize.WithMaxIterations(800), optimize.WithTolerance(1e-7),
+	)
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("fixed-duration solve: %w", err)
+	}
+	p := res.X
+	_, in := fm.arrivals(p)
+	var outlay float64
+	for i := 0; i < fm.n; i++ {
+		outlay += p[i] * in[i]
+	}
+	return &Pricing{
+		Rewards:      p,
+		Usage:        fm.SessionCounts(p),
+		Cost:         fm.CostAt(p),
+		TIPCost:      fm.TIPCost(),
+		RewardOutlay: outlay,
+		Iterations:   res.Iterations,
+		Evals:        res.Evals,
+	}, nil
+}

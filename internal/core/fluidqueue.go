@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// ServiceCurve is the paper's μ(N): the bandwidth the ISP network
+// delivers when N sessions are active (Prop. 4, eq. 4). For a single
+// bottleneck it is constant (Prop. 5 reduces the model to DynamicModel);
+// general networks serve less efficiently as concurrency grows.
+type ServiceCurve interface {
+	// Rate returns the service rate in volume units per period when
+	// backlogVolume units of work are pending. Must be non-negative and
+	// non-decreasing in backlogVolume.
+	Rate(backlogVolume float64) float64
+}
+
+// ConstantService is the single-bottleneck μ: the full capacity whenever
+// any work is pending.
+type ConstantService struct {
+	// Capacity in volume units per period.
+	Capacity float64
+}
+
+// Rate implements ServiceCurve.
+func (c ConstantService) Rate(backlogVolume float64) float64 {
+	if backlogVolume <= 0 {
+		return 0
+	}
+	return c.Capacity
+}
+
+// SaturatingService models a network whose effective throughput degrades
+// under load (e.g. TCP loss-recovery overhead): rate = C·q/(q+K), ramping
+// to capacity C as the queue q grows past the half-load constant K.
+type SaturatingService struct {
+	Capacity float64
+	HalfLoad float64
+}
+
+// Rate implements ServiceCurve.
+func (s SaturatingService) Rate(backlogVolume float64) float64 {
+	if backlogVolume <= 0 {
+		return 0
+	}
+	return s.Capacity * backlogVolume / (backlogVolume + s.HalfLoad)
+}
+
+// FluidQueueModel is the general Prop. 4 dynamic model: work arrives
+// continuously within each period (uniform arrival times, post-deferral)
+// and is served at μ(N) via fluid integration with sub-period Euler
+// steps. With a ConstantService it converges to DynamicModel as the step
+// count grows — the reduction Prop. 5 proves in closed form; the
+// integration tests verify it numerically.
+type FluidQueueModel struct {
+	scn    *Scenario
+	mu     ServiceCurve
+	totals []float64
+	inW    []float64
+	outW   [][]float64
+	n, m   int
+
+	// Steps is the number of Euler sub-steps per period (default 24).
+	Steps int
+	// StartBacklog is the work pending at the start of period 1.
+	StartBacklog float64
+}
+
+// NewFluidQueueModel validates and builds the model.
+func NewFluidQueueModel(scn *Scenario, mu ServiceCurve, steps int) (*FluidQueueModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	if mu == nil {
+		return nil, fmt.Errorf("nil service curve: %w", ErrBadScenario)
+	}
+	if steps <= 0 {
+		steps = 24
+	}
+	n, m := scn.Periods, len(scn.Betas)
+	p := scn.NormReward()
+	fq := &FluidQueueModel{
+		scn:    scn,
+		mu:     mu,
+		totals: scn.TotalDemand(),
+		n:      n,
+		m:      m,
+		Steps:  steps,
+	}
+	wfs := make([]waiting.UniformArrival, m)
+	for j, beta := range scn.Betas {
+		w, err := waiting.NewUniformArrival(beta, n, p)
+		if err != nil {
+			return nil, fmt.Errorf("type %d: %w", j, err)
+		}
+		wfs[j] = w
+	}
+	fq.outW = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		fq.outW[i] = make([]float64, n)
+		for dt := 1; dt <= n-1; dt++ {
+			if scn.NoWrap && i+dt >= n {
+				continue
+			}
+			var s float64
+			for j, d := range scn.Demand[i] {
+				if d != 0 {
+					s += d * wfs[j].DerivP(1, dt)
+				}
+			}
+			fq.outW[i][dt] = s
+		}
+	}
+	fq.inW = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for dt := 1; dt <= n-1; dt++ {
+			k := i - dt
+			if k < 0 {
+				k += n
+			}
+			s += fq.outW[k][dt]
+		}
+		fq.inW[i] = s
+	}
+	return fq, nil
+}
+
+// arrivals mirrors DynamicModel.arrivals.
+func (fq *FluidQueueModel) arrivals(p []float64) (arr, in []float64) {
+	n := fq.n
+	arr = make([]float64, n)
+	in = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pi := p[i]; pi > 0 {
+			in[i] = pi * fq.inW[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		var out float64
+		row := fq.outW[i]
+		for dt := 1; dt <= n-1; dt++ {
+			k := i + dt
+			if k >= n {
+				k -= n
+			}
+			if pk := p[k]; pk > 0 {
+				out += row[dt] * pk
+			}
+		}
+		arr[i] = fq.totals[i] - out + in[i]
+	}
+	return arr, in
+}
+
+// Backlogs integrates the fluid queue and returns the end-of-period
+// pending work N(i)·b for rewards p.
+func (fq *FluidQueueModel) Backlogs(p []float64) []float64 {
+	arr, _ := fq.arrivals(p)
+	out := make([]float64, fq.n)
+	q := fq.StartBacklog
+	h := 1.0 / float64(fq.Steps)
+	for i := 0; i < fq.n; i++ {
+		rate := arr[i] // uniform within the period
+		for s := 0; s < fq.Steps; s++ {
+			q += h * (rate - fq.mu.Rate(q))
+			if q < 0 {
+				q = 0
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// CostAt evaluates Prop. 4's objective: rewards paid plus f on each
+// period's remaining work.
+func (fq *FluidQueueModel) CostAt(p []float64) float64 {
+	arr, in := fq.arrivals(p)
+	var c float64
+	q := fq.StartBacklog
+	h := 1.0 / float64(fq.Steps)
+	for i := 0; i < fq.n; i++ {
+		for s := 0; s < fq.Steps; s++ {
+			q += h * (arr[i] - fq.mu.Rate(q))
+			if q < 0 {
+				q = 0
+			}
+		}
+		c += p[i]*in[i] + fq.scn.Cost.Value(q)
+	}
+	return c
+}
+
+// TIPCost returns the no-reward cost.
+func (fq *FluidQueueModel) TIPCost() float64 {
+	return fq.CostAt(make([]float64, fq.n))
+}
+
+// Solve minimizes the fluid-queue cost with the homotopy solver and
+// numeric gradients — the service curve is an arbitrary caller-supplied
+// function, so no analytic adjoint is assumed.
+func (fq *FluidQueueModel) Solve() (*Pricing, error) {
+	bounds := optimize.UniformBounds(fq.n, 0, math.Min(fq.scn.Cost.MaxSlope(), fq.scn.NormReward()))
+	x0 := make([]float64, fq.n)
+	res, err := optimize.Homotopy(
+		func(mu float64) optimize.Objective {
+			return optimize.FuncObjective{Fn: func(p []float64) float64 {
+				arr, in := fq.arrivals(p)
+				var c float64
+				q := fq.StartBacklog
+				h := 1.0 / float64(fq.Steps)
+				for i := 0; i < fq.n; i++ {
+					for s := 0; s < fq.Steps; s++ {
+						q += h * (arr[i] - fq.mu.Rate(q))
+						if q < 0 {
+							q = 0
+						}
+					}
+					c += p[i]*in[i] + fq.scn.Cost.Smooth(q, mu)
+				}
+				return c
+			}}
+		},
+		fq.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+		optimize.WithMaxIterations(600), optimize.WithTolerance(1e-6),
+	)
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("fluid-queue solve: %w", err)
+	}
+	p := res.X
+	arr, in := fq.arrivals(p)
+	var outlay float64
+	for i := 0; i < fq.n; i++ {
+		outlay += p[i] * in[i]
+	}
+	return &Pricing{
+		Rewards:      p,
+		Usage:        arr,
+		Cost:         fq.CostAt(p),
+		TIPCost:      fq.TIPCost(),
+		RewardOutlay: outlay,
+		Iterations:   res.Iterations,
+		Evals:        res.Evals,
+	}, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tdp/internal/waiting"
+)
+
+func fluidScenario() *Scenario {
+	return &Scenario{
+		Periods:  12,
+		Demand:   waiting.Demand12(),
+		Betas:    append([]float64(nil), waiting.PatienceIndices...),
+		Capacity: constant(12, 18),
+		Cost:     LinearCost(1),
+	}
+}
+
+func TestNewFluidQueueValidation(t *testing.T) {
+	if _, err := NewFluidQueueModel(fluidScenario(), nil, 10); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("nil curve: err = %v, want ErrBadScenario", err)
+	}
+	bad := fluidScenario()
+	bad.Periods = 1
+	if _, err := NewFluidQueueModel(bad, ConstantService{Capacity: 18}, 10); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestServiceCurves(t *testing.T) {
+	c := ConstantService{Capacity: 18}
+	if c.Rate(0) != 0 || c.Rate(-1) != 0 {
+		t.Error("constant service must be 0 on an empty queue")
+	}
+	if c.Rate(5) != 18 {
+		t.Errorf("Rate(5) = %v, want 18", c.Rate(5))
+	}
+	s := SaturatingService{Capacity: 18, HalfLoad: 10}
+	if s.Rate(0) != 0 {
+		t.Error("saturating service must be 0 on an empty queue")
+	}
+	if got := s.Rate(10); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Rate(halfload) = %v, want capacity/2", got)
+	}
+	if s.Rate(1e9) > 18 {
+		t.Error("saturating service exceeds capacity")
+	}
+	// Non-decreasing.
+	prev := 0.0
+	for q := 0.5; q < 100; q *= 2 {
+		if r := s.Rate(q); r < prev {
+			t.Fatalf("rate decreasing at q=%v", q)
+		} else {
+			prev = r
+		}
+	}
+}
+
+// TestFluidQueueReducesToDynamicModel is the numerical Prop. 5 check on
+// the general model: with a constant service curve the fluid integration
+// must match DynamicModel's closed-form recursion.
+func TestFluidQueueReducesToDynamicModel(t *testing.T) {
+	scn := fluidScenario()
+	fq, err := NewFluidQueueModel(scn, ConstantService{Capacity: 18}, 400)
+	if err != nil {
+		t.Fatalf("NewFluidQueueModel: %v", err)
+	}
+	dm, err := NewDynamicModel(scn)
+	if err != nil {
+		t.Fatalf("NewDynamicModel: %v", err)
+	}
+	for _, p := range [][]float64{
+		make([]float64, 12),
+		{0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3},
+		{0, 0.8, 0.6, 0.4, 0.2, 0, 0, 0, 0, 0, 0, 0},
+	} {
+		fqCost := fq.CostAt(p)
+		dmCost := dm.CostAt(p)
+		if math.Abs(fqCost-dmCost) > 0.02*(1+dmCost) {
+			t.Errorf("rewards %v: fluid cost %v vs closed-form %v", p, fqCost, dmCost)
+		}
+		fb := fq.Backlogs(p)
+		_, db := dm.Load(p)
+		for i := range fb {
+			if math.Abs(fb[i]-db[i]) > 0.05*(1+db[i]) {
+				t.Errorf("rewards %v period %d: backlog %v vs %v", p, i+1, fb[i], db[i])
+			}
+		}
+	}
+}
+
+// TestFluidQueueSaturatingIsWorse: a service curve that degrades under
+// load can only increase cost relative to the ideal constant-capacity
+// bottleneck, and pricing still helps.
+func TestFluidQueueSaturatingIsWorse(t *testing.T) {
+	scn := fluidScenario()
+	ideal, err := NewFluidQueueModel(scn, ConstantService{Capacity: 18}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := NewFluidQueueModel(scn, SaturatingService{Capacity: 18, HalfLoad: 6}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.TIPCost() <= ideal.TIPCost() {
+		t.Errorf("degraded service TIP cost %v not above ideal %v",
+			degraded.TIPCost(), ideal.TIPCost())
+	}
+	pr, err := degraded.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if pr.Cost >= pr.TIPCost {
+		t.Errorf("pricing did not help the degraded network: %v vs %v", pr.Cost, pr.TIPCost)
+	}
+	// 1-D re-optimization cannot improve materially.
+	work := append([]float64(nil), pr.Rewards...)
+	for _, period := range []int{1, 6} {
+		old := work[period]
+		for _, cand := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			work[period] = cand
+			if degraded.CostAt(work) < pr.Cost-0.05*(1+pr.Cost) {
+				t.Errorf("period %d: candidate %v beat the solve", period+1, cand)
+			}
+		}
+		work[period] = old
+	}
+}
+
+func TestFluidQueueBacklogNonNegative(t *testing.T) {
+	fq, err := NewFluidQueueModel(fluidScenario(), ConstantService{Capacity: 18}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq.StartBacklog = 5
+	p := make([]float64, 12)
+	for _, b := range fq.Backlogs(p) {
+		if b < 0 {
+			t.Fatal("negative backlog")
+		}
+	}
+	if fq.TIPCost() <= 0 {
+		t.Error("congested scenario must have positive cost")
+	}
+}
+
+func TestFluidQueueDefaultSteps(t *testing.T) {
+	fq, err := NewFluidQueueModel(fluidScenario(), ConstantService{Capacity: 18}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fq.Steps <= 0 {
+		t.Errorf("Steps = %d, want positive default", fq.Steps)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCostFuncInvariants checks f's structural invariants on arbitrary
+// inputs: non-negativity, monotonicity, convexity of the smoothed form,
+// and the softplus upper bound.
+func FuzzCostFuncInvariants(f *testing.F) {
+	f.Add(3.0, 0.0, 1.0, 5.0, 0.01)
+	f.Add(1.0, 2.0, 0.5, -3.0, 0.5)
+	f.Add(0.1, 10.0, 0.1, 100.0, 1.0)
+	f.Fuzz(func(t *testing.T, slope1, break2, slope2, x, mu float64) {
+		if !finite(slope1) || !finite(break2) || !finite(slope2) || !finite(x) || !finite(mu) {
+			t.Skip()
+		}
+		slope1 = math.Abs(math.Mod(slope1, 100))
+		slope2 = math.Abs(math.Mod(slope2, 100))
+		if slope1 == 0 {
+			slope1 = 1
+		}
+		break2 = math.Abs(math.Mod(break2, 1000))
+		x = math.Mod(x, 1e6)
+		mu = math.Abs(math.Mod(mu, 10))
+		cf := CostFunc{Breaks: []float64{0, break2}, Slopes: []float64{slope1, slope2}}
+		if err := cf.Validate(); err != nil {
+			t.Skip()
+		}
+		v := cf.Value(x)
+		if v < 0 {
+			t.Fatalf("Value(%v) = %v < 0", x, v)
+		}
+		if x <= 0 && v != 0 {
+			t.Fatalf("Value(%v) = %v, want 0 for x ≤ 0", x, v)
+		}
+		// Monotone: f(x+1) ≥ f(x).
+		if cf.Value(x+1) < v-1e-9 {
+			t.Fatalf("not increasing at %v", x)
+		}
+		// Smooth upper-bounds exact with bounded gap.
+		s := cf.Smooth(x, mu)
+		if s < v-1e-9*(1+math.Abs(v)) {
+			t.Fatalf("Smooth(%v,%v) = %v below exact %v", x, mu, s, v)
+		}
+		if gap := s - v; gap > mu*math.Ln2*cf.MaxSlope()+1e-6*(1+math.Abs(v)) {
+			t.Fatalf("smoothing gap %v exceeds bound", gap)
+		}
+		// Derivative bounded by MaxSlope.
+		if d := cf.Deriv(x); d < 0 || d > cf.MaxSlope()+1e-12 {
+			t.Fatalf("Deriv(%v) = %v outside [0, %v]", x, d, cf.MaxSlope())
+		}
+	})
+}
+
+// FuzzStaticCostAtTotal checks usage conservation and cost non-negativity
+// for arbitrary (clamped) reward vectors on the 12-period scenario.
+func FuzzStaticCostAtTotal(f *testing.F) {
+	f.Add(0.1, 0.9, 1.4, 0.0)
+	f.Add(1.5, 1.5, 1.5, 1.5)
+	sm, err := NewStaticModel(paper12())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var totalDemand float64
+	for _, x := range sm.totals {
+		totalDemand += x
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		p := make([]float64, 12)
+		seed := []float64{a, b, c, d}
+		for i := range p {
+			v := seed[i%4]
+			if !finite(v) {
+				t.Skip()
+			}
+			p[i] = math.Abs(math.Mod(v, sm.MaxReward()))
+		}
+		cost := sm.CostAt(p)
+		if cost < 0 || math.IsNaN(cost) {
+			t.Fatalf("CostAt = %v", cost)
+		}
+		x := sm.UsageAt(p)
+		var s float64
+		for _, xi := range x {
+			if xi < -1e-9 {
+				t.Fatalf("negative usage %v", xi)
+			}
+			s += xi
+		}
+		if math.Abs(s-totalDemand) > 1e-6 {
+			t.Fatalf("usage total %v, demand %v", s, totalDemand)
+		}
+	})
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

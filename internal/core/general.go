@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// GeneralStaticModel is the §II static model for *arbitrary* waiting
+// functions — anything increasing and concave in the reward (Prop. 3's
+// full generality), e.g. waiting.Concave with exponent γ < 1, where
+// StaticModel is specialized to the linear power-law family for speed.
+//
+// Evaluations are O(n²·m) with transcendental calls per term, so prefer
+// StaticModel when the linear family suffices (it is ~100× faster on the
+// 48-period day). Convexity — and hence global optimality of Solve —
+// holds by Prop. 3 whenever every supplied Func is increasing and concave
+// in p.
+type GeneralStaticModel struct {
+	scn    *Scenario
+	wfs    []waiting.Func
+	totals []float64
+	n, m   int
+}
+
+// NewGeneralStaticModel builds the model with one waiting function per
+// session type. The scenario's Betas are not used for the waiting
+// behavior (the funcs carry it); they must still be structurally valid.
+func NewGeneralStaticModel(scn *Scenario, wfs []waiting.Func) (*GeneralStaticModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wfs) != len(scn.Betas) {
+		return nil, fmt.Errorf("%d waiting funcs for %d types: %w", len(wfs), len(scn.Betas), ErrBadScenario)
+	}
+	for j, w := range wfs {
+		if w == nil {
+			return nil, fmt.Errorf("nil waiting func for type %d: %w", j, ErrBadScenario)
+		}
+	}
+	return &GeneralStaticModel{
+		scn:    scn,
+		wfs:    append([]waiting.Func(nil), wfs...),
+		totals: scn.TotalDemand(),
+		n:      scn.Periods,
+		m:      len(scn.Betas),
+	}, nil
+}
+
+// MaxReward returns the reward box bound.
+func (gm *GeneralStaticModel) MaxReward() float64 {
+	if norm := gm.scn.NormReward(); norm < gm.scn.Cost.MaxSlope() {
+		return norm
+	}
+	return gm.scn.Cost.MaxSlope()
+}
+
+// deferKernel returns Σ_j D[k][j]·w_j(p, dt) and its p-derivative.
+func (gm *GeneralStaticModel) deferKernel(k int, p float64, dt int) (v, dv float64) {
+	for j, d := range gm.scn.Demand[k] {
+		if d == 0 {
+			continue
+		}
+		v += d * gm.wfs[j].Value(p, dt)
+		dv += d * gm.wfs[j].DerivP(p, dt)
+	}
+	return v, dv
+}
+
+// usage computes x and In for rewards p.
+func (gm *GeneralStaticModel) usage(p []float64) (x, in []float64) {
+	n := gm.n
+	x = make([]float64, n)
+	in = make([]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for dt := 1; dt <= n-1; dt++ {
+			if gm.scn.NoWrap && i+dt >= n {
+				continue
+			}
+			k := (i + dt) % n
+			v, _ := gm.deferKernel(i, p[k], dt)
+			out[i] += v
+			in[k] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] = gm.totals[i] - out[i] + in[i]
+	}
+	return x, in
+}
+
+// UsageAt returns the TDP usage profile for rewards p.
+func (gm *GeneralStaticModel) UsageAt(p []float64) []float64 {
+	x, _ := gm.usage(p)
+	return x
+}
+
+// CostAt evaluates the exact objective.
+func (gm *GeneralStaticModel) CostAt(p []float64) float64 {
+	x, in := gm.usage(p)
+	var c float64
+	for i := 0; i < gm.n; i++ {
+		c += p[i]*in[i] + gm.scn.Cost.Value(x[i]-gm.scn.Capacity[i])
+	}
+	return c
+}
+
+// TIPCost returns the no-reward cost.
+func (gm *GeneralStaticModel) TIPCost() float64 {
+	return gm.CostAt(make([]float64, gm.n))
+}
+
+// smoothedObjective builds the softplus-smoothed cost with analytic
+// gradient via the chain rule on the general waiting functions.
+func (gm *GeneralStaticModel) smoothedObjective(mu float64) optimize.Objective {
+	return optimize.FuncObjective{
+		Fn: func(p []float64) float64 {
+			x, in := gm.usage(p)
+			var c float64
+			for i := 0; i < gm.n; i++ {
+				c += p[i]*in[i] + gm.scn.Cost.Smooth(x[i]-gm.scn.Capacity[i], mu)
+			}
+			return c
+		},
+		GradFn: func(p, grad []float64) {
+			n := gm.n
+			x, in := gm.usage(p)
+			fp := make([]float64, n)
+			for i := 0; i < n; i++ {
+				fp[i] = gm.scn.Cost.SmoothDeriv(x[i]-gm.scn.Capacity[i], mu)
+			}
+			for r := 0; r < n; r++ {
+				// d/dp_r [p_r·In_r] = In_r + p_r·In'_r; x_r gains In'_r,
+				// x_i (i = r−dt) loses its outflow derivative.
+				var dIn float64
+				g := in[r]
+				for dt := 1; dt <= n-1; dt++ {
+					i := r - dt
+					if i < 0 {
+						i += n
+					}
+					if gm.scn.NoWrap && i+dt >= n {
+						continue
+					}
+					_, dv := gm.deferKernel(i, p[r], dt)
+					dIn += dv
+					g -= fp[i] * dv
+				}
+				g += (p[r] + fp[r]) * dIn
+				grad[r] = g
+			}
+		},
+	}
+}
+
+// Solve minimizes the cost with the homotopy solver.
+func (gm *GeneralStaticModel) Solve() (*Pricing, error) {
+	bounds := optimize.UniformBounds(gm.n, 0, gm.MaxReward())
+	x0 := make([]float64, gm.n)
+	res, err := optimize.Homotopy(
+		func(mu float64) optimize.Objective { return gm.smoothedObjective(mu) },
+		gm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+		optimize.WithMaxIterations(2000), optimize.WithTolerance(1e-7),
+	)
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("general static solve: %w", err)
+	}
+	p := res.X
+	x, in := gm.usage(p)
+	var outlay float64
+	for i := 0; i < gm.n; i++ {
+		outlay += p[i] * in[i]
+	}
+	return &Pricing{
+		Rewards:      p,
+		Usage:        x,
+		Cost:         gm.CostAt(p),
+		TIPCost:      gm.TIPCost(),
+		RewardOutlay: outlay,
+		Iterations:   res.Iterations,
+		Evals:        res.Evals,
+	}, nil
+}

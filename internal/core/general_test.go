@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// linearFuncs builds the power-law family matching paper12's betas.
+func linearFuncs(t *testing.T, scn *Scenario) []waiting.Func {
+	t.Helper()
+	out := make([]waiting.Func, len(scn.Betas))
+	for j, beta := range scn.Betas {
+		w, err := waiting.NewPowerLaw(beta, scn.Periods, scn.NormReward())
+		if err != nil {
+			t.Fatalf("NewPowerLaw: %v", err)
+		}
+		out[j] = w
+	}
+	return out
+}
+
+// concaveFuncs builds γ = 0.5 concave waiting functions.
+func concaveFuncs(t *testing.T, scn *Scenario) []waiting.Func {
+	t.Helper()
+	out := make([]waiting.Func, len(scn.Betas))
+	for j, beta := range scn.Betas {
+		w, err := waiting.NewConcave(beta, 0.5, scn.Periods, scn.NormReward())
+		if err != nil {
+			t.Fatalf("NewConcave: %v", err)
+		}
+		out[j] = w
+	}
+	return out
+}
+
+func TestNewGeneralStaticModelValidation(t *testing.T) {
+	scn := paper12()
+	if _, err := NewGeneralStaticModel(scn, nil); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("no funcs: err = %v, want ErrBadScenario", err)
+	}
+	wfs := linearFuncs(t, scn)
+	wfs[3] = nil
+	if _, err := NewGeneralStaticModel(scn, wfs); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("nil func: err = %v, want ErrBadScenario", err)
+	}
+	bad := paper12()
+	bad.Periods = 1
+	if _, err := NewGeneralStaticModel(bad, linearFuncs(t, scn)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+// TestGeneralMatchesSpecializedOnLinearFamily: with the same power-law
+// functions, the general model must agree with the kernel-table
+// StaticModel on cost, usage, and gradient for arbitrary rewards.
+func TestGeneralMatchesSpecializedOnLinearFamily(t *testing.T) {
+	scn := paper12()
+	gm, err := NewGeneralStaticModel(scn, linearFuncs(t, scn))
+	if err != nil {
+		t.Fatalf("NewGeneralStaticModel: %v", err)
+	}
+	sm, err := NewStaticModel(scn)
+	if err != nil {
+		t.Fatalf("NewStaticModel: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		p := make([]float64, 12)
+		for i := range p {
+			p[i] = rng.Float64() * sm.MaxReward()
+		}
+		if a, b := gm.CostAt(p), sm.CostAt(p); math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("cost mismatch: general %v, specialized %v", a, b)
+		}
+		xa, xb := gm.UsageAt(p), sm.UsageAt(p)
+		for i := range xa {
+			if math.Abs(xa[i]-xb[i]) > 1e-9 {
+				t.Fatalf("usage mismatch at %d: %v vs %v", i, xa[i], xb[i])
+			}
+		}
+	}
+}
+
+func TestGeneralAnalyticGradient(t *testing.T) {
+	scn := paper12()
+	gm, err := NewGeneralStaticModel(scn, concaveFuncs(t, scn))
+	if err != nil {
+		t.Fatalf("NewGeneralStaticModel: %v", err)
+	}
+	obj := gm.smoothedObjective(0.1)
+	rng := rand.New(rand.NewSource(8))
+	p := make([]float64, 12)
+	for i := range p {
+		p[i] = 0.1 + rng.Float64() // keep away from p=0 where γ<1 has ∞ slope
+	}
+	ana := make([]float64, 12)
+	num := make([]float64, 12)
+	obj.Grad(p, ana)
+	optimize.NumGrad(obj.Value, p, num)
+	for i := range ana {
+		if math.Abs(ana[i]-num[i]) > 1e-3*(1+math.Abs(num[i])) {
+			t.Errorf("grad[%d]: analytic %v, numeric %v", i, ana[i], num[i])
+		}
+	}
+}
+
+// TestGeneralConcaveSolve exercises Prop. 3's full generality: γ = 0.5
+// concave waiting functions still give a convex problem; the solve must
+// beat TIP and differ qualitatively from the linear family (diminishing
+// returns favor spreading smaller rewards over more periods).
+func TestGeneralConcaveSolve(t *testing.T) {
+	scn := paper12()
+	gm, err := NewGeneralStaticModel(scn, concaveFuncs(t, scn))
+	if err != nil {
+		t.Fatalf("NewGeneralStaticModel: %v", err)
+	}
+	pr, err := gm.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if pr.Cost >= pr.TIPCost {
+		t.Fatalf("concave TDP cost %v not below TIP %v", pr.Cost, pr.TIPCost)
+	}
+	// Convexity spot check along random segments.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 12)
+		b := make([]float64, 12)
+		mid := make([]float64, 12)
+		for i := range a {
+			a[i] = rng.Float64() * gm.MaxReward()
+			b[i] = rng.Float64() * gm.MaxReward()
+			mid[i] = (a[i] + b[i]) / 2
+		}
+		if gm.CostAt(mid) > (gm.CostAt(a)+gm.CostAt(b))/2+1e-9 {
+			t.Fatal("cost not convex with concave waiting functions (Prop. 3)")
+		}
+	}
+	// 1-D re-optimization cannot improve the optimum.
+	work := append([]float64(nil), pr.Rewards...)
+	for _, period := range []int{0, 4, 9} {
+		_, c := optimize.Brent(func(x float64) float64 {
+			work[period] = x
+			defer func() { work[period] = pr.Rewards[period] }()
+			return gm.CostAt(work)
+		}, 0, gm.MaxReward(), 1e-9)
+		if c < pr.Cost-1e-4 {
+			t.Errorf("period %d: 1-D reopt improved %v → %v", period+1, pr.Cost, c)
+		}
+	}
+}
+
+// TestGeneralConcaveDiffersFromLinear confirms the concave exponent
+// actually changes the optimum (the generality is not vacuous).
+func TestGeneralConcaveDiffersFromLinear(t *testing.T) {
+	scn := paper12()
+	lin, err := NewGeneralStaticModel(scn, linearFuncs(t, scn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewGeneralStaticModel(scn, concaveFuncs(t, scn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lin.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := conc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff float64
+	for i := range lp.Rewards {
+		diff += math.Abs(lp.Rewards[i] - cp.Rewards[i])
+	}
+	if diff < 0.1 {
+		t.Errorf("linear and concave optima nearly identical (Σ|Δp| = %v)", diff)
+	}
+}
+
+// TestGeneralMixedFamilies solves with a heterogeneous mix of waiting
+// families (power law, concave, exponential decay) — the "parametrized
+// family is the ISP's choice" reading of §IV.
+func TestGeneralMixedFamilies(t *testing.T) {
+	scn := paper12()
+	wfs := make([]waiting.Func, len(scn.Betas))
+	for j, beta := range scn.Betas {
+		var (
+			w   waiting.Func
+			err error
+		)
+		switch j % 3 {
+		case 0:
+			w, err = waiting.NewPowerLaw(beta, scn.Periods, scn.NormReward())
+		case 1:
+			w, err = waiting.NewConcave(beta, 0.7, scn.Periods, scn.NormReward())
+		default:
+			w, err = waiting.NewExpDecay(beta/2, scn.Periods, scn.NormReward())
+		}
+		if err != nil {
+			t.Fatalf("type %d: %v", j, err)
+		}
+		wfs[j] = w
+	}
+	gm, err := NewGeneralStaticModel(scn, wfs)
+	if err != nil {
+		t.Fatalf("NewGeneralStaticModel: %v", err)
+	}
+	pr, err := gm.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if pr.Cost >= pr.TIPCost {
+		t.Errorf("mixed-family TDP cost %v not below TIP %v", pr.Cost, pr.TIPCost)
+	}
+	// Conservation still holds across heterogeneous families.
+	var sx, sX float64
+	for i, xi := range pr.Usage {
+		sx += xi
+		sX += gm.totals[i]
+	}
+	if math.Abs(sx-sX) > 1e-6 {
+		t.Errorf("Σx = %v, ΣX = %v", sx, sX)
+	}
+}
+
+func TestGeneralNoWrap(t *testing.T) {
+	scn := paper12()
+	scn.NoWrap = true
+	gm, err := NewGeneralStaticModel(scn, linearFuncs(t, scn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewStaticModel(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 12)
+	for i := range p {
+		p[i] = 0.5
+	}
+	if a, b := gm.CostAt(p), sm.CostAt(p); math.Abs(a-b) > 1e-9*(1+b) {
+		t.Errorf("NoWrap cost mismatch: general %v, specialized %v", a, b)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+)
+
+// periodModel is the slice of StaticModel/DynamicModel the online
+// algorithm needs: full solve for initialization and single-period
+// re-optimization as periods elapse.
+type periodModel interface {
+	Solve() (*Pricing, error)
+	SolveForPeriod(p []float64, period int) (float64, float64, error)
+	CostAt(p []float64) float64
+}
+
+// OnlineConfig tunes the online price determination algorithm.
+type OnlineConfig struct {
+	// UseDynamic selects the offline dynamic model (carry-over) instead of
+	// the static model as the underlying optimizer.
+	UseDynamic bool
+	// Alpha is the exponential-moving-average weight for folding observed
+	// arrivals into the demand estimate: est ← (1−α)·est + α·obs.
+	// The default 1 replaces the estimate outright, as in §V-B where the
+	// ISP adopts the measured 200 MBps for period 1.
+	Alpha float64
+}
+
+// OnlineOptimizer implements §III-B's online price determination
+// algorithm: start from the offline optimum, then after each elapsed
+// period fold the observed arrivals into the demand estimate and
+// re-optimize the reward for the same period one day ahead, holding the
+// other n−1 rewards fixed.
+type OnlineOptimizer struct {
+	scn     *Scenario
+	cfg     OnlineConfig
+	model   periodModel
+	rewards []float64
+	elapsed int
+}
+
+// NewOnlineOptimizer initializes the rolling reward schedule with a full
+// offline solve of the scenario (step 1 of the algorithm). The scenario is
+// deep-copied; observations mutate only the optimizer's internal estimate.
+func NewOnlineOptimizer(scn *Scenario, cfg OnlineConfig) (*OnlineOptimizer, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("alpha %v outside [0, 1]: %w", cfg.Alpha, ErrBadScenario)
+	}
+	cp := cloneScenario(scn)
+	o := &OnlineOptimizer{scn: cp, cfg: cfg}
+	if err := o.rebuild(); err != nil {
+		return nil, err
+	}
+	pr, err := o.model.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("online init: %w", err)
+	}
+	o.rewards = pr.Rewards
+	return o, nil
+}
+
+// Rewards returns a copy of the current rolling reward schedule, indexed
+// by period (mod n).
+func (o *OnlineOptimizer) Rewards() []float64 {
+	return append([]float64(nil), o.rewards...)
+}
+
+// Elapsed returns the number of completed periods.
+func (o *OnlineOptimizer) Elapsed() int { return o.elapsed }
+
+// CurrentReward returns the published reward for the period now beginning.
+func (o *OnlineOptimizer) CurrentReward() float64 {
+	return o.rewards[o.elapsed%o.scn.Periods]
+}
+
+// DemandEstimate returns a copy of the current per-period, per-type
+// demand estimate.
+func (o *OnlineOptimizer) DemandEstimate() [][]float64 {
+	out := make([][]float64, len(o.scn.Demand))
+	for i, row := range o.scn.Demand {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Advance records the observed per-type arrivals for the period that just
+// ended, folds them into the demand estimate, and re-optimizes the reward
+// for that period's slot one day ahead (steps 2–3 of the algorithm).
+func (o *OnlineOptimizer) Advance(observed []float64) error {
+	n := o.scn.Periods
+	idx := o.elapsed % n
+	if len(observed) != len(o.scn.Betas) {
+		return fmt.Errorf("observed %d types, want %d: %w", len(observed), len(o.scn.Betas), ErrBadScenario)
+	}
+	for j, v := range observed {
+		if v < 0 {
+			return fmt.Errorf("negative observation for type %d: %w", j, ErrBadScenario)
+		}
+		o.scn.Demand[idx][j] = (1-o.cfg.Alpha)*o.scn.Demand[idx][j] + o.cfg.Alpha*v
+	}
+	if err := o.rebuild(); err != nil {
+		return err
+	}
+	r, _, err := o.model.SolveForPeriod(o.rewards, idx)
+	if err != nil {
+		return err
+	}
+	o.rewards[idx] = r
+	o.elapsed++
+	return nil
+}
+
+// CostAt evaluates the current model's daily cost for a reward schedule —
+// used to compare adjusted vs nominal rewards as in §V-B.
+func (o *OnlineOptimizer) CostAt(p []float64) float64 {
+	return o.model.CostAt(p)
+}
+
+func (o *OnlineOptimizer) rebuild() error {
+	var err error
+	if o.cfg.UseDynamic {
+		o.model, err = NewDynamicModel(o.scn)
+	} else {
+		o.model, err = NewStaticModel(o.scn)
+	}
+	return err
+}
+
+// cloneScenario deep-copies a scenario so online updates never alias
+// caller data.
+func cloneScenario(s *Scenario) *Scenario {
+	cp := &Scenario{
+		Periods:       s.Periods,
+		Betas:         append([]float64(nil), s.Betas...),
+		Capacity:      append([]float64(nil), s.Capacity...),
+		PeriodSeconds: s.PeriodSeconds,
+		Cost: CostFunc{
+			Breaks: append([]float64(nil), s.Cost.Breaks...),
+			Slopes: append([]float64(nil), s.Cost.Slopes...),
+		},
+	}
+	cp.Demand = make([][]float64, len(s.Demand))
+	for i, row := range s.Demand {
+		cp.Demand[i] = append([]float64(nil), row...)
+	}
+	return cp
+}

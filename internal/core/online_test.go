@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tdp/internal/waiting"
+)
+
+func TestNewOnlineOptimizerValidation(t *testing.T) {
+	if _, err := NewOnlineOptimizer(paperDyn48(), OnlineConfig{Alpha: -0.5}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("alpha<0: err = %v, want ErrBadScenario", err)
+	}
+	if _, err := NewOnlineOptimizer(paperDyn48(), OnlineConfig{Alpha: 2}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("alpha>1: err = %v, want ErrBadScenario", err)
+	}
+	bad := paperDyn48()
+	bad.Periods = 1
+	if _, err := NewOnlineOptimizer(bad, OnlineConfig{}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestOnlineDoesNotAliasCallerScenario(t *testing.T) {
+	scn := paperDyn48()
+	o, err := NewOnlineOptimizer(scn, OnlineConfig{UseDynamic: true})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	obs := make([]float64, len(scn.Betas))
+	if err := o.Advance(obs); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	// The caller's demand must be untouched by the zero observation.
+	if scn.Demand[0][0] != waiting.Dist48[0][0] {
+		t.Error("Advance mutated the caller's scenario")
+	}
+	// But the internal estimate must have changed.
+	if got := o.DemandEstimate()[0][0]; got != 0 {
+		t.Errorf("estimate[0][0] = %v, want 0 after zero observation", got)
+	}
+}
+
+func TestOnlineAdvanceErrors(t *testing.T) {
+	o, err := NewOnlineOptimizer(paperDyn48(), OnlineConfig{UseDynamic: true})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	if err := o.Advance([]float64{1, 2}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("short observation: err = %v, want ErrBadScenario", err)
+	}
+	bad := make([]float64, 10)
+	bad[3] = -1
+	if err := o.Advance(bad); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("negative observation: err = %v, want ErrBadScenario", err)
+	}
+	if o.Elapsed() != 0 {
+		t.Errorf("failed Advance must not consume a period; elapsed = %d", o.Elapsed())
+	}
+}
+
+// TestOnlinePaperExperiment reproduces §V-B's online simulation: capacity
+// 210 MBps, and the ISP observes 200 MBps arriving in period 1 instead of
+// the estimated 230 MBps. The adjusted reward for period 1 must rise (the
+// valley is now deeper, so deferring into it is more valuable), and the
+// adjusted schedule must cost less than the nominal one on the actual
+// demand.
+func TestOnlinePaperExperiment(t *testing.T) {
+	o, err := NewOnlineOptimizer(paperDyn48(), OnlineConfig{UseDynamic: true})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	nominal := o.Rewards()
+
+	// Actual period-1 arrivals: 200 instead of 230 MBps, scaled uniformly
+	// across types as in Table XI's style of perturbation.
+	actual := scaleRow(waiting.Dist48[0][:], 20.0/23.0)
+	if err := o.Advance(actual); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	adjusted := o.Rewards()
+
+	if adjusted[0] <= nominal[0] {
+		t.Errorf("period-1 reward should rise after demand drop: %v → %v",
+			nominal[0], adjusted[0])
+	}
+	// Continue the day: remaining periods arrive as estimated.
+	for i := 1; i < 48; i++ {
+		if err := o.Advance(waiting.Dist48[i/2][:]); err != nil {
+			t.Fatalf("Advance period %d: %v", i+1, err)
+		}
+	}
+	if o.Elapsed() != 48 {
+		t.Fatalf("elapsed = %d, want 48", o.Elapsed())
+	}
+	final := o.Rewards()
+	// On the model with actual demand, the adapted schedule beats nominal.
+	costNominal := o.CostAt(nominal)
+	costFinal := o.CostAt(final)
+	if costFinal >= costNominal {
+		t.Errorf("online adaptation did not reduce cost: %v vs nominal %v",
+			costFinal, costNominal)
+	}
+	// The paper reports ~5% improvement; accept any clear improvement but
+	// flag an implausibly large one (>50%) as a model bug.
+	improvement := (costNominal - costFinal) / costNominal
+	if improvement > 0.5 {
+		t.Errorf("improvement %v implausibly large", improvement)
+	}
+}
+
+func TestOnlineStaticBackendRuns(t *testing.T) {
+	s := paper12()
+	o, err := NewOnlineOptimizer(s, OnlineConfig{UseDynamic: false, Alpha: 0.5})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	first := o.CurrentReward()
+	if err := o.Advance(waiting.Dist12[0][:]); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if o.Elapsed() != 1 {
+		t.Errorf("elapsed = %d, want 1", o.Elapsed())
+	}
+	// Observing exactly the estimate should leave the reward near its
+	// offline value (re-optimizing one coordinate of a converged solution).
+	if math.Abs(o.Rewards()[0]-first) > 0.05 {
+		t.Errorf("reward moved %v → %v on a confirming observation", first, o.Rewards()[0])
+	}
+}
+
+func TestOnlineEWMAUpdatesEstimate(t *testing.T) {
+	o, err := NewOnlineOptimizer(paper12(), OnlineConfig{Alpha: 0.5})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	before := o.DemandEstimate()[0][0] // 4 (Table VIII period 1, β=0.5)
+	obs := make([]float64, 10)         // all-zero observation
+	if err := o.Advance(obs); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	after := o.DemandEstimate()[0][0]
+	if math.Abs(after-before/2) > 1e-12 {
+		t.Errorf("EWMA: estimate %v → %v, want halved", before, after)
+	}
+}
+
+func scaleRow(row []float64, c float64) []float64 {
+	out := make([]float64, len(row))
+	for i, v := range row {
+		out[i] = c * v
+	}
+	return out
+}

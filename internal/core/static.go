@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/optimize"
+	"tdp/internal/waiting"
+)
+
+// StaticModel is the §II static session model: sessions are fixed blobs of
+// demand that may be deferred between periods according to waiting
+// functions, with no carry-over of unfinished work. Under Prop. 3's
+// conditions (satisfied by construction here) the cost is convex in the
+// rewards, so Solve finds the global optimum.
+//
+// Because the paper's waiting family w_β(p,t) = C_β·p/(t+1)^β is linear in
+// p, the model precomputes two kernel tables at construction:
+//
+//	inW[i]      = Σ_{k≠i} Σ_j D[k][j]·C_j/(t(k→i)+1)^{β_j}, so In_i = p_i·inW[i]
+//	outW[i][dt] = Σ_j D[i][j]·C_j/(dt+1)^{β_j},             so Out_i = Σ_dt outW[i][dt]·p_{i+dt}
+//
+// making each cost or gradient evaluation O(n²) with no transcendental
+// calls — this is the "choice of representation" §II argues keeps the
+// optimization tractable in near real time.
+type StaticModel struct {
+	scn    *Scenario
+	wfs    []waiting.PowerLaw
+	totals []float64   // X_i
+	kern   [][]float64 // kern[j][dt] = C_j·(dt+1)^{−β_j}, dt ∈ [1, n−1]
+	inW    []float64
+	outW   [][]float64
+	n, m   int
+}
+
+// NewStaticModel validates the scenario and precomputes the kernel tables.
+func NewStaticModel(scn *Scenario) (*StaticModel, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	wfs, err := scn.buildWaitingFuncs()
+	if err != nil {
+		return nil, err
+	}
+	n, m := scn.Periods, len(scn.Betas)
+	sm := &StaticModel{
+		scn:    scn,
+		wfs:    wfs,
+		totals: scn.TotalDemand(),
+		n:      n,
+		m:      m,
+	}
+	sm.kern = make([][]float64, m)
+	for j := range sm.kern {
+		sm.kern[j] = make([]float64, n) // index dt ∈ [1, n−1]; [0] unused
+		for dt := 1; dt <= n-1; dt++ {
+			sm.kern[j][dt] = wfs[j].DerivP(1, dt) // = C_j·(dt+1)^{−β_j}
+		}
+	}
+	sm.inW = make([]float64, n)
+	sm.outW = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		sm.outW[i] = make([]float64, n)
+		for dt := 1; dt <= n-1; dt++ {
+			if scn.NoWrap && i+dt >= n {
+				continue // deferral would cross the day boundary
+			}
+			var s float64
+			for j, d := range scn.Demand[i] {
+				if d != 0 {
+					s += d * sm.kern[j][dt]
+				}
+			}
+			sm.outW[i][dt] = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for dt := 1; dt <= n-1; dt++ {
+			k := i - dt
+			if k < 0 {
+				k += n
+			}
+			s += sm.outW[k][dt] // Σ_j D[k][j]·kern[j][dt]
+		}
+		sm.inW[i] = s
+	}
+	return sm, nil
+}
+
+// Scenario returns the model's underlying scenario.
+func (sm *StaticModel) Scenario() *Scenario { return sm.scn }
+
+// MaxReward returns the box bound for rewards: the smaller of the maximum
+// marginal cost of exceeding capacity (Appendix C — the ISP never
+// rationally exceeds its marginal benefit) and the normalization reward
+// (beyond which every deferrable session already defers).
+func (sm *StaticModel) MaxReward() float64 {
+	return math.Min(sm.scn.Cost.MaxSlope(), sm.scn.NormReward())
+}
+
+// usage computes the TDP usage x and the deferred-into vector In for
+// rewards p.
+func (sm *StaticModel) usage(p []float64) (x, in []float64) {
+	n := sm.n
+	x = make([]float64, n)
+	in = make([]float64, n)
+	for i := 0; i < n; i++ {
+		pi := math.Max(p[i], 0)
+		in[i] = pi * sm.inW[i]
+	}
+	for i := 0; i < n; i++ {
+		// Out_i = Σ_dt outW[i][dt]·p_{(i+dt) mod n}.
+		var out float64
+		row := sm.outW[i]
+		for dt := 1; dt <= n-1; dt++ {
+			k := i + dt
+			if k >= n {
+				k -= n
+			}
+			if pk := p[k]; pk > 0 {
+				out += row[dt] * pk
+			}
+		}
+		x[i] = sm.totals[i] - out + in[i]
+	}
+	return x, in
+}
+
+// UsageAt returns the TDP usage profile x_i for the given rewards.
+func (sm *StaticModel) UsageAt(p []float64) []float64 {
+	x, _ := sm.usage(p)
+	return x
+}
+
+// UsageByType returns the per-period, per-type TDP usage x_i^j — the
+// breakdown the TUBE measurement engine observes per traffic class.
+func (sm *StaticModel) UsageByType(p []float64) [][]float64 {
+	n := sm.n
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, sm.m)
+		for j := 0; j < sm.m; j++ {
+			xj := sm.scn.Demand[i][j]
+			for dt := 1; dt <= n-1; dt++ {
+				if !(sm.scn.NoWrap && i+dt >= n) {
+					// Outflow from (i, j) toward period i+dt.
+					k := i + dt
+					if k >= n {
+						k -= n
+					}
+					if pk := p[k]; pk > 0 {
+						xj -= sm.scn.Demand[i][j] * sm.kern[j][dt] * pk
+					}
+				}
+				// Inflow into (i, j) from period i−dt.
+				src := i - dt
+				if src < 0 {
+					src += n
+				}
+				if sm.scn.NoWrap && src+dt >= n {
+					continue
+				}
+				if pi := p[i]; pi > 0 {
+					xj += sm.scn.Demand[src][j] * sm.kern[j][dt] * pi
+				}
+			}
+			out[i][j] = xj
+		}
+	}
+	return out
+}
+
+// CostAt evaluates the exact (unsmoothed) objective (1) at rewards p.
+func (sm *StaticModel) CostAt(p []float64) float64 {
+	x, in := sm.usage(p)
+	var c float64
+	for i := 0; i < sm.n; i++ {
+		c += p[i]*in[i] + sm.scn.Cost.Value(x[i]-sm.scn.Capacity[i])
+	}
+	return c
+}
+
+// RewardOutlayAt returns the reward-payment portion Σ p_i·In_i of the cost.
+func (sm *StaticModel) RewardOutlayAt(p []float64) float64 {
+	_, in := sm.usage(p)
+	var c float64
+	for i := 0; i < sm.n; i++ {
+		c += p[i] * in[i]
+	}
+	return c
+}
+
+// TIPCost returns the ISP's cost with no rewards (time-independent
+// pricing): Σ_i f(X_i − A_i).
+func (sm *StaticModel) TIPCost() float64 {
+	var c float64
+	for i := 0; i < sm.n; i++ {
+		c += sm.scn.Cost.Value(sm.totals[i] - sm.scn.Capacity[i])
+	}
+	return c
+}
+
+// ProfitAt evaluates the ISP's profit π at rewards p per Prop. 2's
+// accounting (eq. 12): revenue at the time-independent usage price,
+// minus the rewards paid out, minus the constant marginal operating cost
+// d per unit served, minus the capacity-exceedance cost. Prop. 2 shows
+// maximizing this is equivalent to minimizing CostAt; the tests verify
+// π(p) + CostAt(p) is constant in p.
+func (sm *StaticModel) ProfitAt(p []float64, usagePrice, operatingCost float64) float64 {
+	x, in := sm.usage(p)
+	var revenue, rewards, opCost, congestion float64
+	for i := 0; i < sm.n; i++ {
+		revenue += usagePrice * sm.totals[i] // ΣX_i = Σx_i (no sessions vanish)
+		rewards += p[i] * in[i]
+		opCost += operatingCost * x[i]
+		congestion += sm.scn.Cost.Value(x[i] - sm.scn.Capacity[i])
+	}
+	return revenue - rewards - opCost - congestion
+}
+
+// DeferredMatrix returns Q where Q[k][i] is the volume deferred from
+// period k+1 to period i+1 under rewards p (diagonal zero).
+func (sm *StaticModel) DeferredMatrix(p []float64) [][]float64 {
+	n := sm.n
+	q := make([][]float64, n)
+	for k := range q {
+		q[k] = make([]float64, n)
+	}
+	for k := 0; k < n; k++ {
+		for dt := 1; dt <= n-1; dt++ {
+			i := (k + dt) % n
+			if pi := p[i]; pi > 0 {
+				q[k][i] = sm.outW[k][dt] * pi
+			}
+		}
+	}
+	return q
+}
+
+// smoothedObjective returns the softplus-smoothed cost with its analytic
+// gradient at temperature mu (mu = 0 gives the exact kinked cost and its
+// subgradient).
+func (sm *StaticModel) smoothedObjective(mu float64) optimize.Objective {
+	return optimize.FuncObjective{
+		Fn: func(p []float64) float64 {
+			x, in := sm.usage(p)
+			var c float64
+			for i := 0; i < sm.n; i++ {
+				c += p[i]*in[i] + sm.scn.Cost.Smooth(x[i]-sm.scn.Capacity[i], mu)
+			}
+			return c
+		},
+		GradFn: func(p, grad []float64) {
+			n := sm.n
+			x, _ := sm.usage(p)
+			fp := make([]float64, n) // f'(x_i − A_i)
+			for i := 0; i < n; i++ {
+				fp[i] = sm.scn.Cost.SmoothDeriv(x[i]-sm.scn.Capacity[i], mu)
+			}
+			for r := 0; r < n; r++ {
+				// d(p_r·In_r)/dp_r = 2p_r·inW[r]; dx_r/dp_r = inW[r].
+				g := (2*p[r] + fp[r]) * sm.inW[r]
+				// −Σ_{i≠r} f'_i · ∂Out_i/∂p_r; deferring from i to r takes
+				// dt(i→r) periods, i.e. i = r − dt (mod n).
+				for dt := 1; dt <= n-1; dt++ {
+					i := r - dt
+					if i < 0 {
+						i += n
+					}
+					if fp[i] != 0 {
+						g -= fp[i] * sm.outW[i][dt]
+					}
+				}
+				grad[r] = g
+			}
+		},
+	}
+}
+
+// SmoothedObjective exposes the softplus-smoothed cost (with its analytic
+// gradient) at temperature mu, for callers plugging in their own solver or
+// schedule; mu = 0 gives the exact kinked cost with a subgradient.
+func (sm *StaticModel) SmoothedObjective(mu float64) optimize.Objective {
+	return sm.smoothedObjective(mu)
+}
+
+// Solver selects the optimization method used by SolveWith; the choices
+// correspond to the ablation in DESIGN.md §5.
+type Solver int
+
+// Available solvers.
+const (
+	// SolverHomotopy is the production path: projected gradient on a
+	// decreasing softplus-smoothing schedule with a coordinate-descent
+	// polish.
+	SolverHomotopy Solver = iota + 1
+	// SolverCoordinate is derivative-free cyclic coordinate descent with
+	// exact line search on the unsmoothed cost. On this model's coupled
+	// non-smooth cost it can stall slightly above the optimum (within a
+	// few percent); it exists as an ablation baseline.
+	SolverCoordinate
+	// SolverSubgradient is the projected subgradient baseline.
+	SolverSubgradient
+	// SolverLBFGS runs the smoothing homotopy with an L-BFGS inner solver
+	// — fewer evaluations than projected gradient as n grows.
+	SolverLBFGS
+)
+
+// Solve minimizes the ISP cost over rewards with the production solver.
+func (sm *StaticModel) Solve() (*Pricing, error) {
+	return sm.SolveWith(SolverHomotopy)
+}
+
+// SolveWith minimizes the ISP cost with a specific solver.
+func (sm *StaticModel) SolveWith(solver Solver) (*Pricing, error) {
+	bounds := optimize.UniformBounds(sm.n, 0, sm.MaxReward())
+	x0 := make([]float64, sm.n)
+	var (
+		res optimize.Result
+		err error
+	)
+	switch solver {
+	case SolverHomotopy:
+		res, err = optimize.Homotopy(
+			func(mu float64) optimize.Objective { return sm.smoothedObjective(mu) },
+			sm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+			optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+		)
+	case SolverCoordinate:
+		res, err = optimize.CoordinateDescent(sm.CostAt, x0, bounds,
+			optimize.WithMaxIterations(400), optimize.WithTolerance(1e-9))
+	case SolverSubgradient:
+		res, err = optimize.ProjectedSubgradient(sm.smoothedObjective(0), x0, bounds,
+			optimize.WithMaxIterations(30000), optimize.WithInitialStep(sm.MaxReward()))
+	case SolverLBFGS:
+		res, err = optimize.HomotopyWith(
+			func(obj optimize.Objective, start []float64, b optimize.Bounds, opts ...optimize.Option) (optimize.Result, error) {
+				return optimize.LBFGS(obj, start, b, 10, opts...)
+			},
+			func(mu float64) optimize.Objective { return sm.smoothedObjective(mu) },
+			sm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
+			optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+		)
+	default:
+		return nil, fmt.Errorf("unknown solver %d: %w", solver, ErrBadScenario)
+	}
+	if err != nil && res.X == nil {
+		return nil, fmt.Errorf("static solve: %w", err)
+	}
+	return sm.pricingAt(res), nil
+}
+
+// SolveForPeriod optimizes only reward p_{period+1}, holding the others at
+// their values in p. It returns the optimal reward and the resulting exact
+// cost. This one-dimensional solve is the inner step of the online
+// algorithm (§III-B).
+func (sm *StaticModel) SolveForPeriod(p []float64, period int) (float64, float64, error) {
+	if period < 0 || period >= sm.n {
+		return 0, 0, fmt.Errorf("period %d of %d: %w", period, sm.n, ErrBadScenario)
+	}
+	work := append([]float64(nil), p...)
+	best, fbest := optimize.Brent(func(t float64) float64 {
+		work[period] = t
+		return sm.CostAt(work)
+	}, 0, sm.MaxReward(), 1e-10)
+	return best, fbest, nil
+}
+
+// pricingAt packages a solver result into a Pricing.
+func (sm *StaticModel) pricingAt(res optimize.Result) *Pricing {
+	p := res.X
+	x, in := sm.usage(p)
+	var outlay float64
+	for i := 0; i < sm.n; i++ {
+		outlay += p[i] * in[i]
+	}
+	// Clean up numerically-zero rewards for presentation.
+	rewards := append([]float64(nil), p...)
+	for i, r := range rewards {
+		if math.Abs(r) < 1e-9 {
+			rewards[i] = 0
+		}
+	}
+	return &Pricing{
+		Rewards:      rewards,
+		Usage:        x,
+		Cost:         sm.CostAt(p),
+		TIPCost:      sm.TIPCost(),
+		RewardOutlay: outlay,
+		Iterations:   res.Iterations,
+		Evals:        res.Evals,
+	}
+}

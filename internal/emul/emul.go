@@ -1,0 +1,230 @@
+// Package emul reproduces the paper's §VI-C proof-of-concept testbed
+// (Figs. 10–12): two user groups with different patience sharing a
+// 10 MBps bottleneck with fluctuating background traffic, a TUBE
+// optimizer publishing per-period rewards, and per-class accounting of
+// how much traffic time-dependent pricing moves.
+//
+// The physical testbed (Linux hosts, IPtables, 120-packet droptail buffer)
+// is replaced by the flow-level simulator in internal/netsim; background
+// flows get TCP-like weights ∝ 1/RTT with RTTs drawn from the empirical
+// distribution in internal/stochastic (paper footnote 7).
+package emul
+
+import (
+	"errors"
+	"fmt"
+
+	"tdp/internal/core"
+)
+
+// ErrBadConfig is returned for invalid experiment configurations.
+var ErrBadConfig = errors.New("emul: invalid configuration")
+
+// ClassSpec describes one traffic class a user generates.
+type ClassSpec struct {
+	// Name tags the class (e.g. "web").
+	Name string
+	// MeanSessionsPerPeriod is the Poisson mean of session arrivals per
+	// user per period, before demand shaping.
+	MeanSessionsPerPeriod float64
+	// MeanSizeMB is the exponential mean session size.
+	MeanSizeMB float64
+}
+
+// UserSpec describes one user group member.
+type UserSpec struct {
+	// Name tags the user.
+	Name string
+	// Beta maps class name → patience index. Larger = less patient.
+	Beta map[string]float64
+}
+
+// Config describes the experiment.
+type Config struct {
+	// Periods and PeriodSeconds define the experiment horizon (the paper
+	// uses one hour; 12 five-minute periods by default).
+	Periods       int
+	PeriodSeconds float64
+	// LinkMBps is the bottleneck capacity (paper: 10 MBps).
+	LinkMBps float64
+	// Classes and Users define the workload.
+	Classes []ClassSpec
+	Users   []UserSpec
+	// DemandShape scales each period's session arrivals (len == Periods).
+	// Nil defaults to the paper's Fig. 11 pattern: high at the beginning
+	// of the hour, low at the end.
+	DemandShape []float64
+	// BackgroundFlowsPerSecond and BackgroundMeanMB drive the background
+	// fluctuation at the bottleneck.
+	BackgroundFlowsPerSecond float64
+	BackgroundMeanMB         float64
+	// Rewards is the published per-period reward schedule in $0.10.
+	// Nil computes it with the static model from the expected demand.
+	Rewards []float64
+	// CostSlope is the marginal over-capacity cost used when computing
+	// rewards (default 3, as in §V-A).
+	CostSlope float64
+	// Behavior selects how emulated users decide deferrals (see the
+	// Behavior type). The zero value is RawWillingness.
+	Behavior Behavior
+	// CyclicDeferral lets sessions defer across the experiment boundary
+	// into the (same-day) wrapped period — the steady-state reading where
+	// the day repeats, matching the §II formulation's mod-n deferral
+	// times. Off (default), deferral is horizon-limited: the Fig. 11/12
+	// hour genuinely ends.
+	CyclicDeferral bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Behavior is the user-side decision model.
+type Behavior int
+
+// Available behaviors.
+const (
+	// RawWillingness (default) has sessions defer with probability
+	// p/(P·(t+1)^β) — magnitude-sensitive, so an impatient user facing a
+	// modest reward "never defers", reproducing the §VI-C testbed claims.
+	RawWillingness Behavior = iota
+	// Normalized has sessions follow the §II normalized waiting
+	// functions exactly: every patience class defers the same total
+	// fraction p/P and β only shifts *when*. Under this behavior the
+	// ISP's profiling model is well-specified, so the Fig. 1 loop can
+	// recover the true per-class patience.
+	Normalized
+)
+
+// DefaultConfig returns the paper-shaped experiment: two users (group 1
+// impatient, group 2 patient), three classes (web, ftp, streaming video
+// with video ≫ ftp > web in volume), 10 MBps bottleneck, one hour in
+// twelve 5-minute periods, and background fluctuation.
+func DefaultConfig() Config {
+	return Config{
+		Periods:       12,
+		PeriodSeconds: 300,
+		LinkMBps:      10,
+		Classes: []ClassSpec{
+			{Name: "web", MeanSessionsPerPeriod: 15, MeanSizeMB: 2},
+			{Name: "ftp", MeanSessionsPerPeriod: 4, MeanSizeMB: 40},
+			{Name: "video", MeanSessionsPerPeriod: 2, MeanSizeMB: 400},
+		},
+		Users: []UserSpec{
+			{Name: "user1", Beta: map[string]float64{"web": 5, "ftp": 5, "video": 4.5}},
+			{Name: "user2", Beta: map[string]float64{"web": 2, "ftp": 0.7, "video": 0.3}},
+		},
+		BackgroundFlowsPerSecond: 0.2,
+		BackgroundMeanMB:         5,
+		CostSlope:                3,
+		Seed:                     1,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Periods < 2 || c.PeriodSeconds <= 0 || c.LinkMBps <= 0 {
+		return fmt.Errorf("periods %d, period %vs, link %v MBps: %w",
+			c.Periods, c.PeriodSeconds, c.LinkMBps, ErrBadConfig)
+	}
+	if len(c.Classes) == 0 || len(c.Users) == 0 {
+		return fmt.Errorf("need classes and users: %w", ErrBadConfig)
+	}
+	seen := map[string]bool{}
+	for _, cl := range c.Classes {
+		if cl.Name == "" || seen[cl.Name] {
+			return fmt.Errorf("class %q empty or duplicate: %w", cl.Name, ErrBadConfig)
+		}
+		seen[cl.Name] = true
+		if cl.MeanSessionsPerPeriod < 0 || cl.MeanSizeMB <= 0 {
+			return fmt.Errorf("class %q parameters: %w", cl.Name, ErrBadConfig)
+		}
+	}
+	for _, u := range c.Users {
+		if u.Name == "" {
+			return fmt.Errorf("unnamed user: %w", ErrBadConfig)
+		}
+		for _, cl := range c.Classes {
+			if b, ok := u.Beta[cl.Name]; !ok || b < 0 {
+				return fmt.Errorf("user %q patience for class %q: %w", u.Name, cl.Name, ErrBadConfig)
+			}
+		}
+	}
+	if c.DemandShape != nil && len(c.DemandShape) != c.Periods {
+		return fmt.Errorf("demand shape has %d periods, want %d: %w",
+			len(c.DemandShape), c.Periods, ErrBadConfig)
+	}
+	if c.Rewards != nil && len(c.Rewards) != c.Periods {
+		return fmt.Errorf("rewards have %d periods, want %d: %w",
+			len(c.Rewards), c.Periods, ErrBadConfig)
+	}
+	return nil
+}
+
+// shape returns the demand multiplier per period.
+func (c *Config) shape() []float64 {
+	if c.DemandShape != nil {
+		return c.DemandShape
+	}
+	// Fig. 11: traffic high at the beginning of the hour, lower at the end.
+	out := make([]float64, c.Periods)
+	for i := range out {
+		out[i] = 1.6 - 1.2*float64(i)/float64(c.Periods-1)
+	}
+	return out
+}
+
+// ExpectedDemand returns the expected MB of demand per period per class
+// (summed over users).
+func (c *Config) ExpectedDemand() [][]float64 {
+	shape := c.shape()
+	out := make([][]float64, c.Periods)
+	for i := range out {
+		out[i] = make([]float64, len(c.Classes))
+		for j, cl := range c.Classes {
+			out[i][j] = shape[i] * cl.MeanSessionsPerPeriod * cl.MeanSizeMB * float64(len(c.Users))
+		}
+	}
+	return out
+}
+
+// ComputeRewards builds the published schedule from the expected demand
+// with the §II static model: demand in MB/period, capacity = link capacity
+// per period.
+func (c *Config) ComputeRewards() ([]float64, error) {
+	slope := c.CostSlope
+	if slope <= 0 {
+		slope = 3
+	}
+	// One β per class: average over users (the optimizer sees aggregates).
+	betas := make([]float64, len(c.Classes))
+	for j, cl := range c.Classes {
+		var s float64
+		for _, u := range c.Users {
+			s += u.Beta[cl.Name]
+		}
+		betas[j] = s / float64(len(c.Users))
+	}
+	// The ISP targets 80% of physical capacity (§V-A); the cushion also
+	// absorbs background traffic.
+	capPerPeriod := 0.8 * c.LinkMBps * c.PeriodSeconds
+	capacity := make([]float64, c.Periods)
+	for i := range capacity {
+		capacity[i] = capPerPeriod
+	}
+	scn := &core.Scenario{
+		Periods:       c.Periods,
+		Demand:        c.ExpectedDemand(),
+		Betas:         betas,
+		Capacity:      capacity,
+		Cost:          core.LinearCost(slope),
+		PeriodSeconds: c.PeriodSeconds,
+	}
+	model, err := core.NewStaticModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := model.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return pr.Rewards, nil
+}

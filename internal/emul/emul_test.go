@@ -1,0 +1,191 @@
+package emul
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	def := DefaultConfig()
+	if err := def.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"periods", func(c *Config) { c.Periods = 1 }},
+		{"period seconds", func(c *Config) { c.PeriodSeconds = 0 }},
+		{"link", func(c *Config) { c.LinkMBps = 0 }},
+		{"no users", func(c *Config) { c.Users = nil }},
+		{"no classes", func(c *Config) { c.Classes = nil }},
+		{"dup class", func(c *Config) { c.Classes = append(c.Classes, c.Classes[0]) }},
+		{"bad size", func(c *Config) { c.Classes[0].MeanSizeMB = 0 }},
+		{"missing beta", func(c *Config) { delete(c.Users[0].Beta, "web") }},
+		{"shape len", func(c *Config) { c.DemandShape = []float64{1} }},
+		{"rewards len", func(c *Config) { c.Rewards = []float64{1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestExpectedDemandDeclines(t *testing.T) {
+	cfg := DefaultConfig()
+	d := cfg.ExpectedDemand()
+	if len(d) != 12 {
+		t.Fatalf("%d periods", len(d))
+	}
+	tot := func(i int) float64 {
+		var s float64
+		for _, v := range d[i] {
+			s += v
+		}
+		return s
+	}
+	// Fig. 11 shape: first period busiest, last quietest.
+	if !(tot(0) > tot(6) && tot(6) > tot(11)) {
+		t.Errorf("demand not declining: %v %v %v", tot(0), tot(6), tot(11))
+	}
+	// Video dominates volume.
+	if !(d[0][2] > d[0][1] && d[0][1] > d[0][0]) {
+		t.Errorf("class volumes out of order: %v", d[0])
+	}
+}
+
+func TestComputeRewardsShape(t *testing.T) {
+	cfg := DefaultConfig()
+	rewards, err := cfg.ComputeRewards()
+	if err != nil {
+		t.Fatalf("ComputeRewards: %v", err)
+	}
+	if len(rewards) != 12 {
+		t.Fatalf("%d rewards", len(rewards))
+	}
+	// Early (over-capacity) periods earn no deferral reward; some later
+	// (under-capacity) period does.
+	var late float64
+	for _, r := range rewards[6:] {
+		late += r
+	}
+	if late <= 0 {
+		t.Errorf("no rewards in the quiet half: %v", rewards)
+	}
+	for i, r := range rewards {
+		if r < 0 || r > cfg.CostSlope {
+			t.Errorf("reward[%d] = %v outside [0, slope]", i, r)
+		}
+	}
+}
+
+func TestRunTIPBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rewards = make([]float64, cfg.Periods) // TIP: no rewards
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Nothing moves under TIP.
+	for _, u := range cfg.Users {
+		if moved := res.TotalMoved(u.Name); moved != 0 {
+			t.Errorf("user %s moved %v MB under TIP", u.Name, moved)
+		}
+	}
+	// Both users receive traffic, declining over the hour in offered load.
+	for _, u := range cfg.Users {
+		served := res.ServedByUserPeriod[u.Name]
+		var total float64
+		for _, v := range served {
+			total += v
+		}
+		if total <= 0 {
+			t.Errorf("user %s served nothing", u.Name)
+		}
+	}
+	if res.BackgroundServed <= 0 {
+		t.Error("no background traffic delivered")
+	}
+}
+
+// TestRunPaperExperiment is the Fig. 12 reproduction: with optimized
+// rewards the patient user (group 2) defers substantial volume with
+// video ≫ ftp > web, while the impatient user (group 1) moves far less.
+func TestRunPaperExperiment(t *testing.T) {
+	tip, tdp, err := RunComparison(DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunComparison: %v", err)
+	}
+	if tip.TotalMoved("user1") != 0 || tip.TotalMoved("user2") != 0 {
+		t.Fatal("TIP run moved traffic")
+	}
+	m1, m2 := tdp.TotalMoved("user1"), tdp.TotalMoved("user2")
+	if m2 <= 0 {
+		t.Fatal("patient user moved nothing under TDP")
+	}
+	if m1 >= m2/4 {
+		t.Errorf("impatient user moved %v MB, patient %v MB — want a clear gap", m1, m2)
+	}
+	// Per-class ordering for the patient user (paper: 143 web / 708 ftp /
+	// 8461 MB video).
+	mc := tdp.MovedByUserClass["user2"]
+	if !(mc["video"] > mc["ftp"] && mc["ftp"] > mc["web"]) {
+		t.Errorf("moved volumes out of order: web %v, ftp %v, video %v",
+			mc["web"], mc["ftp"], mc["video"])
+	}
+	// Deferral pushes offered load from the busy start toward the end.
+	early := func(r *Result, u string) float64 {
+		var s float64
+		for _, v := range r.OfferedByUserPeriod[u][:4] {
+			s += v
+		}
+		return s
+	}
+	if early(tdp, "user2") >= early(tip, "user2") {
+		t.Errorf("TDP did not reduce user2's early offered load: %v vs %v",
+			early(tdp, "user2"), early(tip, "user2"))
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(a.TotalMoved("user2")-b.TotalMoved("user2")) > 1e-9 {
+		t.Error("same seed produced different results")
+	}
+	cfg.Seed = 99
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.TotalMoved("user2") == c.TotalMoved("user2") {
+		t.Error("different seeds produced identical moved volume (suspicious)")
+	}
+}
+
+func TestRunHorizonLimitedDeferral(t *testing.T) {
+	// All deferral targets must stay within the experiment.
+	cfg := DefaultConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, u := range cfg.Users {
+		if got := len(res.OfferedByUserPeriod[u.Name]); got != cfg.Periods {
+			t.Errorf("user %s offered load has %d periods", u.Name, got)
+		}
+	}
+}

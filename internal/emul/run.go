@@ -1,0 +1,267 @@
+package emul
+
+import (
+	"fmt"
+	"math/rand"
+
+	"math"
+	"tdp/internal/netsim"
+	"tdp/internal/stochastic"
+	"tdp/internal/waiting"
+)
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	// ServedByUserPeriod[user][i] is the volume (MB) delivered to the
+	// user during period i — the Fig. 11/12 traffic curves.
+	ServedByUserPeriod map[string][]float64
+	// MovedByUserClass[user][class] is the volume (MB) TDP deferred out
+	// of its original period — the paper's headline per-class numbers.
+	MovedByUserClass map[string]map[string]float64
+	// OfferedByUserPeriod[user][i] is the volume that *started* in period
+	// i after deferral decisions (offered load).
+	OfferedByUserPeriod map[string][]float64
+	// OfferedByClassPeriod[class][i] is the offered load per traffic
+	// class, summed over users — what the TUBE measurement engine
+	// accounts per class.
+	OfferedByClassPeriod map[string][]float64
+	// OfferedByUserClassPeriod[user][class][i] is the full accounting
+	// breakdown the measurement engine keeps per subscriber.
+	OfferedByUserClassPeriod map[string]map[string][]float64
+	// BackgroundServed is the background volume delivered.
+	BackgroundServed float64
+	// Rewards is the schedule the run used.
+	Rewards []float64
+}
+
+// TotalMoved sums the deferred volume for one user.
+func (r *Result) TotalMoved(user string) float64 {
+	var s float64
+	for _, v := range r.MovedByUserClass[user] {
+		s += v
+	}
+	return s
+}
+
+// Run executes the experiment under the configured (or computed) rewards.
+// With Rewards all zero it produces the TIP baseline of Fig. 11.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rewards := cfg.Rewards
+	if rewards == nil {
+		var err error
+		rewards, err = cfg.ComputeRewards()
+		if err != nil {
+			return nil, fmt.Errorf("compute rewards: %w", err)
+		}
+	}
+	maxReward := cfg.CostSlope
+	if maxReward <= 0 {
+		maxReward = 3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sim := netsim.NewSim()
+	link, err := netsim.NewPSLink(sim, cfg.LinkMBps)
+	if err != nil {
+		return nil, err
+	}
+	rtts := stochastic.BackgroundDelays()
+
+	// User-side behavior uses the *raw* willingness p/(t+1)^β as the
+	// deferral probability (scaled by 1/P so it is a probability). The
+	// ISP-side optimizer works with the paper's normalized waiting
+	// functions, under which every patience type defers the same total
+	// fraction p/P and β only shifts *when*; real users are magnitude-
+	// sensitive — an impatient user facing a modest reward "never defers"
+	// (§VI-C) — so the emulation keeps the normalization an ISP modeling
+	// device, exactly the estimation-error regime §IV anticipates.
+	type userClass struct{ user, class string }
+	betas := make(map[userClass]float64, len(cfg.Users)*len(cfg.Classes))
+	for _, u := range cfg.Users {
+		for _, cl := range cfg.Classes {
+			if u.Beta[cl.Name] < 0 {
+				return nil, fmt.Errorf("user %s class %s: negative patience: %w",
+					u.Name, cl.Name, ErrBadConfig)
+			}
+			betas[userClass{u.Name, cl.Name}] = u.Beta[cl.Name]
+		}
+	}
+	rawWill := func(beta, reward float64, dt int) float64 {
+		if reward <= 0 || dt < 1 {
+			return 0
+		}
+		return reward / (maxReward * math.Pow(float64(dt+1), beta))
+	}
+	// Normalized behavior: per-(user, class) §II waiting functions.
+	var normWfs map[userClass]waiting.PowerLaw
+	if cfg.Behavior == Normalized {
+		normWfs = make(map[userClass]waiting.PowerLaw, len(betas))
+		for uc, beta := range betas {
+			w, werr := waiting.NewPowerLaw(beta, cfg.Periods, maxReward)
+			if werr != nil {
+				return nil, fmt.Errorf("user %s class %s: %w", uc.user, uc.class, werr)
+			}
+			normWfs[uc] = w
+		}
+	}
+	deferProb := func(uc userClass, reward float64, dt int) float64 {
+		if cfg.Behavior == Normalized {
+			return normWfs[uc].Value(reward, dt)
+		}
+		return rawWill(betas[uc], reward, dt)
+	}
+
+	res := &Result{
+		ServedByUserPeriod:   make(map[string][]float64, len(cfg.Users)),
+		OfferedByUserPeriod:  make(map[string][]float64, len(cfg.Users)),
+		OfferedByClassPeriod: make(map[string][]float64, len(cfg.Classes)),
+		MovedByUserClass:     make(map[string]map[string]float64, len(cfg.Users)),
+		Rewards:              append([]float64(nil), rewards...),
+	}
+	for _, u := range cfg.Users {
+		res.ServedByUserPeriod[u.Name] = make([]float64, cfg.Periods)
+		res.OfferedByUserPeriod[u.Name] = make([]float64, cfg.Periods)
+		res.MovedByUserClass[u.Name] = make(map[string]float64, len(cfg.Classes))
+	}
+	for _, cl := range cfg.Classes {
+		res.OfferedByClassPeriod[cl.Name] = make([]float64, cfg.Periods)
+	}
+	res.OfferedByUserClassPeriod = make(map[string]map[string][]float64, len(cfg.Users))
+	for _, u := range cfg.Users {
+		res.OfferedByUserClassPeriod[u.Name] = make(map[string][]float64, len(cfg.Classes))
+		for _, cl := range cfg.Classes {
+			res.OfferedByUserClassPeriod[u.Name][cl.Name] = make([]float64, cfg.Periods)
+		}
+	}
+
+	shape := cfg.shape()
+	flowID := 0
+	startFlow := func(user, class string, size, at float64) error {
+		flowID++
+		weight := 100 / rtts.Draw(rng) // TCP-like: throughput ∝ 1/RTT
+		f := &netsim.Flow{
+			ID:     flowID,
+			Class:  class,
+			User:   user,
+			Size:   size,
+			Weight: weight,
+		}
+		id := flowID
+		return sim.At(at, func() {
+			// Start errors are structurally impossible here (unique IDs,
+			// positive sizes); guard anyway to avoid silent loss.
+			if err := link.Start(f, nil); err != nil {
+				panic(fmt.Sprintf("emul: start flow %d: %v", id, err))
+			}
+		})
+	}
+
+	// Generate user sessions period by period, deciding deferrals with
+	// the probabilistic waiting-function sampling: a session originally
+	// in period i defers by dt with probability w(p_{i+dt}, dt), else
+	// stays (the aggregate of these choices is exactly the §II model).
+	for i := 0; i < cfg.Periods; i++ {
+		for _, u := range cfg.Users {
+			for _, cl := range cfg.Classes {
+				mean := cl.MeanSessionsPerPeriod * shape[i]
+				count, err := stochastic.Poisson(rng, mean)
+				if err != nil {
+					return nil, err
+				}
+				for s := 0; s < count; s++ {
+					size, err := stochastic.Exponential(rng, cl.MeanSizeMB)
+					if err != nil {
+						return nil, err
+					}
+					uc := userClass{u.Name, cl.Name}
+					target := i
+					// Sample the deferral distribution (horizon-limited:
+					// the experiment ends after Periods). Cumulative
+					// probabilities above 1 are truncated — the session
+					// then surely defers to one of the earlier targets.
+					roll := rng.Float64()
+					acc := 0.0
+					maxDt := cfg.Periods - 1 - i
+					if cfg.CyclicDeferral {
+						maxDt = cfg.Periods - 1
+					}
+					for dt := 1; dt <= maxDt; dt++ {
+						k := (i + dt) % cfg.Periods
+						acc += deferProb(uc, rewards[k], dt)
+						if roll < acc {
+							target = k
+							break
+						}
+					}
+					offset := rng.Float64() * cfg.PeriodSeconds
+					at := float64(target)*cfg.PeriodSeconds + offset
+					if err := startFlow(u.Name, cl.Name, size, at); err != nil {
+						return nil, err
+					}
+					res.OfferedByUserPeriod[u.Name][target] += size
+					res.OfferedByClassPeriod[cl.Name][target] += size
+					res.OfferedByUserClassPeriod[u.Name][cl.Name][target] += size
+					if target != i {
+						res.MovedByUserClass[u.Name][cl.Name] += size
+					}
+				}
+			}
+		}
+	}
+
+	// Background fluctuation over the whole horizon.
+	horizon := float64(cfg.Periods) * cfg.PeriodSeconds
+	bgTimes, err := stochastic.PoissonProcess(rng, cfg.BackgroundFlowsPerSecond, horizon)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range bgTimes {
+		size, err := stochastic.Exponential(rng, cfg.BackgroundMeanMB)
+		if err != nil {
+			return nil, err
+		}
+		if err := startFlow("", "background", size, t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sample per-user served volume at each period boundary.
+	prev := make(map[string]float64, len(cfg.Users))
+	for i := 1; i <= cfg.Periods; i++ {
+		i := i
+		if err := sim.At(float64(i)*cfg.PeriodSeconds, func() {
+			link.Sync()
+			for _, u := range cfg.Users {
+				cur := link.ServedByUser[u.Name]
+				res.ServedByUserPeriod[u.Name][i-1] = cur - prev[u.Name]
+				prev[u.Name] = cur
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	sim.Run(horizon)
+	link.Sync()
+	res.BackgroundServed = link.ServedByClass["background"]
+	return res, nil
+}
+
+// RunComparison executes the TIP baseline (zero rewards) and the TDP run
+// with the same seed and returns both — the paper's Fig. 11 vs Fig. 12.
+func RunComparison(cfg Config) (tip, tdp *Result, err error) {
+	tipCfg := cfg
+	tipCfg.Rewards = make([]float64, cfg.Periods)
+	tip, err = Run(tipCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tip run: %w", err)
+	}
+	tdp, err = Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tdp run: %w", err)
+	}
+	return tip, tdp, nil
+}

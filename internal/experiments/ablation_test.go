@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTwoPeriod(t *testing.T) {
+	r, err := TwoPeriod()
+	if err != nil {
+		t.Fatalf("TwoPeriod: %v", err)
+	}
+	// Sanity: both schemes beat TIP; neither goes negative.
+	if !(r.TwoPeriodCost < r.TIPCost) {
+		t.Errorf("2-period cost %v not below TIP %v", r.TwoPeriodCost, r.TIPCost)
+	}
+	// The §I claim: multi-period TDP strictly dominates the day/night
+	// scheme, and by a meaningful margin on a day with several peaks.
+	if !(r.MultiPeriodCost < r.TwoPeriodCost) {
+		t.Errorf("multi-period cost %v not below 2-period %v",
+			r.MultiPeriodCost, r.TwoPeriodCost)
+	}
+	gain := (r.TwoPeriodCost - r.MultiPeriodCost) / r.TIPCost
+	if gain < 0.03 {
+		t.Errorf("multi-period advantage only %.1f%% of TIP cost — inadequacy claim not visible", 100*gain)
+	}
+	if r.OffPeakPeriods == 0 || r.OffPeakPeriods == 48 {
+		t.Errorf("degenerate off-peak classification: %d", r.OffPeakPeriods)
+	}
+	if r.TwoPeriodReward <= 0 {
+		t.Error("2-period scheme found no useful reward")
+	}
+	if !strings.Contains(r.Render(), "2-period") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestCapAdjusted(t *testing.T) {
+	r, err := CapAdjusted()
+	if err != nil {
+		t.Fatalf("CapAdjusted: %v", err)
+	}
+	if len(r.Available) != 48 {
+		t.Fatalf("available has %d periods", len(r.Available))
+	}
+	// The evening squeeze must show in the plan.
+	if !(r.Available[40] < r.Available[4]) {
+		t.Errorf("evening capacity %v not below morning %v", r.Available[40], r.Available[4])
+	}
+	// Optimizing against the wrong (constant) capacity looks cheaper on
+	// paper but performs worse on the true time-varying capacity than
+	// the correctly informed optimum.
+	if !(r.ConstantCost < r.EvalConstOnAdjusted) {
+		t.Errorf("constant-A plan cannot cost less on the harder true capacity: %v vs %v",
+			r.ConstantCost, r.EvalConstOnAdjusted)
+	}
+	if !(r.AdjustedCost <= r.EvalConstOnAdjusted+1e-9) {
+		t.Errorf("informed optimum %v worse than misinformed schedule %v",
+			r.AdjustedCost, r.EvalConstOnAdjusted)
+	}
+}

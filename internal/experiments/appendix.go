@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tdp/internal/core"
+)
+
+// DefiniteResult compares Appendix D's definite-choice model (users defer
+// deterministically to their argmax period) against the probabilistic
+// model on the same 12-period day.
+type DefiniteResult struct {
+	// ProbCost is the probabilistic (convex) optimum.
+	ProbCost float64
+	// DefCost is the best definite-choice cost found by multistart.
+	DefCost float64
+	// TIPCost is the common no-reward baseline.
+	TIPCost float64
+	// MultistartSpread is the best-vs-single-start cost gap, the
+	// non-convexity signature the paper predicts ("likely non-convex").
+	MultistartSpread float64
+	// DeferredTypes counts (period, type) pairs that commit to deferring
+	// at the definite optimum.
+	DeferredTypes int
+}
+
+// Definite runs the comparison.
+func Definite() (*DefiniteResult, error) {
+	scn := Static12()
+	sm, err := core.NewStaticModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := sm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	dc, err := core.NewDefiniteChoiceModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	dc.Threshold = 0.2
+	dc.Starts = 12
+	multi, err := dc.Solve()
+	if err != nil {
+		return nil, err
+	}
+	single := *dc
+	single.Starts = 1
+	one, err := single.Solve()
+	if err != nil {
+		return nil, err
+	}
+	var deferred int
+	for _, row := range dc.Choices(multi.Rewards) {
+		for _, k := range row {
+			if k >= 0 {
+				deferred++
+			}
+		}
+	}
+	return &DefiniteResult{
+		ProbCost:         prob.Cost,
+		DefCost:          multi.Cost,
+		TIPCost:          prob.TIPCost,
+		MultistartSpread: one.Cost - multi.Cost,
+		DeferredTypes:    deferred,
+	}, nil
+}
+
+// Render formats the result.
+func (r *DefiniteResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Appendix D — definite-choice vs probabilistic model (12 periods)\n")
+	renderKV(&sb, "TIP cost ($0.10)", r.TIPCost, "")
+	renderKV(&sb, "probabilistic optimum (convex)", r.ProbCost, "")
+	renderKV(&sb, "definite-choice best (multistart)", r.DefCost, "")
+	renderKV(&sb, "single-start penalty", r.MultistartSpread, "≥ 0 (non-convex)")
+	fmt.Fprintf(&sb, "  %d (period, type) pairs commit to deferring\n", r.DeferredTypes)
+	sb.WriteString("  (paper: the definite model's optimization is likely non-convex)\n")
+	return sb.String()
+}
+
+// FixedDurationResult carries the Appendix G variant: fixed-duration
+// (streaming-like) sessions that leave at rate d·N.
+type FixedDurationResult struct {
+	TIPCost, TDPCost float64
+	// TIPExcess and TDPExcess are Σ max(N_i − A_i, 0): the total
+	// over-capacity concurrency the quality degradation rides on.
+	TIPExcess, TDPExcess float64
+	// TIPPeakSessions / TDPPeakSessions report the absolute concurrency
+	// peaks (informational: with a near-linear f the optimizer is free to
+	// trade peak height against breadth).
+	TIPPeakSessions, TDPPeakSessions float64
+	Rewards                          []float64
+}
+
+// FixedDuration solves the Appendix G model on a streaming-heavy day:
+// sessions last two periods on average (departure rate 0.5/period).
+func FixedDuration() (*FixedDurationResult, error) {
+	scn := Static12()
+	scn.Capacity = constant(12, 14) // tighter: concurrency amplifies load
+	// Two-tier congestion cost: quality degrades faster the deeper the
+	// overload, so the optimizer also flattens peaks.
+	scn.Cost = core.CostFunc{Breaks: []float64{0, 4}, Slopes: []float64{1, 2}}
+	scn.MaxRewardNorm = 1
+	fm, err := core.NewFixedDurationModel(scn, 0.5, 1)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := fm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	zero := make([]float64, 12)
+	tipCounts := fm.SessionCounts(zero)
+	tdpCounts := fm.SessionCounts(pr.Rewards)
+	peak := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	excess := func(xs []float64) float64 {
+		var s float64
+		for i, x := range xs {
+			if over := x - scn.Capacity[i]; over > 0 {
+				s += over
+			}
+		}
+		return s
+	}
+	return &FixedDurationResult{
+		TIPCost:         pr.TIPCost,
+		TDPCost:         pr.Cost,
+		TIPExcess:       excess(tipCounts),
+		TDPExcess:       excess(tdpCounts),
+		TIPPeakSessions: peak(tipCounts),
+		TDPPeakSessions: peak(tdpCounts),
+		Rewards:         pr.Rewards,
+	}, nil
+}
+
+// Render formats the result.
+func (r *FixedDurationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Appendix G — fixed-duration (streaming) sessions, d = 0.5/period\n")
+	renderSeries(&sb, "optimal rewards ($0.10)", r.Rewards)
+	renderKV(&sb, "TIP cost ($0.10)", r.TIPCost, "")
+	renderKV(&sb, "TDP cost ($0.10)", r.TDPCost, "")
+	renderKV(&sb, "over-capacity concurrency, TIP", r.TIPExcess, "")
+	renderKV(&sb, "over-capacity concurrency, TDP", r.TDPExcess, "")
+	renderKV(&sb, "peak concurrent sessions, TIP", r.TIPPeakSessions, "")
+	renderKV(&sb, "peak concurrent sessions, TDP", r.TDPPeakSessions, "")
+	sb.WriteString("  (quality degradation rides concurrency; TDP trims the peak)\n")
+	return sb.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefinite(t *testing.T) {
+	r, err := Definite()
+	if err != nil {
+		t.Fatalf("Definite: %v", err)
+	}
+	// Both schemes beat TIP.
+	if !(r.ProbCost < r.TIPCost) {
+		t.Errorf("probabilistic cost %v not below TIP %v", r.ProbCost, r.TIPCost)
+	}
+	if r.DefCost > r.TIPCost+1e-9 {
+		t.Errorf("definite cost %v above TIP %v", r.DefCost, r.TIPCost)
+	}
+	// Multistart never loses to a single start.
+	if r.MultistartSpread < -1e-9 {
+		t.Errorf("multistart worse than single start by %v", -r.MultistartSpread)
+	}
+	if r.DeferredTypes == 0 {
+		t.Error("no definite deferrals at the optimum")
+	}
+	if !strings.Contains(r.Render(), "Appendix D") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestFixedDurationExperiment(t *testing.T) {
+	r, err := FixedDuration()
+	if err != nil {
+		t.Fatalf("FixedDuration: %v", err)
+	}
+	if r.TIPCost <= 0 {
+		t.Fatal("scenario does not congest under TIP")
+	}
+	if !(r.TDPCost < r.TIPCost) {
+		t.Errorf("TDP cost %v not below TIP %v", r.TDPCost, r.TIPCost)
+	}
+	if !(r.TDPExcess < r.TIPExcess) {
+		t.Errorf("TDP over-capacity concurrency %v not below TIP %v",
+			r.TDPExcess, r.TIPExcess)
+	}
+	if len(r.Rewards) != 12 {
+		t.Errorf("%d rewards", len(r.Rewards))
+	}
+	if !strings.Contains(r.Render(), "Appendix G") {
+		t.Error("Render missing header")
+	}
+}

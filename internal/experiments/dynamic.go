@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tdp/internal/core"
+	"tdp/internal/traffic"
+	"tdp/internal/waiting"
+)
+
+// Fig78Result carries the offline dynamic optimization (§V-B): Fig. 7's
+// rewards and Fig. 8's traffic (offered-load) profiles.
+type Fig78Result struct {
+	Rewards        []float64
+	TIPLoad        []float64
+	TDPLoad        []float64
+	TDPCostPerUser float64 // dollars; paper 0.72
+	TIPCostPerUser float64
+	MaxReward      float64 // $; paper: breaks the 0.15 barrier of Fig. 4
+	StaticMaxFrac  float64 // max reward / P for the static Fig. 4 run
+	DynamicMaxFrac float64 // max reward / P here
+	TIPResidue     float64 // GB; paper 2623.1 †
+	TDPResidue     float64 // GB; paper 1142.0 †
+	AreaBetween    float64 // GB; paper 1495.2 †
+}
+
+// Fig7Fig8 solves the offline dynamic model and computes the Fig. 7/8
+// quantities, including the reward-magnitude comparison against the
+// static model that the paper highlights.
+func Fig7Fig8() (*Fig78Result, error) {
+	dm, err := core.NewDynamicModel(Dynamic48())
+	if err != nil {
+		return nil, err
+	}
+	pr, err := dm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	tipLoad, _ := dm.Load(make([]float64, 48))
+	tdpLoad, _ := dm.Load(pr.Rewards)
+	tipProfile := traffic.NewProfile(tipLoad)
+	tdpProfile := traffic.NewProfile(tdpLoad)
+	area, err := traffic.AreaBetween(tipProfile, tdpProfile)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static comparison for the "barrier" claim.
+	sm, err := core.NewStaticModel(Static48())
+	if err != nil {
+		return nil, err
+	}
+	spr, err := sm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	maxOf := func(xs []float64) float64 {
+		m := 0.0
+		for _, x := range xs {
+			m = math.Max(m, x)
+		}
+		return m
+	}
+	// The paper's "barrier": in the static model a reward never exceeds
+	// half the marginal cost of exceeding capacity (§V-A's $0.15 = half
+	// of the $0.30 marginal benefit); with carry-over the marginal
+	// benefit compounds across periods and the optimum breaks that ratio.
+	return &Fig78Result{
+		Rewards:        pr.Rewards,
+		TIPLoad:        tipLoad,
+		TDPLoad:        tdpLoad,
+		TDPCostPerUser: PerUserDollars(pr.Cost),
+		TIPCostPerUser: PerUserDollars(pr.TIPCost),
+		MaxReward:      maxOf(pr.Rewards) * unitDollars,
+		StaticMaxFrac:  maxOf(spr.Rewards) / sm.Scenario().Cost.MaxSlope(),
+		DynamicMaxFrac: maxOf(pr.Rewards) / dm.Scenario().Cost.MaxSlope(),
+		TIPResidue:     tipProfile.ResidueSpread(),
+		TDPResidue:     tdpProfile.ResidueSpread(),
+		AreaBetween:    area,
+	}, nil
+}
+
+// Render formats the result.
+func (r *Fig78Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7/8 — offline dynamic model (§V-B)\n")
+	renderSeries(&sb, "optimal rewards ($0.10)", r.Rewards)
+	renderSeries(&sb, "TIP offered load (10 MBps)", r.TIPLoad)
+	renderSeries(&sb, "TDP offered load (10 MBps)", r.TDPLoad)
+	renderKV(&sb, "TDP cost per user ($/day)", r.TDPCostPerUser, "0.72")
+	renderKV(&sb, "TIP cost per user ($/day)", r.TIPCostPerUser, "")
+	renderKV(&sb, "max reward / P (static)", r.StaticMaxFrac, "≤ 0.5")
+	renderKV(&sb, "max reward / P (dynamic)", r.DynamicMaxFrac, "> 0.5 (barrier broken)")
+	renderKV(&sb, "TIP residue spread (GB)", r.TIPResidue, "2623.1 †")
+	renderKV(&sb, "TDP residue spread (GB)", r.TDPResidue, "1142.0 †")
+	renderKV(&sb, "area between profiles (GB)", r.AreaBetween, "1495.2 †")
+	sb.WriteString("  † definitional scale differs; compare ratios (EXPERIMENTS.md)\n")
+	return sb.String()
+}
+
+// TableXResult carries the online-adjustment study (§V-B online, Table X):
+// nominal vs adjusted rewards after the ISP observes 200 MBps instead of
+// 230 MBps arriving in period 1, and the cost comparison on the actual
+// demand.
+type TableXResult struct {
+	Original []float64
+	Adjusted []float64
+	// Period1Original/Adjusted highlight the headline entry (paper: 0.45 → 0.57).
+	Period1Original, Period1Adjusted float64
+	// CostNominal/CostAdjusted are the daily per-user dollar costs of the
+	// two schedules on the actual (200 MBps) demand; paper: 0.66 → 0.63.
+	CostNominal, CostAdjusted float64
+	ImprovementPct            float64 // paper ≈ 5%
+}
+
+// TableX runs the online price-determination algorithm through a full day
+// in which period 1 arrives light.
+func TableX() (*TableXResult, error) {
+	online, err := core.NewOnlineOptimizer(Dynamic48(), core.OnlineConfig{UseDynamic: true})
+	if err != nil {
+		return nil, err
+	}
+	nominal := online.Rewards()
+
+	actualPeriod1 := make([]float64, len(waiting.PatienceIndices))
+	for j, v := range waiting.Dist48[0] {
+		actualPeriod1[j] = v * 20.0 / 23.0 // 230 → 200 MBps, uniformly
+	}
+	if err := online.Advance(actualPeriod1); err != nil {
+		return nil, err
+	}
+	for i := 1; i < 48; i++ {
+		if err := online.Advance(waiting.Dist48[i/2][:]); err != nil {
+			return nil, err
+		}
+	}
+	adjusted := online.Rewards()
+	costNominal := online.CostAt(nominal)
+	costAdjusted := online.CostAt(adjusted)
+	improvement := 0.0
+	if costNominal > 0 {
+		improvement = 100 * (costNominal - costAdjusted) / costNominal
+	}
+	return &TableXResult{
+		Original:        nominal,
+		Adjusted:        adjusted,
+		Period1Original: nominal[0],
+		Period1Adjusted: adjusted[0],
+		CostNominal:     PerUserDollars(costNominal),
+		CostAdjusted:    PerUserDollars(costAdjusted),
+		ImprovementPct:  improvement,
+	}, nil
+}
+
+// Render formats the result.
+func (r *TableXResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table X — online adjustment after period-1 arrivals drop to 200 MBps\n")
+	renderSeries(&sb, "original rewards ($0.10)", r.Original)
+	renderSeries(&sb, "adjusted rewards ($0.10)", r.Adjusted)
+	renderKV(&sb, "p1 original ($0.10)", r.Period1Original, "0.45")
+	renderKV(&sb, "p1 adjusted ($0.10)", r.Period1Adjusted, "0.57 (rises)")
+	renderKV(&sb, "cost, nominal schedule ($/user)", r.CostNominal, "0.66")
+	renderKV(&sb, "cost, adjusted schedule ($/user)", r.CostAdjusted, "0.63")
+	fmt.Fprintf(&sb, "  %-38s %9.2f%%   (paper: ≈5%%)\n", "online improvement", r.ImprovementPct)
+	return sb.String()
+}

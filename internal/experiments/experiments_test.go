@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if len(r.Patient) != 11 || len(r.Impatient) != 11 {
+		t.Fatalf("curve lengths %d/%d, want 11", len(r.Patient), len(r.Impatient))
+	}
+	// The paper's Fig. 3 shape: the impatient curve is above the patient
+	// one at t = 1 and far below for long deferrals; a crossover exists.
+	if !(r.Impatient[0] > r.Patient[0]) {
+		t.Error("impatient curve not above patient at t=1")
+	}
+	last := len(r.Patient) - 1
+	if !(r.Patient[last] > r.Impatient[last]) {
+		t.Error("patient curve not above impatient at t=11")
+	}
+	if r.CrossoverDefTime <= 1 {
+		t.Errorf("crossover at t=%d, want > 1", r.CrossoverDefTime)
+	}
+	if !strings.Contains(r.Render(), "Fig. 3") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestFig4Fig5(t *testing.T) {
+	r, err := Fig4Fig5()
+	if err != nil {
+		t.Fatalf("Fig4Fig5: %v", err)
+	}
+	// Headline shapes from §V-A.
+	if math.Abs(r.TIPCostPerUser-4.26) > 1e-9 {
+		t.Errorf("TIP cost per user = %v, want exactly 4.26 (Table VII data)", r.TIPCostPerUser)
+	}
+	if r.TDPCostPerUser >= r.TIPCostPerUser {
+		t.Error("TDP not cheaper than TIP")
+	}
+	if r.Savings < 0.10 || r.Savings > 0.40 {
+		t.Errorf("savings = %v, want within [0.10, 0.40] (paper 0.24)", r.Savings)
+	}
+	if r.MaxReward > 0.15+1e-6 {
+		t.Errorf("max reward $%v exceeds the 0.15 bound", r.MaxReward)
+	}
+	if r.TDPRange >= r.TIPRange {
+		t.Errorf("TDP range %v not below TIP range %v", r.TDPRange, r.TIPRange)
+	}
+	if r.TIPRange != 200 {
+		t.Errorf("TIP range = %v MBps, want 200", r.TIPRange)
+	}
+	// Residue ratio: paper 472.5/923.4 ≈ 0.51. Accept [0.3, 0.8].
+	ratio := r.TDPResidue / r.TIPResidue
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("residue ratio = %v, want ≈0.5", ratio)
+	}
+	if r.AreaBetween <= 0 {
+		t.Error("no traffic redistributed")
+	}
+	out := r.Render()
+	for _, want := range []string{"4.26", "0.24", "923.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing paper reference %q", want)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	r, err := Table6()
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 (18–26 minus baseline)", len(r.Rows))
+	}
+	byDemand := make(map[int]Table6Row, len(r.Rows))
+	for _, row := range r.Rows {
+		byDemand[row.DemandMBps] = row
+		// Re-optimizing can only help: cost change ≤ 0.
+		if row.CostChange > 1e-6 {
+			t.Errorf("demand %d: positive cost change %v", row.DemandMBps, row.CostChange)
+		}
+		if row.PriceChange < 0 {
+			t.Errorf("demand %d: negative price change", row.DemandMBps)
+		}
+	}
+	// Paper shape: decreasing demand moves prices much more than
+	// increasing it, and the largest effect is at 180 MBps.
+	if !(byDemand[180].PriceChange > byDemand[200].PriceChange) {
+		t.Errorf("price change not decreasing toward baseline: 180→%v, 200→%v",
+			byDemand[180].PriceChange, byDemand[200].PriceChange)
+	}
+	if !(byDemand[180].PriceChange > byDemand[260].PriceChange) {
+		t.Errorf("decreasing demand should move prices more than increasing: %v vs %v",
+			byDemand[180].PriceChange, byDemand[260].PriceChange)
+	}
+	if !(byDemand[180].CostChange < byDemand[240].CostChange) {
+		t.Errorf("cost improvement should concentrate at low demand")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(r.Points) < 5 {
+		t.Fatalf("%d sweep points", len(r.Points))
+	}
+	// Residue spread decreases (weakly) in the cost scale and the drop
+	// from a=0.1 to a=10 is sharp, then it plateaus (a ≥ 10).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].ResidueSpread > r.Points[i-1].ResidueSpread+1 {
+			t.Errorf("residue spread increased at a=%v: %v → %v",
+				r.Points[i].Scale, r.Points[i-1].ResidueSpread, r.Points[i].ResidueSpread)
+		}
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if !(first.ResidueSpread > 1.2*last.ResidueSpread) {
+		t.Errorf("no meaningful drop across the sweep: %v → %v",
+			first.ResidueSpread, last.ResidueSpread)
+	}
+	// Plateau: a=30 vs a=100 nearly equal; never fully even (positive).
+	var at30, at100 float64
+	for _, p := range r.Points {
+		if p.Scale == 30 {
+			at30 = p.ResidueSpread
+		}
+		if p.Scale == 100 {
+			at100 = p.ResidueSpread
+		}
+	}
+	if math.Abs(at30-at100) > 0.15*at30 {
+		t.Errorf("no plateau: a=30 %v vs a=100 %v", at30, at100)
+	}
+	if last.ResidueSpread <= 0 {
+		t.Error("traffic fully evened out — paper says it never is")
+	}
+	// The paper claims demand never exceeds capacity for a ≥ 10, but its
+	// own data forbids that: mean demand (≈185 MBps) exceeds capacity
+	// (180 MBps), so some excess is unavoidable. The achievable floor is
+	// (ΣX − n·A)⁺ spread optimally; require the optimizer to get within
+	// 2× of it for a ≥ 10.
+	scn := Static48()
+	var total float64
+	for _, x := range scn.TotalDemand() {
+		total += x
+	}
+	floor := (total - 48*18) * 10 * 1800 / 1000 // GB
+	if floor <= 0 {
+		t.Fatal("scenario unexpectedly feasible")
+	}
+	for _, p := range r.Points {
+		if p.Scale >= 10 && p.OverCapacity > 2*floor {
+			t.Errorf("a=%v: %v GB over capacity, floor %v", p.Scale, p.OverCapacity, floor)
+		}
+	}
+}
+
+func TestFig7Fig8(t *testing.T) {
+	r, err := Fig7Fig8()
+	if err != nil {
+		t.Fatalf("Fig7Fig8: %v", err)
+	}
+	if r.TDPCostPerUser >= r.TIPCostPerUser {
+		t.Error("dynamic TDP not cheaper than TIP")
+	}
+	// Fig. 7's headline: dynamic rewards break the static P/2 barrier.
+	if r.StaticMaxFrac > 0.5+1e-6 {
+		t.Errorf("static max reward fraction %v exceeds 0.5", r.StaticMaxFrac)
+	}
+	if r.DynamicMaxFrac <= 0.5 {
+		t.Errorf("dynamic max reward fraction %v does not break 0.5", r.DynamicMaxFrac)
+	}
+	// Fig. 8: TDP halves the offered-load residue (paper 2623→1142).
+	ratio := r.TDPResidue / r.TIPResidue
+	if ratio >= 0.8 {
+		t.Errorf("dynamic residue ratio %v, want well below 1 (paper 0.44)", ratio)
+	}
+}
+
+func TestTableX(t *testing.T) {
+	r, err := TableX()
+	if err != nil {
+		t.Fatalf("TableX: %v", err)
+	}
+	if r.Period1Adjusted <= r.Period1Original {
+		t.Errorf("period-1 reward did not rise: %v → %v", r.Period1Original, r.Period1Adjusted)
+	}
+	if r.CostAdjusted >= r.CostNominal {
+		t.Errorf("online adaptation did not cut cost: %v vs %v", r.CostAdjusted, r.CostNominal)
+	}
+	if r.ImprovementPct <= 0 || r.ImprovementPct > 50 {
+		t.Errorf("improvement %v%% implausible (paper ≈5%%)", r.ImprovementPct)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	for i, pe := range r.MaxPercentError {
+		if pe > 20 {
+			t.Errorf("period %d: max error %.1f%% (paper ≤ 11.8%%)", i+1, pe)
+		}
+	}
+	// Fig. 2: estimated and actual period-1 curves overlap closely.
+	for i := range r.Fig2Actual {
+		if r.Fig2Actual[i] <= 0 {
+			t.Fatalf("degenerate actual curve at %d", i)
+		}
+		rel := math.Abs(r.Fig2Estimated[i]-r.Fig2Actual[i]) / r.Fig2Actual[i]
+		if rel > 0.25 {
+			t.Errorf("Fig. 2 point %d off by %.0f%%", i, 100*rel)
+		}
+	}
+}
+
+func TestTable12(t *testing.T) {
+	r, err := Table12()
+	if err != nil {
+		t.Fatalf("Table12: %v", err)
+	}
+	if len(r.RewardsByDemand) != 9 {
+		t.Fatalf("%d schedules, want 9", len(r.RewardsByDemand))
+	}
+	// Paper Table XII shape: the reward for deferring *to* period 1 is
+	// positive while period 1 has headroom and falls monotonically to 0
+	// as its demand grows (paper: 0.20 → 0; here the zero point lands at
+	// 250 MBps instead of 210 — a calibration offset, same structure).
+	if r.RewardsByDemand[18][0] <= 0 {
+		t.Errorf("p1 at demand 180 = %v, want > 0", r.RewardsByDemand[18][0])
+	}
+	for total := 19; total <= 26; total++ {
+		if r.RewardsByDemand[total][0] > r.RewardsByDemand[total-1][0]+1e-3 {
+			t.Errorf("p1 not decreasing at demand %d: %v → %v", total*10,
+				r.RewardsByDemand[total-1][0], r.RewardsByDemand[total][0])
+		}
+	}
+	if r.RewardsByDemand[26][0] > r.RewardsByDemand[18][0]/2 {
+		t.Errorf("p1 at demand 260 = %v, want well below the 180 MBps value %v",
+			r.RewardsByDemand[26][0], r.RewardsByDemand[18][0])
+	}
+	// Rewards concentrate on the early-morning valley (periods 2–5);
+	// periods 6–12 earn (essentially) nothing, as in Table XII.
+	for total := 18; total <= 26; total++ {
+		for i := 5; i < 12; i++ {
+			if r.RewardsByDemand[total][i] > 0.05 {
+				t.Errorf("demand %d: period %d reward %v, want ≈ 0",
+					total*10, i+1, r.RewardsByDemand[total][i])
+			}
+		}
+		if r.RewardsByDemand[total][1] <= 0.1 {
+			t.Errorf("demand %d: p2 = %v, want clearly > 0", total*10, r.RewardsByDemand[total][1])
+		}
+	}
+}
+
+func TestWaitPerturb(t *testing.T) {
+	r, err := WaitPerturb()
+	if err != nil {
+		t.Fatalf("WaitPerturb: %v", err)
+	}
+	// Table XIV: period-1 mis-estimation barely moves rewards.
+	var maxDiff float64
+	for i := range r.Baseline {
+		maxDiff = math.Max(maxDiff, math.Abs(r.Baseline[i]-r.Period1Perturbed[i]))
+	}
+	if maxDiff > 0.1 {
+		t.Errorf("period-1 perturbation moved rewards by %v, want ≤ 0.1 ($0.01)", maxDiff)
+	}
+	// Table XVI: re-optimizing after an all-period error buys almost
+	// nothing (paper: 3.04 → 3.03, i.e. < 1%).
+	if r.CostAdjusted > r.CostNominal+1e-9 {
+		t.Error("re-optimizing increased cost")
+	}
+	rel := (r.CostNominal - r.CostAdjusted) / r.CostNominal
+	if rel > 0.05 {
+		t.Errorf("adjustment improved cost by %.1f%%, paper says <1%% — static model should be robust", 100*rel)
+	}
+}
+
+func TestTimingWithinPaperBudgets(t *testing.T) {
+	r, err := Timing()
+	if err != nil {
+		t.Fatalf("Timing: %v", err)
+	}
+	// The paper's 2011 laptop did these in 5 s and 25 s.
+	if r.PriceDetermination > 5e9 {
+		t.Errorf("price determination took %v, paper budget 5 s", r.PriceDetermination)
+	}
+	if r.Estimation > 25e9 {
+		t.Errorf("estimation took %v, paper budget 25 s", r.Estimation)
+	}
+}
+
+func TestTestbed(t *testing.T) {
+	r, err := Testbed()
+	if err != nil {
+		t.Fatalf("Testbed: %v", err)
+	}
+	mc2 := r.MovedByUserClass["user2"]
+	if !(mc2["video"] > mc2["ftp"] && mc2["ftp"] > mc2["web"]) {
+		t.Errorf("user2 moved volumes out of order: %+v", mc2)
+	}
+	m1, m2 := 0.0, 0.0
+	for _, v := range r.MovedByUserClass["user1"] {
+		m1 += v
+	}
+	for _, v := range mc2 {
+		m2 += v
+	}
+	if m1 >= m2/4 {
+		t.Errorf("impatient user moved %v, patient %v", m1, m2)
+	}
+	if !strings.Contains(r.Render(), "8460.7") {
+		t.Error("Render missing paper reference")
+	}
+}
+
+func TestProfilerCheck(t *testing.T) {
+	r, err := ProfilerCheck()
+	if err != nil {
+		t.Fatalf("ProfilerCheck: %v", err)
+	}
+	if r.RelativeError > 0.15 {
+		t.Errorf("held-out net-flow error %.1f%%, want ≤ 15%%", 100*r.RelativeError)
+	}
+}
+
+func TestRendersNonEmpty(t *testing.T) {
+	// Smoke-test every Render path produces output (cheap experiments only).
+	r3, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Render() == "" {
+		t.Error("Fig3 render empty")
+	}
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Render() == "" {
+		t.Error("Table3 render empty")
+	}
+}
+
+func TestPerUserDollars(t *testing.T) {
+	// 426 cost units → $4.26/user/day (the §V-A TIP figure).
+	if got := PerUserDollars(426); math.Abs(got-4.26) > 1e-12 {
+		t.Errorf("PerUserDollars(426) = %v, want 4.26", got)
+	}
+}

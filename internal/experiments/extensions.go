@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"tdp/internal/core"
+	"tdp/internal/netsim"
+	"tdp/internal/sessions"
+	"tdp/internal/waiting"
+)
+
+// Prop5Result carries the Monte-Carlo validation of Prop. 5: the fluid
+// dynamic model is the large-population limit of the §III session-level
+// stochastic process.
+type Prop5Result struct {
+	// OfferedRelErr and CostRelErr are the relative deviations of the MC
+	// means from the fluid predictions.
+	OfferedRelErr, CostRelErr float64
+	// FluidCost and MCCost are the compared totals ($0.10 units).
+	FluidCost, MCCost float64
+	// SessionsPerDay is the mean number of simulated sessions.
+	SessionsPerDay int
+}
+
+// Prop5 simulates the 12-period paper scenario at session level (Poisson
+// arrivals, exponential sizes, probabilistic deferral) and compares the
+// averaged outcome with the fluid DynamicModel.
+func Prop5() (*Prop5Result, error) {
+	scn := Static12()
+	scn.Capacity = constant(12, 18)
+	scn.Cost = core.LinearCost(1)
+	scn.MaxRewardNorm = 0 // dynamic convention: normalize at marginal cost
+
+	dm, err := core.NewDynamicModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := dm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	// Compare at half the optimal rewards: deferral is active but the
+	// system stays congested, so the fluid cost is far from zero and the
+	// MC's Jensen bias on max(z, 0) (which vanishes only as sessions
+	// shrink) stays relatively small.
+	rewards := make([]float64, len(pr.Rewards))
+	for i, r := range pr.Rewards {
+		rewards[i] = r / 2
+	}
+
+	cfg := sessions.Config{
+		Periods:       12,
+		ArrivalVolume: scn.Demand,
+		MeanSize:      0.05,
+		Betas:         scn.Betas,
+		Capacity:      scn.Capacity,
+		Rewards:       rewards,
+		MaxReward:     dm.MaxReward(),
+		Seed:          42,
+	}
+	const reps = 120
+	offered, _, mcCost, err := sessions.MeanOverRuns(cfg, reps)
+	if err != nil {
+		return nil, err
+	}
+	wantArr := dm.Arrivals(rewards)
+	var num, den float64
+	for i := range wantArr {
+		d := offered[i] - wantArr[i]
+		num += d * d
+		den += wantArr[i] * wantArr[i]
+	}
+	res := &Prop5Result{
+		FluidCost: dm.CostAt(rewards),
+		MCCost:    mcCost,
+	}
+	if den > 0 {
+		res.OfferedRelErr = math.Sqrt(num / den)
+	}
+	if res.FluidCost > 0 {
+		res.CostRelErr = math.Abs(res.MCCost-res.FluidCost) / res.FluidCost
+	}
+	one, err := sessions.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.SessionsPerDay = len(one.Sessions)
+	return res, nil
+}
+
+// Render formats the result.
+func (r *Prop5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Prop. 5 check — session-level Monte-Carlo vs fluid dynamic model\n")
+	fmt.Fprintf(&sb, "  ≈%d sessions/day, offered-volume rel. error %.2f%%\n",
+		r.SessionsPerDay, 100*r.OfferedRelErr)
+	fmt.Fprintf(&sb, "  cost: fluid %.2f vs MC mean %.2f (rel. error %.2f%%)\n",
+		r.FluidCost, r.MCCost, 100*r.CostRelErr)
+	sb.WriteString("  (paper: the dynamic model *is* this process's fluid limit)\n")
+	return sb.String()
+}
+
+// DropTailResult characterizes the paper's testbed queue (footnote 7:
+// 10 MBps, 120-packet buffer) under increasing offered load.
+type DropTailResult struct {
+	// Loads are offered/capacity ratios; LossRates and Utilizations are
+	// the measured outcomes; MaxQueues the occupancy high-water marks.
+	Loads, LossRates, Utilizations []float64
+	MaxQueues                      []int
+}
+
+// DropTail sweeps offered load over the Fig. 10 bottleneck parameters.
+func DropTail() (*DropTailResult, error) {
+	res := &DropTailResult{}
+	const pkt = 1500.0
+	for _, load := range []float64{0.5, 0.9, 1.2, 2} {
+		sim := netsim.NewSim()
+		link, err := netsim.NewDropTailLink(sim, 10, 120)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		rate := load * 10e6 / pkt
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / rate
+			if t >= 3 {
+				break
+			}
+			if err := sim.At(t, func() {
+				// Drops are expected; enqueue errors are not.
+				if _, err := link.Enqueue(netsim.Packet{Bytes: pkt}); err != nil {
+					panic(err)
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+		sim.Run(3)
+		res.Loads = append(res.Loads, load)
+		res.LossRates = append(res.LossRates, link.LossRate())
+		res.Utilizations = append(res.Utilizations, link.Utilization())
+		res.MaxQueues = append(res.MaxQueues, link.MaxQueue)
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *DropTailResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Droptail bottleneck (Fig. 10 parameters: 10 MBps, 120-pkt buffer)\n")
+	sb.WriteString("  load   loss%   util%   maxQ\n")
+	for i := range r.Loads {
+		fmt.Fprintf(&sb, "  %4.1f %7.2f %7.1f %6d\n",
+			r.Loads[i], 100*r.LossRates[i], 100*r.Utilizations[i], r.MaxQueues[i])
+	}
+	sb.WriteString("  (loss appears past saturation; the congestion TDP relieves)\n")
+	return sb.String()
+}
+
+// TCPResult characterizes TCP-Reno dynamics at the Fig. 10 bottleneck:
+// several long flows with empirically drawn RTTs share the 10 MBps /
+// 120-packet queue.
+type TCPResult struct {
+	// RTTs and Throughputs are per-flow (MB/s over the run).
+	RTTs, Throughputs []float64
+	// Utilization and LossRate summarize the link.
+	Utilization, LossRate float64
+	// TotalRetransmits across flows.
+	TotalRetransmits int
+}
+
+// TCPAtBottleneck runs four long TCP flows for 30 seconds of simulated
+// time through the paper's testbed queue.
+func TCPAtBottleneck() (*TCPResult, error) {
+	sim := netsim.NewSim()
+	link, err := netsim.NewDropTailLink(sim, 10, 120)
+	if err != nil {
+		return nil, err
+	}
+	rtts := []float64{0.015, 0.04, 0.08, 0.15} // Aikat-style spread
+	res := &TCPResult{RTTs: rtts}
+	var sources []*netsim.TCPSource
+	for i, rtt := range rtts {
+		src, err := netsim.NewTCPSource(sim, link, i+1, rtt, 1500, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+		src.Start()
+	}
+	const horizon = 30.0
+	sim.Run(horizon)
+	for _, src := range sources {
+		res.Throughputs = append(res.Throughputs, src.AckedBytes()/horizon/1e6)
+		res.TotalRetransmits += src.Retransmits
+	}
+	res.Utilization = link.Utilization()
+	res.LossRate = link.LossRate()
+	return res, nil
+}
+
+// Render formats the result.
+func (r *TCPResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("TCP Reno at the Fig. 10 bottleneck (10 MBps, 120-pkt buffer)\n")
+	sb.WriteString("  rtt(ms)  throughput(MB/s)\n")
+	for i := range r.RTTs {
+		fmt.Fprintf(&sb, "  %6.0f %12.2f\n", 1000*r.RTTs[i], r.Throughputs[i])
+	}
+	fmt.Fprintf(&sb, "  utilization %.0f%%, loss %.2f%%, retransmits %d\n",
+		100*r.Utilization, 100*r.LossRate, r.TotalRetransmits)
+	sb.WriteString("  (short-RTT flows win — the unfairness TDP prices around)\n")
+	return sb.String()
+}
+
+// FiveDollarResult carries the §VII "$5 a month" extension experiment: a
+// congestion-dependent pricer on 30-second slots plus a budget autopilot.
+type FiveDollarResult struct {
+	// SessionsServed out of SessionsOffered within the budget.
+	SessionsServed, SessionsOffered int
+	// IdleFraction is the fraction of served sessions that ran in
+	// off-peak (low-utilization) slots.
+	IdleFraction float64
+	// Spend and FullPriceSpend compare the autopilot bill to undiscounted
+	// billing ($0.10 units).
+	Spend, FullPriceSpend float64
+	// NeverDeferServed counts protected-class sessions that ran at peak.
+	NeverDeferServed int
+}
+
+// FiveDollarPlan simulates a day of 30-second slots: background
+// utilization follows the paper's daily shape, the pricer converts idle
+// capacity into discounts, and an autopilot with a hard budget schedules
+// a backlog of bulk sessions plus a trickle of never-defer traffic.
+func FiveDollarPlan() (*FiveDollarResult, error) {
+	pricer, err := core.NewCongestionPricer(0.8, 0.2, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		basePrice    = 1.0
+		slotsPerDay  = 2880 // 30-second slots
+		bulkSessions = 400
+	)
+	auto := core.NewAutopilot(core.AutopilotConfig{
+		SpendBudget:  50, // $5 in $0.10 units
+		NeverDefer:   map[int]bool{1: true},
+		PriceCeiling: 0.3,
+	})
+	// Utilization over the day: the Table VII shape resampled per slot.
+	totals := waiting.Totals(waiting.Demand48())
+	peak := 0.0
+	for _, x := range totals {
+		peak = math.Max(peak, x)
+	}
+	rng := rand.New(rand.NewSource(9))
+	res := &FiveDollarResult{SessionsOffered: bulkSessions}
+	pending := bulkSessions
+	var idleServed int
+	for slot := 0; slot < slotsPerDay; slot++ {
+		util := totals[slot*48/slotsPerDay] / peak * 1.1 // busiest hour ≈110%
+		reward := pricer.Update(util)
+		price := math.Max(basePrice-reward, 0)
+
+		// A never-defer session every ~5 minutes regardless of price.
+		if slot%10 == 5 {
+			if auto.Decide(1, 0.1, price) == core.RunNow {
+				auto.RecordSpend(0.1 * price)
+				res.NeverDeferServed++
+			}
+		}
+		// Bulk backlog: one unit-volume session attempt per slot.
+		if pending > 0 && rng.Float64() < 0.5 {
+			if auto.Decide(0, 0.25, price) == core.RunNow {
+				auto.RecordSpend(0.25 * price)
+				pending--
+				res.SessionsServed++
+				if util < 0.8 {
+					idleServed++
+				}
+			}
+		}
+	}
+	if res.SessionsServed > 0 {
+		res.IdleFraction = float64(idleServed) / float64(res.SessionsServed)
+	}
+	res.Spend = auto.Spent()
+	res.FullPriceSpend = float64(res.SessionsServed)*0.25*basePrice +
+		float64(res.NeverDeferServed)*0.1*basePrice
+	return res, nil
+}
+
+// Render formats the result.
+func (r *FiveDollarResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("§VII extension — \"$5 a month\" autopilot on 30-second slots\n")
+	fmt.Fprintf(&sb, "  bulk sessions served: %d/%d, %.0f%% in off-peak slots\n",
+		r.SessionsServed, r.SessionsOffered, 100*r.IdleFraction)
+	fmt.Fprintf(&sb, "  never-defer sessions served at any price: %d\n", r.NeverDeferServed)
+	fmt.Fprintf(&sb, "  spend: $%.2f vs $%.2f at full price (budget $5.00)\n",
+		r.Spend*unitDollars, r.FullPriceSpend*unitDollars)
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProp5(t *testing.T) {
+	r, err := Prop5()
+	if err != nil {
+		t.Fatalf("Prop5: %v", err)
+	}
+	if r.OfferedRelErr > 0.05 {
+		t.Errorf("offered-volume rel. error %.2f%%, want ≤ 5%%", 100*r.OfferedRelErr)
+	}
+	if r.CostRelErr > 0.15 {
+		t.Errorf("cost rel. error %.2f%%, want ≤ 15%%", 100*r.CostRelErr)
+	}
+	if r.SessionsPerDay < 500 {
+		t.Errorf("only %d sessions/day — not a meaningful fluid-limit check", r.SessionsPerDay)
+	}
+	if !strings.Contains(r.Render(), "Prop. 5") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	r, err := DropTail()
+	if err != nil {
+		t.Fatalf("DropTail: %v", err)
+	}
+	if len(r.Loads) != 4 {
+		t.Fatalf("%d sweep points", len(r.Loads))
+	}
+	// Sub-saturation: essentially lossless; overload: loss ≈ 1 − 1/load.
+	for i, load := range r.Loads {
+		loss := r.LossRates[i]
+		switch {
+		case load <= 0.9:
+			if loss > 0.01 {
+				t.Errorf("load %v: loss %v, want ≈0", load, loss)
+			}
+		case load >= 1.2:
+			want := 1 - 1/load
+			if loss < want-0.05 || loss > want+0.05 {
+				t.Errorf("load %v: loss %v, want ≈%v", load, loss, want)
+			}
+			if r.Utilizations[i] < 0.98 {
+				t.Errorf("load %v: utilization %v, want ≈1", load, r.Utilizations[i])
+			}
+			if r.MaxQueues[i] != 120 {
+				t.Errorf("load %v: max queue %d, want pinned at 120", load, r.MaxQueues[i])
+			}
+		}
+	}
+	// Loss increases with load.
+	for i := 1; i < len(r.LossRates); i++ {
+		if r.LossRates[i] < r.LossRates[i-1]-1e-9 {
+			t.Error("loss rate not monotone in load")
+		}
+	}
+}
+
+func TestTCPAtBottleneck(t *testing.T) {
+	r, err := TCPAtBottleneck()
+	if err != nil {
+		t.Fatalf("TCPAtBottleneck: %v", err)
+	}
+	if len(r.Throughputs) != 4 {
+		t.Fatalf("%d flows", len(r.Throughputs))
+	}
+	var total float64
+	for i, th := range r.Throughputs {
+		if th <= 0 {
+			t.Errorf("flow %d starved", i)
+		}
+		total += th
+	}
+	// Together the flows saturate the 10 MB/s link.
+	if total < 7 || total > 10.5 {
+		t.Errorf("aggregate throughput %v MB/s, want ≈10", total)
+	}
+	// RTT unfairness: the shortest-RTT flow beats the longest.
+	if !(r.Throughputs[0] > r.Throughputs[len(r.Throughputs)-1]) {
+		t.Errorf("no RTT unfairness: %v", r.Throughputs)
+	}
+	if r.Utilization < 0.9 {
+		t.Errorf("utilization %v, want ≈1", r.Utilization)
+	}
+	if r.TotalRetransmits == 0 {
+		t.Error("no losses at a saturated droptail queue")
+	}
+}
+
+func TestFiveDollarPlan(t *testing.T) {
+	r, err := FiveDollarPlan()
+	if err != nil {
+		t.Fatalf("FiveDollarPlan: %v", err)
+	}
+	// The point of the plan: nearly all bulk traffic lands off-peak…
+	if r.IdleFraction < 0.9 {
+		t.Errorf("idle fraction %.2f, want ≥ 0.9", r.IdleFraction)
+	}
+	// …the budget binds…
+	if r.Spend > 50 {
+		t.Errorf("spend %v exceeded the $5 budget", r.Spend)
+	}
+	// …and the user pays far less than full price for what they got.
+	if r.Spend > 0.5*r.FullPriceSpend {
+		t.Errorf("spend %v not well below full price %v", r.Spend, r.FullPriceSpend)
+	}
+	// Most of the backlog is actually served.
+	if float64(r.SessionsServed) < 0.8*float64(r.SessionsOffered) {
+		t.Errorf("served %d of %d — autopilot starved", r.SessionsServed, r.SessionsOffered)
+	}
+	// The protected class keeps running through the peak.
+	if r.NeverDeferServed < 200 {
+		t.Errorf("never-defer served %d, want the full trickle", r.NeverDeferServed)
+	}
+}

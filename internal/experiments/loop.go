@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tdp/internal/core"
+	"tdp/internal/tube"
+)
+
+// LoopResult traces the full Fig. 1 control loop across days: publish →
+// users react → measure → re-profile → re-price.
+type LoopResult struct {
+	// TrueBetas is the population's actual per-class patience.
+	TrueBetas []float64
+	// BetasByDay[d] is the ISP's estimate after day d+1.
+	BetasByDay [][]float64
+	// CongestionByDay is the realized per-day congestion cost.
+	CongestionByDay []float64
+	// TIPCongestion is the no-TDP baseline.
+	TIPCongestion float64
+}
+
+// Loop runs four days of the closed loop on a 12-period, 3-class
+// deployment where the ISP starts from an uninformative patience prior
+// and the population reacts with the true (hidden) waiting functions.
+func Loop() (*LoopResult, error) {
+	trueBetas := []float64{4, 1.5, 0.5} // web, ftp, video
+	base := []float64{22, 13, 8, 8, 11, 19, 20, 23, 24, 25, 23, 26}
+	demand := make([][]float64, 12)
+	for i := range demand {
+		demand[i] = []float64{base[i] * 0.2, base[i] * 0.3, base[i] * 0.5}
+	}
+	capacity := constant(12, 18)
+	cost := core.LinearCost(3)
+
+	truthScn := &core.Scenario{
+		Periods: 12, Demand: demand, Betas: trueBetas,
+		Capacity: capacity, Cost: cost,
+	}
+	truth, err := core.NewStaticModel(truthScn)
+	if err != nil {
+		return nil, err
+	}
+
+	ctrl, err := tube.NewController(tube.ControllerConfig{
+		Demand:       demand,
+		Classes:      []string{"web", "ftp", "video"},
+		InitialBetas: []float64{2.5, 2.5, 2.5},
+		Capacity:     capacity,
+		Cost:         cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LoopResult{TrueBetas: trueBetas}
+	for i, x := range truthScn.TotalDemand() {
+		res.TIPCongestion += cost.Value(x - capacity[i])
+	}
+	react := func(rewards []float64) ([][]float64, error) {
+		return truth.UsageByType(rewards), nil
+	}
+	for day := 0; day < 4; day++ {
+		rep, err := ctrl.RunDay(react)
+		if err != nil {
+			return nil, fmt.Errorf("day %d: %w", day+1, err)
+		}
+		res.BetasByDay = append(res.BetasByDay, rep.Betas)
+		res.CongestionByDay = append(res.CongestionByDay, rep.CongestionCost)
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *LoopResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 1 control loop — profiling feedback across days\n")
+	fmt.Fprintf(&sb, "  true patience (web, ftp, video): %.2f\n", r.TrueBetas)
+	for d, betas := range r.BetasByDay {
+		fmt.Fprintf(&sb, "  day %d: estimate %.2f, congestion %.1f\n",
+			d+1, betas, r.CongestionByDay[d])
+	}
+	fmt.Fprintf(&sb, "  TIP congestion baseline: %.1f\n", r.TIPCongestion)
+	sb.WriteString("  (estimates start flat at 2.50 and recover the true ordering)\n")
+	return sb.String()
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderSeries formats a labeled numeric series, one value per line block,
+// wrapping at width entries for terminal readability.
+func renderSeries(sb *strings.Builder, label string, xs []float64) {
+	fmt.Fprintf(sb, "%s:\n", label)
+	// Pick a column format wide enough for the largest magnitude.
+	format := "%8.3f"
+	for _, x := range xs {
+		if x >= 1000 || x <= -100 {
+			format = "%9.1f"
+			break
+		}
+	}
+	const width = 12
+	for i := 0; i < len(xs); i += width {
+		end := i + width
+		if end > len(xs) {
+			end = len(xs)
+		}
+		sb.WriteString("  ")
+		for j := i; j < end; j++ {
+			fmt.Fprintf(sb, format, xs[j])
+		}
+		sb.WriteByte('\n')
+	}
+}
+
+// renderKV formats one "name: value" line with a paper-reference suffix.
+func renderKV(sb *strings.Builder, name string, value float64, paper string) {
+	if paper == "" {
+		fmt.Fprintf(sb, "  %-38s %10.3f\n", name, value)
+		return
+	}
+	fmt.Fprintf(sb, "  %-38s %10.3f   (paper: %s)\n", name, value, paper)
+}

@@ -1,0 +1,114 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§IV–§VI and Appendix I): each exported function runs one
+// experiment and returns a structured result carrying both the paper's
+// reported values (where applicable) and the measured ones, plus a
+// Render method for human-readable output. cmd/tubebench and the root
+// bench_test.go drive these.
+package experiments
+
+import (
+	"tdp/internal/core"
+	"tdp/internal/waiting"
+)
+
+// Paper simulation constants (§V): money in $0.10 units, demand in
+// 10 MBps, ten users behind the bottleneck.
+const (
+	// usersInSystem converts aggregate cost to the paper's "per user"
+	// figures (Table V "typical of a system with ten users").
+	usersInSystem = 10
+	// unitDollars converts model cost units to dollars.
+	unitDollars = 0.10
+)
+
+// PerUserDollars converts a model cost (in $0.10 units) into the paper's
+// average-daily-cost-per-user dollar figure.
+func PerUserDollars(cost float64) float64 {
+	return cost * unitDollars / usersInSystem
+}
+
+// staticNorm is the waiting-function normalization reward for the static
+// §V scenarios: the *maximum possible reward offered* — the paper's $0.15
+// bound (half the marginal benefit for linear waiting functions), the
+// first of the two readings §II offers for P. Calibration against the
+// paper's headline numbers singles this reading out: with P = 1.5 the
+// 48-period run lands at $3.23/user (paper $3.26), 24.2% savings (paper
+// 24%), and a 119 MBps peak-to-trough (paper 119); with P = 3 it lands at
+// $3.70 and 13%.
+const staticNorm = 1.5
+
+// Static48 is the §V-A scenario: Table VII demand, 48 half-hour periods,
+// A = 180 MBps, f(x) = 3·max(x, 0).
+func Static48() *core.Scenario {
+	return &core.Scenario{
+		Periods:       48,
+		Demand:        waiting.Demand48(),
+		Betas:         append([]float64(nil), waiting.PatienceIndices...),
+		Capacity:      constant(48, 18),
+		Cost:          core.LinearCost(3),
+		MaxRewardNorm: staticNorm,
+	}
+}
+
+// Static12 is the Appendix I 12-period scenario: Table VIII demand,
+// A = 180 MBps, f slope 3.
+func Static12() *core.Scenario {
+	return &core.Scenario{
+		Periods:       12,
+		Demand:        waiting.Demand12(),
+		Betas:         append([]float64(nil), waiting.PatienceIndices...),
+		Capacity:      constant(12, 18),
+		Cost:          core.LinearCost(3),
+		MaxRewardNorm: staticNorm,
+	}
+}
+
+// Dynamic48 is the §V-B offline dynamic scenario: Table VII arrivals,
+// constant capacity 210 MBps, marginal over-capacity cost $0.10.
+func Dynamic48() *core.Scenario {
+	return &core.Scenario{
+		Periods:  48,
+		Demand:   waiting.Demand48(),
+		Betas:    append([]float64(nil), waiting.PatienceIndices...),
+		Capacity: constant(48, 21),
+		Cost:     core.LinearCost(1),
+	}
+}
+
+// Static12WithPeriod1Demand returns Static12 with period 1's distribution
+// replaced by the Table XI row for the given total (18–26, in 10 MBps).
+func Static12WithPeriod1Demand(total int) (*core.Scenario, bool) {
+	row, ok := waiting.DistPerturbPeriod1[total]
+	if !ok {
+		return nil, false
+	}
+	s := Static12()
+	s.Demand[0] = append([]float64(nil), row[:]...)
+	return s, true
+}
+
+// Static12WaitPerturbPeriod1 returns Static12 with period 1's distribution
+// replaced by the Table XIII mis-estimation.
+func Static12WaitPerturbPeriod1() *core.Scenario {
+	s := Static12()
+	s.Demand[0] = append([]float64(nil), waiting.DistWaitPerturbPeriod1[:]...)
+	return s
+}
+
+// Static12WaitPerturbAll returns Static12 with every period's distribution
+// replaced by Table XV.
+func Static12WaitPerturbAll() *core.Scenario {
+	s := Static12()
+	for i := range s.Demand {
+		s.Demand[i] = append([]float64(nil), waiting.DistWaitPerturbAll[i][:]...)
+	}
+	return s
+}
+
+func constant(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

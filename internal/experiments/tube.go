@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"tdp/internal/core"
+	"tdp/internal/emul"
+	"tdp/internal/estimate"
+	"tdp/internal/waiting"
+)
+
+// TimingResult carries §VI-B's efficiency measurements of the TUBE
+// Optimizer engines.
+type TimingResult struct {
+	// PriceDetermination is one online price-determination pass with 12
+	// periods and 10 session types (paper: < 5 s).
+	PriceDetermination time.Duration
+	// Estimation is one waiting-function estimation with 3 periods and 2
+	// types (paper: < 25 s).
+	Estimation time.Duration
+}
+
+// Timing measures both engines on this machine.
+func Timing() (*TimingResult, error) {
+	// Price determination: full solve then one online step, as the TUBE
+	// Optimizer runs each period.
+	start := time.Now()
+	online, err := core.NewOnlineOptimizer(Static12(), core.OnlineConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := online.Advance(waiting.Dist12[0][:]); err != nil {
+		return nil, err
+	}
+	priceDur := time.Since(start)
+
+	// Estimation: the Table III workload.
+	start = time.Now()
+	if _, err := Table3(); err != nil {
+		return nil, err
+	}
+	estDur := time.Since(start)
+
+	return &TimingResult{PriceDetermination: priceDur, Estimation: estDur}, nil
+}
+
+// Render formats the result.
+func (r *TimingResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("§VI-B — TUBE Optimizer engine timing\n")
+	fmt.Fprintf(&sb, "  price determination (12 periods, 10 types): %v   (paper: < 5 s)\n",
+		r.PriceDetermination)
+	fmt.Fprintf(&sb, "  waiting-function estimation (3 periods, 2 types): %v   (paper: < 25 s)\n",
+		r.Estimation)
+	return sb.String()
+}
+
+// TestbedResult carries the §VI-C proof-of-concept emulation (Figs. 11/12).
+type TestbedResult struct {
+	Rewards []float64
+	// TIPTraffic / TDPTraffic are per-user per-period served volumes (MB).
+	TIPTraffic, TDPTraffic map[string][]float64
+	// MovedByUserClass is the TDP run's deferred volume per user and class
+	// (paper, user 2: web 143.2 MB, ftp 707.8 MB, video 8460.7 MB;
+	// user 1 barely defers).
+	MovedByUserClass map[string]map[string]float64
+}
+
+// Testbed runs the emulated TUBE experiment with the default (paper-shaped)
+// configuration.
+func Testbed() (*TestbedResult, error) {
+	cfg := emul.DefaultConfig()
+	tip, tdp, err := emul.RunComparison(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TestbedResult{
+		Rewards:          tdp.Rewards,
+		TIPTraffic:       tip.ServedByUserPeriod,
+		TDPTraffic:       tdp.ServedByUserPeriod,
+		MovedByUserClass: tdp.MovedByUserClass,
+	}, nil
+}
+
+// Render formats the result.
+func (r *TestbedResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figs. 11/12 — TUBE testbed emulation (10 MBps bottleneck, 1 hour)\n")
+	renderSeries(&sb, "published rewards ($0.10)", r.Rewards)
+	for _, user := range []string{"user1", "user2"} {
+		renderSeries(&sb, fmt.Sprintf("TIP traffic %s (MB/period)", user), r.TIPTraffic[user])
+		renderSeries(&sb, fmt.Sprintf("TDP traffic %s (MB/period)", user), r.TDPTraffic[user])
+	}
+	sb.WriteString("  volume moved by TDP (MB):\n")
+	for _, user := range []string{"user1", "user2"} {
+		mc := r.MovedByUserClass[user]
+		fmt.Fprintf(&sb, "    %s: web %.1f, ftp %.1f, video %.1f\n",
+			user, mc["web"], mc["ftp"], mc["video"])
+	}
+	sb.WriteString("  (paper, user 2: web 143.2, ftp 707.8, video 8460.7; user 1 never defers)\n")
+	return sb.String()
+}
+
+// ProfilerCheck cross-validates the §IV machinery the TUBE profiling
+// engine uses at deployment scale: it generates a day of observations for
+// the 12-period, 10-type scenario and verifies the fitted parameters
+// reproduce the observed net flows.
+type ProfilerCheckResult struct {
+	// RelativeError is ‖predicted−observed‖ / ‖observed‖ over a held-out
+	// reward set.
+	RelativeError float64
+}
+
+// ProfilerCheck runs the cross-validation.
+func ProfilerCheck() (*ProfilerCheckResult, error) {
+	scn := Static12()
+	gen := &estimate.Model{
+		Periods:     12,
+		Types:       10,
+		BaselineTIP: scn.TotalDemand(),
+		MaxReward:   scn.Cost.MaxSlope(),
+		MaxIter:     120, // 240-parameter fit; full convergence is not the point here
+	}
+	truth := estimate.NewParams(12, 10)
+	totals := scn.TotalDemand()
+	for i := 0; i < 12; i++ {
+		for j := range waiting.PatienceIndices {
+			truth.Alpha[i][j] = scn.Demand[i][j] / totals[i]
+			truth.Beta[i][j] = waiting.PatienceIndices[j]
+		}
+	}
+	train := [][]float64{
+		{0, 0.5, 1, 0, 0.5, 1, 0, 0.5, 1, 0, 0.5, 1},
+		{1.5, 0, 0, 1.5, 0, 0, 1.5, 0, 0, 1.5, 0, 0},
+		{0.2, 0.4, 0.6, 0.8, 1, 1.2, 0.2, 0.4, 0.6, 0.8, 1, 1.2},
+		{1.2, 1, 0.8, 0.6, 0.4, 0.2, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 1.2, 1, 0.8, 0.6, 0.4, 0.2},
+		{0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7},
+	}
+	var obs []estimate.Observation
+	for _, p := range train {
+		t, err := gen.NetFlows(truth, p)
+		if err != nil {
+			return nil, err
+		}
+		obs = append(obs, estimate.Observation{Rewards: p, T: t})
+	}
+	fit, err := gen.Fit(obs)
+	if err != nil {
+		return nil, err
+	}
+	holdout := []float64{1.1, 0.2, 0.9, 0.4, 0.7, 0.1, 1.3, 0.3, 0.8, 0.5, 0.6, 1}
+	want, err := gen.NetFlows(truth, holdout)
+	if err != nil {
+		return nil, err
+	}
+	got, err := gen.NetFlows(fit.Params, holdout)
+	if err != nil {
+		return nil, err
+	}
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	res := &ProfilerCheckResult{}
+	if den > 0 {
+		res.RelativeError = math.Sqrt(num / den)
+	}
+	return res, nil
+}
+
+// Render formats the result.
+func (r *ProfilerCheckResult) Render() string {
+	return fmt.Sprintf("Profiler cross-validation — held-out net-flow error: %.2f%%\n",
+		100*r.RelativeError)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWeekLong(t *testing.T) {
+	r, err := WeekLong(4)
+	if err != nil {
+		t.Fatalf("WeekLong: %v", err)
+	}
+	if len(r.BetasByDay) != 4 || len(r.MovedByDay) != 4 {
+		t.Fatalf("day accounting: %d betas, %d moved", len(r.BetasByDay), len(r.MovedByDay))
+	}
+	// Users actually defer every day.
+	for d, m := range r.MovedByDay {
+		if m <= 0 {
+			t.Errorf("day %d moved nothing", d+1)
+		}
+	}
+	// TDP shaves the TIP peak on (at least) the later, better-informed
+	// days. The emulated users are magnitude-sensitive while the ISP
+	// models them as normalized — exactly the §IV error regime — so a
+	// loose criterion: the mean TDP peak sits below the TIP peak.
+	var meanPeak float64
+	for _, p := range r.PeakOfferedByDay {
+		meanPeak += p
+	}
+	meanPeak /= float64(len(r.PeakOfferedByDay))
+	if meanPeak >= r.TIPPeakOffered {
+		t.Errorf("mean TDP peak %v not below TIP peak %v", meanPeak, r.TIPPeakOffered)
+	}
+	// Re-profiling happened: estimates moved off the flat prior. (They
+	// are *effective* parameters under session noise — see the type
+	// comment — so no per-class ordering is asserted here; the Loop
+	// experiment covers identification at fluid scale.)
+	final := r.BetasByDay[len(r.BetasByDay)-1]
+	moved := false
+	for _, b := range final {
+		if b != 2.5 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("patience estimates never updated: %v", final)
+	}
+	if !strings.Contains(r.Render(), "Week-long") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestWeekLongDefaultDays(t *testing.T) {
+	r, err := WeekLong(0)
+	if err != nil {
+		t.Fatalf("WeekLong: %v", err)
+	}
+	if r.Days != 5 {
+		t.Errorf("default days = %d, want 5", r.Days)
+	}
+}

@@ -1,0 +1,82 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix: A = L·Lᵀ. It is the natural factorization for
+// the damped normal equations Levenberg–Marquardt solves each iteration —
+// half the work of LU and numerically safer on SPD systems.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a. It returns
+// ErrSingular if a is not (numerically) positive definite and ErrDimension
+// if it is not square. Only the lower triangle of a is read, so symmetry
+// is assumed rather than verified.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, fmt.Errorf("cholesky of %dx%d: %w", a.Rows(), a.Cols(), ErrDimension)
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("pivot %d = %v: %w", j, d, ErrSingular)
+		}
+		root := math.Sqrt(d)
+		l.Set(j, j, root)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/root)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b via forward/back substitution on the factor.
+func (c *Cholesky) Solve(b Vector) (Vector, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("cholesky solve rhs %d, want %d: %w", len(b), n, ErrDimension)
+	}
+	// L·y = b.
+	y := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Lᵀ·x = y.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves a symmetric positive-definite system directly
+// (factor + solve).
+func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,86 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]] is SPD; solve A·x = (8, 7) → x = (1.4, 1.4)? Check:
+	// 4x+2y=8, 2x+3y=7 → x=1.25, y=1.5.
+	a, _ := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveSPD(a, Vector{8, 7})
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	if !almostEqual(x[0], 1.25, 1e-12) || !almostEqual(x[1], 1.5, 1e-12) {
+		t.Errorf("x = %v, want (1.25, 1.5)", x)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	indefinite, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := FactorCholesky(indefinite); !errors.Is(err, ErrSingular) {
+		t.Errorf("indefinite: err = %v, want ErrSingular", err)
+	}
+	if _, err := FactorCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("non-square: err = %v, want ErrDimension", err)
+	}
+	zero := NewMatrix(2, 2)
+	if _, err := FactorCholesky(zero); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskySolveWrongRHS(t *testing.T) {
+	f, err := FactorCholesky(Identity(3))
+	if err != nil {
+		t.Fatalf("FactorCholesky: %v", err)
+	}
+	if _, err := f.Solve(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("short rhs: err = %v, want ErrDimension", err)
+	}
+}
+
+// Property: for random SPD matrices (JᵀJ + λI form, as in LM), Cholesky and
+// LU agree and round-trip A·x = A·v.
+func TestCholeskyMatchesLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		j := NewMatrix(n+2, n)
+		for r := 0; r < n+2; r++ {
+			for c := 0; c < n; c++ {
+				j.Set(r, c, rng.NormFloat64())
+			}
+		}
+		a, err := j.Transpose().Mul(j)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+0.1) // damping, as LM does
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveSPD(a, b)
+		x2, err2 := SolveLinear(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-7*(1+math.Abs(x2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := Vector{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := Vector{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := FactorLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("FactorLU singular: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("FactorLU nonsquare: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestLUSolveWrongRHS(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	if _, err := f.Solve(Vector{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Solve wrong rhs: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{3, 0},
+		{0, 2},
+	})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	if d := f.Det(); !almostEqual(d, 6, 1e-14) {
+		t.Errorf("Det = %v, want 6", d)
+	}
+	// Permuted rows flip nothing about the determinant of the original.
+	b, _ := NewMatrixFromRows([][]float64{
+		{0, 2},
+		{3, 0},
+	})
+	fb, err := FactorLU(b)
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	if d := fb.Det(); !almostEqual(d, -6, 1e-14) {
+		t.Errorf("Det = %v, want -6", d)
+	}
+}
+
+func TestLUPivotingStability(t *testing.T) {
+	// A matrix that requires row exchanges for a stable factorization.
+	a, _ := NewMatrixFromRows([][]float64{
+		{1e-20, 1},
+		{1, 1},
+	})
+	x, err := SolveLinear(a, Vector{1, 2})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	// True solution is approximately x = (1, 1).
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 1, 1e-9) {
+		t.Errorf("x = %v, want ≈(1,1)", x)
+	}
+}
+
+// Property: solving A·x = A·v recovers v for random well-conditioned A.
+func TestLURoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(v)
+		if err != nil {
+			return false
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range v {
+			if math.Abs(x[i]-v[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

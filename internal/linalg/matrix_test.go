@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Errorf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	m, err := NewMatrixFromRows(nil)
+	if err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("dims = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := m.MulVec(Vector{1, 0, -1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	want := Vector{-2, -2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := m.MulVec(Vector{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("MulVec short: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMatrixTransMulVec(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got, err := m.TransMulVec(Vector{1, 1, 1})
+	if err != nil {
+		t.Fatalf("TransMulVec: %v", err)
+	}
+	want := Vector{9, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TransMulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{2, -1}, {7, 0.5}})
+	p, err := m.Mul(Identity(2))
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != m.At(i, j) {
+				t.Errorf("A·I differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := m.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("Mul mismatched: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("dims = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Errorf("transpose differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixCloneIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 0 {
+		t.Errorf("Clone aliases original")
+	}
+}
+
+func TestMatrixMaxAbs(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, -9}, {3, 4}})
+	if got := m.MaxAbs(); got != 9 {
+		t.Errorf("MaxAbs = %v, want 9", got)
+	}
+}
+
+// Property: (Aᵀ)ᵀ = A and (A·v) via MulVec equals Aᵀ TransMulVec identity.
+func TestMatrixTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(5), 1+rng.Intn(5)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tt := m.Transpose().Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		// Aᵀ·v computed two ways.
+		v := make(Vector, rows)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		a, err1 := m.TransMulVec(v)
+		b, err2 := m.Transpose().MulVec(v)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

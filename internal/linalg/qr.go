@@ -1,0 +1,120 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n.
+type QR struct {
+	qr    *Matrix   // packed R (upper triangle) and Householder vectors (below)
+	rdiag []float64 // diagonal of R
+}
+
+// FactorQR computes the Householder QR factorization of a (m ≥ n required).
+func FactorQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("qr of %dx%d (need rows ≥ cols): %w", m, n, ErrDimension)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether R has no (effectively) zero diagonal entries,
+// i.e. the columns are linearly independent up to roundoff.
+func (f *QR) FullRank() bool {
+	var scale float64
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return len(f.rdiag) == 0
+	}
+	tol := 1e-12 * scale * float64(max(f.qr.Rows(), f.qr.Cols()))
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve finds the least-squares solution of A·x ≈ b.
+// It returns ErrSingular if A is column-rank-deficient.
+func (f *QR) Solve(b Vector) (Vector, error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("qr solve rhs %d, want %d: %w", len(b), m, ErrDimension)
+	}
+	if !f.FullRank() {
+		return nil, fmt.Errorf("qr solve: %w", ErrSingular)
+	}
+	y := b.Clone()
+	// Compute Qᵀ·b.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖A·x−b‖₂ directly (factor + solve).
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,133 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveSquare(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	x, err := LeastSquares(a, Vector{5, 10})
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	want := Vector{1, 3}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3t to exact data; the LS solution must recover it.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(ts), 2)
+	b := make(Vector, len(ts))
+	for i, tt := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tt)
+		b[i] = 2 + 3*tt
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("fit = %v, want (2,3)", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The residual of a least-squares solution must be orthogonal to the
+	// column space: Aᵀ(Ax−b) = 0.
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 0},
+		{1, 1},
+		{1, 2},
+	})
+	b := Vector{1, 0, 2}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	ax, _ := a.MulVec(x)
+	r, _ := ax.Sub(b)
+	atr, _ := a.TransMulVec(r)
+	if atr.NormInf() > 1e-12 {
+		t.Errorf("Aᵀr = %v, want ≈0", atr)
+	}
+}
+
+func TestQRUnderdetermined(t *testing.T) {
+	if _, err := FactorQR(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("FactorQR wide: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	if f.FullRank() {
+		t.Error("FullRank = true for rank-1 matrix")
+	}
+	if _, err := f.Solve(Vector{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("Solve rank-deficient: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRSolveWrongRHS(t *testing.T) {
+	f, err := FactorQR(Identity(3))
+	if err != nil {
+		t.Fatalf("FactorQR: %v", err)
+	}
+	if _, err := f.Solve(Vector{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Solve wrong rhs: err = %v, want ErrDimension", err)
+	}
+}
+
+// Property: QR and LU agree on random square nonsingular systems.
+func TestQRMatchesLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveLinear(a, b)
+		x2, err2 := LeastSquares(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

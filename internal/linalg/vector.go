@@ -1,0 +1,162 @@
+// Package linalg provides small dense linear-algebra primitives used by the
+// optimization stack: vectors, matrices, LU factorization with partial
+// pivoting, Householder QR, linear solves, and least squares.
+//
+// The package is deliberately minimal — sizes in this project are tiny
+// (tens of variables), so clarity and numerical robustness win over
+// cache-blocked performance.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand dimensions are incompatible.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("add %d and %d: %w", len(v), len(w), ErrDimension)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("sub %d and %d: %w", len(v), len(w), ErrDimension)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns c*v.
+func (v Vector) Scale(c float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// AXPY computes v += a*w in place.
+func (v Vector) AXPY(a float64, w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("axpy %d and %d: %w", len(v), len(w), ErrDimension)
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dot %d and %d: %w", len(v), len(w), ErrDimension)
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm, guarding against overflow.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute entry.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum entry and its index. It panics on empty vectors.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum entry and its index. It panics on empty vectors.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}

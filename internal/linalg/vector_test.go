@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorAddSub(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -1, 0.5}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	want := Vector{5, 1, 3.5}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Errorf("Add[%d] = %v, want %v", i, sum[i], want[i])
+		}
+	}
+	diff, err := sum.Sub(w)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	for i := range v {
+		if !almostEqual(diff[i], v[i], 1e-15) {
+			t.Errorf("Sub[%d] = %v, want %v", i, diff[i], v[i])
+		}
+	}
+}
+
+func TestVectorDimensionErrors(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{1, 2, 3}
+	if _, err := v.Add(w); !errors.Is(err, ErrDimension) {
+		t.Errorf("Add: err = %v, want ErrDimension", err)
+	}
+	if _, err := v.Sub(w); !errors.Is(err, ErrDimension) {
+		t.Errorf("Sub: err = %v, want ErrDimension", err)
+	}
+	if _, err := v.Dot(w); !errors.Is(err, ErrDimension) {
+		t.Errorf("Dot: err = %v, want ErrDimension", err)
+	}
+	if err := v.AXPY(2, w); !errors.Is(err, ErrDimension) {
+		t.Errorf("AXPY: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	d, err := v.Dot(v)
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if d != 25 {
+		t.Errorf("Dot = %v, want 25", d)
+	}
+	if n := v.Norm2(); !almostEqual(n, 5, 1e-15) {
+		t.Errorf("Norm2 = %v, want 5", n)
+	}
+	if n := v.NormInf(); n != 4 {
+		t.Errorf("NormInf = %v, want 4", n)
+	}
+}
+
+func TestVectorNorm2Overflow(t *testing.T) {
+	// Naive sum-of-squares would overflow; the scaled algorithm must not.
+	v := Vector{1e200, 1e200}
+	got := v.Norm2()
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || !almostEqual(got, want, 1e-14) {
+		t.Errorf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestVectorNorm2Zero(t *testing.T) {
+	if n := (Vector{0, 0, 0}).Norm2(); n != 0 {
+		t.Errorf("Norm2 of zero vector = %v, want 0", n)
+	}
+	if n := (Vector{}).Norm2(); n != 0 {
+		t.Errorf("Norm2 of empty vector = %v, want 0", n)
+	}
+}
+
+func TestVectorScaleAXPY(t *testing.T) {
+	v := Vector{1, -2, 3}
+	s := v.Scale(-2)
+	want := Vector{-2, 4, -6}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("Scale[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+	u := Vector{1, 1, 1}
+	if err := u.AXPY(2, v); err != nil {
+		t.Fatalf("AXPY: %v", err)
+	}
+	want = Vector{3, -3, 7}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Errorf("AXPY[%d] = %v, want %v", i, u[i], want[i])
+		}
+	}
+}
+
+func TestVectorMaxMinSum(t *testing.T) {
+	v := Vector{2, -7, 5, 5, -7}
+	if mx, i := v.Max(); mx != 5 || i != 2 {
+		t.Errorf("Max = (%v,%d), want (5,2)", mx, i)
+	}
+	if mn, i := v.Min(); mn != -7 || i != 1 {
+		t.Errorf("Min = (%v,%d), want (-7,1)", mn, i)
+	}
+	if s := v.Sum(); s != -2 {
+		t.Errorf("Sum = %v, want -2", s)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases original: v[0] = %v", v[0])
+	}
+}
+
+// Property: the Cauchy–Schwarz inequality |v·w| ≤ ‖v‖‖w‖ holds.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := Vector{clampF(a), clampF(b), clampF(c)}
+		w := Vector{clampF(d), clampF(e), clampF(g)}
+		dot, err := v.Dot(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dot) <= v.Norm2()*w.Norm2()*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality ‖v+w‖ ≤ ‖v‖+‖w‖.
+func TestVectorTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := Vector{clampF(a), clampF(b), clampF(c)}
+		w := Vector{clampF(d), clampF(e), clampF(g)}
+		sum, err := v.Add(w)
+		if err != nil {
+			return false
+		}
+		return sum.Norm2() <= v.Norm2()+w.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampF maps arbitrary quick-generated floats into a sane finite range.
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Packet is one unit of transmission through a DropTailLink.
+type Packet struct {
+	// FlowID tags the owning flow for per-flow accounting.
+	FlowID int
+	// Bytes is the packet size (the paper's testbed uses 1500 B MTU).
+	Bytes float64
+}
+
+// DropTailLink is a packet-level FIFO bottleneck with a finite buffer —
+// the paper's testbed queue (10 MBps, 120-packet buffer, footnote 7).
+// Packets arriving to a full buffer are dropped from the tail.
+//
+// It complements PSLink: PSLink is the fluid model the emulation uses for
+// volume accounting; DropTailLink reproduces queueing behavior (loss,
+// delay, occupancy) at the packet level when that fidelity matters.
+type DropTailLink struct {
+	sim     *Sim
+	rate    float64 // bytes per second
+	buffer  int     // max queued packets (excluding the one in service)
+	queue   []Packet
+	serving bool
+
+	// Delivered and Dropped count packets; DeliveredBytes and
+	// DroppedBytes count volume.
+	Delivered, Dropped           int
+	DeliveredBytes, DroppedBytes float64
+	// MaxQueue is the high-water mark of queue occupancy.
+	MaxQueue int
+	// busySince/busyTime track utilization.
+	busySince float64
+	busyTime  float64
+
+	onDeliver func(Packet)
+	// ackDispatch holds the shared TCP ACK fan-out when TCPSources are
+	// attached (see tcp.go).
+	ackDispatch any
+}
+
+// NewDropTailLink creates a droptail bottleneck with the given rate in
+// megabytes per second and buffer capacity in packets.
+func NewDropTailLink(sim *Sim, rateMBps float64, bufferPackets int) (*DropTailLink, error) {
+	if rateMBps <= 0 || math.IsNaN(rateMBps) {
+		return nil, fmt.Errorf("rate %v MBps: %w", rateMBps, ErrBadParam)
+	}
+	if bufferPackets < 1 {
+		return nil, fmt.Errorf("buffer %d packets: %w", bufferPackets, ErrBadParam)
+	}
+	return &DropTailLink{
+		sim:    sim,
+		rate:   rateMBps * 1e6,
+		buffer: bufferPackets,
+	}, nil
+}
+
+// OnDeliver installs a delivery callback (e.g. for RTT accounting).
+func (l *DropTailLink) OnDeliver(fn func(Packet)) { l.onDeliver = fn }
+
+// QueueLen returns the current number of queued packets (excluding the
+// packet in service).
+func (l *DropTailLink) QueueLen() int { return len(l.queue) }
+
+// Utilization returns the fraction of elapsed simulation time the link
+// has spent transmitting.
+func (l *DropTailLink) Utilization() float64 {
+	now := l.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := l.busyTime
+	if l.serving {
+		busy += now - l.busySince
+	}
+	return busy / now
+}
+
+// Enqueue offers a packet to the link; it returns false if the buffer is
+// full and the packet was dropped.
+func (l *DropTailLink) Enqueue(p Packet) (bool, error) {
+	if p.Bytes <= 0 || math.IsNaN(p.Bytes) {
+		return false, fmt.Errorf("packet of %v bytes: %w", p.Bytes, ErrBadParam)
+	}
+	if !l.serving {
+		// Idle link: serve immediately.
+		l.startService(p)
+		return true, nil
+	}
+	if len(l.queue) >= l.buffer {
+		l.Dropped++
+		l.DroppedBytes += p.Bytes
+		return false, nil
+	}
+	l.queue = append(l.queue, p)
+	if len(l.queue) > l.MaxQueue {
+		l.MaxQueue = len(l.queue)
+	}
+	return true, nil
+}
+
+func (l *DropTailLink) startService(p Packet) {
+	l.serving = true
+	l.busySince = l.sim.Now()
+	txTime := p.Bytes / l.rate
+	// The schedule cannot fail: txTime ≥ 0 by validation above.
+	if err := l.sim.After(txTime, func() { l.finishService(p) }); err != nil {
+		panic(fmt.Sprintf("netsim: droptail schedule: %v", err))
+	}
+}
+
+func (l *DropTailLink) finishService(p Packet) {
+	l.Delivered++
+	l.DeliveredBytes += p.Bytes
+	l.busyTime += l.sim.Now() - l.busySince
+	l.serving = false
+	if l.onDeliver != nil {
+		l.onDeliver(p)
+	}
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.startService(next)
+	}
+}
+
+// LossRate returns the fraction of offered packets dropped so far.
+func (l *DropTailLink) LossRate() float64 {
+	total := l.Delivered + l.Dropped + len(l.queue)
+	if l.serving {
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Dropped) / float64(total)
+}

@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDropTailValidation(t *testing.T) {
+	s := NewSim()
+	if _, err := NewDropTailLink(s, 0, 10); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero rate: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewDropTailLink(s, 10, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero buffer: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestDropTailSinglePacket(t *testing.T) {
+	s := NewSim()
+	l, err := NewDropTailLink(s, 10, 120) // 10 MB/s
+	if err != nil {
+		t.Fatalf("NewDropTailLink: %v", err)
+	}
+	var deliveredAt float64
+	l.OnDeliver(func(Packet) { deliveredAt = s.Now() })
+	ok, err := l.Enqueue(Packet{FlowID: 1, Bytes: 1500})
+	if err != nil || !ok {
+		t.Fatalf("Enqueue: ok=%v err=%v", ok, err)
+	}
+	s.Run(1)
+	// 1500 B at 10 MB/s = 150 µs.
+	if math.Abs(deliveredAt-1500.0/10e6) > 1e-12 {
+		t.Errorf("delivered at %v, want 150 µs", deliveredAt)
+	}
+	if l.Delivered != 1 || l.Dropped != 0 {
+		t.Errorf("counters: delivered %d, dropped %d", l.Delivered, l.Dropped)
+	}
+}
+
+func TestDropTailFIFOOrder(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 1, 10)
+	var order []int
+	l.OnDeliver(func(p Packet) { order = append(order, p.FlowID) })
+	for i := 1; i <= 5; i++ {
+		if ok, err := l.Enqueue(Packet{FlowID: i, Bytes: 100}); err != nil || !ok {
+			t.Fatalf("Enqueue %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	s.Run(1)
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("delivery order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestDropTailBufferOverflow(t *testing.T) {
+	// Buffer of 120 packets plus one in service: the 122nd synchronous
+	// arrival is the first drop, exactly the paper's testbed queue.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	var drops int
+	for i := 0; i < 150; i++ {
+		ok, err := l.Enqueue(Packet{FlowID: i, Bytes: 1500})
+		if err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		if !ok {
+			drops++
+		}
+	}
+	if want := 150 - 121; drops != want {
+		t.Errorf("drops = %d, want %d (120 queued + 1 in service)", drops, want)
+	}
+	if l.MaxQueue != 120 {
+		t.Errorf("MaxQueue = %d, want 120", l.MaxQueue)
+	}
+	s.Run(10)
+	if l.Delivered != 121 {
+		t.Errorf("delivered = %d, want 121", l.Delivered)
+	}
+	if lr := l.LossRate(); math.Abs(lr-float64(29)/150) > 1e-12 {
+		t.Errorf("LossRate = %v, want 29/150", lr)
+	}
+}
+
+func TestDropTailThroughputAtSaturation(t *testing.T) {
+	// Keep the link saturated for 1 s; delivered volume ≈ rate.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	// Feed a packet on every delivery to stay busy.
+	l.OnDeliver(func(Packet) {
+		if s.Now() < 1 {
+			// Errors are impossible for valid packets on a draining queue.
+			if _, err := l.Enqueue(Packet{Bytes: 1500}); err != nil {
+				t.Errorf("refill: %v", err)
+			}
+		}
+	})
+	if _, err := l.Enqueue(Packet{Bytes: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1)
+	if math.Abs(l.DeliveredBytes-10e6) > 1500*2 {
+		t.Errorf("delivered %v bytes in 1 s, want ≈1e7", l.DeliveredBytes)
+	}
+	if u := l.Utilization(); math.Abs(u-1) > 0.01 {
+		t.Errorf("utilization %v, want ≈1", u)
+	}
+}
+
+func TestDropTailIdleUtilization(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 10)
+	_ = s.At(1, func() {}) // advance the clock with an empty event
+	s.Run(1)
+	if u := l.Utilization(); u != 0 {
+		t.Errorf("idle utilization %v, want 0", u)
+	}
+}
+
+func TestDropTailBadPacket(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 10)
+	if _, err := l.Enqueue(Packet{Bytes: 0}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero-size packet: err = %v, want ErrBadParam", err)
+	}
+	if _, err := l.Enqueue(Packet{Bytes: -5}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative packet: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestDropTailPoissonOverload(t *testing.T) {
+	// Offered load 2× capacity: loss rate near 50%, queue pinned at the
+	// buffer limit — the congestion regime TDP is meant to relieve.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	rng := rand.New(rand.NewSource(3))
+	const pkt = 1500
+	arrivalRate := 2 * 10e6 / pkt // packets per second at 2× capacity
+	tt := 0.0
+	for {
+		tt += rng.ExpFloat64() / arrivalRate
+		if tt >= 2 {
+			break
+		}
+		if err := s.At(tt, func() {
+			if _, err := l.Enqueue(Packet{Bytes: pkt}); err != nil {
+				t.Errorf("enqueue: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2)
+	if lr := l.LossRate(); lr < 0.4 || lr > 0.6 {
+		t.Errorf("loss rate %v at 2× overload, want ≈0.5", lr)
+	}
+	if u := l.Utilization(); u < 0.98 {
+		t.Errorf("utilization %v under overload, want ≈1", u)
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow is one transfer crossing the bottleneck.
+type Flow struct {
+	// ID is caller-assigned and unique.
+	ID int
+	// Class tags the flow (e.g. web/ftp/video/background) for accounting.
+	Class string
+	// User tags which user generated it ("" for background).
+	User string
+	// Size is the flow volume in megabytes.
+	Size float64
+	// Weight scales the flow's share of the bottleneck; TCP-like flows
+	// use ∝ 1/RTT. Must be > 0.
+	Weight float64
+
+	// Arrived and Finished are set by the link (Finished is NaN while the
+	// flow is in progress).
+	Arrived, Finished float64
+
+	served    float64
+	completeC func(*Flow)
+}
+
+// Remaining returns the unserved megabytes.
+func (f *Flow) Remaining() float64 { return f.Size - f.served }
+
+// Served returns the megabytes served so far.
+func (f *Flow) Served() float64 { return f.served }
+
+// PSLink is a processor-sharing bottleneck: active flows split the
+// capacity in proportion to their weights, the fluid limit of many TCP
+// flows sharing a droptail queue.
+type PSLink struct {
+	sim      *Sim
+	capacity float64 // MB per second
+	active   map[int]*Flow
+	lastAdv  float64
+	gen      int64 // invalidates stale completion events
+
+	// ServedByClass accumulates delivered volume per class.
+	ServedByClass map[string]float64
+	// ServedByUser accumulates delivered volume per user.
+	ServedByUser map[string]float64
+	totalServed  float64
+}
+
+// NewPSLink creates a link with the given capacity in MB/s attached to the
+// simulator.
+func NewPSLink(sim *Sim, capacityMBps float64) (*PSLink, error) {
+	if capacityMBps <= 0 || math.IsNaN(capacityMBps) {
+		return nil, fmt.Errorf("capacity %v: %w", capacityMBps, ErrBadParam)
+	}
+	return &PSLink{
+		sim:           sim,
+		capacity:      capacityMBps,
+		active:        make(map[int]*Flow),
+		lastAdv:       sim.Now(),
+		ServedByClass: make(map[string]float64),
+		ServedByUser:  make(map[string]float64),
+	}, nil
+}
+
+// Start admits a flow now; onComplete (optional) fires when it finishes.
+func (l *PSLink) Start(f *Flow, onComplete func(*Flow)) error {
+	if f.Size <= 0 || math.IsNaN(f.Size) {
+		return fmt.Errorf("flow %d size %v: %w", f.ID, f.Size, ErrBadParam)
+	}
+	if f.Weight <= 0 || math.IsNaN(f.Weight) {
+		return fmt.Errorf("flow %d weight %v: %w", f.ID, f.Weight, ErrBadParam)
+	}
+	if _, dup := l.active[f.ID]; dup {
+		return fmt.Errorf("flow %d already active: %w", f.ID, ErrBadParam)
+	}
+	l.advance()
+	f.Arrived = l.sim.Now()
+	f.Finished = math.NaN()
+	f.served = 0
+	f.completeC = onComplete
+	l.active[f.ID] = f
+	l.reschedule()
+	return nil
+}
+
+// ActiveCount returns the number of in-progress flows.
+func (l *PSLink) ActiveCount() int { return len(l.active) }
+
+// TotalServed returns all delivered megabytes.
+func (l *PSLink) TotalServed() float64 { return l.totalServed }
+
+// Utilization returns the instantaneous utilization: 1 when any flow is
+// active (work-conserving PS link), else 0.
+func (l *PSLink) Utilization() float64 {
+	if len(l.active) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// advance serves all active flows from lastAdv to now according to their
+// weighted shares.
+func (l *PSLink) advance() {
+	now := l.sim.Now()
+	dt := now - l.lastAdv
+	l.lastAdv = now
+	if dt <= 0 || len(l.active) == 0 {
+		return
+	}
+	var wsum float64
+	for _, f := range l.active {
+		wsum += f.Weight
+	}
+	for _, f := range l.active {
+		share := l.capacity * f.Weight / wsum
+		amount := share * dt
+		if amount > f.Remaining() {
+			amount = f.Remaining()
+		}
+		f.served += amount
+		l.totalServed += amount
+		l.ServedByClass[f.Class] += amount
+		if f.User != "" {
+			l.ServedByUser[f.User] += amount
+		}
+	}
+	// Retire finished flows (served may hit Size exactly at completion
+	// events; tolerance guards roundoff).
+	for id, f := range l.active {
+		if f.Remaining() <= 1e-9 {
+			f.Finished = now
+			delete(l.active, id)
+			if f.completeC != nil {
+				f.completeC(f)
+			}
+		}
+	}
+}
+
+// reschedule queues the next completion event.
+func (l *PSLink) reschedule() {
+	l.gen++
+	gen := l.gen
+	if len(l.active) == 0 {
+		return
+	}
+	var wsum float64
+	for _, f := range l.active {
+		wsum += f.Weight
+	}
+	next := math.Inf(1)
+	for _, f := range l.active {
+		share := l.capacity * f.Weight / wsum
+		if t := f.Remaining() / share; t < next {
+			next = t
+		}
+	}
+	// The event re-advances and re-schedules; stale generations no-op.
+	_ = l.sim.After(next, func() {
+		if gen != l.gen {
+			return
+		}
+		l.advance()
+		l.reschedule()
+	})
+}
+
+// Sync brings served-byte accounting up to the current simulation time;
+// call before reading counters mid-run.
+func (l *PSLink) Sync() {
+	l.advance()
+	l.reschedule()
+}

@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	if err := s.At(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if err := s.At(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if err := s.At(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (run advances to horizon)", s.Now())
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.At(1, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimPastScheduleRejected(t *testing.T) {
+	s := NewSim()
+	_ = s.At(5, func() {})
+	s.Run(5)
+	if err := s.At(3, func() {}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("past schedule: err = %v, want ErrBadParam", err)
+	}
+	if err := s.After(-1, func() {}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative delay: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestSimRunStopsAtHorizon(t *testing.T) {
+	s := NewSim()
+	fired := false
+	_ = s.At(100, func() { fired = true })
+	s.Run(50)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(200)
+	if !fired {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []float64
+	_ = s.At(1, func() {
+		times = append(times, s.Now())
+		_ = s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run(10)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestPSLinkSingleFlow(t *testing.T) {
+	s := NewSim()
+	l, err := NewPSLink(s, 10) // 10 MB/s
+	if err != nil {
+		t.Fatalf("NewPSLink: %v", err)
+	}
+	var done *Flow
+	f := &Flow{ID: 1, Class: "ftp", User: "u1", Size: 50, Weight: 1}
+	if err := l.Start(f, func(f *Flow) { done = f }); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	s.Run(100)
+	if done == nil {
+		t.Fatal("flow did not complete")
+	}
+	if math.Abs(done.Finished-5) > 1e-9 {
+		t.Errorf("finished at %v, want 5 (50 MB at 10 MB/s)", done.Finished)
+	}
+	if math.Abs(l.TotalServed()-50) > 1e-9 {
+		t.Errorf("TotalServed = %v, want 50", l.TotalServed())
+	}
+	if math.Abs(l.ServedByUser["u1"]-50) > 1e-9 || math.Abs(l.ServedByClass["ftp"]-50) > 1e-9 {
+		t.Error("per-user/class accounting wrong")
+	}
+}
+
+func TestPSLinkEqualSharing(t *testing.T) {
+	s := NewSim()
+	l, _ := NewPSLink(s, 10)
+	var finish []float64
+	onDone := func(f *Flow) { finish = append(finish, f.Finished) }
+	// Two equal flows of 50 MB: each gets 5 MB/s → both done at t=10.
+	_ = l.Start(&Flow{ID: 1, Size: 50, Weight: 1}, onDone)
+	_ = l.Start(&Flow{ID: 2, Size: 50, Weight: 1}, onDone)
+	s.Run(100)
+	if len(finish) != 2 {
+		t.Fatalf("%d completions, want 2", len(finish))
+	}
+	for _, ft := range finish {
+		if math.Abs(ft-10) > 1e-9 {
+			t.Errorf("finish %v, want 10", ft)
+		}
+	}
+}
+
+func TestPSLinkWeightedSharing(t *testing.T) {
+	// Weight 3 vs 1: the heavy flow gets 7.5 MB/s, so its 30 MB finish at
+	// t=4; afterwards the light flow gets the full 10 MB/s.
+	s := NewSim()
+	l, _ := NewPSLink(s, 10)
+	var heavyDone, lightDone float64
+	_ = l.Start(&Flow{ID: 1, Size: 30, Weight: 3}, func(f *Flow) { heavyDone = f.Finished })
+	_ = l.Start(&Flow{ID: 2, Size: 20, Weight: 1}, func(f *Flow) { lightDone = f.Finished })
+	s.Run(100)
+	if math.Abs(heavyDone-4) > 1e-9 {
+		t.Errorf("heavy finished %v, want 4", heavyDone)
+	}
+	// Light: 2.5 MB/s × 4 s = 10 MB served, 10 MB left at 10 MB/s → t = 5.
+	if math.Abs(lightDone-5) > 1e-9 {
+		t.Errorf("light finished %v, want 5", lightDone)
+	}
+}
+
+func TestPSLinkLateArrival(t *testing.T) {
+	s := NewSim()
+	l, _ := NewPSLink(s, 10)
+	var first, second float64
+	_ = l.Start(&Flow{ID: 1, Size: 40, Weight: 1}, func(f *Flow) { first = f.Finished })
+	_ = s.At(2, func() {
+		_ = l.Start(&Flow{ID: 2, Size: 10, Weight: 1}, func(f *Flow) { second = f.Finished })
+	})
+	s.Run(100)
+	// Flow 1 alone for 2 s (20 MB), then shares: 20 MB left at 5 MB/s and
+	// flow 2 has 10 MB at 5 MB/s → flow 2 done at t=4, flow 1 serves its
+	// last 10 MB at full speed → t = 5.
+	if math.Abs(second-4) > 1e-9 {
+		t.Errorf("flow 2 finished %v, want 4", second)
+	}
+	if math.Abs(first-5) > 1e-9 {
+		t.Errorf("flow 1 finished %v, want 5", first)
+	}
+}
+
+func TestPSLinkValidation(t *testing.T) {
+	s := NewSim()
+	if _, err := NewPSLink(s, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero capacity: err = %v, want ErrBadParam", err)
+	}
+	l, _ := NewPSLink(s, 10)
+	if err := l.Start(&Flow{ID: 1, Size: 0, Weight: 1}, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero size: err = %v, want ErrBadParam", err)
+	}
+	if err := l.Start(&Flow{ID: 1, Size: 1, Weight: 0}, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero weight: err = %v, want ErrBadParam", err)
+	}
+	if err := l.Start(&Flow{ID: 1, Size: 1, Weight: 1}, nil); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := l.Start(&Flow{ID: 1, Size: 1, Weight: 1}, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("duplicate ID: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestPSLinkConservation(t *testing.T) {
+	// Total served never exceeds capacity × time and equals it while the
+	// link is saturated (work conservation).
+	s := NewSim()
+	l, _ := NewPSLink(s, 10)
+	for i := 0; i < 5; i++ {
+		_ = l.Start(&Flow{ID: i, Size: 100, Weight: float64(i + 1)}, nil)
+	}
+	s.Run(7)
+	l.Sync()
+	if got := l.TotalServed(); math.Abs(got-70) > 1e-6 {
+		t.Errorf("TotalServed = %v, want 70 (work conserving)", got)
+	}
+	if l.Utilization() != 1 {
+		t.Error("saturated link must report utilization 1")
+	}
+}
+
+func TestPSLinkIdleUtilization(t *testing.T) {
+	s := NewSim()
+	l, _ := NewPSLink(s, 10)
+	if l.Utilization() != 0 {
+		t.Error("idle link must report utilization 0")
+	}
+}

@@ -1,0 +1,98 @@
+// Package netsim is a small discrete-event network simulator: an event
+// loop with a monotonic clock plus a processor-sharing bottleneck link.
+//
+// It stands in for the paper's §VI Linux testbed (Fig. 10): a 10 MBps
+// bottleneck shared by user and background flows. Fidelity is at the flow
+// level — concurrent flows share the bottleneck with RTT-dependent weights
+// (TCP throughput falls with round-trip time), which captures the
+// quantities the paper's experiment reports (per-class volumes moved per
+// period) without simulating individual packets.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParam is returned for invalid simulator parameters.
+var ErrBadParam = errors.New("netsim: invalid parameter")
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-break so ordering is deterministic
+	fn   func()
+}
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation loop.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventQueue
+}
+
+// NewSim returns a simulator with the clock at zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at an absolute time ≥ now.
+func (s *Sim) At(t float64, fn func()) error {
+	if t < s.now || math.IsNaN(t) {
+		return fmt.Errorf("schedule at %v before now %v: %w", t, s.now, ErrBadParam)
+	}
+	s.seq++
+	heap.Push(&s.events, &event{time: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("delay %v: %w", delay, ErrBadParam)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Run processes events until the queue empties or the clock passes until.
+func (s *Sim) Run(until float64) {
+	for s.events.Len() > 0 {
+		next := s.events[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.time
+		next.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events (for tests/diagnostics).
+func (s *Sim) Pending() int { return s.events.Len() }

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewTCPSourceValidation(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	if _, err := NewTCPSource(nil, l, 1, 0.05, 1500, 1e6, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("nil sim: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewTCPSource(s, nil, 1, 0.05, 1500, 1e6, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("nil link: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewTCPSource(s, l, 1, 0, 1500, 1e6, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero rtt: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewTCPSource(s, l, 1, 0.05, 0, 1e6, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero mss: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewTCPSource(s, l, 1, 0.05, 1500, -1, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative total: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestTCPSingleFlowCompletes(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120) // 10 MB/s
+	var doneAt float64
+	src, err := NewTCPSource(s, l, 1, 0.02, 1500, 5e6, func(ts *TCPSource) {
+		doneAt = s.Now()
+	})
+	if err != nil {
+		t.Fatalf("NewTCPSource: %v", err)
+	}
+	src.Start()
+	s.Run(60)
+	if !src.Finished() {
+		t.Fatalf("transfer incomplete: acked %v of 5e6 (cwnd %v)", src.AckedBytes(), src.Cwnd())
+	}
+	// 5 MB at 10 MB/s is 0.5 s of pure serialization; with slow-start and
+	// 20 ms ACK clocking it must still land within a few seconds.
+	if doneAt <= 0.5 || doneAt > 10 {
+		t.Errorf("finished at %v s, want between serialization bound and 10 s", doneAt)
+	}
+	if got := src.AckedBytes(); got < 5e6 {
+		t.Errorf("acked %v bytes, want ≥ 5e6", got)
+	}
+}
+
+func TestTCPSlowStartGrowsWindow(t *testing.T) {
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 100, 1000) // fat link: no drops
+	src, err := NewTCPSource(s, l, 1, 0.05, 1500, 0 /* unbounded */, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	s.Run(0.6) // a dozen RTTs
+	if src.Cwnd() <= 8 {
+		t.Errorf("cwnd = %v after slow start, want substantial growth", src.Cwnd())
+	}
+}
+
+func TestTCPLossHalvesWindow(t *testing.T) {
+	// A tiny buffer forces drops; the window must experience
+	// multiplicative decrease (retransmits observed, cwnd bounded).
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 1, 5) // 1 MB/s, 5-packet buffer
+	src, err := NewTCPSource(s, l, 1, 0.01, 1500, 3e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	s.Run(20)
+	if src.Retransmits == 0 {
+		t.Error("no losses on an overbuffered flow through a 5-packet queue")
+	}
+	if src.Cwnd() < 1 {
+		t.Errorf("cwnd collapsed to %v", src.Cwnd())
+	}
+	// AIMD keeps the window near the path capacity, far below slow-start
+	// explosion.
+	if src.Cwnd() > 200 {
+		t.Errorf("cwnd = %v despite persistent loss", src.Cwnd())
+	}
+}
+
+func TestTCPFairnessEqualRTT(t *testing.T) {
+	// Two flows, same RTT, shared bottleneck: long-run throughputs within
+	// a factor of two of each other.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	a, err := NewTCPSource(s, l, 1, 0.03, 1500, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPSource(s, l, 2, 0.03, 1500, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	s.Run(30)
+	ab, bb := a.AckedBytes(), b.AckedBytes()
+	if ab == 0 || bb == 0 {
+		t.Fatalf("starved flow: %v / %v", ab, bb)
+	}
+	ratio := ab / bb
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("throughput ratio %v outside [0.5, 2]", ratio)
+	}
+	// Together they should drive the link hard.
+	if got := l.DeliveredBytes; got < 0.5*10e6*30 {
+		t.Errorf("delivered %v bytes in 30 s, want ≥ half capacity", got)
+	}
+}
+
+func TestTCPRTTUnfairness(t *testing.T) {
+	// Classic TCP property: the short-RTT flow out-competes the long-RTT
+	// flow on a shared bottleneck.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 5, 60)
+	short, err := NewTCPSource(s, l, 1, 0.01, 1500, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewTCPSource(s, l, 2, 0.2, 1500, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.Start()
+	long.Start()
+	s.Run(30)
+	if !(short.AckedBytes() > long.AckedBytes()) {
+		t.Errorf("short-RTT flow (%v B) did not beat long-RTT flow (%v B)",
+			short.AckedBytes(), long.AckedBytes())
+	}
+}
+
+func TestTCPThroughputTracksCapacity(t *testing.T) {
+	// A single long flow on the paper's 10 MBps / 120-packet bottleneck
+	// should sustain most of the capacity.
+	s := NewSim()
+	l, _ := NewDropTailLink(s, 10, 120)
+	src, err := NewTCPSource(s, l, 1, 0.05, 1500, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	s.Run(20)
+	rate := src.AckedBytes() / 20
+	if rate < 0.5*10e6 {
+		t.Errorf("sustained %v B/s, want ≥ 50%% of 10 MB/s", rate)
+	}
+	if math.IsNaN(rate) {
+		t.Fatal("NaN rate")
+	}
+}

@@ -1,0 +1,86 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCoordinateDescentQuadratic(t *testing.T) {
+	c := []float64{0.3, -1.2}
+	fn := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - c[i]
+			s += d * d
+		}
+		return s
+	}
+	res, err := CoordinateDescent(fn, []float64{0, 0}, UniformBounds(2, -5, 5))
+	if err != nil {
+		t.Fatalf("CoordinateDescent: %v", err)
+	}
+	for i := range c {
+		if math.Abs(res.X[i]-c[i]) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], c[i])
+		}
+	}
+}
+
+func TestCoordinateDescentNonSmooth(t *testing.T) {
+	// Piecewise-linear convex: Σ|x_i − c_i| with separable structure —
+	// exactly the kink type in the TDP cost. Coordinate descent handles
+	// this where plain gradient descent chattering would stall.
+	c := []float64{1, 0.25, -0.75}
+	fn := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			s += math.Abs(x[i] - c[i])
+		}
+		return s
+	}
+	res, err := CoordinateDescent(fn, []float64{0, 0, 0}, UniformBounds(3, -2, 2))
+	if err != nil {
+		t.Fatalf("CoordinateDescent: %v", err)
+	}
+	for i := range c {
+		if math.Abs(res.X[i]-c[i]) > 1e-5 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], c[i])
+		}
+	}
+}
+
+func TestCoordinateDescentClampedOptimum(t *testing.T) {
+	fn := func(x []float64) float64 { return (x[0] - 10) * (x[0] - 10) }
+	res, err := CoordinateDescent(fn, []float64{0}, UniformBounds(1, -1, 1))
+	if err != nil {
+		t.Fatalf("CoordinateDescent: %v", err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 {
+		t.Errorf("x = %v, want 1 (clamped)", res.X[0])
+	}
+}
+
+func TestCoordinateDescentBadBounds(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0] * x[0] }
+	b := Bounds{Lower: []float64{3}, Upper: []float64{-3}}
+	if _, err := CoordinateDescent(fn, []float64{0}, b); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("err = %v, want ErrBadBounds", err)
+	}
+}
+
+func TestCoordinateDescentCoupledQuadratic(t *testing.T) {
+	// Coupled but strictly convex: f = x² + y² + xy − 3x. Optimum solves
+	// 2x + y = 3, 2y + x = 0 → x = 2, y = −1.
+	fn := func(x []float64) float64 {
+		return x[0]*x[0] + x[1]*x[1] + x[0]*x[1] - 3*x[0]
+	}
+	res, err := CoordinateDescent(fn, []float64{0, 0}, UniformBounds(2, -10, 10),
+		WithMaxIterations(500))
+	if err != nil {
+		t.Fatalf("CoordinateDescent: %v", err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Errorf("x = %v, want (2,-1)", res.X)
+	}
+}

@@ -1,0 +1,121 @@
+package optimize
+
+import "math"
+
+// invPhi is 1/φ, the golden-section ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal scalar function on [a, b] to within
+// tol. It returns the approximate minimizer and its value. For non-unimodal
+// functions it returns a local minimum.
+func GoldenSection(fn func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := fn(c), fn(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = fn(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = fn(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, fn(x)
+}
+
+// Brent minimizes a scalar function on [a, b] using Brent's method
+// (golden-section with parabolic interpolation acceleration).
+func Brent(fn func(float64) float64, a, b, tol float64) (xmin, fmin float64) {
+	const (
+		cgold = 0.3819660112501051 // 2 - φ
+		eps   = 1e-12
+	)
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := fn(x)
+	fw, fv := fx, fx
+	var d, e float64
+	for iter := 0; iter < 200; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + eps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			break
+		}
+		usedParabola := false
+		if math.Abs(e) > tol1 {
+			// Try parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				usedParabola = true
+			}
+		}
+		if !usedParabola {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := fn(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx
+}

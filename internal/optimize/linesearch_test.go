@@ -1,0 +1,77 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	x, fx := GoldenSection(func(x float64) float64 { return (x - 2) * (x - 2) }, -10, 10, 1e-10)
+	if math.Abs(x-2) > 1e-8 {
+		t.Errorf("minimizer = %v, want 2", x)
+	}
+	if fx > 1e-15 {
+		t.Errorf("value = %v, want ≈0", fx)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	// Monotone increasing on [1, 5]: the minimum sits at the left edge.
+	x, _ := GoldenSection(func(x float64) float64 { return x }, 1, 5, 1e-10)
+	if math.Abs(x-1) > 1e-8 {
+		t.Errorf("minimizer = %v, want 1", x)
+	}
+}
+
+func TestGoldenSectionReversedInterval(t *testing.T) {
+	x, _ := GoldenSection(func(x float64) float64 { return (x + 1) * (x + 1) }, 3, -3, 1e-10)
+	if math.Abs(x+1) > 1e-8 {
+		t.Errorf("minimizer = %v, want -1", x)
+	}
+}
+
+func TestBrentQuadratic(t *testing.T) {
+	x, fx := Brent(func(x float64) float64 { return 3*(x-0.7)*(x-0.7) + 5 }, -4, 4, 1e-12)
+	if math.Abs(x-0.7) > 1e-7 {
+		t.Errorf("minimizer = %v, want 0.7", x)
+	}
+	if math.Abs(fx-5) > 1e-10 {
+		t.Errorf("value = %v, want 5", fx)
+	}
+}
+
+func TestBrentNonPolynomial(t *testing.T) {
+	// min of x - sin(x)·2 near x ≈ 1.0472 (cos x = 1/2) on [0, π].
+	x, _ := Brent(func(x float64) float64 { return x - 2*math.Sin(x) }, 0, math.Pi, 1e-12)
+	if math.Abs(x-math.Pi/3) > 1e-6 {
+		t.Errorf("minimizer = %v, want %v", x, math.Pi/3)
+	}
+}
+
+func TestBrentKink(t *testing.T) {
+	// |x - 0.3| has a non-smooth minimum; Brent must still locate it.
+	x, _ := Brent(func(x float64) float64 { return math.Abs(x - 0.3) }, -1, 1, 1e-12)
+	if math.Abs(x-0.3) > 1e-6 {
+		t.Errorf("minimizer = %v, want 0.3", x)
+	}
+}
+
+// Property: for random parabolas with the vertex inside the interval both
+// methods find the vertex.
+func TestOneDimMinimizersProperty(t *testing.T) {
+	f := func(center, width float64) bool {
+		c := math.Mod(math.Abs(center), 5)      // vertex in [0,5)
+		w := 0.5 + math.Mod(math.Abs(width), 4) // curvature in [0.5,4.5)
+		if math.IsNaN(c) || math.IsNaN(w) {
+			return true
+		}
+		fn := func(x float64) float64 { return w * (x - c) * (x - c) }
+		xg, _ := GoldenSection(fn, -1, 6, 1e-10)
+		xb, _ := Brent(fn, -1, 6, 1e-10)
+		return math.Abs(xg-c) < 1e-6 && math.Abs(xb-c) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

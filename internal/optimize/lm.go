@@ -1,0 +1,177 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tdp/internal/linalg"
+)
+
+// ErrLMStalled is returned when Levenberg–Marquardt cannot reduce the
+// residual any further before reaching its tolerance.
+var ErrLMStalled = errors.New("optimize: levenberg-marquardt stalled")
+
+// Residualer produces the residual vector r(x) whose squared norm is
+// minimized: min_x ‖r(x)‖².
+type Residualer interface {
+	// Residuals writes r(x) into out (len(out) == NumResiduals()).
+	Residuals(x, out []float64)
+	// NumResiduals reports the length of the residual vector.
+	NumResiduals() int
+}
+
+// FuncResiduals adapts a plain function to the Residualer interface.
+type FuncResiduals struct {
+	N  int
+	Fn func(x, out []float64)
+}
+
+// NumResiduals implements Residualer.
+func (f FuncResiduals) NumResiduals() int { return f.N }
+
+// Residuals implements Residualer.
+func (f FuncResiduals) Residuals(x, out []float64) { f.Fn(x, out) }
+
+// LMConfig tunes LevenbergMarquardt.
+type LMConfig struct {
+	MaxIter   int     // outer iterations (default 200)
+	Tol       float64 // relative reduction tolerance (default 1e-10)
+	InitialMu float64 // initial damping (default 1e-3)
+	Bounds    *Bounds // optional box; steps are clamped into it
+}
+
+// LMResult reports the outcome of a least-squares fit.
+type LMResult struct {
+	X          []float64 // fitted parameters
+	RSS        float64   // residual sum of squares at X
+	Iterations int
+	Converged  bool
+}
+
+// LevenbergMarquardt minimizes ‖r(x)‖² with a damped Gauss–Newton
+// iteration and a central-difference Jacobian. Optional box constraints
+// are handled by projecting trial steps.
+func LevenbergMarquardt(r Residualer, x0 []float64, cfg LMConfig) (LMResult, error) {
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 200
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-10
+	}
+	if cfg.InitialMu <= 0 {
+		cfg.InitialMu = 1e-3
+	}
+	n := len(x0)
+	m := r.NumResiduals()
+	if m == 0 || n == 0 {
+		return LMResult{}, fmt.Errorf("lm with %d residuals, %d params: %w", m, n, ErrBadBounds)
+	}
+	if cfg.Bounds != nil {
+		if err := cfg.Bounds.Validate(n); err != nil {
+			return LMResult{}, err
+		}
+	}
+
+	x := append([]float64(nil), x0...)
+	if cfg.Bounds != nil {
+		cfg.Bounds.Project(x)
+	}
+	res := make([]float64, m)
+	r.Residuals(x, res)
+	rss := sumSquares(res)
+
+	mu := cfg.InitialMu
+	jac := linalg.NewMatrix(m, n)
+	trial := make([]float64, n)
+	tres := make([]float64, m)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		numJacobian(r, x, res, jac)
+
+		// Normal equations: (JᵀJ + μ·diag(JᵀJ))·δ = -Jᵀr.
+		jtj, err := jac.Transpose().Mul(jac)
+		if err != nil {
+			return LMResult{X: x, RSS: rss, Iterations: iter}, err
+		}
+		jtr, err := jac.TransMulVec(linalg.Vector(res))
+		if err != nil {
+			return LMResult{X: x, RSS: rss, Iterations: iter}, err
+		}
+
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			a := jtj.Clone()
+			for i := 0; i < n; i++ {
+				d := a.At(i, i)
+				if d == 0 {
+					d = 1
+				}
+				a.Set(i, i, a.At(i, i)+mu*d)
+			}
+			// The damped normal matrix is SPD by construction; Cholesky is
+			// the natural solve, with LU as a roundoff fallback.
+			delta, err := linalg.SolveSPD(a, jtr.Scale(-1))
+			if err != nil {
+				delta, err = linalg.SolveLinear(a, jtr.Scale(-1))
+			}
+			if err != nil {
+				mu *= 10
+				continue
+			}
+			for i := range x {
+				trial[i] = x[i] + delta[i]
+			}
+			if cfg.Bounds != nil {
+				cfg.Bounds.Project(trial)
+			}
+			r.Residuals(trial, tres)
+			trss := sumSquares(tres)
+			if trss < rss {
+				relDrop := (rss - trss) / math.Max(rss, 1e-300)
+				copy(x, trial)
+				copy(res, tres)
+				rss = trss
+				mu = math.Max(mu/3, 1e-12)
+				improved = true
+				if relDrop < cfg.Tol || rss < cfg.Tol {
+					return LMResult{X: x, RSS: rss, Iterations: iter + 1, Converged: true}, nil
+				}
+				break
+			}
+			mu *= 10
+		}
+		if !improved {
+			if rss < math.Sqrt(cfg.Tol) {
+				return LMResult{X: x, RSS: rss, Iterations: iter, Converged: true}, nil
+			}
+			return LMResult{X: x, RSS: rss, Iterations: iter}, ErrLMStalled
+		}
+	}
+	return LMResult{X: x, RSS: rss, Iterations: cfg.MaxIter}, ErrMaxIterations
+}
+
+// numJacobian fills jac with the forward-difference Jacobian of r at x,
+// reusing the residual at x.
+func numJacobian(r Residualer, x, res []float64, jac *linalg.Matrix) {
+	m, n := jac.Rows(), jac.Cols()
+	pert := make([]float64, m)
+	xp := append([]float64(nil), x...)
+	for j := 0; j < n; j++ {
+		step := 1e-7 * (1 + math.Abs(x[j]))
+		xp[j] = x[j] + step
+		r.Residuals(xp, pert)
+		xp[j] = x[j]
+		for i := 0; i < m; i++ {
+			jac.Set(i, j, (pert[i]-res[i])/step)
+		}
+	}
+}
+
+func sumSquares(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}

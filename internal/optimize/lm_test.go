@@ -1,0 +1,106 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// expFit is the classic y = a·exp(b·t) fitting problem.
+type expFit struct {
+	ts, ys []float64
+}
+
+func (e expFit) NumResiduals() int { return len(e.ts) }
+
+func (e expFit) Residuals(x, out []float64) {
+	a, b := x[0], x[1]
+	for i, t := range e.ts {
+		out[i] = a*math.Exp(b*t) - e.ys[i]
+	}
+}
+
+func TestLevenbergMarquardtExponentialFit(t *testing.T) {
+	truthA, truthB := 2.0, -0.5
+	fit := expFit{}
+	for i := 0; i <= 10; i++ {
+		tt := float64(i) / 2
+		fit.ts = append(fit.ts, tt)
+		fit.ys = append(fit.ys, truthA*math.Exp(truthB*tt))
+	}
+	res, err := LevenbergMarquardt(fit, []float64{1, -0.1}, LMConfig{})
+	if err != nil {
+		t.Fatalf("LM: %v", err)
+	}
+	if !res.Converged {
+		t.Error("not converged")
+	}
+	if math.Abs(res.X[0]-truthA) > 1e-5 || math.Abs(res.X[1]-truthB) > 1e-5 {
+		t.Errorf("fit = %v, want (%v, %v)", res.X, truthA, truthB)
+	}
+	if res.RSS > 1e-10 {
+		t.Errorf("RSS = %v, want ≈0", res.RSS)
+	}
+}
+
+func TestLevenbergMarquardtLinearProblem(t *testing.T) {
+	// A linear residual should converge in very few iterations.
+	lin := FuncResiduals{
+		N: 3,
+		Fn: func(x, out []float64) {
+			out[0] = x[0] + 2*x[1] - 5
+			out[1] = 3*x[0] - x[1] - 1
+			out[2] = x[0] + x[1] - 3
+		},
+	}
+	res, err := LevenbergMarquardt(lin, []float64{0, 0}, LMConfig{})
+	if err != nil {
+		t.Fatalf("LM: %v", err)
+	}
+	// Least-squares solution of the consistent system x=1, y=2.
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want (1,2)", res.X)
+	}
+}
+
+func TestLevenbergMarquardtBounds(t *testing.T) {
+	// Unconstrained optimum at x=5; box caps it at 2.
+	r := FuncResiduals{
+		N:  1,
+		Fn: func(x, out []float64) { out[0] = x[0] - 5 },
+	}
+	b := UniformBounds(1, 0, 2)
+	res, err := LevenbergMarquardt(r, []float64{1}, LMConfig{Bounds: &b})
+	// Stalling against an active bound is acceptable; the point matters.
+	if err != nil && !errors.Is(err, ErrLMStalled) && !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("LM: %v", err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Errorf("x = %v, want 2 (clamped)", res.X[0])
+	}
+}
+
+func TestLevenbergMarquardtEmptyProblem(t *testing.T) {
+	r := FuncResiduals{N: 0, Fn: func(x, out []float64) {}}
+	if _, err := LevenbergMarquardt(r, []float64{1}, LMConfig{}); err == nil {
+		t.Error("want error for zero residuals")
+	}
+}
+
+func TestLevenbergMarquardtNoisyFit(t *testing.T) {
+	// Data with deterministic "noise": LM must still land near the truth.
+	fit := expFit{}
+	for i := 0; i <= 20; i++ {
+		tt := float64(i) / 4
+		noise := 0.01 * math.Sin(float64(i)*1.7)
+		fit.ts = append(fit.ts, tt)
+		fit.ys = append(fit.ys, 3*math.Exp(-0.8*tt)+noise)
+	}
+	res, err := LevenbergMarquardt(fit, []float64{1, -0.1}, LMConfig{})
+	if err != nil && !errors.Is(err, ErrLMStalled) {
+		t.Fatalf("LM: %v", err)
+	}
+	if math.Abs(res.X[0]-3) > 0.05 || math.Abs(res.X[1]+0.8) > 0.05 {
+		t.Errorf("fit = %v, want ≈(3, -0.8)", res.X)
+	}
+}

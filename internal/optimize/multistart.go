@@ -1,0 +1,52 @@
+package optimize
+
+import (
+	"math/rand"
+)
+
+// Multistart runs a local minimizer from several random starting points
+// inside the box and keeps the best result. It is used for the paper's
+// non-convex definite-choice model (Appendix D), where a single local
+// solve can miss the global optimum.
+//
+// starts must be ≥ 1; the first start is always x0 itself. The RNG must be
+// seeded by the caller for reproducibility.
+func Multistart(solve func(x0 []float64) (Result, error), x0 []float64, b Bounds,
+	starts int, rng *rand.Rand) (Result, error) {
+
+	if starts < 1 {
+		starts = 1
+	}
+	if err := b.Validate(len(x0)); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		best    Result
+		bestErr error
+		haveAny bool
+	)
+	start := append([]float64(nil), x0...)
+	for s := 0; s < starts; s++ {
+		if s > 0 {
+			for i := range start {
+				lo, hi := b.Lower[i], b.Upper[i]
+				start[i] = lo + rng.Float64()*(hi-lo)
+			}
+		}
+		res, err := solve(start)
+		if res.X == nil {
+			if !haveAny {
+				bestErr = err
+			}
+			continue
+		}
+		if !haveAny || res.F < best.F {
+			best, bestErr, haveAny = res, err, true
+		}
+	}
+	if !haveAny {
+		return Result{}, bestErr
+	}
+	return best, bestErr
+}

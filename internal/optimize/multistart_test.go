@@ -1,0 +1,115 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultistartFindsGlobalMinimum(t *testing.T) {
+	// Double well: f = (x²−1)² + 0.3x has local min near x≈1 but global
+	// min near x≈−1. A descent from x0=0.9 lands in the wrong well;
+	// multistart must escape.
+	fn := FuncObjective{Fn: func(x []float64) float64 {
+		a := x[0]*x[0] - 1
+		return a*a + 0.3*x[0]
+	}}
+	b := UniformBounds(1, -2, 2)
+	solve := func(x0 []float64) (Result, error) {
+		return ProjectedGradient(fn, x0, b, WithMaxIterations(5000))
+	}
+	rng := rand.New(rand.NewSource(7))
+	res, err := Multistart(solve, []float64{0.9}, b, 20, rng)
+	if err != nil {
+		t.Fatalf("Multistart: %v", err)
+	}
+	if res.X[0] > 0 {
+		t.Errorf("x = %v, want the negative (global) well", res.X[0])
+	}
+	// Single start from 0.9 should find the local minimum instead,
+	// demonstrating that multistart changed the outcome.
+	single, err := solve([]float64{0.9})
+	if err != nil {
+		t.Fatalf("single solve: %v", err)
+	}
+	if single.X[0] < 0 {
+		t.Skip("descent escaped the local well; landscape check not applicable")
+	}
+	if res.F >= single.F {
+		t.Errorf("multistart f = %v not better than single-start f = %v", res.F, single.F)
+	}
+}
+
+func TestMultistartSingleStart(t *testing.T) {
+	fn := FuncObjective{Fn: func(x []float64) float64 { return x[0] * x[0] }}
+	b := UniformBounds(1, -1, 1)
+	solve := func(x0 []float64) (Result, error) {
+		return ProjectedGradient(fn, x0, b)
+	}
+	res, err := Multistart(solve, []float64{0.5}, b, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Multistart: %v", err)
+	}
+	if math.Abs(res.X[0]) > 1e-6 {
+		t.Errorf("x = %v, want 0", res.X[0])
+	}
+}
+
+func TestMultistartAllFail(t *testing.T) {
+	wantErr := errors.New("solver exploded")
+	solve := func(x0 []float64) (Result, error) { return Result{}, wantErr }
+	b := UniformBounds(1, 0, 1)
+	_, err := Multistart(solve, []float64{0}, b, 3, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want the solver error", err)
+	}
+}
+
+func TestMultistartBadBounds(t *testing.T) {
+	b := Bounds{Lower: []float64{1}, Upper: []float64{0}}
+	solve := func(x0 []float64) (Result, error) { return Result{X: x0, F: 0}, nil }
+	if _, err := Multistart(solve, []float64{0}, b, 2, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("err = %v, want ErrBadBounds", err)
+	}
+}
+
+func TestProjectedSubgradientNonSmooth(t *testing.T) {
+	// f = |x−0.4| + |y+0.2|, convex and non-smooth everywhere that matters.
+	obj := FuncObjective{
+		Fn: func(x []float64) float64 {
+			return math.Abs(x[0]-0.4) + math.Abs(x[1]+0.2)
+		},
+		GradFn: func(x, g []float64) {
+			g[0] = sign(x[0] - 0.4)
+			g[1] = sign(x[1] + 0.2)
+		},
+	}
+	res, err := ProjectedSubgradient(obj, []float64{-1, 1}, UniformBounds(2, -2, 2),
+		WithMaxIterations(20000), WithInitialStep(1))
+	if err != nil {
+		t.Fatalf("ProjectedSubgradient: %v", err)
+	}
+	if math.Abs(res.X[0]-0.4) > 0.01 || math.Abs(res.X[1]+0.2) > 0.01 {
+		t.Errorf("x = %v, want ≈(0.4, -0.2)", res.X)
+	}
+}
+
+func TestProjectedSubgradientBadBounds(t *testing.T) {
+	obj := FuncObjective{Fn: func(x []float64) float64 { return x[0] }}
+	b := Bounds{Lower: []float64{2}, Upper: []float64{1}}
+	if _, err := ProjectedSubgradient(obj, []float64{0}, b); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("err = %v, want ErrBadBounds", err)
+	}
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,139 @@
+// Package optimize implements the numerical optimization stack the TDP
+// price engine is built on: box-constrained first-order methods (projected
+// gradient with Armijo backtracking, cyclic coordinate descent with exact
+// golden-section line search, projected subgradient), one-dimensional
+// minimization, Levenberg–Marquardt nonlinear least squares, softplus
+// smoothing of piecewise-linear costs, and a multistart driver for
+// non-convex models.
+//
+// Everything is stdlib-only; the sizes in this project (tens of variables)
+// favor robustness over asymptotic speed.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadBounds is returned when a box constraint has lower > upper or
+// mismatched lengths.
+var ErrBadBounds = errors.New("optimize: invalid bounds")
+
+// ErrNoProgress is returned when a line search cannot decrease the
+// objective (typically a sign of a wrong gradient or a non-smooth kink).
+var ErrNoProgress = errors.New("optimize: line search made no progress")
+
+// ErrMaxIterations is returned when an iteration budget is exhausted before
+// the convergence tolerance is met. The best point found so far is still
+// returned alongside this error.
+var ErrMaxIterations = errors.New("optimize: maximum iterations reached")
+
+// Objective is a scalar function of a vector with an available gradient.
+type Objective interface {
+	// Value evaluates the objective at x.
+	Value(x []float64) float64
+	// Grad writes the gradient at x into grad (len(grad) == len(x)).
+	Grad(x, grad []float64)
+}
+
+// FuncObjective adapts plain functions to the Objective interface. If
+// GradFn is nil, a central-difference numerical gradient is used.
+type FuncObjective struct {
+	Fn     func(x []float64) float64
+	GradFn func(x, grad []float64)
+}
+
+// Value implements Objective.
+func (f FuncObjective) Value(x []float64) float64 { return f.Fn(x) }
+
+// Grad implements Objective.
+func (f FuncObjective) Grad(x, grad []float64) {
+	if f.GradFn != nil {
+		f.GradFn(x, grad)
+		return
+	}
+	NumGrad(f.Fn, x, grad)
+}
+
+// NumGrad writes a central-difference approximation of ∇fn(x) into grad.
+func NumGrad(fn func([]float64) float64, x, grad []float64) {
+	h := make([]float64, len(x))
+	copy(h, x)
+	for i := range x {
+		step := 1e-6 * (1 + math.Abs(x[i]))
+		h[i] = x[i] + step
+		fp := fn(h)
+		h[i] = x[i] - step
+		fm := fn(h)
+		h[i] = x[i]
+		grad[i] = (fp - fm) / (2 * step)
+	}
+}
+
+// Bounds is a box constraint l ≤ x ≤ u, applied component-wise.
+type Bounds struct {
+	Lower, Upper []float64
+}
+
+// UniformBounds returns n-dimensional bounds [lo, hi]^n.
+func UniformBounds(n int, lo, hi float64) Bounds {
+	l := make([]float64, n)
+	u := make([]float64, n)
+	for i := range l {
+		l[i], u[i] = lo, hi
+	}
+	return Bounds{Lower: l, Upper: u}
+}
+
+// Validate checks that the bounds describe a non-empty box of dimension n.
+func (b Bounds) Validate(n int) error {
+	if len(b.Lower) != n || len(b.Upper) != n {
+		return fmt.Errorf("bounds dimension %d/%d, want %d: %w", len(b.Lower), len(b.Upper), n, ErrBadBounds)
+	}
+	for i := range b.Lower {
+		if b.Lower[i] > b.Upper[i] {
+			return fmt.Errorf("bounds[%d]: lower %v > upper %v: %w", i, b.Lower[i], b.Upper[i], ErrBadBounds)
+		}
+	}
+	return nil
+}
+
+// Project clamps x into the box in place.
+func (b Bounds) Project(x []float64) {
+	for i := range x {
+		if x[i] < b.Lower[i] {
+			x[i] = b.Lower[i]
+		} else if x[i] > b.Upper[i] {
+			x[i] = b.Upper[i]
+		}
+	}
+}
+
+// Result is the outcome of a minimization run.
+type Result struct {
+	X          []float64 // best point found
+	F          float64   // objective at X
+	Iterations int       // outer iterations performed
+	Evals      int       // objective evaluations
+	Converged  bool      // tolerance met before iteration budget
+}
+
+// projGradNormInf computes the infinity norm of the projected gradient,
+// the standard first-order stationarity measure for box constraints:
+// component i contributes |min(max(x_i - g_i, l_i), u_i) - x_i|.
+func projGradNormInf(x, grad []float64, b Bounds) float64 {
+	var m float64
+	for i := range x {
+		t := x[i] - grad[i]
+		if t < b.Lower[i] {
+			t = b.Lower[i]
+		} else if t > b.Upper[i] {
+			t = b.Upper[i]
+		}
+		if d := math.Abs(t - x[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

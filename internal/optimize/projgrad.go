@@ -1,0 +1,134 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// options holds tunables shared by the iterative minimizers.
+type options struct {
+	maxIter   int
+	tol       float64
+	initStep  float64
+	callback  func(iter int, x []float64, f float64)
+	maxBack   int
+	stepDecay float64 // subgradient step decay mode toggle
+}
+
+func defaultOptions() options {
+	return options{
+		maxIter:  2000,
+		tol:      1e-8,
+		initStep: 1.0,
+		maxBack:  60,
+	}
+}
+
+// Option configures a minimizer.
+type Option interface {
+	apply(*options)
+}
+
+type maxIterOption int
+
+func (o maxIterOption) apply(opts *options) { opts.maxIter = int(o) }
+
+// WithMaxIterations caps the number of outer iterations.
+func WithMaxIterations(n int) Option { return maxIterOption(n) }
+
+type tolOption float64
+
+func (o tolOption) apply(opts *options) { opts.tol = float64(o) }
+
+// WithTolerance sets the projected-gradient (or step-size) convergence
+// tolerance.
+func WithTolerance(tol float64) Option { return tolOption(tol) }
+
+type initStepOption float64
+
+func (o initStepOption) apply(opts *options) { opts.initStep = float64(o) }
+
+// WithInitialStep sets the first trial step length of each line search.
+func WithInitialStep(s float64) Option { return initStepOption(s) }
+
+type callbackOption struct {
+	fn func(iter int, x []float64, f float64)
+}
+
+func (o callbackOption) apply(opts *options) { opts.callback = o.fn }
+
+// WithCallback installs a per-iteration observer (e.g. for tracing).
+func WithCallback(fn func(iter int, x []float64, f float64)) Option {
+	return callbackOption{fn: fn}
+}
+
+// ProjectedGradient minimizes obj over the box b starting from x0, using
+// steepest descent with Armijo backtracking and projection onto the box.
+//
+// For convex objectives (the static TDP model satisfies Prop. 3's
+// conditions) the returned point is a global minimizer up to tolerance.
+// A Result is returned even alongside ErrMaxIterations.
+func ProjectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
+	o := defaultOptions()
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	n := len(x0)
+	if err := b.Validate(n); err != nil {
+		return Result{}, err
+	}
+
+	x := append([]float64(nil), x0...)
+	b.Project(x)
+	f := obj.Value(x)
+	evals := 1
+	grad := make([]float64, n)
+	trial := make([]float64, n)
+	step := o.initStep
+
+	const armijoC = 1e-4
+	for iter := 0; iter < o.maxIter; iter++ {
+		obj.Grad(x, grad)
+		if o.callback != nil {
+			o.callback(iter, x, f)
+		}
+		if projGradNormInf(x, grad, b) <= o.tol {
+			return Result{X: x, F: f, Iterations: iter, Evals: evals, Converged: true}, nil
+		}
+
+		// Backtracking line search along the projected-gradient arc.
+		accepted := false
+		s := step
+		for back := 0; back < o.maxBack; back++ {
+			var decrease float64
+			for i := range x {
+				trial[i] = x[i] - s*grad[i]
+			}
+			b.Project(trial)
+			for i := range x {
+				decrease += grad[i] * (x[i] - trial[i])
+			}
+			ft := obj.Value(trial)
+			evals++
+			if ft <= f-armijoC*decrease {
+				copy(x, trial)
+				f = ft
+				// Allow the step to grow again after a success.
+				step = math.Min(s*2, o.initStep*1e4)
+				accepted = true
+				break
+			}
+			s /= 2
+		}
+		if !accepted {
+			// The point is numerically stationary within the box.
+			obj.Grad(x, grad)
+			if projGradNormInf(x, grad, b) <= math.Sqrt(o.tol) {
+				return Result{X: x, F: f, Iterations: iter, Evals: evals, Converged: true}, nil
+			}
+			return Result{X: x, F: f, Iterations: iter, Evals: evals},
+				fmt.Errorf("iteration %d at f=%.6g: %w", iter, f, ErrNoProgress)
+		}
+	}
+	return Result{X: x, F: f, Iterations: o.maxIter, Evals: evals}, ErrMaxIterations
+}

@@ -1,0 +1,138 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// quadratic returns the objective ‖x−c‖² with analytic gradient.
+func quadratic(c []float64) Objective {
+	return FuncObjective{
+		Fn: func(x []float64) float64 {
+			var s float64
+			for i := range x {
+				d := x[i] - c[i]
+				s += d * d
+			}
+			return s
+		},
+		GradFn: func(x, g []float64) {
+			for i := range x {
+				g[i] = 2 * (x[i] - c[i])
+			}
+		},
+	}
+}
+
+func TestProjectedGradientUnconstrainedInterior(t *testing.T) {
+	c := []float64{1, -2, 0.5}
+	res, err := ProjectedGradient(quadratic(c), []float64{0, 0, 0}, UniformBounds(3, -10, 10))
+	if err != nil {
+		t.Fatalf("ProjectedGradient: %v", err)
+	}
+	if !res.Converged {
+		t.Error("not converged")
+	}
+	for i := range c {
+		if math.Abs(res.X[i]-c[i]) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], c[i])
+		}
+	}
+}
+
+func TestProjectedGradientActiveBound(t *testing.T) {
+	// Unconstrained minimum at 5 lies outside the box [0, 2].
+	res, err := ProjectedGradient(quadratic([]float64{5}), []float64{1}, UniformBounds(1, 0, 2))
+	if err != nil {
+		t.Fatalf("ProjectedGradient: %v", err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Errorf("x = %v, want 2 (clamped)", res.X[0])
+	}
+}
+
+func TestProjectedGradientStartOutsideBox(t *testing.T) {
+	res, err := ProjectedGradient(quadratic([]float64{0}), []float64{100}, UniformBounds(1, -1, 1))
+	if err != nil {
+		t.Fatalf("ProjectedGradient: %v", err)
+	}
+	if math.Abs(res.X[0]) > 1e-6 {
+		t.Errorf("x = %v, want 0", res.X[0])
+	}
+}
+
+func TestProjectedGradientBadBounds(t *testing.T) {
+	b := Bounds{Lower: []float64{1}, Upper: []float64{0}}
+	if _, err := ProjectedGradient(quadratic([]float64{0}), []float64{0}, b); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("err = %v, want ErrBadBounds", err)
+	}
+	b = Bounds{Lower: []float64{0}, Upper: []float64{0, 1}}
+	if _, err := ProjectedGradient(quadratic([]float64{0}), []float64{0}, b); !errors.Is(err, ErrBadBounds) {
+		t.Errorf("mismatched lengths: err = %v, want ErrBadBounds", err)
+	}
+}
+
+func TestProjectedGradientMaxIterations(t *testing.T) {
+	res, err := ProjectedGradient(quadratic([]float64{3}), []float64{-3}, UniformBounds(1, -10, 10),
+		WithMaxIterations(1), WithTolerance(1e-14), WithInitialStep(1e-6))
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if res.X == nil {
+		t.Error("Result.X must carry the best point even on ErrMaxIterations")
+	}
+}
+
+func TestProjectedGradientCallback(t *testing.T) {
+	var calls int
+	_, err := ProjectedGradient(quadratic([]float64{1}), []float64{0}, UniformBounds(1, -5, 5),
+		WithCallback(func(int, []float64, float64) { calls++ }))
+	if err != nil {
+		t.Fatalf("ProjectedGradient: %v", err)
+	}
+	if calls == 0 {
+		t.Error("callback never invoked")
+	}
+}
+
+func TestProjectedGradientRosenbrockLike(t *testing.T) {
+	// Ill-conditioned smooth convex function: f = 100(x₂−x₁)² + (1−x₁)².
+	obj := FuncObjective{Fn: func(x []float64) float64 {
+		a := x[1] - x[0]
+		b := 1 - x[0]
+		return 100*a*a + b*b
+	}}
+	res, err := ProjectedGradient(obj, []float64{-1, 1}, UniformBounds(2, -5, 5),
+		WithMaxIterations(20000), WithTolerance(1e-9))
+	if err != nil {
+		t.Fatalf("ProjectedGradient: %v", err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("x = %v, want ≈(1,1)", res.X)
+	}
+}
+
+func TestNumGradMatchesAnalytic(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0]*x[0]*x[1] + math.Sin(x[1]) }
+	x := []float64{1.3, -0.4}
+	num := make([]float64, 2)
+	NumGrad(fn, x, num)
+	wantDx := 2 * x[0] * x[1]
+	wantDy := x[0]*x[0] + math.Cos(x[1])
+	if math.Abs(num[0]-wantDx) > 1e-5 || math.Abs(num[1]-wantDy) > 1e-5 {
+		t.Errorf("NumGrad = %v, want (%v,%v)", num, wantDx, wantDy)
+	}
+}
+
+func TestBoundsProject(t *testing.T) {
+	b := UniformBounds(3, 0, 1)
+	x := []float64{-5, 0.5, 7}
+	b.Project(x)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Errorf("Project[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}

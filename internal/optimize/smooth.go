@@ -1,0 +1,100 @@
+package optimize
+
+import "math"
+
+// SmoothMax is the softplus approximation μ·log(1+exp(x/μ)) of max(x, 0).
+// It is convex, infinitely differentiable, upper-bounds max(x,0), and
+// converges to it uniformly as μ→0 (gap ≤ μ·log 2).
+func SmoothMax(x, mu float64) float64 {
+	if mu <= 0 {
+		return math.Max(x, 0)
+	}
+	t := x / mu
+	// Numerically stable softplus.
+	switch {
+	case t > 35:
+		return x
+	case t < -35:
+		return 0
+	default:
+		return mu * math.Log1p(math.Exp(t))
+	}
+}
+
+// SmoothMaxDeriv is d/dx SmoothMax(x, μ) = sigmoid(x/μ).
+func SmoothMaxDeriv(x, mu float64) float64 {
+	if mu <= 0 {
+		if x > 0 {
+			return 1
+		}
+		if x < 0 {
+			return 0
+		}
+		return 0.5 // subgradient choice at the kink
+	}
+	t := x / mu
+	switch {
+	case t > 35:
+		return 1
+	case t < -35:
+		return 0
+	default:
+		return 1 / (1 + math.Exp(-t))
+	}
+}
+
+// Homotopy minimizes a family of smoothed objectives obj(μ) for a
+// decreasing temperature schedule, warm-starting each solve from the
+// previous solution. This is the production path for the TDP cost, whose
+// only non-smoothness is the piecewise-linear capacity-exceedance term.
+//
+// make must return the objective for a given smoothing temperature μ.
+// schedule must be positive and decreasing; a final exact polish with
+// coordinate descent on the μ=0 objective is performed when polish is true.
+func Homotopy(make func(mu float64) Objective, exact func([]float64) float64,
+	x0 []float64, b Bounds, schedule []float64, polish bool, opts ...Option) (Result, error) {
+	return HomotopyWith(ProjectedGradient, make, exact, x0, b, schedule, polish, opts...)
+}
+
+// Inner is a box-constrained minimizer usable as a homotopy stage (e.g.
+// ProjectedGradient, or LBFGS partially applied over its memory).
+type Inner func(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error)
+
+// HomotopyWith is Homotopy with a caller-chosen inner solver per stage.
+func HomotopyWith(inner Inner, make func(mu float64) Objective, exact func([]float64) float64,
+	x0 []float64, b Bounds, schedule []float64, polish bool, opts ...Option) (Result, error) {
+
+	x := append([]float64(nil), x0...)
+	var total Result
+	for _, mu := range schedule {
+		res, err := inner(make(mu), x, b, opts...)
+		total.Iterations += res.Iterations
+		total.Evals += res.Evals
+		if err != nil && res.X == nil {
+			return total, err
+		}
+		// ErrNoProgress / ErrMaxIterations still yield a usable point; the
+		// next (or final) stage continues from it.
+		x = res.X
+		total.X, total.F, total.Converged = res.X, res.F, res.Converged
+	}
+	if polish && exact != nil {
+		res, err := CoordinateDescent(exact, x, b, WithTolerance(1e-9), WithMaxIterations(60))
+		total.Iterations += res.Iterations
+		total.Evals += res.Evals
+		if err == nil || res.X != nil {
+			total.X, total.F, total.Converged = res.X, res.F, res.Converged
+		}
+	}
+	if exact != nil {
+		total.F = exact(total.X)
+	}
+	return total, nil
+}
+
+// DefaultSchedule is the smoothing temperature schedule used by the price
+// engines: fast decrease, ending fine enough that the softplus gap is far
+// below a cent.
+func DefaultSchedule() []float64 {
+	return []float64{1, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001}
+}

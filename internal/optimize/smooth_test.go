@@ -1,0 +1,117 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothMaxLimits(t *testing.T) {
+	if got := SmoothMax(5, 0); got != 5 {
+		t.Errorf("SmoothMax(5, 0) = %v, want 5", got)
+	}
+	if got := SmoothMax(-5, 0); got != 0 {
+		t.Errorf("SmoothMax(-5, 0) = %v, want 0", got)
+	}
+	// Deep in either tail the smooth and exact versions agree.
+	if got := SmoothMax(100, 0.01); math.Abs(got-100) > 1e-9 {
+		t.Errorf("SmoothMax(100, 0.01) = %v, want 100", got)
+	}
+	if got := SmoothMax(-100, 0.01); got != 0 {
+		t.Errorf("SmoothMax(-100, 0.01) = %v, want 0", got)
+	}
+}
+
+func TestSmoothMaxGap(t *testing.T) {
+	// The softplus upper-bounds max(x,0) with gap at most μ·log2.
+	for _, mu := range []float64{1, 0.1, 0.01} {
+		for _, x := range []float64{-3, -0.5, 0, 0.5, 3} {
+			s := SmoothMax(x, mu)
+			exact := math.Max(x, 0)
+			if s < exact-1e-12 {
+				t.Errorf("SmoothMax(%v,%v) = %v below max", x, mu, s)
+			}
+			if s-exact > mu*math.Ln2+1e-12 {
+				t.Errorf("SmoothMax(%v,%v) gap %v > μln2", x, mu, s-exact)
+			}
+		}
+	}
+}
+
+func TestSmoothMaxDeriv(t *testing.T) {
+	if d := SmoothMaxDeriv(0, 1); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("deriv at 0 = %v, want 0.5", d)
+	}
+	if d := SmoothMaxDeriv(100, 0.01); d != 1 {
+		t.Errorf("deriv deep positive = %v, want 1", d)
+	}
+	if d := SmoothMaxDeriv(-100, 0.01); d != 0 {
+		t.Errorf("deriv deep negative = %v, want 0", d)
+	}
+	if d := SmoothMaxDeriv(1, 0); d != 1 {
+		t.Errorf("exact deriv positive = %v, want 1", d)
+	}
+	if d := SmoothMaxDeriv(-1, 0); d != 0 {
+		t.Errorf("exact deriv negative = %v, want 0", d)
+	}
+}
+
+// Property: SmoothMaxDeriv matches the finite-difference slope of SmoothMax.
+func TestSmoothMaxDerivConsistencyProperty(t *testing.T) {
+	f := func(xr float64) bool {
+		x := math.Mod(clamp(xr), 10)
+		const mu, h = 0.5, 1e-6
+		num := (SmoothMax(x+h, mu) - SmoothMax(x-h, mu)) / (2 * h)
+		return math.Abs(num-SmoothMaxDeriv(x, mu)) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+func TestHomotopyOnKinkedObjective(t *testing.T) {
+	// min 3·max(x−2, 0) + (x−3)² over [0, 10].
+	// For x>2: derivative 3+2(x−3)=0 → x=1.5 (infeasible for branch);
+	// at the kink x=2 the subdifferential is [−2, 1] ∋ 0 → optimum x=2.
+	mk := func(mu float64) Objective {
+		return FuncObjective{Fn: func(x []float64) float64 {
+			return 3*SmoothMax(x[0]-2, mu) + (x[0]-3)*(x[0]-3)
+		}}
+	}
+	exact := func(x []float64) float64 {
+		return 3*math.Max(x[0]-2, 0) + (x[0]-3)*(x[0]-3)
+	}
+	res, err := Homotopy(mk, exact, []float64{0}, UniformBounds(1, 0, 10),
+		DefaultSchedule(), true)
+	if err != nil {
+		t.Fatalf("Homotopy: %v", err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 {
+		t.Errorf("x = %v, want 2 (the kink)", res.X[0])
+	}
+	if math.Abs(res.F-1) > 1e-4 {
+		t.Errorf("f = %v, want 1", res.F)
+	}
+}
+
+func TestDefaultScheduleDecreasing(t *testing.T) {
+	s := DefaultSchedule()
+	if len(s) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Errorf("schedule not decreasing at %d: %v ≥ %v", i, s[i], s[i-1])
+		}
+	}
+	if s[len(s)-1] > 0.01 {
+		t.Errorf("final temperature %v too coarse", s[len(s)-1])
+	}
+}

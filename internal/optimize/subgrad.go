@@ -1,0 +1,56 @@
+package optimize
+
+import "math"
+
+// ProjectedSubgradient minimizes a convex (possibly non-smooth) objective
+// over the box b using the classical projected subgradient method with a
+// diminishing step size a/(1+k). It tracks and returns the best iterate.
+//
+// Subgradient methods converge slowly but need no smoothness; this is the
+// baseline method in the solver ablation (DESIGN.md §5).
+func ProjectedSubgradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
+	o := defaultOptions()
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	n := len(x0)
+	if err := b.Validate(n); err != nil {
+		return Result{}, err
+	}
+
+	x := append([]float64(nil), x0...)
+	b.Project(x)
+	best := append([]float64(nil), x...)
+	fBest := obj.Value(x)
+	evals := 1
+	grad := make([]float64, n)
+
+	for k := 0; k < o.maxIter; k++ {
+		obj.Grad(x, grad)
+		var gnorm float64
+		for _, g := range grad {
+			gnorm += g * g
+		}
+		gnorm = math.Sqrt(gnorm)
+		if gnorm == 0 {
+			return Result{X: x, F: fBest, Iterations: k, Evals: evals, Converged: true}, nil
+		}
+		step := o.initStep / ((1 + float64(k)) * gnorm)
+		for i := range x {
+			x[i] -= step * grad[i]
+		}
+		b.Project(x)
+		f := obj.Value(x)
+		evals++
+		if f < fBest {
+			fBest = f
+			copy(best, x)
+		}
+		if o.callback != nil {
+			o.callback(k, x, f)
+		}
+	}
+	// Subgradient methods have no cheap stationarity test; report the best
+	// point with Converged=false and no error so callers can inspect.
+	return Result{X: best, F: fBest, Iterations: o.maxIter, Evals: evals}, nil
+}

@@ -1,0 +1,101 @@
+package rrd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file adds RRDtool-style persistence: the whole database (specs,
+// rings, and in-progress accumulators) round-trips through a versioned
+// JSON snapshot, so a TUBE GUI's price history survives restarts.
+
+// snapshotVersion guards against loading snapshots from incompatible
+// future layouts.
+const snapshotVersion = 1
+
+type dbSnapshot struct {
+	Version  int               `json:"version"`
+	Step     int64             `json:"step"`
+	LastTime int64             `json:"lastTime"`
+	Started  bool              `json:"started"`
+	Archives []archiveSnapshot `json:"archives"`
+}
+
+type archiveSnapshot struct {
+	Func     Consolidation `json:"func"`
+	Steps    int           `json:"steps"`
+	Rows     int           `json:"rows"`
+	Ring     []Point       `json:"ring"`
+	Head     int           `json:"head"`
+	Filled   int           `json:"filled"`
+	AccCount int           `json:"accCount"`
+	AccValue float64       `json:"accValue"`
+}
+
+// Save writes a snapshot of the database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	snap := dbSnapshot{
+		Version:  snapshotVersion,
+		Step:     db.step,
+		LastTime: db.lastTime,
+		Started:  db.started,
+	}
+	for _, a := range db.archives {
+		snap.Archives = append(snap.Archives, archiveSnapshot{
+			Func:     a.spec.Func,
+			Steps:    a.spec.Steps,
+			Rows:     a.spec.Rows,
+			Ring:     append([]Point(nil), a.ring...),
+			Head:     a.head,
+			Filled:   a.filled,
+			AccCount: a.accCount,
+			AccValue: a.accValue,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("rrd: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a database from a snapshot written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var snap dbSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rrd: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("rrd: snapshot version %d, want %d: %w",
+			snap.Version, snapshotVersion, ErrBadConfig)
+	}
+	if snap.Step <= 0 || len(snap.Archives) == 0 {
+		return nil, fmt.Errorf("rrd: malformed snapshot: %w", ErrBadConfig)
+	}
+	specs := make([]ArchiveSpec, len(snap.Archives))
+	for i, a := range snap.Archives {
+		specs[i] = ArchiveSpec{Func: a.Func, Steps: a.Steps, Rows: a.Rows}
+	}
+	db, err := New(snap.Step, specs...)
+	if err != nil {
+		return nil, err
+	}
+	db.lastTime = snap.LastTime
+	db.started = snap.Started
+	for i, a := range snap.Archives {
+		arch := db.archives[i]
+		if len(a.Ring) != a.Rows || a.Head < 0 || a.Head >= a.Rows ||
+			a.Filled < 0 || a.Filled > a.Rows || a.AccCount < 0 || a.AccCount >= a.Steps {
+			return nil, fmt.Errorf("rrd: archive %d state out of range: %w", i, ErrBadConfig)
+		}
+		copy(arch.ring, a.Ring)
+		arch.head = a.Head
+		arch.filled = a.Filled
+		arch.accCount = a.AccCount
+		arch.accValue = a.AccValue
+	}
+	return db, nil
+}

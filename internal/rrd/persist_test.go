@@ -1,0 +1,107 @@
+package rrd
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, err := New(1,
+		ArchiveSpec{Func: Last, Steps: 1, Rows: 5},
+		ArchiveSpec{Func: Average, Steps: 3, Rows: 4},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		if err := db.Update(i, float64(i)*2); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for idx := 0; idx < 2; idx++ {
+		want, err := db.Fetch(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Fetch(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("archive %d: %d points, want %d", idx, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("archive %d point %d: %+v, want %+v", idx, i, got[i], want[i])
+			}
+		}
+	}
+	// The restored DB keeps the monotonic-time guard and the in-progress
+	// accumulation (8 samples into a 3-step window leaves 2 pending).
+	if err := restored.Update(8, 1); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("restored DB lost time guard: err = %v", err)
+	}
+	if err := restored.Update(9, 18); err != nil {
+		t.Fatalf("Update after restore: %v", err)
+	}
+	p, ok, err := restored.Latest(1)
+	if err != nil || !ok {
+		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	}
+	// Window 7..9: values 14, 16, 18 → average 16.
+	if p.Value != 16 || p.Time != 9 {
+		t.Errorf("resumed consolidation = %+v, want avg 16 at t=9", p)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"step":1,"archives":[{"func":1,"steps":1,"rows":1,"ring":[{}],"head":0,"filled":0,"accCount":0}]}`)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("future version: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"step":0,"archives":[]}`)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad step: err = %v, want ErrBadConfig", err)
+	}
+	// Corrupt ring geometry.
+	if _, err := Load(strings.NewReader(`{"version":1,"step":1,"archives":[{"func":1,"steps":1,"rows":2,"ring":[{}],"head":0,"filled":0,"accCount":0}]}`)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("ring mismatch: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"step":1,"archives":[{"func":1,"steps":1,"rows":1,"ring":[{}],"head":5,"filled":0,"accCount":0}]}`)); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad head: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestSaveEmptyDB(t *testing.T) {
+	db, err := New(2, ArchiveSpec{Func: Max, Steps: 2, Rows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pts, err := restored.Fetch(0)
+	if err != nil || len(pts) != 0 {
+		t.Errorf("empty DB round trip: %v points, err %v", len(pts), err)
+	}
+	// Fresh DB accepts any first timestamp.
+	if err := restored.Update(-5, 1); err != nil {
+		t.Errorf("first update after empty restore: %v", err)
+	}
+}

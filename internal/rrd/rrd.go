@@ -1,0 +1,213 @@
+// Package rrd implements a round-robin database for time-series data,
+// mirroring the RRDtool storage the TUBE GUI uses for its price and usage
+// history (paper §VI-A): fixed-size circular archives at different
+// resolutions, each consolidating primary samples with a configurable
+// function, so storage never grows.
+package rrd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Errors returned by the database.
+var (
+	ErrBadConfig   = errors.New("rrd: invalid configuration")
+	ErrOutOfOrder  = errors.New("rrd: sample not after last update")
+	ErrUnknownFunc = errors.New("rrd: unknown consolidation function")
+)
+
+// Consolidation reduces a window of primary samples to one archived point.
+type Consolidation int
+
+// Supported consolidation functions.
+const (
+	Average Consolidation = iota + 1
+	Max
+	Min
+	Last
+)
+
+func (c Consolidation) String() string {
+	switch c {
+	case Average:
+		return "AVERAGE"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Last:
+		return "LAST"
+	default:
+		return fmt.Sprintf("Consolidation(%d)", int(c))
+	}
+}
+
+// ArchiveSpec configures one round-robin archive.
+type ArchiveSpec struct {
+	// Func consolidates Steps primary samples into one row.
+	Func Consolidation
+	// Steps is how many primary samples make one archived row (≥ 1).
+	Steps int
+	// Rows is the circular capacity (≥ 1).
+	Rows int
+}
+
+// Point is one archived sample.
+type Point struct {
+	// Time is the timestamp of the *end* of the consolidated window, in
+	// the database's step units.
+	Time int64
+	// Value is the consolidated value.
+	Value float64
+}
+
+// archive is one circular buffer plus its in-progress accumulation.
+type archive struct {
+	spec   ArchiveSpec
+	ring   []Point
+	head   int // next write position
+	filled int // number of valid rows
+
+	accCount int
+	accValue float64
+}
+
+// DB is a fixed-size time-series store. A DB has a base step (the sampling
+// interval); Update must be called with strictly increasing timestamps
+// (multiples of the step are not required — each call is one primary
+// sample).
+type DB struct {
+	mu       sync.Mutex
+	step     int64
+	lastTime int64
+	started  bool
+	archives []*archive
+}
+
+// New creates a database with the given primary step (in whatever time
+// unit the caller uses, e.g. seconds) and archives.
+func New(step int64, specs ...ArchiveSpec) (*DB, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("step %d: %w", step, ErrBadConfig)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no archives: %w", ErrBadConfig)
+	}
+	db := &DB{step: step}
+	for i, s := range specs {
+		if s.Steps < 1 || s.Rows < 1 {
+			return nil, fmt.Errorf("archive %d (steps %d, rows %d): %w", i, s.Steps, s.Rows, ErrBadConfig)
+		}
+		switch s.Func {
+		case Average, Max, Min, Last:
+		default:
+			return nil, fmt.Errorf("archive %d: %w", i, ErrUnknownFunc)
+		}
+		db.archives = append(db.archives, &archive{
+			spec: s,
+			ring: make([]Point, s.Rows),
+		})
+	}
+	return db, nil
+}
+
+// Update records one primary sample at the given time.
+func (db *DB) Update(t int64, value float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.started && t <= db.lastTime {
+		return fmt.Errorf("t=%d after %d: %w", t, db.lastTime, ErrOutOfOrder)
+	}
+	db.started = true
+	db.lastTime = t
+	for _, a := range db.archives {
+		a.accumulate(t, value)
+	}
+	return nil
+}
+
+func (a *archive) accumulate(t int64, value float64) {
+	switch a.spec.Func {
+	case Average:
+		a.accValue += value
+	case Max:
+		if a.accCount == 0 || value > a.accValue {
+			a.accValue = value
+		}
+	case Min:
+		if a.accCount == 0 || value < a.accValue {
+			a.accValue = value
+		}
+	case Last:
+		a.accValue = value
+	}
+	a.accCount++
+	if a.accCount < a.spec.Steps {
+		return
+	}
+	v := a.accValue
+	if a.spec.Func == Average {
+		v /= float64(a.spec.Steps)
+	}
+	a.ring[a.head] = Point{Time: t, Value: v}
+	a.head = (a.head + 1) % len(a.ring)
+	if a.filled < len(a.ring) {
+		a.filled++
+	}
+	a.accCount = 0
+	a.accValue = 0
+}
+
+// Fetch returns the archived points of archive idx, oldest first.
+func (db *DB) Fetch(idx int) ([]Point, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if idx < 0 || idx >= len(db.archives) {
+		return nil, fmt.Errorf("archive %d of %d: %w", idx, len(db.archives), ErrBadConfig)
+	}
+	a := db.archives[idx]
+	out := make([]Point, 0, a.filled)
+	start := a.head - a.filled
+	if start < 0 {
+		start += len(a.ring)
+	}
+	for i := 0; i < a.filled; i++ {
+		out = append(out, a.ring[(start+i)%len(a.ring)])
+	}
+	return out, nil
+}
+
+// Latest returns the newest consolidated point of archive idx, or false if
+// the archive is still empty.
+func (db *DB) Latest(idx int) (Point, bool, error) {
+	pts, err := db.Fetch(idx)
+	if err != nil {
+		return Point{}, false, err
+	}
+	if len(pts) == 0 {
+		return Point{}, false, nil
+	}
+	return pts[len(pts)-1], true, nil
+}
+
+// Stats summarizes an archive: count, mean, min, max of stored values.
+func (db *DB) Stats(idx int) (count int, mean, minV, maxV float64, err error) {
+	pts, err := db.Fetch(idx)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if len(pts) == 0 {
+		return 0, 0, 0, 0, nil
+	}
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, p := range pts {
+		sum += p.Value
+		minV = math.Min(minV, p.Value)
+		maxV = math.Max(maxV, p.Value)
+	}
+	return len(pts), sum / float64(len(pts)), minV, maxV, nil
+}

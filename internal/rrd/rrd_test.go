@@ -1,0 +1,188 @@
+package rrd
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, ArchiveSpec{Func: Average, Steps: 1, Rows: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero step: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no archives: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(1, ArchiveSpec{Func: Average, Steps: 0, Rows: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero steps: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(1, ArchiveSpec{Func: Consolidation(9), Steps: 1, Rows: 1}); !errors.Is(err, ErrUnknownFunc) {
+		t.Errorf("bad func: err = %v, want ErrUnknownFunc", err)
+	}
+}
+
+func TestUpdateFetchBasic(t *testing.T) {
+	db, err := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 10})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := db.Update(i, float64(i)*10); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	pts, err := db.Fetch(0)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points, want 5", len(pts))
+	}
+	for i, p := range pts {
+		if p.Time != int64(i+1) || p.Value != float64(i+1)*10 {
+			t.Errorf("point %d = %+v", i, p)
+		}
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	db, _ := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 4})
+	if err := db.Update(5, 1); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := db.Update(5, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("same time: err = %v, want ErrOutOfOrder", err)
+	}
+	if err := db.Update(3, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("earlier time: err = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	db, _ := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 3})
+	for i := int64(1); i <= 7; i++ {
+		if err := db.Update(i, float64(i)); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	pts, _ := db.Fetch(0)
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	want := []float64{5, 6, 7}
+	for i, p := range pts {
+		if p.Value != want[i] {
+			t.Errorf("point %d = %v, want %v (oldest-first after wrap)", i, p.Value, want[i])
+		}
+	}
+}
+
+func TestConsolidationFunctions(t *testing.T) {
+	db, err := New(1,
+		ArchiveSpec{Func: Average, Steps: 4, Rows: 4},
+		ArchiveSpec{Func: Max, Steps: 4, Rows: 4},
+		ArchiveSpec{Func: Min, Steps: 4, Rows: 4},
+		ArchiveSpec{Func: Last, Steps: 4, Rows: 4},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	vals := []float64{3, 9, 1, 7}
+	for i, v := range vals {
+		if err := db.Update(int64(i+1), v); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	wants := []float64{5, 9, 1, 7} // avg, max, min, last
+	for idx, want := range wants {
+		p, ok, err := db.Latest(idx)
+		if err != nil || !ok {
+			t.Fatalf("Latest(%d): ok=%v err=%v", idx, ok, err)
+		}
+		if p.Value != want {
+			t.Errorf("archive %d (%v): value %v, want %v", idx, db.archives[idx].spec.Func, p.Value, want)
+		}
+		if p.Time != 4 {
+			t.Errorf("archive %d: time %d, want 4 (window end)", idx, p.Time)
+		}
+	}
+}
+
+func TestPartialWindowNotEmitted(t *testing.T) {
+	db, _ := New(1, ArchiveSpec{Func: Average, Steps: 3, Rows: 5})
+	db.Update(1, 1)
+	db.Update(2, 2)
+	if _, ok, _ := db.Latest(0); ok {
+		t.Error("partial window emitted a point")
+	}
+	db.Update(3, 3)
+	p, ok, _ := db.Latest(0)
+	if !ok || p.Value != 2 {
+		t.Errorf("Latest = (%+v, %v), want value 2", p, ok)
+	}
+}
+
+func TestFetchBadIndex(t *testing.T) {
+	db, _ := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 1})
+	if _, err := db.Fetch(1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad index: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := db.Fetch(-1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative index: err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db, _ := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 10})
+	count, _, _, _, err := db.Stats(0)
+	if err != nil || count != 0 {
+		t.Fatalf("empty stats: count %d err %v", count, err)
+	}
+	for i, v := range []float64{4, 8, 6} {
+		db.Update(int64(i+1), v)
+	}
+	count, mean, minV, maxV, err := db.Stats(0)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if count != 3 || math.Abs(mean-6) > 1e-12 || minV != 4 || maxV != 8 {
+		t.Errorf("Stats = (%d, %v, %v, %v)", count, mean, minV, maxV)
+	}
+}
+
+func TestConcurrentUpdatesAreSerialized(t *testing.T) {
+	// Concurrent updates must not corrupt internal state (they may be
+	// rejected as out-of-order; that is fine). Run with -race.
+	db, _ := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = db.Update(int64(g*1000+i), float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	pts, err := db.Fetch(0)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Fatal("archive times not strictly increasing")
+		}
+	}
+}
+
+func TestConsolidationString(t *testing.T) {
+	if Average.String() != "AVERAGE" || Max.String() != "MAX" ||
+		Min.String() != "MIN" || Last.String() != "LAST" {
+		t.Error("String names wrong")
+	}
+	if Consolidation(42).String() == "" {
+		t.Error("unknown consolidation must still render")
+	}
+}

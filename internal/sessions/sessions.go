@@ -1,0 +1,241 @@
+// Package sessions is a Monte-Carlo, session-level simulator of the
+// paper's §III stochastic model: Poisson session arrivals within each
+// period (uniform arrival times), exponentially distributed session sizes,
+// per-session probabilistic deferral driven by waiting functions, and a
+// fixed-capacity bottleneck that carries unfinished work across periods.
+//
+// Its purpose is validation: Prop. 5 claims the fluid DynamicModel is the
+// large-population limit of exactly this process, so the sampled
+// per-period backlog and ISP cost must converge to the fluid predictions
+// as the arrival rates grow. The integration tests in this package (and
+// internal/experiments' Prop5 check) perform that comparison.
+package sessions
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tdp/internal/stochastic"
+	"tdp/internal/waiting"
+)
+
+// ErrBadConfig is returned for invalid simulation configurations.
+var ErrBadConfig = errors.New("sessions: invalid configuration")
+
+// Config describes one simulated day.
+type Config struct {
+	// Periods is the number of periods n.
+	Periods int
+	// ArrivalVolume[i][j] is the expected volume (10 MBps·period) of type
+	// j sessions arriving in period i+1 — λ_i·b in the paper's notation,
+	// matched to the fluid model's Demand matrix.
+	ArrivalVolume [][]float64
+	// MeanSize is b, the mean session volume. Smaller values mean more,
+	// smaller sessions (closer to the fluid limit).
+	MeanSize float64
+	// Betas[j] is the patience index of type j.
+	Betas []float64
+	// Capacity[i] is the service capacity per period (volume units).
+	Capacity []float64
+	// Rewards[i] is the published reward for deferring to period i+1.
+	Rewards []float64
+	// MaxReward is the normalization reward P.
+	MaxReward float64
+	// Seed drives the randomness.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Periods < 2 {
+		return fmt.Errorf("%d periods: %w", c.Periods, ErrBadConfig)
+	}
+	if len(c.ArrivalVolume) != c.Periods || len(c.Capacity) != c.Periods || len(c.Rewards) != c.Periods {
+		return fmt.Errorf("per-period slices must have %d entries: %w", c.Periods, ErrBadConfig)
+	}
+	if len(c.Betas) == 0 {
+		return fmt.Errorf("no session types: %w", ErrBadConfig)
+	}
+	for i, row := range c.ArrivalVolume {
+		if len(row) != len(c.Betas) {
+			return fmt.Errorf("arrival volume period %d has %d types, want %d: %w",
+				i+1, len(row), len(c.Betas), ErrBadConfig)
+		}
+		for _, v := range row {
+			if v < 0 {
+				return fmt.Errorf("negative arrival volume in period %d: %w", i+1, ErrBadConfig)
+			}
+		}
+	}
+	if c.MeanSize <= 0 {
+		return fmt.Errorf("mean size %v: %w", c.MeanSize, ErrBadConfig)
+	}
+	if c.MaxReward <= 0 {
+		return fmt.Errorf("max reward %v: %w", c.MaxReward, ErrBadConfig)
+	}
+	for i, p := range c.Rewards {
+		if p < 0 || p > c.MaxReward {
+			return fmt.Errorf("reward %v in period %d outside [0, P]: %w", p, i+1, ErrBadConfig)
+		}
+	}
+	return nil
+}
+
+// Session is one simulated application session.
+type Session struct {
+	Type       int
+	Size       float64
+	Arrival    float64 // absolute time in periods (fractional)
+	HomePeriod int     // 0-based period it originally belongs to
+	Target     int     // 0-based period it starts in (== HomePeriod if not deferred)
+	Deferred   bool
+}
+
+// Result summarizes one simulated day.
+type Result struct {
+	// Sessions is every generated session with its deferral outcome.
+	Sessions []Session
+	// OfferedVolume[i] is the volume starting in period i+1 after
+	// deferrals.
+	OfferedVolume []float64
+	// Backlog[i] is the unfinished work at the end of period i+1.
+	Backlog []float64
+	// RewardsPaid is Σ p_target·size over deferred sessions.
+	RewardsPaid float64
+	// CongestionCost is Σ_i f(backlog_i) with f(x) = slope·x given by
+	// EvaluateCost; stored per-run for the common slope-1 case.
+	CongestionCost float64
+	// DeferredVolume is the total volume moved out of its home period.
+	DeferredVolume float64
+}
+
+// TotalCost returns rewards paid plus congestion cost.
+func (r *Result) TotalCost() float64 { return r.RewardsPaid + r.CongestionCost }
+
+// Run simulates one day.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Periods
+
+	wfs := make([]waiting.UniformArrival, len(cfg.Betas))
+	for j, beta := range cfg.Betas {
+		w, err := waiting.NewUniformArrival(beta, n, cfg.MaxReward)
+		if err != nil {
+			return nil, fmt.Errorf("type %d: %w", j, err)
+		}
+		wfs[j] = w
+	}
+
+	res := &Result{
+		OfferedVolume: make([]float64, n),
+		Backlog:       make([]float64, n),
+	}
+
+	// Generate and defer sessions.
+	for i := 0; i < n; i++ {
+		for j := range cfg.Betas {
+			vol := cfg.ArrivalVolume[i][j]
+			if vol == 0 {
+				continue
+			}
+			count, err := stochastic.Poisson(rng, vol/cfg.MeanSize)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < count; s++ {
+				size, err := stochastic.Exponential(rng, cfg.MeanSize)
+				if err != nil {
+					return nil, err
+				}
+				u := rng.Float64() // arrival offset within the period
+				sess := Session{
+					Type:       j,
+					Size:       size,
+					Arrival:    float64(i) + u,
+					HomePeriod: i,
+					Target:     i,
+				}
+				// Probabilistic deferral: the session moves to period
+				// i+k with probability w_β(p_{i+k}, k−u), the per-session
+				// reading of the fluid model's M_{i,k} integrand (§III,
+				// eq. 5). Cumulative probability is clamped at 1.
+				roll := rng.Float64()
+				acc := 0.0
+				for k := 1; k <= n-1; k++ {
+					target := (i + k) % n
+					acc += wfs[j].ValueAt(cfg.Rewards[target], float64(k)-u)
+					if roll < acc {
+						sess.Target = target
+						sess.Deferred = true
+						break
+					}
+				}
+				res.Sessions = append(res.Sessions, sess)
+				res.OfferedVolume[sess.Target] += size
+				if sess.Deferred {
+					res.RewardsPaid += cfg.Rewards[sess.Target] * size
+					res.DeferredVolume += size
+				}
+			}
+		}
+	}
+
+	// Serve through the single bottleneck with carry-over (Prop. 5's
+	// accounting: cost on the work remaining at each period end).
+	carry := 0.0
+	for i := 0; i < n; i++ {
+		load := carry + res.OfferedVolume[i]
+		excess := load - cfg.Capacity[i]
+		if excess < 0 {
+			excess = 0
+		}
+		res.Backlog[i] = excess
+		res.CongestionCost += excess // slope-1 f; rescale via EvaluateCost
+		carry = excess
+	}
+	return res, nil
+}
+
+// EvaluateCost recomputes the ISP cost under a capacity-exceedance cost of
+// the given marginal slope (the Run default is slope 1).
+func (r *Result) EvaluateCost(slope float64) float64 {
+	var c float64
+	for _, b := range r.Backlog {
+		c += slope * b
+	}
+	return r.RewardsPaid + c
+}
+
+// MeanOverRuns runs the simulation reps times with distinct seeds and
+// averages offered volume, backlog, and cost — the quantities the fluid
+// model predicts.
+func MeanOverRuns(cfg Config, reps int) (offered, backlog []float64, cost float64, err error) {
+	if reps < 1 {
+		return nil, nil, 0, fmt.Errorf("%d reps: %w", reps, ErrBadConfig)
+	}
+	offered = make([]float64, cfg.Periods)
+	backlog = make([]float64, cfg.Periods)
+	for rep := 0; rep < reps; rep++ {
+		run := cfg
+		run.Seed = cfg.Seed + int64(rep)*7919
+		res, rerr := Run(run)
+		if rerr != nil {
+			return nil, nil, 0, rerr
+		}
+		for i := range offered {
+			offered[i] += res.OfferedVolume[i]
+			backlog[i] += res.Backlog[i]
+		}
+		cost += res.TotalCost()
+	}
+	for i := range offered {
+		offered[i] /= float64(reps)
+		backlog[i] /= float64(reps)
+	}
+	cost /= float64(reps)
+	return offered, backlog, cost, nil
+}

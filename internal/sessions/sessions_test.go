@@ -1,0 +1,231 @@
+package sessions
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tdp/internal/core"
+	"tdp/internal/waiting"
+)
+
+// smallConfig is a 6-period, 2-type day with congestion early on.
+func smallConfig() Config {
+	return Config{
+		Periods: 6,
+		ArrivalVolume: [][]float64{
+			{60, 40}, {50, 30}, {20, 10}, {10, 10}, {15, 10}, {30, 20},
+		},
+		MeanSize:  0.5,
+		Betas:     []float64{0.5, 3},
+		Capacity:  []float64{70, 70, 70, 70, 70, 70},
+		Rewards:   []float64{0, 0, 0.4, 0.5, 0.3, 0},
+		MaxReward: 1,
+		Seed:      1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"periods", func(c *Config) { c.Periods = 1 }},
+		{"arrival len", func(c *Config) { c.ArrivalVolume = c.ArrivalVolume[:2] }},
+		{"no types", func(c *Config) { c.Betas = nil }},
+		{"ragged", func(c *Config) { c.ArrivalVolume[2] = []float64{1} }},
+		{"negative volume", func(c *Config) { c.ArrivalVolume[0][0] = -1 }},
+		{"mean size", func(c *Config) { c.MeanSize = 0 }},
+		{"max reward", func(c *Config) { c.MaxReward = 0 }},
+		{"reward above P", func(c *Config) { c.Rewards[2] = 5 }},
+		{"negative reward", func(c *Config) { c.Rewards[2] = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := smallConfig()
+			tt.mutate(&c)
+			if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+			if _, err := Run(c); err == nil {
+				t.Error("Run accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRunZeroRewardsNoDeferrals(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Rewards = make([]float64, 6)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.DeferredVolume != 0 || res.RewardsPaid != 0 {
+		t.Errorf("deferred %v, paid %v with zero rewards", res.DeferredVolume, res.RewardsPaid)
+	}
+	for _, s := range res.Sessions {
+		if s.Deferred || s.Target != s.HomePeriod {
+			t.Fatal("session deferred with zero rewards")
+		}
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var offered, total float64
+	for _, v := range res.OfferedVolume {
+		offered += v
+	}
+	for _, s := range res.Sessions {
+		total += s.Size
+	}
+	if math.Abs(offered-total) > 1e-9 {
+		t.Errorf("offered %v ≠ generated %v", offered, total)
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.TotalCost() != b.TotalCost() || len(a.Sessions) != len(b.Sessions) {
+		t.Error("same seed, different outcome")
+	}
+}
+
+func TestRunSessionInvariants(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Sessions) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	for _, s := range res.Sessions {
+		if s.Size <= 0 {
+			t.Fatal("non-positive session size")
+		}
+		if s.Arrival < float64(s.HomePeriod) || s.Arrival >= float64(s.HomePeriod+1) {
+			t.Fatalf("arrival %v outside home period %d", s.Arrival, s.HomePeriod)
+		}
+		if s.Deferred == (s.Target == s.HomePeriod) {
+			t.Fatal("Deferred flag inconsistent with target")
+		}
+		// No deferrals to zero-reward periods.
+		if s.Deferred && smallConfig().Rewards[s.Target] == 0 {
+			t.Fatalf("deferred to unrewarded period %d", s.Target+1)
+		}
+	}
+}
+
+func TestEvaluateCostScaling(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	base := res.EvaluateCost(1)
+	if math.Abs(base-res.TotalCost()) > 1e-9 {
+		t.Errorf("EvaluateCost(1) = %v, TotalCost = %v", base, res.TotalCost())
+	}
+	doubled := res.EvaluateCost(2)
+	wantCong := 2 * (base - res.RewardsPaid)
+	if math.Abs(doubled-res.RewardsPaid-wantCong) > 1e-9 {
+		t.Errorf("EvaluateCost(2) congestion part wrong")
+	}
+}
+
+// TestProp5FluidLimit is the package's reason to exist: averaged over many
+// runs with small sessions, the Monte-Carlo per-period offered volume and
+// backlog must match the fluid DynamicModel's predictions (Prop. 5).
+func TestProp5FluidLimit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MeanSize = 0.25 // many small sessions → close to the fluid limit
+
+	scn := &core.Scenario{
+		Periods:       cfg.Periods,
+		Demand:        cfg.ArrivalVolume,
+		Betas:         cfg.Betas,
+		Capacity:      cfg.Capacity,
+		Cost:          core.LinearCost(1),
+		MaxRewardNorm: cfg.MaxReward,
+	}
+	dm, err := core.NewDynamicModel(scn)
+	if err != nil {
+		t.Fatalf("NewDynamicModel: %v", err)
+	}
+	wantArr := dm.Arrivals(cfg.Rewards)
+	_, wantBacklog := dm.Load(cfg.Rewards)
+	wantCost := dm.CostAt(cfg.Rewards)
+
+	offered, backlog, cost, err := MeanOverRuns(cfg, 200)
+	if err != nil {
+		t.Fatalf("MeanOverRuns: %v", err)
+	}
+	for i := range wantArr {
+		if rel := math.Abs(offered[i]-wantArr[i]) / (1 + wantArr[i]); rel > 0.05 {
+			t.Errorf("period %d offered: MC %v vs fluid %v", i+1, offered[i], wantArr[i])
+		}
+	}
+	// Backlog is max(·,0) of a noisy quantity, so the MC mean is biased
+	// upward near zero (Jensen); compare only clearly-congested periods.
+	for i := range wantBacklog {
+		if wantBacklog[i] < 2 {
+			continue
+		}
+		if rel := math.Abs(backlog[i]-wantBacklog[i]) / wantBacklog[i]; rel > 0.15 {
+			t.Errorf("period %d backlog: MC %v vs fluid %v", i+1, backlog[i], wantBacklog[i])
+		}
+	}
+	if rel := math.Abs(cost-wantCost) / wantCost; rel > 0.15 {
+		t.Errorf("cost: MC %v vs fluid %v (rel %v)", cost, wantCost, rel)
+	}
+}
+
+// TestProp5DeferralFractions checks the per-type deferral mass matches the
+// fluid kernels exactly in expectation.
+func TestProp5DeferralFractions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MeanSize = 0.25
+	// Single origin period with volume, everything else empty, to isolate
+	// the deferral distribution from period 1.
+	for i := range cfg.ArrivalVolume {
+		for j := range cfg.ArrivalVolume[i] {
+			cfg.ArrivalVolume[i][j] = 0
+		}
+	}
+	cfg.ArrivalVolume[0][0] = 400 // patient type only
+
+	w, err := waiting.NewUniformArrival(cfg.Betas[0], cfg.Periods, cfg.MaxReward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered, _, _, err := MeanOverRuns(cfg, 300)
+	if err != nil {
+		t.Fatalf("MeanOverRuns: %v", err)
+	}
+	for k := 1; k < cfg.Periods; k++ {
+		want := 400 * w.Value(cfg.Rewards[k], k)
+		if math.Abs(offered[k]-want) > 0.05*400*0.05+1 {
+			t.Errorf("deferral to period %d: MC %v vs fluid %v", k+1, offered[k], want)
+		}
+	}
+}
+
+func TestMeanOverRunsValidation(t *testing.T) {
+	if _, _, _, err := MeanOverRuns(smallConfig(), 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero reps: err = %v, want ErrBadConfig", err)
+	}
+}

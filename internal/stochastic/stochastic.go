@@ -1,0 +1,143 @@
+// Package stochastic provides the random primitives the dynamic model and
+// the TUBE testbed emulation draw on: Poisson arrival processes,
+// exponential session sizes, and an empirical distribution for background
+// per-flow delays (the paper's §VI testbed generates background traffic
+// from an empirical Internet measurement distribution).
+//
+// All generators take an explicit *rand.Rand so every simulation in this
+// repository is reproducible from a seed.
+package stochastic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadParam is returned for invalid distribution parameters.
+var ErrBadParam = errors.New("stochastic: invalid parameter")
+
+// Poisson draws a Poisson(λ) count. For small λ it uses Knuth's product
+// method; for large λ a normal approximation with continuity correction
+// keeps it O(1).
+func Poisson(rng *rand.Rand, lambda float64) (int, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("lambda %v: %w", lambda, ErrBadParam)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	if lambda > 500 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k, nil
+	}
+	limit := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for p > limit {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1, nil
+}
+
+// Exponential draws an Exp(mean) variate (mean > 0).
+func Exponential(rng *rand.Rand, mean float64) (float64, error) {
+	if mean <= 0 || math.IsNaN(mean) {
+		return 0, fmt.Errorf("mean %v: %w", mean, ErrBadParam)
+	}
+	return rng.ExpFloat64() * mean, nil
+}
+
+// PoissonProcess generates the arrival times of a Poisson process with the
+// given rate on [0, horizon), sorted ascending.
+func PoissonProcess(rng *rand.Rand, rate, horizon float64) ([]float64, error) {
+	if rate < 0 || horizon < 0 || math.IsNaN(rate) || math.IsNaN(horizon) {
+		return nil, fmt.Errorf("rate %v horizon %v: %w", rate, horizon, ErrBadParam)
+	}
+	var times []float64
+	t := 0.0
+	for {
+		if rate == 0 {
+			break
+		}
+		t += rng.ExpFloat64() / rate
+		if t >= horizon {
+			break
+		}
+		times = append(times, t)
+	}
+	return times, nil
+}
+
+// Empirical is a distribution resampled from observed values, used for the
+// background-traffic per-flow delays (paper footnote 7: delays assigned
+// from an empirical Internet measurement distribution).
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical builds an empirical distribution from samples.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no samples: %w", ErrBadParam)
+	}
+	s := append([]float64(nil), samples...)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("NaN sample: %w", ErrBadParam)
+		}
+	}
+	sort.Float64s(s)
+	return &Empirical{sorted: s}, nil
+}
+
+// Draw samples the distribution with linear interpolation between order
+// statistics (a smoothed bootstrap).
+func (e *Empirical) Draw(rng *rand.Rand) float64 {
+	u := rng.Float64() * float64(len(e.sorted)-1)
+	lo := int(u)
+	if lo >= len(e.sorted)-1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	frac := u - float64(lo)
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) by interpolation.
+func (e *Empirical) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("quantile %v: %w", q, ErrBadParam)
+	}
+	u := q * float64(len(e.sorted)-1)
+	lo := int(u)
+	if lo >= len(e.sorted)-1 {
+		return e.sorted[len(e.sorted)-1], nil
+	}
+	frac := u - float64(lo)
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac, nil
+}
+
+// AikatRTTMilliseconds is a compact summary of the round-trip-time
+// distribution reported by Aikat et al., "Variability in TCP Round-Trip
+// Times" (IMC 2003) — the study the paper's testbed takes its background
+// per-flow delays from. Values are representative RTT milliseconds across
+// deciles of their measured flows.
+var AikatRTTMilliseconds = []float64{
+	9, 15, 22, 31, 42, 55, 74, 102, 151, 240, 420,
+}
+
+// BackgroundDelays returns the empirical RTT distribution used for
+// background flows in the TUBE testbed.
+func BackgroundDelays() *Empirical {
+	e, err := NewEmpirical(AikatRTTMilliseconds)
+	if err != nil {
+		// The static data above is known-good; this is unreachable.
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,183 @@
+package stochastic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 4, 30} {
+		const trials = 20000
+		var sum, sumSq float64
+		for i := 0; i < trials; i++ {
+			k, err := Poisson(rng, lambda)
+			if err != nil {
+				t.Fatalf("Poisson: %v", err)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		mean := sum / trials
+		variance := sumSq/trials - mean*mean
+		if math.Abs(mean-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("λ=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.2*lambda+0.2 {
+			t.Errorf("λ=%v: variance %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonLargeLambdaApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const lambda = 1000
+	const trials = 5000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k, err := Poisson(rng, lambda)
+		if err != nil {
+			t.Fatalf("Poisson: %v", err)
+		}
+		if k < 0 {
+			t.Fatal("negative count")
+		}
+		sum += float64(k)
+	}
+	if mean := sum / trials; math.Abs(mean-lambda) > 5 {
+		t.Errorf("mean %v, want ≈1000", mean)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if k, err := Poisson(rng, 0); err != nil || k != 0 {
+		t.Errorf("Poisson(0) = (%d, %v), want (0, nil)", k, err)
+	}
+	if _, err := Poisson(rng, -1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative λ: err = %v, want ErrBadParam", err)
+	}
+	if _, err := Poisson(rng, math.NaN()); !errors.Is(err, ErrBadParam) {
+		t.Errorf("NaN λ: err = %v, want ErrBadParam", err)
+	}
+	if _, err := Poisson(rng, math.Inf(1)); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Inf λ: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const mean = 7.5
+	const trials = 30000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		x, err := Exponential(rng, mean)
+		if err != nil {
+			t.Fatalf("Exponential: %v", err)
+		}
+		if x < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += x
+	}
+	if got := sum / trials; math.Abs(got-mean) > 0.15 {
+		t.Errorf("sample mean %v, want ≈%v", got, mean)
+	}
+	if _, err := Exponential(rng, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero mean: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	times, err := PoissonProcess(rng, 10, 100)
+	if err != nil {
+		t.Fatalf("PoissonProcess: %v", err)
+	}
+	// Expect ≈1000 arrivals; loose bound.
+	if len(times) < 800 || len(times) > 1200 {
+		t.Errorf("%d arrivals, want ≈1000", len(times))
+	}
+	prev := -1.0
+	for _, x := range times {
+		if x < prev {
+			t.Fatal("arrival times not sorted")
+		}
+		if x < 0 || x >= 100 {
+			t.Fatalf("arrival %v outside [0,100)", x)
+		}
+		prev = x
+	}
+	empty, err := PoissonProcess(rng, 0, 100)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("rate 0: (%v, %v), want empty", empty, err)
+	}
+	if _, err := PoissonProcess(rng, -1, 10); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative rate: err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	if _, err := NewEmpirical(nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("empty: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewEmpirical([]float64{1, math.NaN()}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("NaN: err = %v, want ErrBadParam", err)
+	}
+	e, err := NewEmpirical([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	if q, _ := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+	if q, _ := e.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+	if q, _ := e.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if _, err := e.Quantile(1.5); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad q: err = %v, want ErrBadParam", err)
+	}
+	// Draws stay within [min, max].
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		if d := e.Draw(rng); d < 1 || d > 3 {
+			t.Fatalf("draw %v outside [1,3]", d)
+		}
+	}
+}
+
+func TestBackgroundDelays(t *testing.T) {
+	e := BackgroundDelays()
+	rng := rand.New(rand.NewSource(7))
+	var sum float64
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		d := e.Draw(rng)
+		if d < AikatRTTMilliseconds[0] || d > AikatRTTMilliseconds[len(AikatRTTMilliseconds)-1] {
+			t.Fatalf("delay %v outside data range", d)
+		}
+		sum += d
+	}
+	// The distribution is right-skewed: mean above median.
+	med, _ := e.Quantile(0.5)
+	if mean := sum / trials; mean <= med {
+		t.Errorf("mean %v not above median %v for skewed RTTs", mean, med)
+	}
+}
+
+func TestEmpiricalDoesNotAliasInput(t *testing.T) {
+	samples := []float64{5, 1, 3}
+	e, err := NewEmpirical(samples)
+	if err != nil {
+		t.Fatalf("NewEmpirical: %v", err)
+	}
+	samples[0] = 999
+	if q, _ := e.Quantile(1); q != 5 {
+		t.Errorf("mutation leaked into distribution: max = %v", q)
+	}
+}

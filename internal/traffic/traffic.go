@@ -1,0 +1,161 @@
+// Package traffic provides demand/usage profiles over periods of a day and
+// the aggregate metrics the paper evaluates pricing with: residue spread,
+// peak-to-trough range, and the volume redistributed between two profiles.
+//
+// Units follow the paper's simulations: usage in 10 MBps, one period
+// defaulting to half an hour (48 periods/day).
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadProfile is returned for empty or mismatched profiles.
+var ErrBadProfile = errors.New("traffic: invalid profile")
+
+// DefaultPeriodSeconds is the duration of one period in the 48-period
+// model: half an hour.
+const DefaultPeriodSeconds = 1800.0
+
+// Profile is a per-period usage (or demand) trajectory.
+type Profile struct {
+	// Usage holds one value per period, in 10 MBps.
+	Usage []float64
+	// PeriodSeconds is the duration of each period.
+	PeriodSeconds float64
+}
+
+// NewProfile builds a profile with the default half-hour periods.
+func NewProfile(usage []float64) Profile {
+	return Profile{Usage: append([]float64(nil), usage...), PeriodSeconds: DefaultPeriodSeconds}
+}
+
+// Validate checks the profile is non-empty with a positive period length.
+func (p Profile) Validate() error {
+	if len(p.Usage) == 0 {
+		return fmt.Errorf("empty usage: %w", ErrBadProfile)
+	}
+	if p.PeriodSeconds <= 0 {
+		return fmt.Errorf("period %v s: %w", p.PeriodSeconds, ErrBadProfile)
+	}
+	return nil
+}
+
+// Total returns the total volume carried over the day in gigabytes,
+// treating usage values as 10 MBps sustained for each period.
+func (p Profile) Total() float64 {
+	var s float64
+	for _, u := range p.Usage {
+		s += u
+	}
+	return s * 10 * p.PeriodSeconds / 1000 // 10 MBps → MB/s, /1000 → GB
+}
+
+// Mean returns the average per-period usage.
+func (p Profile) Mean() float64 {
+	if len(p.Usage) == 0 {
+		return 0
+	}
+	var s float64
+	for _, u := range p.Usage {
+		s += u
+	}
+	return s / float64(len(p.Usage))
+}
+
+// PeakToTrough returns max usage − min usage, the paper's "maximum minus
+// minimum usage" measure (Fig. 5 reports it dropping from 200 to 119 MBps).
+func (p Profile) PeakToTrough() float64 {
+	if len(p.Usage) == 0 {
+		return 0
+	}
+	mx, mn := p.Usage[0], p.Usage[0]
+	for _, u := range p.Usage {
+		mx = math.Max(mx, u)
+		mn = math.Min(mn, u)
+	}
+	return mx - mn
+}
+
+// ResidueSpread is the paper's §V-A metric: the area (in GB) between the
+// profile and a flat profile carrying the same total usage.
+func (p Profile) ResidueSpread() float64 {
+	mean := p.Mean()
+	var s float64
+	for _, u := range p.Usage {
+		s += math.Abs(u - mean)
+	}
+	return s * 10 * p.PeriodSeconds / 1000
+}
+
+// AreaBetween returns the area (GB) between two profiles with the same
+// period structure — the paper's "traffic redistributed over a day".
+func AreaBetween(a, b Profile) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if len(a.Usage) != len(b.Usage) || a.PeriodSeconds != b.PeriodSeconds {
+		return 0, fmt.Errorf("profiles %d×%vs vs %d×%vs: %w",
+			len(a.Usage), a.PeriodSeconds, len(b.Usage), b.PeriodSeconds, ErrBadProfile)
+	}
+	var s float64
+	for i := range a.Usage {
+		s += math.Abs(a.Usage[i] - b.Usage[i])
+	}
+	return s * 10 * a.PeriodSeconds / 1000, nil
+}
+
+// OverCapacityVolume returns the total volume (GB) exceeding the given
+// per-period capacities.
+func (p Profile) OverCapacityVolume(capacity []float64) (float64, error) {
+	if len(capacity) != len(p.Usage) {
+		return 0, fmt.Errorf("capacity has %d periods, profile %d: %w",
+			len(capacity), len(p.Usage), ErrBadProfile)
+	}
+	var s float64
+	for i, u := range p.Usage {
+		if over := u - capacity[i]; over > 0 {
+			s += over
+		}
+	}
+	return s * 10 * p.PeriodSeconds / 1000, nil
+}
+
+// CapacityPlan is the per-period available capacity A_i. The paper models
+// usage caps and irrational-user cushions by subtracting cap-exempt usage
+// from a physical capacity (§II).
+type CapacityPlan struct {
+	Available []float64 // A_i per period, 10 MBps
+}
+
+// ConstantCapacity returns an n-period plan with the same capacity each
+// period.
+func ConstantCapacity(n int, a float64) CapacityPlan {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a
+	}
+	return CapacityPlan{Available: out}
+}
+
+// CapAdjusted builds the paper's cap-adjusted plan: physical capacity minus
+// the usage of customers below the usage cap (not subject to TDP), clamped
+// at zero.
+func CapAdjusted(physical float64, belowCapUsage []float64) CapacityPlan {
+	out := make([]float64, len(belowCapUsage))
+	for i, u := range belowCapUsage {
+		out[i] = math.Max(physical-u, 0)
+	}
+	return CapacityPlan{Available: out}
+}
+
+// TargetUtilization scales a physical capacity to the operating target the
+// paper mentions (ISPs target ≤ 80% of physical capacity).
+func TargetUtilization(physical, fraction float64) float64 {
+	return physical * fraction
+}

@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdp/internal/waiting"
+)
+
+func TestProfileValidate(t *testing.T) {
+	if err := NewProfile([]float64{1, 2}).Validate(); err != nil {
+		t.Errorf("valid profile: %v", err)
+	}
+	if err := NewProfile(nil).Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("empty: err = %v, want ErrBadProfile", err)
+	}
+	p := Profile{Usage: []float64{1}, PeriodSeconds: 0}
+	if err := p.Validate(); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("zero period: err = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestProfileTotal(t *testing.T) {
+	// 1 unit of 10 MBps for one 1800 s period = 18000 MB = 18 GB.
+	p := NewProfile([]float64{1})
+	if got := p.Total(); math.Abs(got-18) > 1e-12 {
+		t.Errorf("Total = %v GB, want 18", got)
+	}
+}
+
+func TestProfileMeanPeak(t *testing.T) {
+	p := NewProfile([]float64{10, 20, 30})
+	if m := p.Mean(); m != 20 {
+		t.Errorf("Mean = %v, want 20", m)
+	}
+	if r := p.PeakToTrough(); r != 20 {
+		t.Errorf("PeakToTrough = %v, want 20", r)
+	}
+}
+
+func TestResidueSpreadFlatProfileIsZero(t *testing.T) {
+	p := NewProfile([]float64{7, 7, 7, 7})
+	if rs := p.ResidueSpread(); rs != 0 {
+		t.Errorf("ResidueSpread of flat profile = %v, want 0", rs)
+	}
+}
+
+func TestResidueSpreadKnownValue(t *testing.T) {
+	// Usage (10,30): mean 20, Σ|u−mean| = 20 units of 10 MBps over 1800 s
+	// = 20·10·1800/1000 = 360 GB.
+	p := NewProfile([]float64{10, 30})
+	if rs := p.ResidueSpread(); math.Abs(rs-360) > 1e-9 {
+		t.Errorf("ResidueSpread = %v, want 360", rs)
+	}
+}
+
+func TestAreaBetween(t *testing.T) {
+	a := NewProfile([]float64{10, 20})
+	b := NewProfile([]float64{12, 16})
+	got, err := AreaBetween(a, b)
+	if err != nil {
+		t.Fatalf("AreaBetween: %v", err)
+	}
+	want := (2.0 + 4.0) * 10 * 1800 / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AreaBetween = %v, want %v", got, want)
+	}
+	if _, err := AreaBetween(a, NewProfile([]float64{1})); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("mismatched lengths: err = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestAreaBetweenSelfIsZero(t *testing.T) {
+	p := NewProfile([]float64{3, 1, 4, 1, 5})
+	got, err := AreaBetween(p, p)
+	if err != nil {
+		t.Fatalf("AreaBetween: %v", err)
+	}
+	if got != 0 {
+		t.Errorf("AreaBetween(p,p) = %v, want 0", got)
+	}
+}
+
+func TestOverCapacityVolume(t *testing.T) {
+	p := NewProfile([]float64{15, 25})
+	cp := ConstantCapacity(2, 20)
+	got, err := p.OverCapacityVolume(cp.Available)
+	if err != nil {
+		t.Fatalf("OverCapacityVolume: %v", err)
+	}
+	want := 5.0 * 10 * 1800 / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("OverCapacityVolume = %v, want %v", got, want)
+	}
+	if _, err := p.OverCapacityVolume([]float64{1}); !errors.Is(err, ErrBadProfile) {
+		t.Errorf("short capacity: err = %v, want ErrBadProfile", err)
+	}
+}
+
+func TestCapAdjusted(t *testing.T) {
+	cp := CapAdjusted(20, []float64{5, 25, 0})
+	want := []float64{15, 0, 20}
+	for i := range want {
+		if cp.Available[i] != want[i] {
+			t.Errorf("Available[%d] = %v, want %v", i, cp.Available[i], want[i])
+		}
+	}
+}
+
+func TestTargetUtilization(t *testing.T) {
+	// The paper uses 80% of physical capacity as the operating target.
+	if got := TargetUtilization(22.5, 0.8); math.Abs(got-18) > 1e-12 {
+		t.Errorf("TargetUtilization = %v, want 18", got)
+	}
+}
+
+func TestPaperTIPProfileMetrics(t *testing.T) {
+	// Sanity-check the headline TIP inputs: with Table VII demand and the
+	// A=18 capacity of §V-A, the day has substantial over-capacity volume
+	// and a large residue spread.
+	p := NewProfile(waiting.Totals(waiting.Demand48()))
+	if len(p.Usage) != 48 {
+		t.Fatalf("expected 48 periods")
+	}
+	if pt := p.PeakToTrough(); math.Abs(pt-20) > 1e-12 { // 200 MBps in 10 MBps units
+		t.Errorf("TIP peak-to-trough = %v, want 20 (200 MBps)", pt)
+	}
+	over, err := p.OverCapacityVolume(ConstantCapacity(48, 18).Available)
+	if err != nil {
+		t.Fatalf("OverCapacityVolume: %v", err)
+	}
+	if over <= 0 {
+		t.Error("TIP profile should exceed capacity somewhere")
+	}
+	if rs := p.ResidueSpread(); rs <= 0 {
+		t.Error("TIP residue spread should be positive")
+	}
+}
+
+// Property: residue spread is translation-invariant in shape terms —
+// scaling usage by c ≥ 0 scales the spread by c.
+func TestResidueSpreadScalingProperty(t *testing.T) {
+	f := func(u1, u2, u3 uint8, cr uint8) bool {
+		c := float64(cr%10) / 2
+		p := NewProfile([]float64{float64(u1), float64(u2), float64(u3)})
+		scaled := NewProfile([]float64{c * float64(u1), c * float64(u2), c * float64(u3)})
+		return math.Abs(scaled.ResidueSpread()-c*p.ResidueSpread()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the triangle inequality for AreaBetween.
+func TestAreaBetweenTriangleProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2, c1, c2 uint8) bool {
+		a := NewProfile([]float64{float64(a1), float64(a2)})
+		b := NewProfile([]float64{float64(b1), float64(b2)})
+		c := NewProfile([]float64{float64(c1), float64(c2)})
+		ab, err1 := AreaBetween(a, b)
+		bc, err2 := AreaBetween(b, c)
+		ac, err3 := AreaBetween(a, c)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

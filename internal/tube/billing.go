@@ -1,0 +1,116 @@
+package tube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Billing accrues each user's bill under time-dependent usage pricing.
+// The paper's §IV observation is that correct billing needs only the
+// per-user usage in each period and that period's published reward: the
+// effective price is the baseline usage price minus the reward (rewards
+// "move the baseline usage price", §I-C), floored at zero.
+type Billing struct {
+	mu        sync.Mutex
+	basePrice float64 // $0.10 per volume unit
+	charges   map[string]float64
+	rewards   map[string]float64 // value of rewards credited per user
+	periods   int
+}
+
+// NewBilling creates a billing engine with the given baseline usage price
+// per volume unit ($0.10 units).
+func NewBilling(basePrice float64) (*Billing, error) {
+	if basePrice <= 0 || math.IsNaN(basePrice) {
+		return nil, fmt.Errorf("base price %v: %w", basePrice, ErrBadInput)
+	}
+	return &Billing{
+		basePrice: basePrice,
+		charges:   make(map[string]float64),
+		rewards:   make(map[string]float64),
+	}, nil
+}
+
+// BasePrice returns the baseline usage price.
+func (b *Billing) BasePrice() float64 { return b.basePrice }
+
+// AddPeriod accrues one closed period: each user's usage is charged at
+// max(basePrice − reward, 0).
+func (b *Billing) AddPeriod(usageByUser map[string]float64, reward float64) error {
+	if reward < 0 || math.IsNaN(reward) {
+		return fmt.Errorf("reward %v: %w", reward, ErrBadInput)
+	}
+	price := b.basePrice - reward
+	if price < 0 {
+		price = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for user, usage := range usageByUser {
+		if usage < 0 {
+			return fmt.Errorf("usage %v for %q: %w", usage, user, ErrBadInput)
+		}
+		b.charges[user] += price * usage
+		b.rewards[user] += (b.basePrice - price) * usage
+	}
+	b.periods++
+	return nil
+}
+
+// Bill returns a user's accrued charge this cycle (0 for unknown users).
+func (b *Billing) Bill(user string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.charges[user]
+}
+
+// RewardCredit returns the total value of rewards a user has received this
+// cycle (the discount off TIP billing).
+func (b *Billing) RewardCredit(user string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rewards[user]
+}
+
+// Periods returns how many periods have been accrued this cycle.
+func (b *Billing) Periods() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.periods
+}
+
+// Statement is one user's line on the cycle statement.
+type Statement struct {
+	User         string  `json:"user"`
+	Charge       float64 `json:"charge"`       // $0.10 units
+	RewardCredit float64 `json:"rewardCredit"` // discount vs TIP billing
+}
+
+// Statements returns the cycle's per-user statements, sorted by user.
+func (b *Billing) Statements() []Statement {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Statement, 0, len(b.charges))
+	for user, charge := range b.charges {
+		out = append(out, Statement{
+			User:         user,
+			Charge:       charge,
+			RewardCredit: b.rewards[user],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// CloseCycle returns the final statements and resets for the next cycle.
+func (b *Billing) CloseCycle() []Statement {
+	stmts := b.Statements()
+	b.mu.Lock()
+	b.charges = make(map[string]float64)
+	b.rewards = make(map[string]float64)
+	b.periods = 0
+	b.mu.Unlock()
+	return stmts
+}

@@ -1,0 +1,199 @@
+package tube
+
+import (
+	"fmt"
+
+	"tdp/internal/core"
+)
+
+// Controller closes the paper's Fig. 1 loop across days: publish a day of
+// optimized rewards, observe the aggregate user reaction, feed the
+// TIP-vs-TDP differences to the profiling engine, and re-estimate the
+// patience indices that drive the next day's optimization — the "weekly"
+// estimation workflow §IV describes, where the ISP never observes
+// individual sessions.
+type Controller struct {
+	cfg      ControllerConfig
+	betas    []float64
+	profiler *ClassProfiler
+	days     int
+}
+
+// ControllerConfig describes the deployment.
+type ControllerConfig struct {
+	// Demand[i][j] is the TIP baseline demand of class j in period i+1
+	// (from a pre-TDP control period).
+	Demand [][]float64
+	// Classes names the traffic classes.
+	Classes []string
+	// InitialBetas is the ISP's prior patience estimate per class.
+	InitialBetas []float64
+	// Capacity, Cost, MaxRewardNorm parameterize the pricing model.
+	Capacity      []float64
+	Cost          core.CostFunc
+	MaxRewardNorm float64
+	// UseDynamic selects the carry-over model.
+	UseDynamic bool
+	// MinObservations gates re-estimation: the profiler must hold at
+	// least this many days of data before its estimates replace the
+	// prior (default 2 — a single day is rarely identifying).
+	MinObservations int
+	// EstimationIter caps the LM iterations per re-estimation (default
+	// 150; the fit warm-starts from scratch each day).
+	EstimationIter int
+}
+
+// DayReport summarizes one closed day of the control loop.
+type DayReport struct {
+	// Day is the 1-based day number.
+	Day int
+	// Rewards is the schedule that was published.
+	Rewards []float64
+	// UsageTotals is the realized per-period aggregate usage.
+	UsageTotals []float64
+	// CongestionCost is Σ_i f(usage_i − A_i) on the realized usage.
+	CongestionCost float64
+	// Betas is the patience estimate in force *after* this day's
+	// re-profiling.
+	Betas []float64
+	// Reestimated reports whether profiling updated the betas.
+	Reestimated bool
+}
+
+// NewController validates the configuration.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.Demand) < 2 {
+		return nil, fmt.Errorf("demand needs ≥ 2 periods: %w", ErrBadInput)
+	}
+	if len(cfg.Classes) == 0 || len(cfg.InitialBetas) != len(cfg.Classes) {
+		return nil, fmt.Errorf("%d classes, %d betas: %w", len(cfg.Classes), len(cfg.InitialBetas), ErrBadInput)
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = 2
+	}
+	if cfg.EstimationIter <= 0 {
+		cfg.EstimationIter = 150
+	}
+	scn := &core.Scenario{
+		Periods:       len(cfg.Demand),
+		Demand:        cfg.Demand,
+		Betas:         cfg.InitialBetas,
+		Capacity:      cfg.Capacity,
+		Cost:          cfg.Cost,
+		MaxRewardNorm: cfg.MaxRewardNorm,
+	}
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := NewClassProfiler(cfg.Demand, scn.NormReward(), cfg.EstimationIter)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:      cfg,
+		betas:    append([]float64(nil), cfg.InitialBetas...),
+		profiler: prof,
+	}, nil
+}
+
+// Betas returns the current per-class patience estimates.
+func (c *Controller) Betas() []float64 {
+	return append([]float64(nil), c.betas...)
+}
+
+// Days returns the number of closed days.
+func (c *Controller) Days() int { return c.days }
+
+// scenario builds the pricing scenario from the current belief.
+func (c *Controller) scenario() *core.Scenario {
+	return &core.Scenario{
+		Periods:       len(c.cfg.Demand),
+		Demand:        c.cfg.Demand,
+		Betas:         c.betas,
+		Capacity:      c.cfg.Capacity,
+		Cost:          c.cfg.Cost,
+		MaxRewardNorm: c.cfg.MaxRewardNorm,
+	}
+}
+
+// PlanDay solves the pricing model under the current patience belief and
+// returns the reward schedule to publish.
+func (c *Controller) PlanDay() ([]float64, error) {
+	scn := c.scenario()
+	if c.cfg.UseDynamic {
+		m, err := core.NewDynamicModel(scn)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := m.Solve()
+		if err != nil {
+			return nil, err
+		}
+		return pr.Rewards, nil
+	}
+	m, err := core.NewStaticModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return pr.Rewards, nil
+}
+
+// ObserveDay closes a day: the realized per-period, per-class usage (what
+// the measurement engine accounted) is folded into the per-class
+// profiler, and once enough days are banked the patience estimates are
+// refreshed for the next PlanDay.
+func (c *Controller) ObserveDay(rewards []float64, usage [][]float64) (*DayReport, error) {
+	n := len(c.cfg.Demand)
+	if len(rewards) != n || len(usage) != n {
+		return nil, fmt.Errorf("day has %d rewards, %d usage rows, want %d: %w",
+			len(rewards), len(usage), n, ErrBadInput)
+	}
+	if err := c.profiler.AddObservation(rewards, usage); err != nil {
+		return nil, err
+	}
+	c.days++
+
+	report := &DayReport{
+		Day:         c.days,
+		Rewards:     append([]float64(nil), rewards...),
+		UsageTotals: make([]float64, n),
+	}
+	for i, row := range usage {
+		for _, v := range row {
+			report.UsageTotals[i] += v
+		}
+		report.CongestionCost += c.cfg.Cost.Value(report.UsageTotals[i] - c.cfg.Capacity[i])
+	}
+	if c.profiler.ObservationCount() >= c.cfg.MinObservations {
+		betas, err := c.profiler.EstimateBetas()
+		if err != nil {
+			return nil, fmt.Errorf("re-profiling: %w", err)
+		}
+		c.betas = betas
+		report.Reestimated = true
+	}
+	report.Betas = c.Betas()
+	return report, nil
+}
+
+// UserModel maps a published reward schedule to the realized per-period,
+// per-class usage — the population's reaction as the measurement engine
+// would account it. Emulations and tests plug in ground-truth behavior.
+type UserModel func(rewards []float64) ([][]float64, error)
+
+// RunDay plans, lets users react, and observes — one full loop turn.
+func (c *Controller) RunDay(react UserModel) (*DayReport, error) {
+	rewards, err := c.PlanDay()
+	if err != nil {
+		return nil, err
+	}
+	usage, err := react(rewards)
+	if err != nil {
+		return nil, fmt.Errorf("user reaction: %w", err)
+	}
+	return c.ObserveDay(rewards, usage)
+}

@@ -1,0 +1,176 @@
+package tube
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tdp/internal/core"
+)
+
+// controllerConfig is a 12-period, 3-class deployment whose ISP starts
+// with a deliberately wrong patience prior.
+func controllerConfig() ControllerConfig {
+	scn := testScenario() // true betas: web 4, ftp 1.5, video 0.5
+	return ControllerConfig{
+		Demand:       scn.Demand,
+		Classes:      testClasses(),
+		InitialBetas: []float64{2.5, 2.5, 2.5}, // uninformative prior
+		Capacity:     scn.Capacity,
+		Cost:         scn.Cost,
+	}
+}
+
+// truthModel returns a UserModel backed by the population's true patience.
+func truthModel(t *testing.T) UserModel {
+	t.Helper()
+	scn := testScenario()
+	m, err := core.NewStaticModel(scn)
+	if err != nil {
+		t.Fatalf("NewStaticModel: %v", err)
+	}
+	return func(rewards []float64) ([][]float64, error) {
+		return m.UsageByType(rewards), nil
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	cfg := controllerConfig()
+	cfg.Demand = cfg.Demand[:1]
+	if _, err := NewController(cfg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("one period: err = %v, want ErrBadInput", err)
+	}
+	cfg = controllerConfig()
+	cfg.InitialBetas = []float64{1}
+	if _, err := NewController(cfg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("beta count: err = %v, want ErrBadInput", err)
+	}
+	cfg = controllerConfig()
+	cfg.Capacity = nil
+	if _, err := NewController(cfg); err == nil {
+		t.Error("missing capacity accepted")
+	}
+}
+
+func TestControllerObserveDayValidation(t *testing.T) {
+	c, err := NewController(controllerConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if _, err := c.ObserveDay([]float64{1}, make([][]float64, 12)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short rewards: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestControllerFirstDayKeepsPrior(t *testing.T) {
+	c, err := NewController(controllerConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	rep, err := c.RunDay(truthModel(t))
+	if err != nil {
+		t.Fatalf("RunDay: %v", err)
+	}
+	if rep.Day != 1 || c.Days() != 1 {
+		t.Errorf("day accounting wrong: %d/%d", rep.Day, c.Days())
+	}
+	if rep.Reestimated {
+		t.Error("re-estimated from a single day (MinObservations=2)")
+	}
+	for j, b := range c.Betas() {
+		if b != 2.5 {
+			t.Errorf("beta[%d] = %v, want prior 2.5", j, b)
+		}
+	}
+}
+
+// TestControllerLoopLearnsPatience is the end-to-end Fig. 1 loop test:
+// after several days of publish → react → profile, the ISP's patience
+// estimates must recover the true per-class ordering and move toward the
+// truth, and the realized congestion cost must stay below the TIP level.
+func TestControllerLoopLearnsPatience(t *testing.T) {
+	c, err := NewController(controllerConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	react := truthModel(t)
+	var reports []*DayReport
+	for day := 0; day < 4; day++ {
+		rep, err := c.RunDay(react)
+		if err != nil {
+			t.Fatalf("day %d: %v", day+1, rep)
+		}
+		reports = append(reports, rep)
+	}
+	last := reports[len(reports)-1]
+	if !last.Reestimated {
+		t.Fatal("profiling never kicked in")
+	}
+	betas := c.Betas()
+	// True ordering: web (4) > ftp (1.5) > video (0.5).
+	if !(betas[0] > betas[1] && betas[1] > betas[2]) {
+		t.Errorf("patience ordering not recovered: %v", betas)
+	}
+	// Estimates moved from the flat 2.5 prior toward the truth.
+	truth := []float64{4, 1.5, 0.5}
+	var before, after float64
+	for j := range truth {
+		before += math.Abs(2.5 - truth[j])
+		after += math.Abs(betas[j] - truth[j])
+	}
+	if after >= before {
+		t.Errorf("estimates did not improve: Σ|Δ| %v → %v (betas %v)", before, after, betas)
+	}
+	// TDP kept realized congestion below the TIP level every day.
+	scn := testScenario()
+	var tipCost float64
+	for i, x := range scn.TotalDemand() {
+		tipCost += scn.Cost.Value(x - scn.Capacity[i])
+	}
+	for _, rep := range reports {
+		if rep.CongestionCost >= tipCost {
+			t.Errorf("day %d congestion %v not below TIP %v", rep.Day, rep.CongestionCost, tipCost)
+		}
+	}
+}
+
+// TestControllerRewardsAdaptAfterProfiling: once the betas update, the
+// planned schedule changes — the loop actually feeds back.
+func TestControllerRewardsAdaptAfterProfiling(t *testing.T) {
+	c, err := NewController(controllerConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	initial, err := c.PlanDay()
+	if err != nil {
+		t.Fatalf("PlanDay: %v", err)
+	}
+	react := truthModel(t)
+	for day := 0; day < 3; day++ {
+		if _, err := c.RunDay(react); err != nil {
+			t.Fatalf("day %d: %v", day+1, err)
+		}
+	}
+	adapted, err := c.PlanDay()
+	if err != nil {
+		t.Fatalf("PlanDay: %v", err)
+	}
+	var diff float64
+	for i := range initial {
+		diff += math.Abs(initial[i] - adapted[i])
+	}
+	if diff < 0.05 {
+		t.Errorf("schedule unchanged after profiling (Σ|Δp| = %v)", diff)
+	}
+}
+
+func TestControllerUserModelError(t *testing.T) {
+	c, err := NewController(controllerConfig())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	boom := errors.New("users revolted")
+	if _, err := c.RunDay(func([]float64) ([][]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the user-model error", err)
+	}
+}

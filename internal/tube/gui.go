@@ -1,0 +1,155 @@
+package tube
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tdp/internal/rrd"
+)
+
+// GUI is the user-side TUBE client: it pulls the price exactly once per
+// period (the paper's §VI-B scalability rule), keeps a local RRD history
+// of offered prices, and exposes the current reward to the user's
+// applications (or to an Autopilot).
+type GUI struct {
+	base    string
+	client  *http.Client
+	history *rrd.DB
+	pulls   int
+	last    PriceInfo
+	havePri bool
+}
+
+// NewGUI builds a client for the optimizer at baseURL (no trailing slash).
+func NewGUI(baseURL string) (*GUI, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("empty base URL: %w", ErrBadInput)
+	}
+	hist, err := rrd.New(1, rrd.ArchiveSpec{Func: rrd.Last, Steps: 1, Rows: 1024})
+	if err != nil {
+		return nil, err
+	}
+	return &GUI{
+		base:    baseURL,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		history: hist,
+		last:    PriceInfo{Period: -1},
+	}, nil
+}
+
+// PullPrice fetches the current price from the optimizer. TUBE GUIs call
+// this once at each period boundary.
+func (g *GUI) PullPrice(ctx context.Context) (PriceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.base+"/price", nil)
+	if err != nil {
+		return PriceInfo{}, fmt.Errorf("build request: %w", err)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return PriceInfo{}, fmt.Errorf("pull price: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PriceInfo{}, fmt.Errorf("pull price: status %d", resp.StatusCode)
+	}
+	var info PriceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return PriceInfo{}, fmt.Errorf("decode price: %w", err)
+	}
+	g.pulls++
+	// Record one history point per period; the server may be asked twice
+	// for the same period (e.g. on reconnect) — keep the latest only.
+	if !g.havePri || info.Period > g.last.Period {
+		if err := g.history.Update(int64(info.Period+1), info.Reward); err == nil {
+			g.havePri = true
+		}
+	}
+	g.last = info
+	return info, nil
+}
+
+// ReportUsage posts a usage record to the optimizer's measurement engine
+// (the testbed's stand-in for in-network accounting).
+func (g *GUI) ReportUsage(ctx context.Context, rep UsageReport) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("encode usage: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+"/usage",
+		bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("report usage: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("report usage: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// FetchBill retrieves the user's accrued charge and reward credit for the
+// current billing cycle.
+func (g *GUI) FetchBill(ctx context.Context, user string) (Statement, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		g.base+"/bill?user="+user, nil)
+	if err != nil {
+		return Statement{}, fmt.Errorf("build request: %w", err)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return Statement{}, fmt.Errorf("fetch bill: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Statement{}, fmt.Errorf("fetch bill: status %d", resp.StatusCode)
+	}
+	var st Statement
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Statement{}, fmt.Errorf("decode bill: %w", err)
+	}
+	return st, nil
+}
+
+// CurrentReward returns the most recently pulled reward (0 before the
+// first successful pull).
+func (g *GUI) CurrentReward() float64 {
+	if !g.havePri {
+		return 0
+	}
+	return g.last.Reward
+}
+
+// Pulls returns how many price pulls this GUI has made (tests assert the
+// once-per-period discipline).
+func (g *GUI) Pulls() int { return g.pulls }
+
+// PriceHistory returns the locally archived price points.
+func (g *GUI) PriceHistory() ([]rrd.Point, error) {
+	return g.history.Fetch(0)
+}
+
+// SaveHistory snapshots the local price history (the RRDtool file the
+// paper's GUI keeps) so it survives restarts.
+func (g *GUI) SaveHistory(w io.Writer) error {
+	return g.history.Save(w)
+}
+
+// LoadHistory restores a history snapshot written by SaveHistory.
+func (g *GUI) LoadHistory(r io.Reader) error {
+	db, err := rrd.Load(r)
+	if err != nil {
+		return err
+	}
+	g.history = db
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package tube implements the TUBE prototype of §VI: the server-side
+// Optimizer (measurement engine → profiling engine → price determination
+// engine) and the user-side GUI client that pulls prices once per period
+// over HTTP, with RRD-backed history on both ends.
+//
+// The paper's deployment used IPtables byte counters, an Ntop GUI plugin
+// and an SSL channel; here measurement is an in-process counter API the
+// emulated testbed feeds, the GUI is a polling client library, and the
+// channel is plain HTTP on localhost (see DESIGN.md §2 for the
+// substitution rationale).
+package tube
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrBadInput is returned for invalid engine inputs.
+var ErrBadInput = errors.New("tube: invalid input")
+
+// Measurement is the measurement engine: per-user, per-class byte
+// accounting for the current period, the role IPtables counters play in
+// the paper's prototype.
+type Measurement struct {
+	mu      sync.Mutex
+	classes []string
+	byUser  map[string]map[string]float64 // user → class → MB
+}
+
+// NewMeasurement creates an engine accounting the given traffic classes.
+func NewMeasurement(classes []string) (*Measurement, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("no classes: %w", ErrBadInput)
+	}
+	seen := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		if c == "" || seen[c] {
+			return nil, fmt.Errorf("class %q empty or duplicate: %w", c, ErrBadInput)
+		}
+		seen[c] = true
+	}
+	return &Measurement{
+		classes: append([]string(nil), classes...),
+		byUser:  make(map[string]map[string]float64),
+	}, nil
+}
+
+// Record accumulates volumeMB of traffic for (user, class).
+func (m *Measurement) Record(user, class string, volumeMB float64) error {
+	if user == "" {
+		return fmt.Errorf("empty user: %w", ErrBadInput)
+	}
+	if volumeMB < 0 {
+		return fmt.Errorf("negative volume %v: %w", volumeMB, ErrBadInput)
+	}
+	if !m.knownClass(class) {
+		return fmt.Errorf("unknown class %q: %w", class, ErrBadInput)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := m.byUser[user]
+	if u == nil {
+		u = make(map[string]float64, len(m.classes))
+		m.byUser[user] = u
+	}
+	u[class] += volumeMB
+	return nil
+}
+
+func (m *Measurement) knownClass(class string) bool {
+	for _, c := range m.classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Classes returns the accounted traffic classes.
+func (m *Measurement) Classes() []string {
+	return append([]string(nil), m.classes...)
+}
+
+// ClassTotals returns this period's aggregate volume per class, ordered as
+// Classes().
+func (m *Measurement) ClassTotals() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(m.classes))
+	for _, u := range m.byUser {
+		for i, c := range m.classes {
+			out[i] += u[c]
+		}
+	}
+	return out
+}
+
+// UserTotals returns this period's total volume per user.
+func (m *Measurement) UserTotals() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.byUser))
+	for user, classes := range m.byUser {
+		var s float64
+		for _, v := range classes {
+			s += v
+		}
+		out[user] = s
+	}
+	return out
+}
+
+// Users returns the users seen this period, sorted.
+func (m *Measurement) Users() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.byUser))
+	for u := range m.byUser {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears the counters for a new period and returns the closed
+// period's per-class totals.
+func (m *Measurement) Reset() []float64 {
+	totals := m.ClassTotals()
+	m.mu.Lock()
+	m.byUser = make(map[string]map[string]float64)
+	m.mu.Unlock()
+	return totals
+}

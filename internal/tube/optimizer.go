@@ -1,0 +1,188 @@
+package tube
+
+import (
+	"fmt"
+	"sync"
+
+	"tdp/internal/core"
+	"tdp/internal/rrd"
+)
+
+// OptimizerConfig describes a TUBE Optimizer deployment.
+type OptimizerConfig struct {
+	// Scenario is the initial demand estimate and cost structure; its
+	// Betas correspond one-to-one with Classes.
+	Scenario *core.Scenario
+	// Classes names the traffic classes (len == len(Scenario.Betas)).
+	Classes []string
+	// UseDynamic selects the carry-over dynamic model for price
+	// determination (the paper's TUBE Optimizer uses the online algorithm
+	// backed by the dynamic model).
+	UseDynamic bool
+	// HistoryRows bounds the RRD archives (default 1024).
+	HistoryRows int
+	// BasePrice is the baseline usage price per volume unit for billing
+	// ($0.10 units; default 1).
+	BasePrice float64
+}
+
+// Optimizer is the TUBE server brain: it owns the measurement engine, the
+// profiling engine, the online price determination engine, and the price
+// and usage history.
+type Optimizer struct {
+	mu        sync.Mutex
+	cfg       OptimizerConfig
+	meas      *Measurement
+	profiler  *Profiler
+	online    *core.OnlineOptimizer
+	priceHist *rrd.DB
+	usageHist *rrd.DB
+	billing   *Billing
+	period    int
+	rewards   []float64 // day-shaped published schedule
+}
+
+// NewOptimizer validates the configuration, computes the initial reward
+// schedule with a full offline solve, and prepares the engines.
+func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("nil scenario: %w", ErrBadInput)
+	}
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Classes) != len(cfg.Scenario.Betas) {
+		return nil, fmt.Errorf("%d classes for %d session types: %w",
+			len(cfg.Classes), len(cfg.Scenario.Betas), ErrBadInput)
+	}
+	if cfg.HistoryRows <= 0 {
+		cfg.HistoryRows = 1024
+	}
+	if cfg.BasePrice == 0 {
+		cfg.BasePrice = 1
+	}
+	meas, err := NewMeasurement(cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	profiler, err := NewProfiler(cfg.Scenario.Periods, len(cfg.Classes),
+		cfg.Scenario.TotalDemand(), cfg.Scenario.NormReward())
+	if err != nil {
+		return nil, err
+	}
+	online, err := core.NewOnlineOptimizer(cfg.Scenario, core.OnlineConfig{
+		UseDynamic: cfg.UseDynamic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	priceHist, err := rrd.New(1, rrd.ArchiveSpec{Func: rrd.Last, Steps: 1, Rows: cfg.HistoryRows})
+	if err != nil {
+		return nil, err
+	}
+	usageHist, err := rrd.New(1, rrd.ArchiveSpec{Func: rrd.Last, Steps: 1, Rows: cfg.HistoryRows})
+	if err != nil {
+		return nil, err
+	}
+	billing, err := NewBilling(cfg.BasePrice)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{
+		cfg:       cfg,
+		meas:      meas,
+		profiler:  profiler,
+		online:    online,
+		priceHist: priceHist,
+		usageHist: usageHist,
+		billing:   billing,
+		rewards:   online.Rewards(),
+	}, nil
+}
+
+// Measurement exposes the measurement engine for traffic accounting.
+func (o *Optimizer) Measurement() *Measurement { return o.meas }
+
+// Profiler exposes the profiling engine.
+func (o *Optimizer) Profiler() *Profiler { return o.profiler }
+
+// Billing exposes the billing engine.
+func (o *Optimizer) Billing() *Billing { return o.billing }
+
+// Period returns the index (0-based) of the period now in progress.
+func (o *Optimizer) Period() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.period
+}
+
+// CurrentReward returns the published reward for the period in progress.
+func (o *Optimizer) CurrentReward() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rewards[o.period%o.cfg.Scenario.Periods]
+}
+
+// Schedule returns a copy of the full day reward schedule.
+func (o *Optimizer) Schedule() []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]float64(nil), o.rewards...)
+}
+
+// ClosePeriod ends the period in progress: it snapshots and resets the
+// measurement counters, feeds the observation to the online price engine,
+// logs price and usage history, and publishes the updated schedule.
+// It returns the closed period's per-class measured volumes.
+func (o *Optimizer) ClosePeriod() ([]float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	perUser := o.meas.UserTotals()
+	observed := o.meas.Reset()
+	idx := o.period % o.cfg.Scenario.Periods
+	reward := o.rewards[idx]
+
+	if err := o.billing.AddPeriod(perUser, reward); err != nil {
+		return nil, fmt.Errorf("billing: %w", err)
+	}
+
+	if err := o.online.Advance(observed); err != nil {
+		return nil, fmt.Errorf("close period %d: %w", o.period, err)
+	}
+	o.rewards = o.online.Rewards()
+
+	var total float64
+	for _, v := range observed {
+		total += v
+	}
+	t := int64(o.period + 1)
+	if err := o.priceHist.Update(t, reward); err != nil {
+		return nil, fmt.Errorf("price history: %w", err)
+	}
+	if err := o.usageHist.Update(t, total); err != nil {
+		return nil, fmt.Errorf("usage history: %w", err)
+	}
+	o.period++
+	return observed, nil
+}
+
+// PriceHistory returns the archived per-period published rewards.
+func (o *Optimizer) PriceHistory() ([]rrd.Point, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.priceHist.Fetch(0)
+}
+
+// UsageHistory returns the archived per-period aggregate usage.
+func (o *Optimizer) UsageHistory() ([]rrd.Point, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.usageHist.Fetch(0)
+}
+
+// DemandEstimate returns the online engine's current demand estimate.
+func (o *Optimizer) DemandEstimate() [][]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.online.DemandEstimate()
+}

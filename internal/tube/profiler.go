@@ -1,0 +1,220 @@
+package tube
+
+import (
+	"fmt"
+	"sync"
+
+	"tdp/internal/estimate"
+)
+
+// Profiler is the profiling engine: it accumulates per-period aggregate
+// usage observations under the published rewards and estimates one
+// patience index per traffic class with the §IV waiting-function
+// estimation algorithm.
+type Profiler struct {
+	mu    sync.Mutex
+	model *estimate.Model
+	obs   []estimate.Observation
+}
+
+// NewProfiler builds a profiler for the given day structure: n periods,
+// one estimated (α, β) pair per class, baseline TIP demand per period and
+// the normalizing maximum reward.
+func NewProfiler(periods, classes int, baselineTIP []float64, maxReward float64) (*Profiler, error) {
+	m := &estimate.Model{
+		Periods:     periods,
+		Types:       classes,
+		BaselineTIP: append([]float64(nil), baselineTIP...),
+		MaxReward:   maxReward,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Profiler{model: m}, nil
+}
+
+// AddObservation records one day's rewards and per-period usage decreases
+// T_i (TIP baseline minus measured TDP usage).
+func (p *Profiler) AddObservation(rewards, t []float64) error {
+	if len(rewards) != p.model.Periods || len(t) != p.model.Periods {
+		return fmt.Errorf("observation dims %d/%d, want %d: %w",
+			len(rewards), len(t), p.model.Periods, ErrBadInput)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = append(p.obs, estimate.Observation{
+		Rewards: append([]float64(nil), rewards...),
+		T:       append([]float64(nil), t...),
+	})
+	return nil
+}
+
+// ObservationCount returns the number of recorded observations.
+func (p *Profiler) ObservationCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.obs)
+}
+
+// Estimate runs the waiting-function estimation on everything recorded so
+// far and returns the fitted per-period, per-class parameters.
+func (p *Profiler) Estimate() (estimate.Params, error) {
+	p.mu.Lock()
+	obs := append([]estimate.Observation(nil), p.obs...)
+	p.mu.Unlock()
+	if len(obs) == 0 {
+		return estimate.Params{}, fmt.Errorf("no observations: %w", ErrBadInput)
+	}
+	fit, err := p.model.Fit(obs)
+	if err != nil {
+		return estimate.Params{}, fmt.Errorf("profile: %w", err)
+	}
+	return fit.Params, nil
+}
+
+// ClassProfiler estimates one patience index per traffic class from
+// *per-class* usage — the TUBE profiling engine proper. Unlike the §IV
+// aggregate algorithm (Profiler), it exploits the measurement engine's
+// per-class accounting, which sidesteps the mixture-identifiability
+// problem: each class is a single-type estimation with its own net flows.
+type ClassProfiler struct {
+	mu        sync.Mutex
+	periods   int
+	classes   int
+	baseline  [][]float64 // [period][class] TIP demand
+	maxReward float64
+	maxIter   int
+	rewards   [][]float64   // per observation day
+	usage     [][][]float64 // per observation day: [period][class]
+}
+
+// NewClassProfiler builds a per-class profiler from the per-period,
+// per-class TIP baseline.
+func NewClassProfiler(baseline [][]float64, maxReward float64, maxIter int) (*ClassProfiler, error) {
+	if len(baseline) < 2 || len(baseline[0]) == 0 {
+		return nil, fmt.Errorf("baseline %dx?: %w", len(baseline), ErrBadInput)
+	}
+	classes := len(baseline[0])
+	cp := &ClassProfiler{
+		periods:   len(baseline),
+		classes:   classes,
+		maxReward: maxReward,
+		maxIter:   maxIter,
+	}
+	for i, row := range baseline {
+		if len(row) != classes {
+			return nil, fmt.Errorf("ragged baseline at period %d: %w", i+1, ErrBadInput)
+		}
+		cp.baseline = append(cp.baseline, append([]float64(nil), row...))
+	}
+	if maxReward <= 0 {
+		return nil, fmt.Errorf("max reward %v: %w", maxReward, ErrBadInput)
+	}
+	return cp, nil
+}
+
+// AddObservation records one day: the published rewards and the measured
+// per-period, per-class usage.
+func (cp *ClassProfiler) AddObservation(rewards []float64, usage [][]float64) error {
+	if len(rewards) != cp.periods || len(usage) != cp.periods {
+		return fmt.Errorf("observation dims %d/%d, want %d: %w",
+			len(rewards), len(usage), cp.periods, ErrBadInput)
+	}
+	u := make([][]float64, cp.periods)
+	for i, row := range usage {
+		if len(row) != cp.classes {
+			return fmt.Errorf("usage period %d has %d classes, want %d: %w",
+				i+1, len(row), cp.classes, ErrBadInput)
+		}
+		u[i] = append([]float64(nil), row...)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.rewards = append(cp.rewards, append([]float64(nil), rewards...))
+	cp.usage = append(cp.usage, u)
+	return nil
+}
+
+// ObservationCount returns the number of recorded days.
+func (cp *ClassProfiler) ObservationCount() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.rewards)
+}
+
+// EstimateBetas fits one patience index per class: a single-type §IV
+// estimation on that class's net flows, reduced to a demand-weighted
+// average across periods.
+func (cp *ClassProfiler) EstimateBetas() ([]float64, error) {
+	cp.mu.Lock()
+	days := len(cp.rewards)
+	rewards := cp.rewards
+	usage := cp.usage
+	cp.mu.Unlock()
+	if days == 0 {
+		return nil, fmt.Errorf("no observations: %w", ErrBadInput)
+	}
+	betas := make([]float64, cp.classes)
+	for j := 0; j < cp.classes; j++ {
+		base := make([]float64, cp.periods)
+		for i := range base {
+			base[i] = cp.baseline[i][j]
+		}
+		model := &estimate.Model{
+			Periods:     cp.periods,
+			Types:       1,
+			BaselineTIP: base,
+			MaxReward:   cp.maxReward,
+			MaxIter:     cp.maxIter,
+		}
+		var obs []estimate.Observation
+		for d := 0; d < days; d++ {
+			t := make([]float64, cp.periods)
+			for i := 0; i < cp.periods; i++ {
+				t[i] = base[i] - usage[d][i][j]
+			}
+			obs = append(obs, estimate.Observation{Rewards: rewards[d], T: t})
+		}
+		fit, err := model.Fit(obs)
+		if err != nil {
+			return nil, fmt.Errorf("class %d: %w", j, err)
+		}
+		var num, den float64
+		for i := 0; i < cp.periods; i++ {
+			num += base[i] * fit.Params.Beta[i][0]
+			den += base[i]
+		}
+		if den == 0 {
+			betas[j] = 1
+			continue
+		}
+		betas[j] = num / den
+	}
+	return betas, nil
+}
+
+// PatienceByClass reduces fitted parameters to a single representative
+// patience index per class: the demand-weighted average of β across
+// periods — the per-class summary the price engine consumes.
+func (p *Profiler) PatienceByClass(prm estimate.Params) ([]float64, error) {
+	n, m := prm.Dims()
+	if n != p.model.Periods || m != p.model.Types {
+		return nil, fmt.Errorf("params %dx%d, want %dx%d: %w",
+			n, m, p.model.Periods, p.model.Types, ErrBadInput)
+	}
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var num, den float64
+		for i := 0; i < n; i++ {
+			w := prm.Alpha[i][j] * p.model.BaselineTIP[i]
+			num += w * prm.Beta[i][j]
+			den += w
+		}
+		if den == 0 {
+			out[j] = 1 // neutral default when a class carries no traffic
+			continue
+		}
+		out[j] = num / den
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package tube
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// PriceInfo is the payload the communication engine publishes: the reward
+// for the period in progress and the full day schedule. Rewards are in
+// $0.10 units, matching the optimization models.
+type PriceInfo struct {
+	Period  int       `json:"period"`
+	Reward  float64   `json:"reward"`
+	Rewards []float64 `json:"rewards"`
+}
+
+// UsageReport is the payload the emulated access network (standing in for
+// the IPtables counters) posts to account a user's traffic.
+type UsageReport struct {
+	User     string  `json:"user"`
+	Class    string  `json:"class"`
+	VolumeMB float64 `json:"volumeMB"`
+}
+
+// Server is the TUBE communication engine: it exposes the optimizer's
+// prices to GUI clients and accepts usage accounting. The paper runs this
+// channel over SSL/TLS; transport security is orthogonal here (DESIGN.md
+// §2) — wrap the handler in your TLS listener of choice in production.
+type Server struct {
+	opt *Optimizer
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP surface for an optimizer.
+func NewServer(opt *Optimizer) (*Server, error) {
+	if opt == nil {
+		return nil, fmt.Errorf("nil optimizer: %w", ErrBadInput)
+	}
+	s := &Server{opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /price", s.handlePrice)
+	s.mux.HandleFunc("GET /history", s.handleHistory)
+	s.mux.HandleFunc("GET /bill", s.handleBill)
+	s.mux.HandleFunc("POST /usage", s.handleUsage)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var _ http.Handler = (*Server)(nil)
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	info := PriceInfo{
+		Period:  s.opt.Period(),
+		Reward:  s.opt.CurrentReward(),
+		Rewards: s.opt.Schedule(),
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+type historyPayload struct {
+	Prices []pricePoint `json:"prices"`
+	Usage  []pricePoint `json:"usage"`
+}
+
+type pricePoint struct {
+	Period int64   `json:"period"`
+	Value  float64 `json:"value"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	prices, err := s.opt.PriceHistory()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	usage, err := s.opt.UsageHistory()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var payload historyPayload
+	for _, p := range prices {
+		payload.Prices = append(payload.Prices, pricePoint{Period: p.Time, Value: p.Value})
+	}
+	for _, p := range usage {
+		payload.Usage = append(payload.Usage, pricePoint{Period: p.Time, Value: p.Value})
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	billing := s.opt.Billing()
+	if user != "" {
+		writeJSON(w, http.StatusOK, Statement{
+			User:         user,
+			Charge:       billing.Bill(user),
+			RewardCredit: billing.RewardCredit(user),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, billing.Statements())
+}
+
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	var rep UsageReport
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		http.Error(w, "malformed usage report", http.StatusBadRequest)
+		return
+	}
+	if err := s.opt.Measurement().Record(rep.User, rep.Class, rep.VolumeMB); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrBadInput) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable mid-response;
+	// the client will see a truncated body and retry next period.
+	_ = json.NewEncoder(w).Encode(v)
+}

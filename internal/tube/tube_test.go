@@ -1,0 +1,388 @@
+package tube
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"tdp/internal/core"
+	"tdp/internal/estimate"
+)
+
+// testScenario is a small 12-period, 3-class deployment: web, ftp, and
+// streaming video with distinct patience indices.
+func testScenario() *core.Scenario {
+	classes := 3
+	demand := make([][]float64, 12)
+	base := []float64{22, 13, 8, 8, 11, 19, 20, 23, 24, 25, 23, 26}
+	for i := range demand {
+		demand[i] = make([]float64, classes)
+		demand[i][0] = base[i] * 0.2 // web
+		demand[i][1] = base[i] * 0.3 // ftp
+		demand[i][2] = base[i] * 0.5 // video
+	}
+	return &core.Scenario{
+		Periods:  12,
+		Demand:   demand,
+		Betas:    []float64{4, 1.5, 0.5}, // web impatient, video patient
+		Capacity: []float64{18, 18, 18, 18, 18, 18, 18, 18, 18, 18, 18, 18},
+		Cost:     core.LinearCost(3),
+	}
+}
+
+func testClasses() []string { return []string{"web", "ftp", "video"} }
+
+func TestMeasurementValidation(t *testing.T) {
+	if _, err := NewMeasurement(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no classes: err = %v, want ErrBadInput", err)
+	}
+	if _, err := NewMeasurement([]string{"a", "a"}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("dup class: err = %v, want ErrBadInput", err)
+	}
+	if _, err := NewMeasurement([]string{""}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty class: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestMeasurementAccounting(t *testing.T) {
+	m, err := NewMeasurement(testClasses())
+	if err != nil {
+		t.Fatalf("NewMeasurement: %v", err)
+	}
+	mustRecord := func(u, c string, v float64) {
+		t.Helper()
+		if err := m.Record(u, c, v); err != nil {
+			t.Fatalf("Record(%s,%s,%v): %v", u, c, v, err)
+		}
+	}
+	mustRecord("user1", "web", 10)
+	mustRecord("user1", "web", 5)
+	mustRecord("user2", "video", 100)
+	mustRecord("user2", "ftp", 20)
+
+	totals := m.ClassTotals()
+	want := []float64{15, 20, 100}
+	for i := range want {
+		if totals[i] != want[i] {
+			t.Errorf("ClassTotals[%d] = %v, want %v", i, totals[i], want[i])
+		}
+	}
+	users := m.UserTotals()
+	if users["user1"] != 15 || users["user2"] != 120 {
+		t.Errorf("UserTotals = %v", users)
+	}
+	if got := m.Users(); len(got) != 2 || got[0] != "user1" || got[1] != "user2" {
+		t.Errorf("Users = %v", got)
+	}
+
+	closed := m.Reset()
+	for i := range want {
+		if closed[i] != want[i] {
+			t.Errorf("Reset returned %v, want %v", closed, want)
+		}
+	}
+	for _, v := range m.ClassTotals() {
+		if v != 0 {
+			t.Error("counters not cleared by Reset")
+		}
+	}
+}
+
+func TestMeasurementRecordErrors(t *testing.T) {
+	m, _ := NewMeasurement(testClasses())
+	if err := m.Record("", "web", 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty user: err = %v, want ErrBadInput", err)
+	}
+	if err := m.Record("u", "smtp", 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown class: err = %v, want ErrBadInput", err)
+	}
+	if err := m.Record("u", "web", -1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative volume: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestProfilerEndToEnd(t *testing.T) {
+	// Feed the profiler synthetic observations generated from known
+	// parameters and check the per-class patience summary orders classes
+	// correctly (video most patient).
+	scn := testScenario()
+	prof, err := NewProfiler(12, 3, scn.TotalDemand(), scn.Cost.MaxSlope())
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	if _, err := prof.Estimate(); !errors.Is(err, ErrBadInput) {
+		t.Errorf("estimate with no data: err = %v, want ErrBadInput", err)
+	}
+
+	truth := estimate.NewParams(12, 3)
+	for i := 0; i < 12; i++ {
+		truth.Alpha[i] = []float64{0.2, 0.3, 0.5}
+		truth.Beta[i] = []float64{4, 1.5, 0.5}
+	}
+	gen := &estimate.Model{Periods: 12, Types: 3, BaselineTIP: scn.TotalDemand(), MaxReward: 3}
+	rewardSets := [][]float64{
+		{0, 0.5, 1, 0, 0.5, 1, 0, 0.5, 1, 0, 0.5, 1},
+		{1.5, 0, 0, 1.5, 0, 0, 1.5, 0, 0, 1.5, 0, 0},
+		{0.2, 0.4, 0.6, 0.8, 1, 1.2, 0.2, 0.4, 0.6, 0.8, 1, 1.2},
+		{1.2, 1, 0.8, 0.6, 0.4, 0.2, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 1.2, 1, 0.8, 0.6, 0.4, 0.2},
+		{0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7, 0.7},
+		{1.5, 1.5, 0, 0, 1.5, 1.5, 0, 0, 1.5, 1.5, 0, 0},
+		{0, 1.4, 0, 1.1, 0, 0.8, 0, 0.5, 0, 0.2, 0, 1},
+	}
+	for _, p := range rewardSets {
+		tt, err := gen.NetFlows(truth, p)
+		if err != nil {
+			t.Fatalf("NetFlows: %v", err)
+		}
+		if err := prof.AddObservation(p, tt); err != nil {
+			t.Fatalf("AddObservation: %v", err)
+		}
+	}
+	if prof.ObservationCount() != len(rewardSets) {
+		t.Fatalf("ObservationCount = %d, want %d", prof.ObservationCount(), len(rewardSets))
+	}
+	prm, err := prof.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	patience, err := prof.PatienceByClass(prm)
+	if err != nil {
+		t.Fatalf("PatienceByClass: %v", err)
+	}
+	if len(patience) != 3 {
+		t.Fatalf("PatienceByClass returned %d entries", len(patience))
+	}
+	// Identification of individual mixture components is weak (see §IV
+	// discussion), but the aggregate curves must be close: compare per
+	// period at a probe reward.
+	for period := 0; period < 12; period += 4 {
+		pe, err := gen.MaxPercentError(truth, prm, period, []float64{0.5, 1.5})
+		if err != nil {
+			t.Fatalf("MaxPercentError: %v", err)
+		}
+		if pe > 30 {
+			t.Errorf("period %d: aggregate curve error %.1f%% > 30%%", period+1, pe)
+		}
+	}
+}
+
+func TestProfilerObservationValidation(t *testing.T) {
+	prof, err := NewProfiler(12, 3, make([]float64, 12), 3)
+	if err == nil {
+		// zero baseline is fine structurally; MaxReward>0 and dims valid
+		_ = prof
+	} else {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	if err := prof.AddObservation([]float64{1}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short obs: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestOptimizerLifecycle(t *testing.T) {
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: testScenario(),
+		Classes:  testClasses(),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	if opt.Period() != 0 {
+		t.Errorf("initial period = %d", opt.Period())
+	}
+	sched := opt.Schedule()
+	if len(sched) != 12 {
+		t.Fatalf("schedule has %d periods", len(sched))
+	}
+	if opt.CurrentReward() != sched[0] {
+		t.Errorf("CurrentReward %v != schedule[0] %v", opt.CurrentReward(), sched[0])
+	}
+	// Record traffic matching the estimate and close the period.
+	meas := opt.Measurement()
+	for i, c := range testClasses() {
+		if err := meas.Record("user1", c, testScenario().Demand[0][i]); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	observed, err := opt.ClosePeriod()
+	if err != nil {
+		t.Fatalf("ClosePeriod: %v", err)
+	}
+	if len(observed) != 3 {
+		t.Fatalf("observed %v", observed)
+	}
+	if opt.Period() != 1 {
+		t.Errorf("period = %d after close, want 1", opt.Period())
+	}
+	hist, err := opt.PriceHistory()
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("PriceHistory = (%v, %v), want 1 point", hist, err)
+	}
+	if math.Abs(hist[0].Value-sched[0]) > 1e-12 {
+		t.Errorf("history recorded %v, want %v", hist[0].Value, sched[0])
+	}
+	uh, err := opt.UsageHistory()
+	if err != nil || len(uh) != 1 {
+		t.Fatalf("UsageHistory = (%v, %v)", uh, err)
+	}
+	wantTotal := testScenario().Demand[0][0] + testScenario().Demand[0][1] + testScenario().Demand[0][2]
+	if math.Abs(uh[0].Value-wantTotal) > 1e-9 {
+		t.Errorf("usage history %v, want %v", uh[0].Value, wantTotal)
+	}
+}
+
+func TestOptimizerConfigValidation(t *testing.T) {
+	if _, err := NewOptimizer(OptimizerConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil scenario: err = %v, want ErrBadInput", err)
+	}
+	if _, err := NewOptimizer(OptimizerConfig{
+		Scenario: testScenario(),
+		Classes:  []string{"web"},
+	}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("class mismatch: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestServerAndGUIEndToEnd(t *testing.T) {
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: testScenario(),
+		Classes:  testClasses(),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	srv, err := NewServer(opt)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	gui, err := NewGUI(ts.URL)
+	if err != nil {
+		t.Fatalf("NewGUI: %v", err)
+	}
+	ctx := context.Background()
+
+	info, err := gui.PullPrice(ctx)
+	if err != nil {
+		t.Fatalf("PullPrice: %v", err)
+	}
+	if info.Period != 0 || len(info.Rewards) != 12 {
+		t.Errorf("PriceInfo = %+v", info)
+	}
+	if gui.CurrentReward() != info.Reward {
+		t.Errorf("CurrentReward %v != pulled %v", gui.CurrentReward(), info.Reward)
+	}
+
+	// Report usage over the wire and close the period.
+	if err := gui.ReportUsage(ctx, UsageReport{User: "user2", Class: "video", VolumeMB: 42}); err != nil {
+		t.Fatalf("ReportUsage: %v", err)
+	}
+	observed, err := opt.ClosePeriod()
+	if err != nil {
+		t.Fatalf("ClosePeriod: %v", err)
+	}
+	if observed[2] != 42 {
+		t.Errorf("video observed %v, want 42", observed[2])
+	}
+
+	// Pull for the next period; local history should hold both periods.
+	if _, err := gui.PullPrice(ctx); err != nil {
+		t.Fatalf("PullPrice: %v", err)
+	}
+	hist, err := gui.PriceHistory()
+	if err != nil {
+		t.Fatalf("PriceHistory: %v", err)
+	}
+	if len(hist) != 2 {
+		t.Errorf("GUI history has %d points, want 2", len(hist))
+	}
+	if gui.Pulls() != 2 {
+		t.Errorf("Pulls = %d, want 2 (once per period)", gui.Pulls())
+	}
+}
+
+func TestServerRejectsBadUsage(t *testing.T) {
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: testScenario(),
+		Classes:  testClasses(),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	srv, _ := NewServer(opt)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	gui, _ := NewGUI(ts.URL)
+	ctx := context.Background()
+	if err := gui.ReportUsage(ctx, UsageReport{User: "u", Class: "nope", VolumeMB: 1}); err == nil {
+		t.Error("unknown class accepted over the wire")
+	}
+	if err := gui.ReportUsage(ctx, UsageReport{User: "", Class: "web", VolumeMB: 1}); err == nil {
+		t.Error("empty user accepted over the wire")
+	}
+}
+
+func TestGUIHistoryPersistence(t *testing.T) {
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: testScenario(),
+		Classes:  testClasses(),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	srv, _ := NewServer(opt)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	gui, _ := NewGUI(ts.URL)
+	ctx := context.Background()
+	if _, err := gui.PullPrice(ctx); err != nil {
+		t.Fatalf("PullPrice: %v", err)
+	}
+	if _, err := opt.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gui.PullPrice(ctx); err != nil {
+		t.Fatalf("PullPrice: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := gui.SaveHistory(&buf); err != nil {
+		t.Fatalf("SaveHistory: %v", err)
+	}
+	// A fresh GUI ("after restart") restores the archive.
+	gui2, _ := NewGUI(ts.URL)
+	if err := gui2.LoadHistory(&buf); err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	want, _ := gui.PriceHistory()
+	got, err := gui2.PriceHistory()
+	if err != nil {
+		t.Fatalf("PriceHistory: %v", err)
+	}
+	if len(got) != len(want) || len(got) != 2 {
+		t.Fatalf("restored %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := gui2.LoadHistory(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestNewGUIValidation(t *testing.T) {
+	if _, err := NewGUI(""); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty URL: err = %v, want ErrBadInput", err)
+	}
+	if _, err := NewServer(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil optimizer: err = %v, want ErrBadInput", err)
+	}
+}

@@ -1,0 +1,143 @@
+package waiting
+
+// This file embeds the paper's published patience-index data: the
+// application catalogue (Table IV) and the per-period demand-by-patience
+// distributions used in the §V simulations (Tables VII, VIII) and the
+// Appendix I perturbation studies (Tables XI, XIII, XV).
+//
+// All demand figures are in the paper's units of 10 MBps.
+
+// PatienceIndices are the ten β values the simulations sweep (Table IV).
+var PatienceIndices = []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+
+// PatienceExamples maps each patience index to the paper's example
+// application session (Table IV).
+var PatienceExamples = map[float64]string{
+	0.5: "File backup",
+	1:   "Non-critical software update",
+	1.5: "Non-critical file download (e.g. peer-to-peer)",
+	2:   "Website browsing",
+	2.5: "Online purchases",
+	3:   "Movie download for immediate viewing",
+	3.5: "Critical file download or software update",
+	4:   "Checking email",
+	4.5: "Television program streaming",
+	5:   "Live sporting event",
+}
+
+// Dist48 is Table VII: demand under TIP by patience index for the
+// 48-period day. Row r covers periods 2r+1 and 2r+2 (both have the same
+// distribution); column j is demand of type PatienceIndices[j] in 10 MBps.
+var Dist48 = [24][10]float64{
+	{5, 5, 7, 1, 1, 0, 2, 0, 0, 2},  // periods 1 & 2
+	{4, 3, 7, 0, 0, 0, 2, 0, 0, 4},  // 3 & 4
+	{3, 2, 5, 1, 1, 0, 1, 0, 0, 3},  // 5 & 6
+	{1, 2, 4, 2, 2, 1, 1, 0, 0, 0},  // 7 & 8
+	{1, 2, 3, 1, 1, 0, 1, 0, 0, 0},  // 9 & 10
+	{1, 2, 2, 0, 0, 0, 1, 0, 1, 1},  // 11 & 12
+	{1, 2, 1, 0, 0, 0, 1, 0, 1, 1},  // 13 & 14
+	{0, 1, 2, 0, 0, 2, 1, 0, 1, 1},  // 15 & 16
+	{1, 3, 2, 0, 1, 0, 1, 1, 1, 1},  // 17 & 18
+	{2, 1, 3, 0, 1, 0, 1, 3, 1, 1},  // 19 & 20
+	{2, 5, 3, 0, 1, 0, 2, 0, 2, 2},  // 21 & 22
+	{5, 5, 7, 1, 1, 0, 2, 0, 0, 2},  // 23 & 24
+	{3, 6, 4, 2, 1, 0, 2, 0, 2, 0},  // 25 & 26
+	{3, 4, 4, 0, 3, 0, 2, 0, 2, 2},  // 27 & 28
+	{3, 4, 4, 2, 1, 0, 2, 0, 2, 2},  // 29 & 30
+	{6, 3, 5, 0, 1, 1, 2, 2, 0, 2},  // 31 & 32
+	{8, 2, 5, 0, 1, 0, 2, 1, 1, 2},  // 33 & 34
+	{4, 7, 2, 0, 1, 0, 2, 5, 0, 2},  // 35 & 36
+	{6, 5, 2, 2, 2, 1, 2, 1, 0, 1},  // 37 & 38
+	{4, 7, 5, 0, 0, 0, 2, 0, 4, 2},  // 39 & 40
+	{7, 6, 7, 0, 1, 2, 0, 0, 0, 0},  // 41 & 42
+	{9, 5, 5, 0, 1, 0, 3, 3, 0, 0},  // 43 & 44
+	{7, 8, 5, 0, 1, 0, 1, 0, 1, 3},  // 45 & 46
+	{8, 11, 5, 0, 0, 0, 0, 3, 0, 0}, // 47 & 48
+}
+
+// Dist12 is Table VIII: demand under TIP by patience index for the
+// 12-period model; row i is period i+1.
+var Dist12 = [12][10]float64{
+	{4, 4, 7, 1, 1, 0, 2, 0, 0, 3},
+	{2, 2, 4, 1, 1, 0, 1, 0, 0, 2},
+	{1, 2, 2, 0, 1, 0, 1, 0, 1, 0},
+	{1, 2, 1, 0, 0, 1, 1, 0, 1, 1},
+	{1, 2, 2, 0, 1, 0, 1, 2, 1, 1},
+	{3, 3, 3, 1, 1, 1, 2, 1, 2, 2},
+	{3, 5, 4, 1, 2, 0, 2, 0, 2, 1},
+	{5, 4, 5, 1, 1, 1, 2, 1, 1, 2},
+	{6, 5, 4, 0, 1, 0, 2, 3, 1, 2},
+	{5, 6, 4, 1, 1, 1, 2, 1, 2, 2},
+	{8, 5, 6, 0, 1, 1, 1, 1, 0, 0},
+	{7, 9, 5, 0, 1, 0, 1, 1, 1, 1},
+}
+
+// DistPerturbPeriod1 is Table XI: perturbed period-1 distributions for
+// total period-1 demand 18..26 (×10 MBps), used in the Table VI / XII
+// demand-perturbation study. Keyed by the total.
+var DistPerturbPeriod1 = map[int][10]float64{
+	18: {4, 3, 6, 0, 0, 0, 2, 0, 0, 3},
+	19: {3, 3, 6, 1, 0, 0, 2, 0, 0, 4},
+	20: {3, 3, 6, 1, 1, 0, 2, 0, 0, 4},
+	21: {3, 3, 7, 1, 1, 0, 2, 0, 0, 4},
+	22: {3, 4, 7, 1, 1, 0, 2, 0, 0, 4},
+	23: {3, 4, 7, 1, 1, 0, 2, 0, 0, 5},
+	24: {3, 4, 8, 1, 1, 0, 2, 0, 0, 5},
+	25: {4, 4, 8, 1, 1, 0, 2, 0, 0, 5},
+	26: {4, 4, 8, 1, 1, 0, 3, 0, 0, 5},
+}
+
+// DistWaitPerturbPeriod1 is Table XIII: the mis-estimated period-1
+// distribution (users less willing to defer) for the waiting-function
+// perturbation study (Tables XIII–XIV).
+var DistWaitPerturbPeriod1 = [10]float64{3, 4, 5, 0, 1, 2, 2, 0, 0, 5}
+
+// DistWaitPerturbAll is Table XV: the mis-estimated distribution for all
+// 12 periods (Tables XV–XVI).
+var DistWaitPerturbAll = [12][10]float64{
+	{3, 4, 5, 0, 1, 2, 2, 0, 0, 5},
+	{2, 2, 4, 1, 1, 0, 1, 0, 0, 2},
+	{1, 2, 2, 0, 1, 0, 1, 0, 1, 0},
+	{0, 2, 1, 0, 1, 1, 1, 0, 1, 1},
+	{1, 2, 2, 0, 1, 0, 1, 2, 1, 1},
+	{3, 3, 3, 1, 1, 1, 2, 1, 2, 2},
+	{3, 5, 2, 1, 2, 0, 2, 0, 2, 3},
+	{2, 4, 5, 1, 1, 1, 2, 1, 3, 2},
+	{4, 2, 4, 0, 1, 0, 2, 4, 4, 2},
+	{2, 5, 5, 1, 0, 1, 2, 2, 3, 3},
+	{5, 4, 2, 3, 1, 1, 2, 1, 2, 1},
+	{6, 8, 5, 0, 1, 0, 1, 1, 2, 3},
+}
+
+// Demand48 expands Dist48 into a 48-entry per-period matrix: element [i][j]
+// is the demand of patience type j in period i+1 (10 MBps).
+func Demand48() [][]float64 {
+	out := make([][]float64, 48)
+	for i := range out {
+		row := Dist48[i/2]
+		out[i] = append([]float64(nil), row[:]...)
+	}
+	return out
+}
+
+// Demand12 expands Dist12 into a 12-entry per-period matrix.
+func Demand12() [][]float64 {
+	out := make([][]float64, 12)
+	for i := range out {
+		out[i] = append([]float64(nil), Dist12[i][:]...)
+	}
+	return out
+}
+
+// Totals sums a per-period type matrix into per-period totals.
+func Totals(demand [][]float64) []float64 {
+	out := make([]float64, len(demand))
+	for i, row := range demand {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}

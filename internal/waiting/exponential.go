@@ -1,0 +1,57 @@
+package waiting
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpDecay is an alternative waiting-function family with exponential
+// time-decay, w_β(p, t) = C·p·e^{−βt}. §IV says "the ISP chooses a
+// parametrized family"; the power law is its running example, and this
+// family exercises the same interfaces with a much thinner patience tail
+// (impatient users vanish faster than any polynomial). It satisfies
+// Prop. 3's conditions (linear, hence concave, in p) and is normalized
+// like the others: Σ_{t=1..n−1} w(P, t) = 1.
+type ExpDecay struct {
+	Beta float64
+	c    float64
+}
+
+var _ Func = ExpDecay{}
+
+// NewExpDecay builds a normalized exponential-decay waiting function.
+func NewExpDecay(beta float64, n int, maxReward float64) (ExpDecay, error) {
+	if beta < 0 || math.IsNaN(beta) {
+		return ExpDecay{}, fmt.Errorf("decay rate %v: %w", beta, ErrInvalid)
+	}
+	if n < 2 {
+		return ExpDecay{}, fmt.Errorf("%d periods: %w", n, ErrInvalid)
+	}
+	if maxReward <= 0 || math.IsNaN(maxReward) {
+		return ExpDecay{}, fmt.Errorf("max reward %v: %w", maxReward, ErrInvalid)
+	}
+	var s float64
+	for t := 1; t <= n-1; t++ {
+		s += math.Exp(-beta * float64(t))
+	}
+	return ExpDecay{Beta: beta, c: 1 / (maxReward * s)}, nil
+}
+
+// Value implements Func.
+func (w ExpDecay) Value(p float64, t int) float64 {
+	if p <= 0 || t < 1 {
+		return 0
+	}
+	return w.c * p * math.Exp(-w.Beta*float64(t))
+}
+
+// DerivP implements Func.
+func (w ExpDecay) DerivP(p float64, t int) float64 {
+	if t < 1 {
+		return 0
+	}
+	return w.c * math.Exp(-w.Beta*float64(t))
+}
+
+// Norm returns the normalization constant.
+func (w ExpDecay) Norm() float64 { return w.c }

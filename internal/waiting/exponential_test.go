@@ -1,0 +1,81 @@
+package waiting
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewExpDecayValidation(t *testing.T) {
+	if _, err := NewExpDecay(-1, 12, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative beta: err = %v, want ErrInvalid", err)
+	}
+	if _, err := NewExpDecay(1, 1, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("one period: err = %v, want ErrInvalid", err)
+	}
+	if _, err := NewExpDecay(1, 12, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero reward: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestExpDecayNormalization(t *testing.T) {
+	for _, beta := range []float64{0, 0.2, 1, 3} {
+		w, err := NewExpDecay(beta, 24, 2)
+		if err != nil {
+			t.Fatalf("NewExpDecay(%v): %v", beta, err)
+		}
+		var s float64
+		for dt := 1; dt <= 23; dt++ {
+			s += w.Value(2, dt)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("β=%v: Σw(P,t) = %v, want 1", beta, s)
+		}
+	}
+}
+
+func TestExpDecayThinnerTailThanPowerLaw(t *testing.T) {
+	// At matched β=1 the exponential tail falls below the power-law tail
+	// for long deferrals (relative to their t=1 mass).
+	exp1, err := NewExpDecay(1, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pow1, err := NewPowerLaw(1, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expRatio := exp1.Value(0.5, 10) / exp1.Value(0.5, 1)
+	powRatio := pow1.Value(0.5, 10) / pow1.Value(0.5, 1)
+	if expRatio >= powRatio {
+		t.Errorf("exp tail ratio %v not thinner than power-law %v", expRatio, powRatio)
+	}
+}
+
+func TestExpDecayDerivAndEdges(t *testing.T) {
+	w, err := NewExpDecay(0.7, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Value(0.5, 0) != 0 || w.Value(-1, 3) != 0 || w.DerivP(0.5, 0) != 0 {
+		t.Error("invalid args must give 0")
+	}
+	if math.Abs(w.DerivP(0.3, 4)-w.Value(1, 4)) > 1e-14 {
+		t.Error("DerivP must equal Value(1, t) for the linear family")
+	}
+	if w.Norm() <= 0 {
+		t.Error("normalization constant must be positive")
+	}
+}
+
+func TestExpDecayZeroBetaUniform(t *testing.T) {
+	w, err := NewExpDecay(0, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dt := 1; dt <= 12; dt++ {
+		if math.Abs(w.Value(1, dt)-1.0/12) > 1e-12 {
+			t.Errorf("β=0: w(P,%d) = %v, want uniform 1/12", dt, w.Value(1, dt))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package waiting
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPowerLawInvariants checks the normalized power-law family on
+// arbitrary parameters: range, normalization bound, monotonicity in p and
+// t.
+func FuzzPowerLawInvariants(f *testing.F) {
+	f.Add(0.5, 12, 1.0, 0.3)
+	f.Add(5.0, 48, 3.0, 1.4)
+	f.Add(0.0, 4, 0.1, 0.05)
+	f.Fuzz(func(t *testing.T, beta float64, n int, maxReward, p float64) {
+		if math.IsNaN(beta) || math.IsInf(beta, 0) || math.IsNaN(maxReward) || math.IsNaN(p) {
+			t.Skip()
+		}
+		beta = math.Abs(math.Mod(beta, 10))
+		n = 2 + abs(n)%60
+		maxReward = 0.01 + math.Abs(math.Mod(maxReward, 10))
+		p = math.Abs(math.Mod(p, maxReward))
+		w, err := NewPowerLaw(beta, n, maxReward)
+		if err != nil {
+			t.Fatalf("NewPowerLaw(%v,%d,%v): %v", beta, n, maxReward, err)
+		}
+		var sum float64
+		prev := math.Inf(1)
+		for dt := 1; dt <= n-1; dt++ {
+			v := w.Value(p, dt)
+			if v < 0 || v > 1 {
+				t.Fatalf("w(%v,%d) = %v outside [0,1]", p, dt, v)
+			}
+			if v > prev+1e-12 {
+				t.Fatalf("w increasing in t at dt=%d", dt)
+			}
+			prev = v
+			sum += v
+		}
+		// Normalization: total deferral probability ≤ p/P ≤ 1.
+		if sum > p/maxReward+1e-9 {
+			t.Fatalf("Σw = %v exceeds p/P = %v", sum, p/maxReward)
+		}
+		// Monotone in p.
+		if p > 0 && w.Value(p/2, 1) > w.Value(p, 1)+1e-12 {
+			t.Fatal("w not increasing in p")
+		}
+	})
+}
+
+// FuzzDeferTime checks the modular deferral-time arithmetic.
+func FuzzDeferTime(f *testing.F) {
+	f.Add(1, 2, 12)
+	f.Add(47, 3, 48)
+	f.Fuzz(func(t *testing.T, from, to, n int) {
+		n = 2 + abs(n)%100
+		from = 1 + abs(from)%n
+		to = 1 + abs(to)%n
+		b := DeferTime(from, to, n)
+		if b < 1 || b > n {
+			t.Fatalf("DeferTime(%d,%d,%d) = %d outside [1,n]", from, to, n, b)
+		}
+		if (b-(to-from))%n != 0 {
+			t.Fatalf("DeferTime(%d,%d,%d) = %d violates congruence", from, to, n, b)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

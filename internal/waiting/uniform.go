@@ -1,0 +1,82 @@
+package waiting
+
+import (
+	"fmt"
+	"math"
+)
+
+// UniformArrival is the dynamic-model waiting function of §III / Prop. 5:
+// the *expected* deferred fraction for sessions whose arrival times are
+// uniformly distributed within their period. A session arriving at offset
+// u ∈ [0,1] into period i and deferring to period i+k waits k−u periods,
+// so the expectation replaces the static (t+1)^{−β} kernel with
+//
+//	I_β(k) = ∫₀¹ (k−u+1)^{−β} du = ∫_k^{k+1} v^{−β} dv.
+//
+// Like PowerLaw it is normalized so that Σ_{k=1..n−1} w(P, k) = 1 at the
+// maximum reward P, which keeps deferred-out volume within demand.
+type UniformArrival struct {
+	Beta float64
+	c    float64
+}
+
+var _ Func = UniformArrival{}
+
+// NewUniformArrival builds the normalized expected waiting function for an
+// n-period day with maximum reward maxReward.
+func NewUniformArrival(beta float64, n int, maxReward float64) (UniformArrival, error) {
+	if beta < 0 || math.IsNaN(beta) {
+		return UniformArrival{}, fmt.Errorf("patience index %v: %w", beta, ErrInvalid)
+	}
+	if n < 2 {
+		return UniformArrival{}, fmt.Errorf("%d periods: %w", n, ErrInvalid)
+	}
+	if maxReward <= 0 || math.IsNaN(maxReward) {
+		return UniformArrival{}, fmt.Errorf("max reward %v: %w", maxReward, ErrInvalid)
+	}
+	var s float64
+	for k := 1; k <= n-1; k++ {
+		s += powerIntegral(beta, k)
+	}
+	return UniformArrival{Beta: beta, c: 1 / (maxReward * s)}, nil
+}
+
+// Value implements Func.
+func (w UniformArrival) Value(p float64, k int) float64 {
+	if p <= 0 || k < 1 {
+		return 0
+	}
+	return w.c * p * powerIntegral(w.Beta, k)
+}
+
+// DerivP implements Func.
+func (w UniformArrival) DerivP(p float64, k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	return w.c * powerIntegral(w.Beta, k)
+}
+
+// Norm returns the normalization constant.
+func (w UniformArrival) Norm() float64 { return w.c }
+
+// ValueAt evaluates the pointwise deferral probability for a session with
+// an exact (continuous) wait of t periods: C·p/(t+1)^β with this family's
+// normalization, so that Value(p, k) = E_u[ValueAt(p, k−u)] for u uniform
+// on [0, 1). The session-level Monte-Carlo simulator samples with this
+// kernel, making its population mean exactly the fluid model (Prop. 5).
+func (w UniformArrival) ValueAt(p, t float64) float64 {
+	if p <= 0 || t <= 0 {
+		return 0
+	}
+	return w.c * p * math.Pow(t+1, -w.Beta)
+}
+
+// powerIntegral evaluates ∫_k^{k+1} v^{−β} dv.
+func powerIntegral(beta float64, k int) float64 {
+	a, b := float64(k), float64(k+1)
+	if beta == 1 {
+		return math.Log(b / a)
+	}
+	return (math.Pow(b, 1-beta) - math.Pow(a, 1-beta)) / (1 - beta)
+}

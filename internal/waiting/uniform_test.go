@@ -1,0 +1,109 @@
+package waiting
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewUniformArrivalValidation(t *testing.T) {
+	if _, err := NewUniformArrival(-1, 12, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative beta: err = %v, want ErrInvalid", err)
+	}
+	if _, err := NewUniformArrival(1, 1, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("one period: err = %v, want ErrInvalid", err)
+	}
+	if _, err := NewUniformArrival(1, 12, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero reward: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestUniformArrivalNormalization(t *testing.T) {
+	for _, beta := range PatienceIndices {
+		w, err := NewUniformArrival(beta, 48, 1)
+		if err != nil {
+			t.Fatalf("NewUniformArrival(%v): %v", beta, err)
+		}
+		var s float64
+		for k := 1; k <= 47; k++ {
+			s += w.Value(1, k)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("β=%v: Σw(P,k) = %v, want 1", beta, s)
+		}
+	}
+}
+
+func TestPowerIntegralAgainstNumeric(t *testing.T) {
+	for _, beta := range []float64{0.5, 1, 1.7, 3} {
+		for _, k := range []int{1, 2, 7} {
+			// Trapezoid with fine steps.
+			const steps = 20000
+			var num float64
+			for i := 0; i < steps; i++ {
+				v0 := float64(k) + float64(i)/steps
+				v1 := float64(k) + float64(i+1)/steps
+				num += (math.Pow(v0, -beta) + math.Pow(v1, -beta)) / 2 / steps
+			}
+			got := powerIntegral(beta, k)
+			if math.Abs(got-num) > 1e-8 {
+				t.Errorf("β=%v k=%d: integral %v, numeric %v", beta, k, got, num)
+			}
+		}
+	}
+}
+
+func TestUniformArrivalAboveStaticForShortDeferrals(t *testing.T) {
+	// The expected kernel ∫_k^{k+1} v^{−β} dv exceeds the static endpoint
+	// kernel (k+1)^{−β} because v^{−β} is decreasing — sessions arriving
+	// mid-period wait less than a full k periods.
+	beta := 2.0
+	for _, k := range []int{1, 3, 10} {
+		if got, static := powerIntegral(beta, k), math.Pow(float64(k+1), -beta); got <= static {
+			t.Errorf("k=%d: integral %v not above static kernel %v", k, got, static)
+		}
+	}
+}
+
+func TestUniformArrivalDecreasingInTime(t *testing.T) {
+	w, err := NewUniformArrival(1.5, 24, 1)
+	if err != nil {
+		t.Fatalf("NewUniformArrival: %v", err)
+	}
+	prev := math.Inf(1)
+	for k := 1; k < 24; k++ {
+		v := w.Value(0.5, k)
+		if v >= prev {
+			t.Fatalf("not strictly decreasing at k=%d", k)
+		}
+		prev = v
+	}
+}
+
+func TestUniformArrivalEdgeCases(t *testing.T) {
+	w, _ := NewUniformArrival(1, 12, 1)
+	if w.Value(0.5, 0) != 0 || w.Value(-0.1, 3) != 0 {
+		t.Error("invalid args must give 0")
+	}
+	if w.DerivP(0.5, 0) != 0 {
+		t.Error("DerivP at k=0 must be 0")
+	}
+	// DerivP consistent with Value slope (linear in p).
+	if math.Abs(w.DerivP(0.7, 2)-w.Value(1, 2)) > 1e-14 {
+		t.Error("DerivP must equal Value(1, k) for the linear family")
+	}
+}
+
+func TestUniformArrivalZeroBeta(t *testing.T) {
+	// β = 0: perfectly patient, kernel constant 1, so all deferral times
+	// equally likely: w(P,k) = 1/(n−1).
+	w, err := NewUniformArrival(0, 13, 2)
+	if err != nil {
+		t.Fatalf("NewUniformArrival: %v", err)
+	}
+	for k := 1; k <= 12; k++ {
+		if math.Abs(w.Value(2, k)-1.0/12) > 1e-12 {
+			t.Errorf("w(P,%d) = %v, want 1/12", k, w.Value(2, k))
+		}
+	}
+}
