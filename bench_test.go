@@ -244,6 +244,41 @@ func BenchmarkTwoPeriodAblation(b *testing.B) {
 	}
 }
 
+// --- Parallel execution layer ---
+
+// BenchmarkMultistartJobs measures the parallel multistart driver on the
+// Appendix D definite-choice solve (8 restarts of coordinate descent) at
+// several worker counts. Results are bit-identical across sub-benchmarks
+// (per-start seeds; see optimize.MultistartJobs) — only wall-clock
+// should change, scaling with worker count up to the restart count and
+// the machine's cores.
+func BenchmarkMultistartJobs(b *testing.B) {
+	var serialCost float64
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewDefiniteChoiceModel(experiments.Static12())
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Jobs = jobs
+				pr, err := m.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = pr.Cost
+			}
+			if jobs == 1 {
+				serialCost = cost
+			} else if cost != serialCost {
+				b.Fatalf("jobs=%d cost %v differs from serial %v", jobs, cost, serialCost)
+			}
+			b.ReportMetric(cost, "cost")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationSolvers compares the three solvers on the 12-period

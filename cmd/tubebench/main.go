@@ -4,15 +4,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"tdp/internal/experiments"
+	"tdp/internal/parallel"
 )
 
 // renderer is any experiment result that can print itself.
@@ -63,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	format := fs.String("format", "text", "output format: text or json")
+	jobs := fs.Int("jobs", runtime.NumCPU(), "number of experiments to run concurrently (≤ 0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,26 +100,38 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown experiment ids: %s", strings.Join(unknown, ", "))
 		}
 	}
-	jsonOut := make(map[string]renderer)
+	var todo []experiment
 	for _, e := range exps {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
 		}
-		res, err := e.run()
+		todo = append(todo, e)
+	}
+	// Experiments are independent; run them across the worker pool and
+	// buffer the results so rendering order stays the catalogue order
+	// regardless of completion order or worker count.
+	results, err := parallel.Map(context.Background(), *jobs, len(todo), func(i int) (renderer, error) {
+		res, err := todo[i].run()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return nil, fmt.Errorf("%s: %w", todo[i].id, err)
 		}
-		if *format == "json" {
-			jsonOut[e.id] = res
-			continue
-		}
-		fmt.Fprintf(out, "==== %s — %s ====\n", e.id, e.desc)
-		fmt.Fprintln(out, res.Render())
+		return res, nil
+	})
+	if err != nil {
+		return err
 	}
 	if *format == "json" {
+		jsonOut := make(map[string]renderer, len(todo))
+		for i, e := range todo {
+			jsonOut[e.id] = results[i]
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(jsonOut)
+	}
+	for i, e := range todo {
+		fmt.Fprintf(out, "==== %s — %s ====\n", e.id, e.desc)
+		fmt.Fprintln(out, results[i].Render())
 	}
 	return nil
 }

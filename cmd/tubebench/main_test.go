@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -82,9 +83,57 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestJobsEquivalence asserts byte-identical output for serial and
+// parallel experiment execution, in both text and JSON formats.
+func TestJobsEquivalence(t *testing.T) {
+	// table12 and waitperturb also exercise the in-experiment sweep
+	// pools, nested under the cross-experiment pool.
+	const subset = "fig3,table12,waitperturb"
+	for _, format := range []string{"text", "json"} {
+		var serial, parallel strings.Builder
+		if err := run([]string{"-only", subset, "-format", format, "-jobs", "1"}, &serial); err != nil {
+			t.Fatalf("%s jobs=1: %v", format, err)
+		}
+		if err := run([]string{"-only", subset, "-format", format, "-jobs", "8"}, &parallel); err != nil {
+			t.Fatalf("%s jobs=8: %v", format, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s output differs between -jobs 1 and -jobs 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				format, serial.String(), parallel.String())
+		}
+	}
+}
+
+func TestJobsZeroMeansAllCPUs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig3", "-jobs", "0"}, &sb); err != nil {
+		t.Fatalf("run -jobs 0: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 3") {
+		t.Errorf("output missing figure header:\n%s", sb.String())
+	}
+}
+
 func TestBadFormat(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-format", "yaml"}, &sb); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// BenchmarkRunJobs measures the experiment fan-out at several worker
+// counts; the output is byte-identical across sub-benchmarks (see
+// TestJobsEquivalence), only wall-clock changes.
+func BenchmarkRunJobs(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sb strings.Builder
+				args := []string{"-only", "fig3,table12,waitperturb", "-jobs", fmt.Sprint(jobs)}
+				if err := run(args, &sb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -36,6 +36,9 @@ type DefiniteChoiceModel struct {
 	Starts int
 	// Seed makes the multistart deterministic.
 	Seed int64
+	// Jobs bounds the number of concurrent restarts (≤ 0: one per CPU).
+	// Results are identical for every value; see optimize.MultistartJobs.
+	Jobs int
 }
 
 // NewDefiniteChoiceModel validates the scenario and builds the model.
@@ -143,7 +146,7 @@ func (dc *DefiniteChoiceModel) Solve() (*Pricing, error) {
 		return optimize.CoordinateDescent(dc.CostAt, x0, bounds,
 			optimize.WithMaxIterations(60), optimize.WithTolerance(1e-6))
 	}
-	res, err := optimize.Multistart(solve, make([]float64, dc.n), bounds, starts, rng)
+	res, err := optimize.MultistartJobs(solve, make([]float64, dc.n), bounds, starts, rng, dc.Jobs)
 	if err != nil && res.X == nil {
 		return nil, fmt.Errorf("definite-choice solve: %w", err)
 	}

@@ -48,7 +48,7 @@ func NewOnlineOptimizer(scn *Scenario, cfg OnlineConfig) (*OnlineOptimizer, erro
 	if cfg.Alpha < 0 || cfg.Alpha > 1 {
 		return nil, fmt.Errorf("alpha %v outside [0, 1]: %w", cfg.Alpha, ErrBadScenario)
 	}
-	cp := cloneScenario(scn)
+	cp := scn.Clone()
 	o := &OnlineOptimizer{scn: cp, cfg: cfg}
 	if err := o.rebuild(); err != nil {
 		return nil, err
@@ -126,24 +126,4 @@ func (o *OnlineOptimizer) rebuild() error {
 		o.model, err = NewStaticModel(o.scn)
 	}
 	return err
-}
-
-// cloneScenario deep-copies a scenario so online updates never alias
-// caller data.
-func cloneScenario(s *Scenario) *Scenario {
-	cp := &Scenario{
-		Periods:       s.Periods,
-		Betas:         append([]float64(nil), s.Betas...),
-		Capacity:      append([]float64(nil), s.Capacity...),
-		PeriodSeconds: s.PeriodSeconds,
-		Cost: CostFunc{
-			Breaks: append([]float64(nil), s.Cost.Breaks...),
-			Slopes: append([]float64(nil), s.Cost.Slopes...),
-		},
-	}
-	cp.Demand = make([][]float64, len(s.Demand))
-	for i, row := range s.Demand {
-		cp.Demand[i] = append([]float64(nil), row...)
-	}
-	return cp
 }

@@ -146,6 +146,38 @@ func TestOnlineEWMAUpdatesEstimate(t *testing.T) {
 	}
 }
 
+// TestOnlineMatchesOfflineOnNoWrapScenario is the regression test for the
+// lossy cloneScenario bug: the online optimizer's internal copy dropped
+// MaxRewardNorm and NoWrap, so its initial solve answered a different
+// problem (wrapped deferrals, cost-scale normalization) than the offline
+// solve of the very same scenario.
+func TestOnlineMatchesOfflineOnNoWrapScenario(t *testing.T) {
+	scn := paper12()
+	scn.NoWrap = true
+	scn.MaxRewardNorm = 1.5
+
+	m, err := NewStaticModel(scn)
+	if err != nil {
+		t.Fatalf("NewStaticModel: %v", err)
+	}
+	offline, err := m.Solve()
+	if err != nil {
+		t.Fatalf("offline solve: %v", err)
+	}
+
+	o, err := NewOnlineOptimizer(scn, OnlineConfig{})
+	if err != nil {
+		t.Fatalf("NewOnlineOptimizer: %v", err)
+	}
+	online := o.Rewards()
+	for i := range offline.Rewards {
+		if online[i] != offline.Rewards[i] {
+			t.Fatalf("period %d: online init reward %v ≠ offline %v — scenario copy lost a field",
+				i+1, online[i], offline.Rewards[i])
+		}
+	}
+}
+
 func scaleRow(row []float64, c float64) []float64 {
 	out := make([]float64, len(row))
 	for i, v := range row {

@@ -38,6 +38,26 @@ type Scenario struct {
 	NoWrap bool
 }
 
+// Clone deep-copies the scenario, including every scalar option
+// (MaxRewardNorm, NoWrap, PeriodSeconds), so mutations of the copy never
+// reach the original. It lives next to the struct definition so that new
+// fields cannot be silently dropped the way an out-of-package field-list
+// copy can.
+func (s *Scenario) Clone() *Scenario {
+	cp := *s // copies all scalar fields, present and future
+	cp.Betas = append([]float64(nil), s.Betas...)
+	cp.Capacity = append([]float64(nil), s.Capacity...)
+	cp.Cost = CostFunc{
+		Breaks: append([]float64(nil), s.Cost.Breaks...),
+		Slopes: append([]float64(nil), s.Cost.Slopes...),
+	}
+	cp.Demand = make([][]float64, len(s.Demand))
+	for i, row := range s.Demand {
+		cp.Demand[i] = append([]float64(nil), row...)
+	}
+	return &cp
+}
+
 // Validate checks structural consistency.
 func (s *Scenario) Validate() error {
 	if s.Periods < 2 {

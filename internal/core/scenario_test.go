@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fullScenario returns a scenario with every field set to a non-zero
+// value, so a Clone that drops a field cannot go unnoticed.
+func fullScenario() *Scenario {
+	return &Scenario{
+		Periods:       4,
+		Demand:        [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}},
+		Betas:         []float64{0.5, 5},
+		Capacity:      []float64{9, 9, 9, 9},
+		Cost:          LinearCost(3),
+		PeriodSeconds: 600,
+		MaxRewardNorm: 1.5,
+		NoWrap:        true,
+	}
+}
+
+func TestCloneCopiesEveryField(t *testing.T) {
+	s := fullScenario()
+	// Guard the guard: every field of the source must be non-zero, or a
+	// dropped field would compare equal by accident. A new Scenario field
+	// trips this until fullScenario covers it.
+	v := reflect.ValueOf(*s)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Fatalf("fullScenario leaves field %s zero; set it so Clone coverage stays meaningful",
+				v.Type().Field(i).Name)
+		}
+	}
+	cp := s.Clone()
+	if !reflect.DeepEqual(s, cp) {
+		t.Errorf("Clone() = %+v, want %+v", cp, s)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := fullScenario()
+	cp := s.Clone()
+	cp.Demand[0][0] = 99
+	cp.Betas[0] = 99
+	cp.Capacity[0] = 99
+	cp.Cost.Slopes[0] = 99
+	cp.NoWrap = false
+	cp.MaxRewardNorm = 99
+	if !reflect.DeepEqual(s, fullScenario()) {
+		t.Errorf("mutating the clone reached the original: %+v", s)
+	}
+}

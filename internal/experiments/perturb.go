@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"tdp/internal/core"
+	"tdp/internal/parallel"
 )
 
 // Table12Result carries the Appendix I Table XII study: optimal rewards
@@ -15,10 +17,12 @@ type Table12Result struct {
 	RewardsByDemand map[int][]float64
 }
 
-// Table12 solves the 12-period model for each Table XI distribution.
+// Table12 solves the 12-period model for each Table XI distribution; the
+// nine independent solves run across the worker pool.
 func Table12() (*Table12Result, error) {
-	res := &Table12Result{RewardsByDemand: make(map[int][]float64, 9)}
-	for total := 18; total <= 26; total++ {
+	const lo, hi = 18, 26
+	rewards, err := parallel.Map(context.Background(), 0, hi-lo+1, func(i int) ([]float64, error) {
+		total := lo + i
 		scn, ok := Static12WithPeriod1Demand(total)
 		if !ok {
 			return nil, fmt.Errorf("experiments: no Table XI row for %d", total)
@@ -31,7 +35,14 @@ func Table12() (*Table12Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res.RewardsByDemand[total] = pr.Rewards
+		return pr.Rewards, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table12Result{RewardsByDemand: make(map[int][]float64, hi-lo+1)}
+	for i, r := range rewards {
+		res.RewardsByDemand[lo+i] = r
 	}
 	return res, nil
 }
@@ -74,37 +85,36 @@ type WaitPerturbResult struct {
 	CostNominal, CostAdjusted float64
 }
 
-// WaitPerturb runs both waiting-function mis-estimation studies.
+// WaitPerturb runs both waiting-function mis-estimation studies. The
+// baseline and the two perturbed solves are independent and run across
+// the worker pool.
 func WaitPerturb() (*WaitPerturbResult, error) {
-	solve := func(scn *core.Scenario) (*core.StaticModel, *core.Pricing, error) {
-		m, err := core.NewStaticModel(scn)
+	type solved struct {
+		m  *core.StaticModel
+		pr *core.Pricing
+	}
+	scenarios := []func() *core.Scenario{Static12, Static12WaitPerturbPeriod1, Static12WaitPerturbAll}
+	outs, err := parallel.Map(context.Background(), 0, len(scenarios), func(i int) (solved, error) {
+		m, err := core.NewStaticModel(scenarios[i]())
 		if err != nil {
-			return nil, nil, err
+			return solved{}, err
 		}
 		pr, err := m.Solve()
 		if err != nil {
-			return nil, nil, err
+			return solved{}, err
 		}
-		return m, pr, nil
-	}
-	_, base, err := solve(Static12())
+		return solved{m, pr}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, p1, err := solve(Static12WaitPerturbPeriod1())
-	if err != nil {
-		return nil, err
-	}
-	mAll, all, err := solve(Static12WaitPerturbAll())
-	if err != nil {
-		return nil, err
-	}
+	base, p1, all := outs[0].pr, outs[1].pr, outs[2]
 	return &WaitPerturbResult{
 		Baseline:         base.Rewards,
 		Period1Perturbed: p1.Rewards,
-		AllPerturbed:     all.Rewards,
-		CostNominal:      PerUserDollars(mAll.CostAt(base.Rewards)),
-		CostAdjusted:     PerUserDollars(all.Cost),
+		AllPerturbed:     all.pr.Rewards,
+		CostNominal:      PerUserDollars(all.m.CostAt(base.Rewards)),
+		CostAdjusted:     PerUserDollars(all.pr.Cost),
 	}, nil
 }
 

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"tdp/internal/core"
+	"tdp/internal/parallel"
 	"tdp/internal/traffic"
 	"tdp/internal/waiting"
 )
@@ -230,8 +232,10 @@ type Fig6Result struct {
 // evens traffic out.
 func Fig6() (*Fig6Result, error) {
 	scales := []float64{0.1, 0.3, 1, 3, 10, 30, 100}
-	res := &Fig6Result{}
-	for _, a := range scales {
+	// Each sweep point is an independent 48-period solve on its own
+	// scenario and model; fan them across the worker pool.
+	points, err := parallel.Map(context.Background(), 0, len(scales), func(i int) (Fig6Point, error) {
+		a := scales[i]
 		scn := Static48()
 		scn.Cost = core.LinearCost(3).Scale(a)
 		// User behavior is fixed across the sweep: keep the waiting
@@ -241,24 +245,27 @@ func Fig6() (*Fig6Result, error) {
 		scn.MaxRewardNorm = staticNorm
 		m, err := core.NewStaticModel(scn)
 		if err != nil {
-			return nil, err
+			return Fig6Point{}, err
 		}
 		pr, err := m.Solve()
 		if err != nil {
-			return nil, err
+			return Fig6Point{}, err
 		}
 		profile := traffic.NewProfile(pr.Usage)
 		over, err := profile.OverCapacityVolume(scn.Capacity)
 		if err != nil {
-			return nil, err
+			return Fig6Point{}, err
 		}
-		res.Points = append(res.Points, Fig6Point{
+		return Fig6Point{
 			Scale:         a,
 			ResidueSpread: profile.ResidueSpread(),
 			OverCapacity:  over,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig6Result{Points: points}, nil
 }
 
 // Render formats the result.

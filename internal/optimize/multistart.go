@@ -1,7 +1,10 @@
 package optimize
 
 import (
+	"context"
 	"math/rand"
+
+	"tdp/internal/parallel"
 )
 
 // Multistart runs a local minimizer from several random starting points
@@ -11,8 +14,22 @@ import (
 //
 // starts must be ≥ 1; the first start is always x0 itself. The RNG must be
 // seeded by the caller for reproducibility.
+//
+// Restarts run concurrently on one worker per CPU; use MultistartJobs to
+// control the worker count. solve must be safe for concurrent calls.
 func Multistart(solve func(x0 []float64) (Result, error), x0 []float64, b Bounds,
 	starts int, rng *rand.Rand) (Result, error) {
+	return MultistartJobs(solve, x0, b, starts, rng, 0)
+}
+
+// MultistartJobs is Multistart with an explicit worker count (jobs ≤ 0
+// means one per CPU). Results are bit-identical for every worker count:
+// each restart draws its seed from rng up front in restart order, owns a
+// fresh start vector (so a solve whose Result.X aliases its input cannot
+// be corrupted by a later restart), and the best-result reduction walks
+// restarts in index order.
+func MultistartJobs(solve func(x0 []float64) (Result, error), x0 []float64, b Bounds,
+	starts int, rng *rand.Rand, jobs int) (Result, error) {
 
 	if starts < 1 {
 		starts = 1
@@ -21,28 +38,47 @@ func Multistart(solve func(x0 []float64) (Result, error), x0 []float64, b Bounds
 		return Result{}, err
 	}
 
+	// One seed per restart, drawn serially so start points do not depend
+	// on worker count or completion order.
+	seeds := make([]int64, starts)
+	for s := 1; s < starts; s++ {
+		seeds[s] = rng.Int63()
+	}
+
+	type outcome struct {
+		res Result
+		err error
+	}
+	// Solver failures stay inside the outcome (a failed restart must not
+	// cancel its siblings — the serial code kept going too), so Map's own
+	// error can only come from a bounds bug and is impossible here.
+	outs, _ := parallel.Map(context.Background(), jobs, starts, func(s int) (outcome, error) {
+		start := append([]float64(nil), x0...)
+		if s > 0 {
+			r := rand.New(rand.NewSource(seeds[s]))
+			for i := range start {
+				lo, hi := b.Lower[i], b.Upper[i]
+				start[i] = lo + r.Float64()*(hi-lo)
+			}
+		}
+		res, err := solve(start)
+		return outcome{res, err}, nil
+	})
+
 	var (
 		best    Result
 		bestErr error
 		haveAny bool
 	)
-	start := append([]float64(nil), x0...)
-	for s := 0; s < starts; s++ {
-		if s > 0 {
-			for i := range start {
-				lo, hi := b.Lower[i], b.Upper[i]
-				start[i] = lo + rng.Float64()*(hi-lo)
-			}
-		}
-		res, err := solve(start)
-		if res.X == nil {
-			if !haveAny {
-				bestErr = err
+	for _, o := range outs {
+		if o.res.X == nil {
+			if !haveAny && bestErr == nil {
+				bestErr = o.err
 			}
 			continue
 		}
-		if !haveAny || res.F < best.F {
-			best, bestErr, haveAny = res, err, true
+		if !haveAny || o.res.F < best.F {
+			best, bestErr, haveAny = o.res, o.err, true
 		}
 	}
 	if !haveAny {

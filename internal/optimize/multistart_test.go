@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -71,6 +72,60 @@ func TestMultistartBadBounds(t *testing.T) {
 	solve := func(x0 []float64) (Result, error) { return Result{X: x0, F: 0}, nil }
 	if _, err := Multistart(solve, []float64{0}, b, 2, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadBounds) {
 		t.Errorf("err = %v, want ErrBadBounds", err)
+	}
+}
+
+// TestMultistartAliasedResultNotCorrupted is the regression test for the
+// shared start-buffer bug: a solve whose Result.X aliases its input used
+// to be corrupted when the next restart overwrote the shared slice.
+func TestMultistartAliasedResultNotCorrupted(t *testing.T) {
+	b := UniformBounds(2, -1, 1)
+	f := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	// The solve returns its input slice itself — no copy — as many
+	// optimizers legitimately do.
+	solve := func(x0 []float64) (Result, error) {
+		return Result{X: x0, F: f(x0)}, nil
+	}
+	res, err := Multistart(solve, []float64{0, 0}, b, 16, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Multistart: %v", err)
+	}
+	// x0 = (0,0) is the global minimum, so it must win — and its X must
+	// still hold the values F was computed from.
+	if res.F != 0 {
+		t.Fatalf("best F = %v, want 0 (the x0 start)", res.F)
+	}
+	if got := f(res.X); got != res.F {
+		t.Errorf("best X re-evaluates to %v but F = %v — the winning start vector was overwritten", got, res.F)
+	}
+}
+
+// TestMultistartJobsEquivalence asserts bit-identical results for every
+// worker count, including the serial path.
+func TestMultistartJobsEquivalence(t *testing.T) {
+	fn := FuncObjective{Fn: func(x []float64) float64 {
+		a := x[0]*x[0] - 1
+		return a*a + 0.3*x[0] + 0.5*x[1]*x[1]
+	}}
+	b := UniformBounds(2, -2, 2)
+	solve := func(x0 []float64) (Result, error) {
+		return ProjectedGradient(fn, x0, b, WithMaxIterations(2000))
+	}
+	run := func(jobs int) Result {
+		t.Helper()
+		res, err := MultistartJobs(solve, []float64{0.9, 0.9}, b, 12, rand.New(rand.NewSource(7)), jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, jobs := range []int{2, 8, 0} {
+		got := run(jobs)
+		if got.F != serial.F || !reflect.DeepEqual(got.X, serial.X) ||
+			got.Iterations != serial.Iterations || got.Evals != serial.Evals {
+			t.Errorf("jobs=%d result %+v differs from serial %+v", jobs, got, serial)
+		}
 	}
 }
 

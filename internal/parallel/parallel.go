@@ -1,0 +1,119 @@
+// Package parallel is the bounded worker pool behind the solver and
+// experiment hot paths: multistart restarts, scenario sweeps, and the
+// tubebench experiment fan-out all run independent subproblems, so they
+// share one primitive — run fn(0..n-1) on at most `jobs` goroutines,
+// keep results in index order, and stop early on the first failure.
+//
+// Determinism contract: results are always delivered in task-index
+// order, and the reported error is the one from the lowest-indexed task
+// that failed among those that ran. Callers that also fix per-task
+// seeds (see optimize.MultistartJobs) therefore produce bit-identical
+// output for every worker count, including jobs=1.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs normalizes a worker-count request: values ≤ 0 mean "one worker
+// per available CPU", everything else is taken as-is.
+func Jobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most jobs workers
+// (jobs ≤ 0 means one per CPU). It returns after all started tasks have
+// finished. When a task fails or ctx is cancelled, no further tasks are
+// started; tasks already running are not interrupted, so fn should poll
+// ctx itself if it is long-running. The returned error is the error of
+// the lowest-indexed failing task, or ctx's error if the context was
+// cancelled before any task failed.
+//
+// fn is called from multiple goroutines and must be safe for concurrent
+// use when jobs != 1.
+func ForEach(ctx context.Context, jobs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		// Serial fast path: no goroutines, same contract.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		failIdx = n
+		failErr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < failIdx {
+						failIdx, failErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
+	// Our own cancel only fires via the defer (not yet) or on a task
+	// failure (returned above), so a done context here means the parent
+	// was cancelled and some tasks were skipped.
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) on at most jobs workers and
+// returns the results in index order — out[i] is fn(i)'s value
+// regardless of completion order. On error the partial results are
+// discarded and the lowest-indexed task error is returned (see ForEach).
+func Map[T any](ctx context.Context, jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, jobs, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingIsDeterministic(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		out, err := Map(context.Background(), jobs, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	const n = 257
+	var counts [n]atomic.Int32
+	if err := ForEach(context.Background(), 7, n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	const jobs = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	if err := ForEach(context.Background(), jobs, 50, func(i int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Errorf("observed %d concurrent tasks, want ≤ %d", p, jobs)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	// Every task fails; whatever interleaving happens, the reported
+	// error must be from the lowest-indexed task that ran — and since
+	// task 0 always runs, that is task 0.
+	for _, jobs := range []int{1, 4} {
+		err := ForEach(context.Background(), jobs, 20, func(i int) error {
+			return fmt.Errorf("task %d", i)
+		})
+		if err == nil || err.Error() != "task 0" {
+			t.Errorf("jobs=%d: err = %v, want task 0", jobs, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	wantErr := errors.New("boom")
+	var started atomic.Int32
+	err := ForEach(context.Background(), 2, 1000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return wantErr
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if s := started.Load(); s == 1000 {
+		t.Error("all tasks started despite early failure")
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	var once sync.Once
+	err := ForEach(ctx, 2, 1000, func(i int) error {
+		ran.Add(1)
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r := ran.Load(); r == 1000 {
+		t.Error("cancellation did not stop task dispatch")
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(i int) error {
+		t.Error("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if out != nil {
+		t.Errorf("partial results returned: %v", out)
+	}
+}
+
+func TestJobsNormalization(t *testing.T) {
+	if Jobs(0) < 1 {
+		t.Errorf("Jobs(0) = %d, want ≥ 1", Jobs(0))
+	}
+	if Jobs(-3) < 1 {
+		t.Errorf("Jobs(-3) = %d, want ≥ 1", Jobs(-3))
+	}
+	if Jobs(5) != 5 {
+		t.Errorf("Jobs(5) = %d, want 5", Jobs(5))
+	}
+}
