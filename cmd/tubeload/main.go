@@ -1,0 +1,281 @@
+// Command tubeload is the load-generation harness for the TUBE usage
+// ingestion path: it starts a TUBE Optimizer price server on a real TCP
+// listener, drives M synthetic users × K usage reports at it over HTTP
+// from a bounded worker pool, and reports sustained throughput plus
+// p50/p95/p99 request latency. With -compare it pits the per-report
+// POST /usage endpoint against the batched POST /usage/batch endpoint
+// and prints the sustained-reports/s speedup.
+//
+// After the drive, the harness verifies in-process that the sharded
+// accounting engine saw every report exactly once (volumes are integral
+// MB, so the check is exact).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"tdp/internal/core"
+	"tdp/internal/parallel"
+	"tdp/internal/tube"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tubeload:", err)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	addr    string
+	users   int
+	reports int
+	batch   int
+	jobs    int
+	shards  int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tubeload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address for the price server under load")
+	users := fs.Int("users", 256, "number of synthetic users")
+	reports := fs.Int("reports", 64, "usage reports per user")
+	batch := fs.Int("batch", 64, "reports per request in batch mode")
+	jobs := fs.Int("jobs", 0, "concurrent load workers (0 = one per CPU)")
+	shards := fs.Int("shards", 0, "measurement engine shards (0 = auto)")
+	mode := fs.String("mode", "batch", `ingestion mode: "single" or "batch"`)
+	compare := fs.Bool("compare", false, "run both modes and report the batch/single speedup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *users < 1 || *reports < 1 || *batch < 1 {
+		return fmt.Errorf("users, reports and batch must be ≥ 1")
+	}
+	cfg := loadConfig{
+		addr: *addr, users: *users, reports: *reports,
+		batch: *batch, jobs: *jobs, shards: *shards,
+	}
+	fmt.Fprintf(out, "tubeload: %d users × %d reports = %d reports, %d workers, shards=%d\n",
+		cfg.users, cfg.reports, cfg.users*cfg.reports, parallel.Jobs(cfg.jobs), cfg.shards)
+
+	if *compare {
+		single, err := runLoad(cfg, false)
+		if err != nil {
+			return err
+		}
+		single.print(out)
+		batched, err := runLoad(cfg, true)
+		if err != nil {
+			return err
+		}
+		batched.print(out)
+		fmt.Fprintf(out, "batch/single speedup: %.1f× sustained reports/s\n",
+			batched.throughput()/single.throughput())
+		return nil
+	}
+
+	useBatch := false
+	switch *mode {
+	case "batch":
+		useBatch = true
+	case "single":
+	default:
+		return fmt.Errorf("unknown mode %q (want single or batch)", *mode)
+	}
+	res, err := runLoad(cfg, useBatch)
+	if err != nil {
+		return err
+	}
+	res.print(out)
+	return nil
+}
+
+var loadClasses = []string{"web", "ftp", "video"}
+
+// loadScenario is a 12-period, 3-class deployment for the optimizer
+// under load; the ingestion path does not depend on its numbers.
+func loadScenario() *core.Scenario {
+	demand := make([][]float64, 12)
+	base := []float64{22, 13, 8, 8, 11, 19, 20, 23, 24, 25, 23, 26}
+	capacity := make([]float64, 12)
+	for i := range demand {
+		demand[i] = []float64{base[i] * 0.2, base[i] * 0.3, base[i] * 0.5}
+		capacity[i] = 18
+	}
+	return &core.Scenario{
+		Periods:  12,
+		Demand:   demand,
+		Betas:    []float64{4, 1.5, 0.5},
+		Capacity: capacity,
+		Cost:     core.LinearCost(3),
+	}
+}
+
+type loadResult struct {
+	mode     string
+	reports  int
+	requests int
+	elapsed  time.Duration
+	p50      time.Duration
+	p95      time.Duration
+	p99      time.Duration
+	verified string
+}
+
+func (r *loadResult) throughput() float64 {
+	return float64(r.reports) / r.elapsed.Seconds()
+}
+
+func (r *loadResult) print(out io.Writer) {
+	fmt.Fprintf(out, "%-10s %d reports / %d requests in %v → %.0f reports/s\n",
+		r.mode+":", r.reports, r.requests, r.elapsed.Round(time.Millisecond), r.throughput())
+	fmt.Fprintf(out, "           latency p50 %v  p95 %v  p99 %v\n",
+		r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond), r.p99.Round(time.Microsecond))
+	fmt.Fprintf(out, "           %s\n", r.verified)
+}
+
+// runLoad starts a fresh optimizer+server, drives the full load, and
+// verifies the accounted totals in-process before tearing down.
+func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
+	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
+		Scenario: loadScenario(),
+		Classes:  loadClasses,
+		Shards:   cfg.shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := tube.NewServer(opt)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	base := "http://" + ln.Addr().String()
+
+	workers := parallel.Jobs(cfg.jobs)
+	lats := make([][]time.Duration, workers)
+	start := time.Now()
+	err = parallel.ForEach(context.Background(), workers, workers, func(w int) error {
+		client := &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: 2},
+		}
+		defer client.CloseIdleConnections()
+		for u := w; u < cfg.users; u += workers {
+			user := fmt.Sprintf("u%06d", u)
+			if useBatch {
+				for lo := 0; lo < cfg.reports; lo += cfg.batch {
+					hi := min(lo+cfg.batch, cfg.reports)
+					reps := make([]tube.UsageReport, 0, hi-lo)
+					for r := lo; r < hi; r++ {
+						reps = append(reps, tube.UsageReport{
+							User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
+						})
+					}
+					d, err := postTimed(client, base+"/usage/batch", reps, http.StatusOK)
+					if err != nil {
+						return err
+					}
+					lats[w] = append(lats[w], d)
+				}
+			} else {
+				for r := 0; r < cfg.reports; r++ {
+					rep := tube.UsageReport{
+						User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
+					}
+					d, err := postTimed(client, base+"/usage", rep, http.StatusNoContent)
+					if err != nil {
+						return err
+					}
+					lats[w] = append(lats[w], d)
+				}
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify the sharded engine accounted every report exactly once.
+	total := float64(cfg.users * cfg.reports)
+	var accounted float64
+	for _, v := range opt.Measurement().ClassTotals() {
+		accounted += v
+	}
+	accepted := opt.Measurement().Engine().Accepted()
+	if accounted != total || accepted != int64(cfg.users*cfg.reports) {
+		return nil, fmt.Errorf("accounting mismatch: %.0f MB / %d reports accounted, want %.0f / %d",
+			accounted, accepted, total, cfg.users*cfg.reports)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	mode := "single"
+	if useBatch {
+		mode = fmt.Sprintf("batch=%d", cfg.batch)
+	}
+	return &loadResult{
+		mode:     mode,
+		reports:  cfg.users * cfg.reports,
+		requests: len(all),
+		elapsed:  elapsed,
+		p50:      percentile(all, 0.50),
+		p95:      percentile(all, 0.95),
+		p99:      percentile(all, 0.99),
+		verified: fmt.Sprintf("verified: %d reports, %.0f MB accounted", accepted, accounted),
+	}, nil
+}
+
+// percentile returns the q-th (0..1) latency from a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func postTimed(client *http.Client, url string, payload any, wantStatus int) (time.Duration, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d := time.Since(t0)
+	if resp.StatusCode != wantStatus {
+		return 0, fmt.Errorf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	return d, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTubeloadCompare(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-users", "8", "-reports", "10", "-batch", "4", "-jobs", "2", "-compare"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"8 users × 10 reports = 80 reports",
+		"single:",
+		"batch=4:",
+		"reports/s",
+		"latency p50",
+		"verified: 80 reports, 80 MB accounted",
+		"batch/single speedup:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTubeloadSingleMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-users", "4", "-reports", "5", "-mode", "single", "-jobs", "2"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "single:    20 reports / 20 requests") {
+		t.Errorf("single mode output:\n%s", out)
+	}
+}
+
+func TestTubeloadBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-users", "0"},
+		{"-reports", "0"},
+		{"-batch", "0"},
+		{"-mode", "turbo"},
+		{"-addr", "256.0.0.1:99999"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}

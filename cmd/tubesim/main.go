@@ -1,8 +1,10 @@
 // Command tubesim runs the end-to-end TUBE system against the emulated
 // testbed: it starts the TUBE Optimizer's HTTP price server, drives the
-// §VI-C two-user experiment against it (GUI clients pull prices once per
-// period and report usage), and prints the resulting traffic and price
-// history.
+// §VI-C experiment against it (GUI clients pull prices once per period
+// and report usage through the batched ingestion endpoint), and prints
+// the resulting traffic and price history. The -users and -periods
+// flags scale the testbed beyond the paper's fixed two-user, one-hour
+// configuration.
 package main
 
 import (
@@ -11,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"time"
 
@@ -27,18 +28,45 @@ func main() {
 	}
 }
 
+// synthUsers scales the testbed population: patience profiles alternate
+// between the paper's impatient group-1 and patient group-2 specs.
+func synthUsers(n int, defaults []emul.UserSpec) []emul.UserSpec {
+	users := make([]emul.UserSpec, n)
+	for i := range users {
+		proto := defaults[i%len(defaults)]
+		beta := make(map[string]float64, len(proto.Beta))
+		for k, v := range proto.Beta {
+			beta[k] = v
+		}
+		users[i] = emul.UserSpec{Name: fmt.Sprintf("user%d", i+1), Beta: beta}
+	}
+	return users
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tubesim", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address for the price server")
 	seed := fs.Int64("seed", 1, "experiment random seed")
+	users := fs.Int("users", 2, "emulated users (patience alternates impatient/patient)")
+	periods := fs.Int("periods", 12, "periods in the emulated day (≥ 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *users < 1 {
+		return fmt.Errorf("need at least 1 user, got %d", *users)
+	}
+	if *periods < 2 {
+		return fmt.Errorf("need at least 2 periods, got %d", *periods)
 	}
 
 	// The optimizer's demand estimate: the emulation's expected demand in
 	// MB per period, with per-class average patience.
 	cfg := emul.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Periods = *periods
+	if *users != len(cfg.Users) {
+		cfg.Users = synthUsers(*users, cfg.Users)
+	}
 	classes := make([]string, len(cfg.Classes))
 	betas := make([]float64, len(cfg.Classes))
 	for j, cl := range cfg.Classes {
@@ -73,19 +101,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv}
-	go func() {
-		// Serve returns ErrServerClosed on Shutdown; other errors are
-		// surfaced through failed client pulls below.
-		_ = httpSrv.Serve(ln)
-	}()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
+		<-serveErr
 	}()
 	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "TUBE Optimizer serving prices at %s\n\n", base)
+	fmt.Fprintf(out, "TUBE Optimizer serving prices at %s\n", base)
+	fmt.Fprintf(out, "testbed: %d users, %d periods\n\n", len(cfg.Users), cfg.Periods)
 
 	// GUI clients pull the published schedule once per period; the
 	// emulation then runs under that schedule.
@@ -106,20 +132,23 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Feed the TDP run's measured per-class usage back through the wire,
-	// period by period, closing each period at the optimizer.
+	// one batch per period through the sharded ingestion endpoint,
+	// closing each period at the optimizer.
 	for i := 0; i < cfg.Periods; i++ {
+		var batch []tube.UsageReport
 		for _, u := range cfg.Users {
 			for _, cl := range cfg.Classes {
 				vol := tdp.OfferedByUserClassPeriod[u.Name][cl.Name][i]
 				if vol <= 0 {
 					continue
 				}
-				if err := gui.ReportUsage(ctx, tube.UsageReport{
+				batch = append(batch, tube.UsageReport{
 					User: u.Name, Class: cl.Name, VolumeMB: vol,
-				}); err != nil {
-					return err
-				}
+				})
 			}
+		}
+		if err := gui.ReportUsageBatch(ctx, batch); err != nil {
+			return err
 		}
 		if _, err := opt.ClosePeriod(); err != nil {
 			return err
@@ -130,12 +159,27 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "published rewards ($0.10): %.3f\n\n", info.Rewards)
-	for _, u := range cfg.Users {
-		fmt.Fprintf(out, "%s TIP traffic (MB/period): %.0f\n", u.Name, tip.ServedByUserPeriod[u.Name])
-		fmt.Fprintf(out, "%s TDP traffic (MB/period): %.0f\n", u.Name, tdp.ServedByUserPeriod[u.Name])
-		mc := tdp.MovedByUserClass[u.Name]
-		fmt.Fprintf(out, "%s moved by TDP: web %.1f MB, ftp %.1f MB, video %.1f MB\n\n",
-			u.Name, mc["web"], mc["ftp"], mc["video"])
+	if len(cfg.Users) <= 4 {
+		for _, u := range cfg.Users {
+			fmt.Fprintf(out, "%s TIP traffic (MB/period): %.0f\n", u.Name, tip.ServedByUserPeriod[u.Name])
+			fmt.Fprintf(out, "%s TDP traffic (MB/period): %.0f\n", u.Name, tdp.ServedByUserPeriod[u.Name])
+			mc := tdp.MovedByUserClass[u.Name]
+			fmt.Fprintf(out, "%s moved by TDP: web %.1f MB, ftp %.1f MB, video %.1f MB\n\n",
+				u.Name, mc["web"], mc["ftp"], mc["video"])
+		}
+	} else {
+		var tipTotal, tdpTotal, moved float64
+		for _, u := range cfg.Users {
+			for _, v := range tip.ServedByUserPeriod[u.Name] {
+				tipTotal += v
+			}
+			for _, v := range tdp.ServedByUserPeriod[u.Name] {
+				tdpTotal += v
+			}
+			moved += tdp.TotalMoved(u.Name)
+		}
+		fmt.Fprintf(out, "aggregate TIP traffic: %.0f MB, TDP traffic: %.0f MB, moved by TDP: %.1f MB\n\n",
+			tipTotal, tdpTotal, moved)
 	}
 	hist, err := opt.PriceHistory()
 	if err != nil {

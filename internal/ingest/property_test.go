@@ -1,0 +1,164 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// serialRef is the straightforward single-map accounting the original
+// tube.Measurement implemented, with totals accumulated in sorted-user
+// order — the determinism contract the sharded engine promises to match
+// bit for bit.
+type serialRef struct {
+	classes []string
+	byUser  map[string][]float64
+}
+
+func newSerialRef(classes []string) *serialRef {
+	return &serialRef{classes: classes, byUser: make(map[string][]float64)}
+}
+
+func (r *serialRef) record(user, class string, v float64) {
+	u := r.byUser[user]
+	if u == nil {
+		u = make([]float64, len(r.classes))
+		r.byUser[user] = u
+	}
+	for j, c := range r.classes {
+		if c == class {
+			u[j] += v
+			return
+		}
+	}
+	panic("unknown class " + class)
+}
+
+func (r *serialRef) sortedUsers() []string {
+	names := make([]string, 0, len(r.byUser))
+	for u := range r.byUser {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *serialRef) classTotals() []float64 {
+	out := make([]float64, len(r.classes))
+	for _, u := range r.sortedUsers() {
+		for j, v := range r.byUser[u] {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+func (r *serialRef) userTotals() map[string]float64 {
+	out := make(map[string]float64, len(r.byUser))
+	for u, vec := range r.byUser {
+		var s float64
+		for _, v := range vec {
+			s += v
+		}
+		out[u] = s
+	}
+	return out
+}
+
+func (r *serialRef) rollover() ([]float64, map[string]float64) {
+	ct, ut := r.classTotals(), r.userTotals()
+	r.byUser = make(map[string][]float64)
+	return ct, ut
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesSerialProperty drives random report streams
+// (irrational volumes, mixed Record/RecordBatch, interleaved rollovers)
+// through the sharded engine at 1, 4, and 16 shards and asserts
+// ClassTotals, UserTotals, and Rollover results are bit-identical to
+// the serial reference.
+func TestShardedMatchesSerialProperty(t *testing.T) {
+	classes := classes3()
+	for _, shards := range []int{1, 4, 16} {
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*shards + trial)))
+			eng, err := NewEngine(classes, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newSerialRef(classes)
+
+			nOps := 50 + rng.Intn(400)
+			for op := 0; op < nOps; op++ {
+				switch {
+				case rng.Float64() < 0.03:
+					gotCT, gotUT := eng.Rollover()
+					wantCT, wantUT := ref.rollover()
+					checkTotals(t, shards, trial, "Rollover", gotCT, gotUT, wantCT, wantUT)
+				case rng.Float64() < 0.3:
+					n := 1 + rng.Intn(32)
+					batch := make([]Report, n)
+					for i := range batch {
+						batch[i] = randReport(rng)
+					}
+					if err := eng.RecordBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range batch {
+						ref.record(r.User, r.Class, r.VolumeMB)
+					}
+				default:
+					r := randReport(rng)
+					if err := eng.Record(r.User, r.Class, r.VolumeMB); err != nil {
+						t.Fatal(err)
+					}
+					ref.record(r.User, r.Class, r.VolumeMB)
+				}
+			}
+			checkTotals(t, shards, trial, "final",
+				eng.ClassTotals(), eng.UserTotals(), ref.classTotals(), ref.userTotals())
+			if got, want := eng.Users(), ref.sortedUsers(); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("shards=%d trial=%d: Users = %v, want %v", shards, trial, got, want)
+			}
+		}
+	}
+}
+
+func randReport(rng *rand.Rand) Report {
+	return Report{
+		User:     fmt.Sprintf("user%03d", rng.Intn(48)),
+		Class:    classes3()[rng.Intn(3)],
+		VolumeMB: rng.ExpFloat64() * 7.3, // irrational-ish: exercises float ordering
+	}
+}
+
+func checkTotals(t *testing.T, shards, trial int, where string,
+	gotCT []float64, gotUT map[string]float64, wantCT []float64, wantUT map[string]float64) {
+	t.Helper()
+	if !bitsEqual(gotCT, wantCT) {
+		t.Fatalf("shards=%d trial=%d %s: ClassTotals %v != serial %v (bitwise)",
+			shards, trial, where, gotCT, wantCT)
+	}
+	if len(gotUT) != len(wantUT) {
+		t.Fatalf("shards=%d trial=%d %s: %d users, want %d", shards, trial, where, len(gotUT), len(wantUT))
+	}
+	for u, v := range wantUT {
+		if math.Float64bits(gotUT[u]) != math.Float64bits(v) {
+			t.Fatalf("shards=%d trial=%d %s: UserTotals[%s] = %v, want %v (bitwise)",
+				shards, trial, where, u, gotUT[u], v)
+		}
+	}
+}

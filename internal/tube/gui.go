@@ -97,6 +97,38 @@ func (g *GUI) ReportUsage(ctx context.Context, rep UsageReport) error {
 	return nil
 }
 
+// ReportUsageBatch posts a whole batch of usage records in one request
+// (the high-throughput path: the server accounts the batch with one
+// lock acquisition per shard). The batch is all-or-nothing server-side.
+func (g *GUI) ReportUsageBatch(ctx context.Context, reps []UsageReport) error {
+	body, err := json.Marshal(reps)
+	if err != nil {
+		return fmt.Errorf("encode usage batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+"/usage/batch",
+		bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("report usage batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("report usage batch: status %d", resp.StatusCode)
+	}
+	var ack BatchAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return fmt.Errorf("decode batch ack: %w", err)
+	}
+	if ack.Accepted != len(reps) {
+		return fmt.Errorf("batch ack %d != %d sent", ack.Accepted, len(reps))
+	}
+	return nil
+}
+
 // FetchBill retrieves the user's accrued charge and reward credit for the
 // current billing cycle.
 func (g *GUI) FetchBill(ctx context.Context, user string) (Statement, error) {

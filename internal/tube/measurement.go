@@ -13,8 +13,8 @@ package tube
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
+
+	"tdp/internal/ingest"
 )
 
 // ErrBadInput is returned for invalid engine inputs.
@@ -22,114 +22,84 @@ var ErrBadInput = errors.New("tube: invalid input")
 
 // Measurement is the measurement engine: per-user, per-class byte
 // accounting for the current period, the role IPtables counters play in
-// the paper's prototype.
+// the paper's prototype. It is a thin adapter over the sharded
+// ingest.Engine (DESIGN.md §7), which replaced the original
+// single-global-mutex map: class membership checks are O(1) against a
+// precomputed index, reads merge across shards on demand, and period
+// close is one atomic read-totals-and-swap — the original Reset read
+// the totals and cleared the map under two separate lock acquisitions,
+// silently dropping any Record that landed in between.
 type Measurement struct {
-	mu      sync.Mutex
-	classes []string
-	byUser  map[string]map[string]float64 // user → class → MB
+	eng *ingest.Engine
 }
 
-// NewMeasurement creates an engine accounting the given traffic classes.
+// NewMeasurement creates an engine accounting the given traffic classes
+// with the default shard count.
 func NewMeasurement(classes []string) (*Measurement, error) {
-	if len(classes) == 0 {
-		return nil, fmt.Errorf("no classes: %w", ErrBadInput)
-	}
-	seen := make(map[string]bool, len(classes))
-	for _, c := range classes {
-		if c == "" || seen[c] {
-			return nil, fmt.Errorf("class %q empty or duplicate: %w", c, ErrBadInput)
-		}
-		seen[c] = true
-	}
-	return &Measurement{
-		classes: append([]string(nil), classes...),
-		byUser:  make(map[string]map[string]float64),
-	}, nil
+	return NewMeasurementShards(classes, 0)
 }
+
+// NewMeasurementShards creates an engine over an explicit number of
+// lock stripes (0 → ingest.DefaultShards; 1 reproduces the original
+// serial layout).
+func NewMeasurementShards(classes []string, shards int) (*Measurement, error) {
+	eng, err := ingest.NewEngine(classes, shards)
+	if err != nil {
+		return nil, badInput(err)
+	}
+	return &Measurement{eng: eng}, nil
+}
+
+// badInput rebrands an ingest validation error under this package's
+// sentinel so existing errors.Is(err, ErrBadInput) callers keep working.
+func badInput(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ingest.ErrBadReport) {
+		return fmt.Errorf("%v: %w", err, ErrBadInput)
+	}
+	return err
+}
+
+// Engine exposes the underlying sharded accounting engine.
+func (m *Measurement) Engine() *ingest.Engine { return m.eng }
 
 // Record accumulates volumeMB of traffic for (user, class).
 func (m *Measurement) Record(user, class string, volumeMB float64) error {
-	if user == "" {
-		return fmt.Errorf("empty user: %w", ErrBadInput)
-	}
-	if volumeMB < 0 {
-		return fmt.Errorf("negative volume %v: %w", volumeMB, ErrBadInput)
-	}
-	if !m.knownClass(class) {
-		return fmt.Errorf("unknown class %q: %w", class, ErrBadInput)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	u := m.byUser[user]
-	if u == nil {
-		u = make(map[string]float64, len(m.classes))
-		m.byUser[user] = u
-	}
-	u[class] += volumeMB
-	return nil
+	return badInput(m.eng.Record(user, class, volumeMB))
 }
 
-func (m *Measurement) knownClass(class string) bool {
-	for _, c := range m.classes {
-		if c == class {
-			return true
-		}
-	}
-	return false
+// RecordBatch accounts a whole batch of reports with one lock
+// acquisition per touched shard. Validation is all-or-nothing: an
+// invalid report rejects the entire batch with nothing applied.
+func (m *Measurement) RecordBatch(reports []UsageReport) error {
+	return badInput(m.eng.RecordBatch(reports))
 }
 
 // Classes returns the accounted traffic classes.
-func (m *Measurement) Classes() []string {
-	return append([]string(nil), m.classes...)
-}
+func (m *Measurement) Classes() []string { return m.eng.Classes() }
 
-// ClassTotals returns this period's aggregate volume per class, ordered as
-// Classes().
-func (m *Measurement) ClassTotals() []float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]float64, len(m.classes))
-	for _, u := range m.byUser {
-		for i, c := range m.classes {
-			out[i] += u[c]
-		}
-	}
-	return out
-}
+// ClassTotals returns this period's aggregate volume per class, ordered
+// as Classes().
+func (m *Measurement) ClassTotals() []float64 { return m.eng.ClassTotals() }
 
 // UserTotals returns this period's total volume per user.
-func (m *Measurement) UserTotals() map[string]float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]float64, len(m.byUser))
-	for user, classes := range m.byUser {
-		var s float64
-		for _, v := range classes {
-			s += v
-		}
-		out[user] = s
-	}
-	return out
-}
+func (m *Measurement) UserTotals() map[string]float64 { return m.eng.UserTotals() }
 
 // Users returns the users seen this period, sorted.
-func (m *Measurement) Users() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.byUser))
-	for u := range m.byUser {
-		out = append(out, u)
-	}
-	sort.Strings(out)
-	return out
+func (m *Measurement) Users() []string { return m.eng.Users() }
+
+// Rollover atomically closes the period, returning its per-class and
+// per-user totals from one consistent cut: no concurrent Record can
+// land between the snapshot and the clear.
+func (m *Measurement) Rollover() (classTotals []float64, userTotals map[string]float64) {
+	return m.eng.Rollover()
 }
 
 // Reset clears the counters for a new period and returns the closed
-// period's per-class totals.
+// period's per-class totals (one atomic critical section, see Rollover).
 func (m *Measurement) Reset() []float64 {
-	totals := m.ClassTotals()
-	m.mu.Lock()
-	m.byUser = make(map[string]map[string]float64)
-	m.mu.Unlock()
+	totals, _ := m.eng.Rollover()
 	return totals
 }

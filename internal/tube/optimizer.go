@@ -24,6 +24,9 @@ type OptimizerConfig struct {
 	// BasePrice is the baseline usage price per volume unit for billing
 	// ($0.10 units; default 1).
 	BasePrice float64
+	// Shards is the measurement engine's lock-stripe count (0 → the
+	// ingest package default, sized from GOMAXPROCS).
+	Shards int
 }
 
 // Optimizer is the TUBE server brain: it owns the measurement engine, the
@@ -61,7 +64,7 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 	if cfg.BasePrice == 0 {
 		cfg.BasePrice = 1
 	}
-	meas, err := NewMeasurement(cfg.Classes)
+	meas, err := NewMeasurementShards(cfg.Classes, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +140,11 @@ func (o *Optimizer) Schedule() []float64 {
 func (o *Optimizer) ClosePeriod() ([]float64, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	perUser := o.meas.UserTotals()
-	observed := o.meas.Reset()
+	// One atomic rollover: per-class and per-user totals come from the
+	// same consistent cut, so a report racing the period close cannot be
+	// billed in one period but profiled in the other (the old
+	// UserTotals-then-Reset pair left that window open).
+	observed, perUser := o.meas.Rollover()
 	idx := o.period % o.cfg.Scenario.Periods
 	reward := o.rewards[idx]
 

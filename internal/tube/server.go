@@ -1,10 +1,16 @@
 package tube
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"tdp/internal/ingest"
 )
 
 // PriceInfo is the payload the communication engine publishes: the reward
@@ -17,20 +23,34 @@ type PriceInfo struct {
 }
 
 // UsageReport is the payload the emulated access network (standing in for
-// the IPtables counters) posts to account a user's traffic.
-type UsageReport struct {
-	User     string  `json:"user"`
-	Class    string  `json:"class"`
-	VolumeMB float64 `json:"volumeMB"`
+// the IPtables counters) posts to account a user's traffic. It is the
+// ingestion engine's wire format: POST /usage takes one, POST
+// /usage/batch takes a JSON array.
+type UsageReport = ingest.Report
+
+// BatchAck is the /usage/batch response: how many reports were
+// accounted. A batch is all-or-nothing, so Accepted is always the full
+// batch size on success.
+type BatchAck struct {
+	Accepted int `json:"accepted"`
 }
 
 // Server is the TUBE communication engine: it exposes the optimizer's
-// prices to GUI clients and accepts usage accounting. The paper runs this
-// channel over SSL/TLS; transport security is orthogonal here (DESIGN.md
-// §2) — wrap the handler in your TLS listener of choice in production.
+// prices to GUI clients and accepts usage accounting, single reports or
+// batches. The paper runs this channel over SSL/TLS; transport security
+// is orthogonal here (DESIGN.md §2) — wrap the handler in your TLS
+// listener of choice in production.
 type Server struct {
 	opt *Optimizer
 	mux *http.ServeMux
+
+	// Per-handler request counters (handler name → count), maintained by
+	// the counting middleware and served at GET /stats.
+	counterNames []string
+	counters     map[string]*atomic.Int64
+
+	mu      sync.Mutex
+	httpSrv *http.Server // non-nil once Serve has been called
 }
 
 // NewServer builds the HTTP surface for an optimizer.
@@ -38,12 +58,38 @@ func NewServer(opt *Optimizer) (*Server, error) {
 	if opt == nil {
 		return nil, fmt.Errorf("nil optimizer: %w", ErrBadInput)
 	}
-	s := &Server{opt: opt, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /price", s.handlePrice)
-	s.mux.HandleFunc("GET /history", s.handleHistory)
-	s.mux.HandleFunc("GET /bill", s.handleBill)
-	s.mux.HandleFunc("POST /usage", s.handleUsage)
+	s := &Server{
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		counters: make(map[string]*atomic.Int64),
+	}
+	s.handle("GET /price", "price", s.handlePrice)
+	s.handle("GET /history", "history", s.handleHistory)
+	s.handle("GET /bill", "bill", s.handleBill)
+	s.handle("POST /usage", "usage", s.handleUsage)
+	s.handle("POST /usage/batch", "usage_batch", s.handleUsageBatch)
+	s.handle("GET /stats", "stats", s.handleStats)
 	return s, nil
+}
+
+// handle registers a route wrapped in a request counter.
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	c := new(atomic.Int64)
+	s.counters[name] = c
+	s.counterNames = append(s.counterNames, name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	})
+}
+
+// RequestCounts returns a snapshot of the per-handler request counters.
+func (s *Server) RequestCounts() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Load()
+	}
+	return out
 }
 
 // ServeHTTP implements http.Handler.
@@ -52,6 +98,36 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 var _ http.Handler = (*Server)(nil)
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a graceful Shutdown (unlike http.Server.Serve, which returns
+// ErrServerClosed).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{Handler: s}
+	}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown gracefully stops a Serve-d server: the listener closes
+// immediately, in-flight requests (usage batches mid-ingest included)
+// run to completion or until ctx expires. A server never started is a
+// no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
 
 func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	info := PriceInfo{
@@ -114,14 +190,36 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.opt.Measurement().Record(rep.User, rep.Class, rep.VolumeMB); err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrBadInput) {
-			status = http.StatusBadRequest
-		}
-		http.Error(w, err.Error(), status)
+		http.Error(w, err.Error(), usageStatus(err))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUsageBatch(w http.ResponseWriter, r *http.Request) {
+	var reps []UsageReport
+	if err := json.NewDecoder(r.Body).Decode(&reps); err != nil {
+		http.Error(w, "malformed usage batch", http.StatusBadRequest)
+		return
+	}
+	if err := s.opt.Measurement().RecordBatch(reps); err != nil {
+		// All-or-nothing: on error nothing was accounted, so the client
+		// can safely retry the whole batch after fixing it.
+		http.Error(w, err.Error(), usageStatus(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchAck{Accepted: len(reps)})
+}
+
+func usageStatus(err error) int {
+	if errors.Is(err, ErrBadInput) || errors.Is(err, ingest.ErrBadReport) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.RequestCounts())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
