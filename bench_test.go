@@ -376,12 +376,12 @@ func scaledScenario(n int) *core.Scenario {
 	for i := range capacity {
 		capacity[i] = 18
 	}
-	return &core.Scenario{
-		Periods:       n,
-		Demand:        demand,
-		Betas:         base.Betas,
-		Capacity:      capacity,
-		Cost:          base.Cost,
-		MaxRewardNorm: base.MaxRewardNorm,
-	}
+	// Clone-then-override instead of a field-list copy, so scalar options
+	// added to Scenario later (the NoWrap/MaxRewardNorm bug class) carry
+	// over to the resampled day automatically.
+	scn := base.Clone()
+	scn.Periods = n
+	scn.Demand = demand
+	scn.Capacity = capacity
+	return scn
 }

@@ -1,0 +1,160 @@
+// Command tubelint is the repository's static-analysis multichecker: it
+// runs the internal/lint suite (structclone, locksplit, aliasret,
+// globalrand, floateq — see DESIGN.md §8) over Go packages.
+//
+// It speaks the `go vet -vettool` driver protocol, so the canonical
+// invocation — the one CI uses — is
+//
+//	go build -o bin/tubelint ./cmd/tubelint
+//	go vet -vettool=$(pwd)/bin/tubelint ./...
+//
+// For convenience it also accepts package patterns directly
+// (`tubelint ./...`), in which case it re-executes itself through
+// `go vet -vettool` so both modes share one code path and one result.
+//
+// Individual analyzers can be disabled with -<name>=false, e.g.
+// `go vet -vettool=bin/tubelint -floateq=false ./...`.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"tdp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tubelint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	versionFlag := fs.String("V", "", "print version and exit (go command tool-ID handshake)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	enabled := make(map[string]*bool)
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tubelint [flags] <vet.cfg | packages>\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The go command probes `tubelint -V=full` once to derive a tool ID
+	// for its action cache; answer with a content hash of the executable
+	// so rebuilding tubelint invalidates cached vet results.
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+
+	// `go vet` probes `tubelint -flags` for the analyzer flags it should
+	// accept on its own command line, as a JSON array of flag specs.
+	if *flagsFlag {
+		type flagSpec struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var specs []flagSpec
+		for _, a := range lint.Analyzers() {
+			specs = append(specs, flagSpec{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		out, err := json.Marshal(specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tubelint: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
+
+	var active []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.RunUnitchecker(rest[0], active, os.Stderr)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return runStandalone(fs, rest)
+}
+
+// runStandalone handles `tubelint ./...`: it re-invokes the go command
+// with itself as the vettool, so standalone runs get exactly the
+// build-cache-driven, test-file-inclusive package view go vet has.
+func runStandalone(fs *flag.FlagSet, patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tubelint: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	args := []string{"vet", "-vettool=" + self}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "V" {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "tubelint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements the -V handshake. `-V=full` must print a line
+// the go command can parse into a stable tool ID (see
+// cmd/go/internal/work.(*Builder).toolID): name, the literal "version",
+// and for unreleased tools "devel" plus a trailing buildID= content
+// hash.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("tubelint version devel")
+		return 0
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tubelint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tubelint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "tubelint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("tubelint version devel buildID=%02x\n", h.Sum(nil))
+	return 0
+}

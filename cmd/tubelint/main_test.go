@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"regexp"
+	"testing"
+
+	"tdp/internal/lint"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatalf("reading pipe: %v", err)
+	}
+	return buf.String()
+}
+
+// TestFlagsHandshakeRegistersAllAnalyzers is the multichecker smoke
+// test: the -flags probe go vet issues must list all five analyzers, or
+// their enable/disable flags silently vanish from CI.
+func TestFlagsHandshakeRegistersAllAnalyzers(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() { code = run([]string{"-flags"}) })
+	if code != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", code)
+	}
+	var specs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(out), &specs); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	have := make(map[string]bool)
+	for _, s := range specs {
+		if !s.Bool {
+			t.Errorf("flag %q not boolean", s.Name)
+		}
+		have[s.Name] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !have[a.Name] {
+			t.Errorf("analyzer %q missing from -flags handshake", a.Name)
+		}
+	}
+	if len(specs) != len(lint.Analyzers()) {
+		t.Errorf("-flags lists %d analyzers, want %d", len(specs), len(lint.Analyzers()))
+	}
+}
+
+// TestVersionHandshake checks the -V=full line the go command parses
+// into its action-cache tool ID.
+func TestVersionHandshake(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() { code = run([]string{"-V=full"}) })
+	if code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", code)
+	}
+	if !regexp.MustCompile(`^tubelint version devel buildID=[0-9a-f]+\n$`).MatchString(out) {
+		t.Errorf("-V=full output %q does not match the go tool-ID grammar", out)
+	}
+}

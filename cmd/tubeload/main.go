@@ -226,6 +226,10 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 		accounted += v
 	}
 	accepted := opt.Measurement().Engine().Accepted()
+	// Every report carries exactly 1 MB, so the sums are integers well
+	// below 2^53 and exact equality is the correct exactly-once check: a
+	// tolerance would mask a lost or doubled report.
+	//lint:allow floateq integral sums below 2^53 are exact; tolerance would mask lost reports
 	if accounted != total || accepted != int64(cfg.users*cfg.reports) {
 		return nil, fmt.Errorf("accounting mismatch: %.0f MB / %d reports accounted, want %.0f / %d",
 			accounted, accepted, total, cfg.users*cfg.reports)

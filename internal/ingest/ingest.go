@@ -54,8 +54,8 @@ type Report struct {
 // separate cache lines so uncontended shards do not false-share.
 type shard struct {
 	mu     sync.Mutex
-	byUser map[string][]float64 // user → per-class-index MB
-	n      int64                // reports accepted (under mu)
+	byUser map[string][]float64 // guarded by mu: user → per-class-index MB
+	n      int64                // guarded by mu: reports accepted
 	_      [96]byte
 }
 

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Aliasret flags exported methods that hand out internal slice or map
+// state by reference — the multistart Result.X bug class, where a
+// returned buffer aliased by the engine was mutated by a later restart.
+// It applies to types opted in with a `//tubelint:noalias` comment on
+// the type declaration, and automatically to any type with
+// `// guarded by <mu>` fields (returning guarded state is doubly wrong:
+// the alias outlives the critical section, so callers race with the
+// engine as well as corrupt it).
+//
+// Only directly returned fields (`return s.buf`) and fields returned
+// through a single trivial local (`x := s.buf; ...; return x`) are
+// detected; copies made with append([]T(nil), s.buf...) or an explicit
+// loop pass. Intentional exposure takes //lint:allow aliasret <reason>.
+var Aliasret = &Analyzer{
+	Name: "aliasret",
+	Doc:  "flags exported methods returning internal slice/map fields without copying",
+	Run:  runAliasret,
+}
+
+func runAliasret(pass *Pass) error {
+	structs := collectStructs(pass, false)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			typ, recv := receiverTypeName(fd)
+			if typ == "" || recv == "" {
+				continue
+			}
+			si := structs[typ]
+			if si == nil || (!si.noalias && !si.anyGuarded()) {
+				continue
+			}
+			checkAliasingReturns(pass, fd, si, recv)
+		}
+	}
+	return nil
+}
+
+func checkAliasingReturns(pass *Pass, fd *ast.FuncDecl, si *structInfo, recv string) {
+	// aliasLocals tracks trivial locals assigned straight from a
+	// receiver field: `buf := s.buf; return buf`.
+	aliasLocals := make(map[types.Object]string)
+
+	fieldOf := func(e ast.Expr) string {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || id.Name != recv {
+			return ""
+		}
+		if !selIsField(pass, sel) {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+
+	// refSemantics reports whether returning a value of type t aliases
+	// backing storage: slices, maps, and pointers to them.
+	refSemantics := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if fld := fieldOf(n.Rhs[i]); fld != "" && refSemantics(n.Rhs[i]) {
+					aliasLocals[obj] = fld
+				} else {
+					delete(aliasLocals, obj) // reassigned to something else
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				res = unparen(res)
+				fld := fieldOf(res)
+				if fld == "" {
+					if id, ok := res.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							fld = aliasLocals[obj]
+						}
+					}
+				}
+				if fld == "" || !refSemantics(res) {
+					continue
+				}
+				detail := ""
+				if mu := si.guardedBy(fld); mu != "" {
+					detail = " (and the alias outlives the " + mu + " critical section)"
+				}
+				pass.Reportf(res.Pos(), "%s returns internal field %s without copying; callers can mutate %s state through the alias%s — return a copy", fd.Name.Name, fld, si.name, detail)
+			}
+		}
+		return true
+	})
+}

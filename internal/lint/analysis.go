@@ -1,0 +1,199 @@
+// Package lint is a self-contained static-analysis suite that
+// mechanically enforces this repository's hard-won invariants: deep-copy
+// discipline for Scenario-like types (structclone), single-critical-
+// section locking (locksplit), no aliasing returns of guarded state
+// (aliasret), no global math/rand in determinism-contract packages
+// (globalrand), and no exact float equality outside tests (floateq).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library only
+// (go/ast, go/types), because the build environment vendors no external
+// modules. cmd/tubelint packages the suite both as a standalone checker
+// and as a `go vet -vettool` unitchecker (see unitchecker.go).
+//
+// Suppression grammar (DESIGN.md §8): a comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line, or the line above it, suppresses that analyzer's
+// diagnostics for the line. The reason is mandatory: bare allows are
+// themselves reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package and reports findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked package
+// under analysis, and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	allow       *allowIndex
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a diagnostic at pos unless an in-scope //lint:allow
+// comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.allow != nil && p.allow.allows(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostics returns the findings reported so far, in source order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// Unit is one package ready for analysis: the shared file set, syntax,
+// and type information. It is produced by the loaders in load.go and
+// unitchecker.go.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies each analyzer to the unit and returns all diagnostics in
+// source order. Analyzer errors (not findings) abort the run.
+func (u *Unit) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(u.Fset, u.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			allow:     allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		out = append(out, pass.Diagnostics()...)
+	}
+	out = append(out, allow.malformed...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// allowRe matches the suppression comment. Group 1 is the analyzer
+// name, group 2 the (required) reason.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+(\w+)(?:\s+(.*))?$`)
+
+// allowIndex maps (file, line) to the analyzers suppressed there. A
+// comment suppresses its own line and, when it is the only thing on its
+// line, the line that follows it.
+type allowIndex struct {
+	byLine    map[string]map[int]map[string]bool // file → line → analyzer set
+	malformed []Diagnostic
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//lint:allow") {
+						idx.malformed = append(idx.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Message:  "malformed //lint:allow comment: want //lint:allow <analyzer> <reason>",
+							Analyzer: "lintallow",
+						})
+					}
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("//lint:allow %s needs a reason", m[1]),
+						Analyzer: "lintallow",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx.add(pos.Filename, pos.Line, m[1])
+				// A standalone comment line also covers the next line.
+				idx.add(pos.Filename, pos.Line+1, m[1])
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) add(file string, line int, analyzer string) {
+	lines := idx.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		idx.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	return idx.byLine[pos.Filename][pos.Line][analyzer]
+}
+
+// isTestFile reports whether pos is inside a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedRe matches the field annotation `// guarded by <mutexfield>`,
+// anywhere in the field's doc or trailing comment.
+var guardedRe = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+
+// structInfo is the annotation-derived model of one struct type in the
+// package under analysis.
+type structInfo struct {
+	name    string          // type name
+	mutexes map[string]bool // fields of type sync.Mutex / sync.RWMutex / pointers thereto
+	// guarded maps mutex field name → set of fields annotated
+	// `// guarded by <mutex>`.
+	guarded map[string]map[string]bool
+	noalias bool // type carries //tubelint:noalias
+}
+
+// guardedBy returns the mutex that guards field, or "".
+func (si *structInfo) guardedBy(field string) string {
+	for mu, set := range si.guarded {
+		if set[field] {
+			return mu
+		}
+	}
+	return ""
+}
+
+// anyGuarded reports whether any field carries a guard annotation.
+func (si *structInfo) anyGuarded() bool {
+	for _, set := range si.guarded {
+		if len(set) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectStructs walks the package's type declarations and extracts
+// mutex fields, `// guarded by` annotations, and //tubelint:noalias
+// markers. When report is true, annotations naming a non-mutex or
+// unknown field are reported through pass so typos cannot silently
+// disable enforcement (only locksplit reports, so shared use by
+// aliasret does not duplicate diagnostics).
+func collectStructs(pass *Pass, report bool) map[string]*structInfo {
+	out := make(map[string]*structInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				si := &structInfo{
+					name:    ts.Name.Name,
+					mutexes: make(map[string]bool),
+					guarded: make(map[string]map[string]bool),
+				}
+				// Type-level markers may sit on the TypeSpec or, for a
+				// single-spec declaration, on the GenDecl.
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if strings.HasPrefix(strings.TrimSpace(c.Text), "//tubelint:noalias") {
+							si.noalias = true
+						}
+					}
+				}
+				// First pass: find the mutex fields.
+				for _, fld := range st.Fields.List {
+					if !isMutexField(pass, fld) {
+						continue
+					}
+					for _, name := range fld.Names {
+						si.mutexes[name.Name] = true
+					}
+				}
+				// Second pass: bind guarded annotations.
+				for _, fld := range st.Fields.List {
+					mu := guardAnnotation(fld)
+					if mu == "" {
+						continue
+					}
+					if !si.mutexes[mu] {
+						if report {
+							pass.Reportf(fld.Pos(), "field annotated `guarded by %s`, but %s has no mutex field %s", mu, si.name, mu)
+						}
+						continue
+					}
+					if si.guarded[mu] == nil {
+						si.guarded[mu] = make(map[string]bool)
+					}
+					for _, name := range fld.Names {
+						si.guarded[mu][name.Name] = true
+					}
+				}
+				out[si.name] = si
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation returns the mutex name from a field's
+// `// guarded by <mu>` doc or line comment, or "".
+func guardAnnotation(fld *ast.Field) string {
+	for _, doc := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if m := guardedRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// isMutexField reports whether the field's type is sync.Mutex,
+// sync.RWMutex, or a pointer to either.
+func isMutexField(pass *Pass, fld *ast.Field) bool {
+	tv, ok := pass.TypesInfo.Types[fld.Type]
+	if !ok {
+		return false
+	}
+	return isMutexType(tv.Type)
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverTypeName returns the name of the method receiver's base type
+// and the receiver identifier, or "" when fd is not a method or the
+// receiver is anonymous.
+func receiverTypeName(fd *ast.FuncDecl) (typ, recv string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	r := fd.Recv.List[0]
+	t := r.Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	// Generic receivers (T[P]) unwrap to the identifier.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(r.Names) == 1 {
+		return id.Name, r.Names[0].Name
+	}
+	return id.Name, ""
+}

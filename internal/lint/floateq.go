@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point operands outside
+// _test.go files. Solver convergence checks written as `cost == prev`
+// terminate (or fail to) on rounding noise; the fix is a tolerance
+// (math.Abs(a-b) <= eps, or the package's helper).
+//
+// Three well-defined idioms are exempt:
+//
+//   - comparison against an exact-zero constant, the universal "unset
+//     option" sentinel (Scenario.MaxRewardNorm == 0);
+//   - comparison of an expression with itself (`x != x`), the NaN test;
+//   - comparison of two constants, which is exact by definition.
+//
+// Anything else takes //lint:allow floateq <reason> — used sparingly,
+// e.g. inside a tolerance helper itself.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags exact floating-point equality comparisons outside tests",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xtv, xok := pass.TypesInfo.Types[be.X]
+			ytv, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xtv.Type) && !isFloat(ytv.Type) {
+				return true
+			}
+			if isExactZero(xtv) || isExactZero(ytv) {
+				return true
+			}
+			if xtv.Value != nil && ytv.Value != nil {
+				return true // constant folding is exact
+			}
+			if exprString(unparen(be.X)) == exprString(unparen(be.Y)) && sameSyntax(be.X, be.Y) {
+				return true // x != x is the NaN idiom
+			}
+			pass.Reportf(be.OpPos, "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or //lint:allow floateq <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether tv is a constant that is exactly zero.
+func isExactZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(v) == 0
+}
+
+// sameSyntax guards the NaN-idiom exemption: both sides must be simple
+// access paths (identifiers, selectors, index expressions) so that
+// `f() != f()` — which may legitimately differ — is still flagged.
+func sameSyntax(x, y ast.Expr) bool {
+	return simplePath(unparen(x)) && simplePath(unparen(y))
+}
+
+func simplePath(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return simplePath(e.X)
+	case *ast.IndexExpr:
+		return simplePath(e.X) && simplePath(e.Index)
+	case *ast.BasicLit:
+		return true
+	}
+	return false
+}

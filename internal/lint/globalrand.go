@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPkgs lists the import paths (and their subtrees) where
+// bit-identical output at any -jobs count is a tested contract, so the
+// process-global math/rand source — shared, lock-serialized, and
+// schedule-dependent — is forbidden. Code there must thread an explicit
+// *rand.Rand seeded per task (see optimize.MultistartJobs).
+var DeterministicPkgs = []string{
+	"tdp/internal/core",
+	"tdp/internal/optimize",
+	"tdp/internal/stochastic",
+	"tdp/internal/experiments",
+}
+
+// randConstructors are the math/rand (and v2) package-level functions
+// that build explicit sources rather than consuming the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"NewZipf":    true, // takes an explicit *Rand
+}
+
+// Globalrand forbids the global math/rand source in the deterministic
+// packages: any reference to a package-level function of math/rand or
+// math/rand/v2 other than the explicit-source constructors.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids the global math/rand source in determinism-contract packages",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			// Tests may use the global source for irrelevant fuzz input;
+			// the determinism contract covers shipped code paths.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand have a receiver; only package-level
+			// functions consume the global source.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "rand.%s uses the process-global source; %s has a bit-identical-at-any-jobs contract — thread an explicit *rand.Rand seeded per task", fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+func deterministicPkg(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"tdp/internal/lint"
+	"tdp/internal/lint/linttest"
+)
+
+// The fixture suites: each fails if its analyzer is disabled or broken,
+// because every `// want` expectation must be matched by a diagnostic.
+
+func TestStructclone(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Structclone, "structclone")
+}
+
+func TestLocksplit(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Locksplit, "locksplit")
+}
+
+func TestAliasret(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Aliasret, "aliasret")
+}
+
+func TestGlobalrand(t *testing.T) {
+	// The stochastic fixture lives under a deterministic import path and
+	// must be flagged; randfree sits outside them and must stay silent.
+	linttest.Run(t, "testdata/src", lint.Globalrand, "tdp/internal/stochastic", "randfree")
+}
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Floateq, "floateq")
+}
+
+// runOnSource type-checks one synthetic file and runs a single analyzer
+// over it, for grammar-level tests that don't warrant a fixture tree.
+func runOnSource(t *testing.T, src string, a *lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := lint.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	u := &lint.Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	diags, err := u.Run([]*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func TestAllowReasonMandatory(t *testing.T) {
+	src := `package p
+
+func f(a, b float64) bool {
+	//lint:allow floateq
+	return a == b
+}
+`
+	diags := runOnSource(t, src, lint.Floateq)
+	var sawBare, sawFloateq bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintallow":
+			if strings.Contains(d.Message, "needs a reason") {
+				sawBare = true
+			}
+		case "floateq":
+			sawFloateq = true
+		}
+	}
+	if !sawBare {
+		t.Errorf("reason-less //lint:allow not reported; got %v", diags)
+	}
+	if !sawFloateq {
+		t.Errorf("reason-less //lint:allow suppressed the diagnostic anyway; got %v", diags)
+	}
+}
+
+func TestAllowOnSameLine(t *testing.T) {
+	src := `package p
+
+func f(a, b float64) bool {
+	return a == b //lint:allow floateq documented exact comparison
+}
+`
+	if diags := runOnSource(t, src, lint.Floateq); len(diags) != 0 {
+		t.Errorf("trailing //lint:allow with reason should suppress; got %v", diags)
+	}
+}
+
+func TestSuiteRegistersAllFive(t *testing.T) {
+	want := []string{"structclone", "locksplit", "aliasret", "globalrand", "floateq"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, got[i].Name, name)
+		}
+		if got[i].Doc == "" || got[i].Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", name)
+		}
+		if lint.ByName(name) != got[i] {
+			t.Errorf("ByName(%q) does not resolve to the registered analyzer", name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) should be nil")
+	}
+}

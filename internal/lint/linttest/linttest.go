@@ -1,0 +1,141 @@
+// Package linttest is a miniature analysistest: it runs one analyzer
+// over GOPATH-style fixture packages under testdata/src and checks the
+// reported diagnostics against `// want "regex"` comments in the
+// fixture source, in both directions — every diagnostic must be
+// expected, and every expectation must fire. A fixture therefore fails
+// the test if its analyzer is disabled or broken.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tdp/internal/lint"
+)
+
+// wantRe extracts the comment payload after "// want".
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes each fixture package with a and compares diagnostics to
+// the fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			unit, err := lint.LoadFixture(srcRoot, pkg)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pkg, err)
+			}
+			diags, err := unit.Run([]*lint.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+			}
+
+			expects := collectWants(t, unit)
+
+			for _, d := range diags {
+				pos := unit.Fset.Position(d.Pos)
+				found := false
+				for _, e := range expects {
+					if e.matched || e.file != pos.Filename || e.line != pos.Line {
+						continue
+					}
+					if e.pattern.MatchString(d.Message) {
+						e.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+				}
+			}
+			for _, e := range expects {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+				}
+			}
+		})
+	}
+}
+
+// collectWants parses `// want "p1" "p2"` comments from every file in
+// the unit. Each quoted string is one expected diagnostic on that line.
+func collectWants(t *testing.T, unit *lint.Unit) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b c"`.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		// Find the end of this Go string literal.
+		end := -1
+		if s[0] == '`' {
+			if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+				end = i + 2
+			}
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i + 1
+					break
+				}
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		unq, err := strconv.Unquote(s[:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end:])
+	}
+	return out, nil
+}

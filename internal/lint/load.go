@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixture type-checks the fixture package at importPath inside a
+// GOPATH-style tree rooted at srcRoot (testdata/src), resolving
+// intra-fixture imports from the tree and the rest from the standard
+// library. It is the entry point for the linttest harness.
+func LoadFixture(srcRoot, importPath string) (*Unit, error) {
+	return newFixtureLoader(srcRoot).load(importPath)
+}
+
+// fixtureLoader type-checks a GOPATH-style tree of fixture packages
+// (testdata/src/<importpath>/*.go), resolving intra-fixture imports
+// from the tree and everything else from the standard library's source
+// via go/importer's "source" mode — no export data or network needed.
+// It exists for the analysistest harness; real-repo analysis runs under
+// the go command's vet protocol (unitchecker.go).
+type fixtureLoader struct {
+	root   string // the src directory
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Unit
+	stack  []string // cycle detection
+}
+
+func newFixtureLoader(srcRoot string) *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		root:   srcRoot,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*Unit),
+	}
+}
+
+// load parses and type-checks the fixture package at importPath
+// (relative to the src root).
+func (l *fixtureLoader) load(importPath string) (*Unit, error) {
+	if u, ok := l.loaded[importPath]; ok {
+		return u, nil
+	}
+	for _, p := range l.stack {
+		if p == importPath {
+			return nil, fmt.Errorf("import cycle through %s", importPath)
+		}
+	}
+	l.stack = append(l.stack, importPath)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+			u, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return u.Pkg, nil
+		}
+		return l.std.Import(path)
+	})
+	tc := &types.Config{Importer: imp}
+	info := NewInfo()
+	pkg, err := tc.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.loaded[importPath] = u
+	return u, nil
+}

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Locksplit flags the lost-update pattern fixed in PR 2's ingestion
+// rework: an exported method that acquires the same mutex twice, reading
+// `// guarded by <mu>` state under the first hold and writing guarded
+// state under the second. Between the two critical sections another
+// goroutine can mutate the state, so the read snapshot and the write
+// disagree — exactly how the original Measurement.Reset dropped
+// concurrent Records between "read the totals" and "clear the map".
+//
+// The analysis is a source-order AST heuristic, not a path-sensitive
+// proof: Lock/Unlock calls on a receiver's annotated mutex partition the
+// method into critical sections (calls to sibling methods that
+// themselves acquire the mutex count as one section, so composing two
+// locking methods is caught too), and a guarded read in one section
+// followed by a guarded write in a later one is reported. Methods whose
+// lock/unlock structure the heuristic cannot balance are skipped rather
+// than guessed at.
+var Locksplit = &Analyzer{
+	Name: "locksplit",
+	Doc:  "flags split critical sections: guarded state read under one mutex hold and written under a second",
+	Run:  runLocksplit,
+}
+
+// lockEvent kinds, in the order they are replayed.
+const (
+	evAcquire = iota
+	evRelease
+	evDeferRelease
+	evRead
+	evWrite
+)
+
+type lockEvent struct {
+	kind  int
+	pos   token.Pos
+	field string // read/write: the guarded field; acquire/release: the mutex
+	via   string // non-empty when synthesized from a sibling-method call
+}
+
+// methodSummary is the one-level call model: whether a method directly
+// acquires a mutex and which guarded fields it touches.
+type methodSummary struct {
+	acquires map[string]bool // mutex field → acquired somewhere in body
+	reads    map[string]bool // guarded field → read
+	writes   map[string]bool // guarded field → written
+}
+
+func runLocksplit(pass *Pass) error {
+	structs := collectStructs(pass, true)
+
+	// Group methods by receiver type.
+	type method struct {
+		decl *ast.FuncDecl
+		recv string
+	}
+	methods := make(map[string][]method)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			typ, recv := receiverTypeName(fd)
+			if typ == "" || recv == "" {
+				continue
+			}
+			if si := structs[typ]; si == nil || !si.anyGuarded() {
+				continue
+			}
+			methods[typ] = append(methods[typ], method{decl: fd, recv: recv})
+		}
+	}
+
+	for typ, ms := range methods {
+		si := structs[typ]
+		// First pass: direct summaries for sibling-call expansion.
+		summaries := make(map[string]*methodSummary, len(ms))
+		for _, m := range ms {
+			summaries[m.decl.Name.Name] = summarize(pass, si, m.decl, m.recv)
+		}
+		// Second pass: replay each exported method's event stream.
+		for _, m := range ms {
+			if !m.decl.Name.IsExported() {
+				continue
+			}
+			events := collectEvents(pass, si, m.decl, m.recv, summaries)
+			checkSplit(pass, m.decl, si, events)
+		}
+	}
+	return nil
+}
+
+// summarize records which mutexes a method directly acquires and which
+// guarded fields it directly touches.
+func summarize(pass *Pass, si *structInfo, fd *ast.FuncDecl, recv string) *methodSummary {
+	sum := &methodSummary{
+		acquires: make(map[string]bool),
+		reads:    make(map[string]bool),
+		writes:   make(map[string]bool),
+	}
+	for _, ev := range collectEvents(pass, si, fd, recv, nil) {
+		switch ev.kind {
+		case evAcquire:
+			sum.acquires[ev.field] = true
+		case evRead:
+			sum.reads[ev.field] = true
+		case evWrite:
+			sum.writes[ev.field] = true
+		}
+	}
+	return sum
+}
+
+// collectEvents walks fd's body and returns the mutex and guarded-state
+// events in source order. When summaries is non-nil, calls to sibling
+// methods that acquire a mutex are expanded into a synthetic
+// acquire/read/write/release group.
+func collectEvents(pass *Pass, si *structInfo, fd *ast.FuncDecl, recv string, summaries map[string]*methodSummary) []lockEvent {
+	var events []lockEvent
+
+	// recvField returns the field name when e is recv.<field>.
+	recvField := func(e ast.Expr) string {
+		sel, ok := unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := unparen(sel.X).(*ast.Ident)
+		if !ok || id.Name != recv {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+
+	// writeTarget records lvalue positions: recv.f = ..., recv.f[k] = ...,
+	// recv.f++ — the guarded field is written (or its contents are).
+	markWrite := func(e ast.Expr, pos token.Pos) {
+		e = unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = unparen(ix.X)
+		}
+		if f := recvField(e); f != "" && si.guardedBy(f) != "" {
+			events = append(events, lockEvent{kind: evWrite, pos: pos, field: f})
+		}
+	}
+
+	lvalues := make(map[ast.Node]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs, lhs.Pos())
+				lvalues[unparen(lhs)] = true
+				if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					lvalues[unparen(ix.X)] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X, n.Pos())
+			lvalues[unparen(n.X)] = true
+
+		case *ast.DeferStmt:
+			// Any Unlock reachable from a defer releases at return.
+			ast.Inspect(n.Call, func(d ast.Node) bool {
+				call, ok := d.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if mu, rel := mutexCall(recvField, si, call); mu != "" && rel {
+					events = append(events, lockEvent{kind: evDeferRelease, pos: n.Pos(), field: mu})
+				}
+				return true
+			})
+			// Skip normal traversal of the deferred call so its Unlock
+			// is not also recorded as an immediate release.
+			return false
+
+		case *ast.CallExpr:
+			if mu, rel := mutexCall(recvField, si, n); mu != "" {
+				kind := evAcquire
+				if rel {
+					kind = evRelease
+				}
+				events = append(events, lockEvent{kind: kind, pos: n.Pos(), field: mu})
+				return true
+			}
+			// Sibling method call: recv.Method(...).
+			if summaries != nil {
+				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := unparen(sel.X).(*ast.Ident); ok && id.Name == recv {
+						if sum := summaries[sel.Sel.Name]; sum != nil && len(sum.acquires) > 0 {
+							events = append(events, expandCall(n.Pos(), sel.Sel.Name, sum)...)
+							return true
+						}
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if lvalues[ast.Node(n)] {
+				return true // already recorded as a write
+			}
+			if f := recvField(n); f != "" && si.guardedBy(f) != "" {
+				events = append(events, lockEvent{kind: evRead, pos: n.Pos(), field: f})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// expandCall synthesizes the event group for a call to a sibling method
+// known to acquire mutexes: one critical section containing the
+// method's direct guarded reads and writes.
+func expandCall(pos token.Pos, name string, sum *methodSummary) []lockEvent {
+	var out []lockEvent
+	for mu := range sum.acquires {
+		out = append(out, lockEvent{kind: evAcquire, pos: pos, field: mu, via: name})
+	}
+	for f := range sum.reads {
+		out = append(out, lockEvent{kind: evRead, pos: pos, field: f, via: name})
+	}
+	for f := range sum.writes {
+		out = append(out, lockEvent{kind: evWrite, pos: pos, field: f, via: name})
+	}
+	for mu := range sum.acquires {
+		out = append(out, lockEvent{kind: evRelease, pos: pos, field: mu, via: name})
+	}
+	return out
+}
+
+// mutexCall reports whether call is <recv>.<mu>.Lock/RLock (release
+// false) or Unlock/RUnlock (release true) on one of si's mutex fields.
+func mutexCall(recvField func(ast.Expr) string, si *structInfo, call *ast.CallExpr) (mu string, release bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		release = false
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return "", false
+	}
+	f := recvField(sel.X)
+	if f == "" || !si.mutexes[f] {
+		return "", false
+	}
+	return f, release
+}
+
+// checkSplit replays the event stream per mutex, partitions it into
+// critical sections, and reports a guarded read in one section followed
+// by a guarded write in a later one.
+func checkSplit(pass *Pass, fd *ast.FuncDecl, si *structInfo, events []lockEvent) {
+	for mu, guardedSet := range si.guarded {
+		type section struct {
+			readField  string
+			writeField string
+			writePos   token.Pos
+			startPos   token.Pos
+		}
+		var sections []section
+		depth := 0
+		deferred := false
+		balanced := true
+		cur := section{}
+		inSection := func() bool { return depth > 0 || deferred }
+		for _, ev := range events {
+			switch ev.kind {
+			case evAcquire:
+				if ev.field != mu {
+					continue
+				}
+				if deferred {
+					// Re-acquiring a mutex already released-at-return
+					// would deadlock; the structure is beyond this
+					// heuristic.
+					balanced = false
+				}
+				if depth == 0 {
+					cur = section{startPos: ev.pos}
+				}
+				depth++
+			case evRelease:
+				if ev.field != mu {
+					continue
+				}
+				if depth == 0 {
+					balanced = false
+					continue
+				}
+				depth--
+				if depth == 0 {
+					sections = append(sections, cur)
+				}
+			case evDeferRelease:
+				if ev.field != mu {
+					continue
+				}
+				deferred = true
+			case evRead:
+				if inSection() && guardedSet[ev.field] && cur.readField == "" {
+					cur.readField = ev.field
+				}
+			case evWrite:
+				if inSection() && guardedSet[ev.field] && cur.writeField == "" {
+					cur.writeField = ev.field
+					cur.writePos = ev.pos
+				}
+			}
+			if !balanced {
+				break
+			}
+		}
+		if !balanced {
+			continue
+		}
+		if inSection() {
+			sections = append(sections, cur)
+		}
+		// A read in section i and a write in section j > i is the race.
+		readAt := -1
+		readField := ""
+		for i, s := range sections {
+			if readAt >= 0 && s.writeField != "" {
+				pass.Reportf(s.writePos, "%s releases %s after reading %s and re-acquires it to write %s; state can change in the gap (split critical section) — merge into one hold", fd.Name.Name, mu, readField, s.writeField)
+				break
+			}
+			if readAt < 0 && s.readField != "" {
+				readAt = i
+				readField = s.readField
+			}
+		}
+	}
+}

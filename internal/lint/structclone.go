@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeepCopyTypes is structclone's registry: the fully qualified types
+// whose values may only be duplicated through their Clone method once
+// outside the defining package. To enroll a new type, add its
+// "<pkgpath>.<Name>" here and give it a Clone method next to the struct
+// definition (DESIGN.md §8).
+var DeepCopyTypes = []string{
+	"tdp/internal/core.Scenario",
+	"tdp/internal/core.CostFunc",
+	"tdp/internal/linalg.Matrix",
+}
+
+// Structclone flags the three ways a designated deep-copy type gets
+// duplicated lossily outside its home package:
+//
+//   - dereference copies (`cp := *s`): every slice/map field of the copy
+//     aliases the original;
+//   - composite literals whose elements read fields off an existing
+//     value of the same type (`&T{A: s.A, B: s.B}`): a field added to T
+//     later is silently zero in the copy — the PR 1 cloneScenario bug
+//     that dropped MaxRewardNorm and NoWrap;
+//   - value conversions/assignments are reported through the same
+//     dereference rule, since `*s` is how a pointer-held value escapes.
+//
+// The fix in every case is the type's own Clone method, which lives next
+// to the struct definition so new fields cannot be missed.
+var Structclone = &Analyzer{
+	Name: "structclone",
+	Doc:  "flags out-of-package copies of designated deep-copy types (use Clone instead)",
+	Run:  runStructclone,
+}
+
+func runStructclone(pass *Pass) error {
+	registry := make(map[string]bool, len(DeepCopyTypes))
+	for _, t := range DeepCopyTypes {
+		registry[t] = true
+	}
+	// isDeepCopy reports whether t (after stripping pointers) is a
+	// registered deep-copy type defined outside this package, returning
+	// its display name.
+	isDeepCopy := func(t types.Type) (string, bool) {
+		for {
+			ptr, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+			return "", false // home package may copy freely (Clone lives there)
+		}
+		key := obj.Pkg().Path() + "." + obj.Name()
+		if !registry[key] {
+			return "", false
+		}
+		return obj.Pkg().Name() + "." + obj.Name(), true
+	}
+
+	for _, f := range pass.Files {
+		// Dereferences that are access paths or store targets, not value
+		// copies: (*s).F, (*m)[i], and `*s = ...` on the left of an
+		// assignment.
+		notACopy := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				notACopy[unparen(n.X)] = true
+			case *ast.IndexExpr:
+				notACopy[unparen(n.X)] = true
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					notACopy[unparen(lhs)] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				if notACopy[ast.Expr(n)] {
+					return true
+				}
+				// Dereference in value position: `cp := *s`, `f(*s)`,
+				// `return *s`. Skip type expressions (*T in signatures)
+				// and field accesses ((*s).F never reaches here as a
+				// bare StarExpr operand type lookup below).
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok || tv.IsType() {
+					return true
+				}
+				name, ok := isDeepCopy(pass.TypesInfo.Types[n.X].Type)
+				if !ok {
+					return true
+				}
+				pass.Reportf(n.Pos(), "dereference copy of %s shares its slice and map fields with the original; use %s.Clone()", name, name)
+				return true
+
+			case *ast.CompositeLit:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok {
+					return true
+				}
+				name, ok := isDeepCopy(tv.Type)
+				if !ok {
+					return true
+				}
+				if src := copiedFrom(pass, n, tv.Type); src != "" {
+					pass.Reportf(n.Pos(), "field-list copy of %s from %s can silently drop fields added to %s later; use %s.Clone()", name, src, name, name)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// copiedFrom reports the expression an existing value of typ is being
+// field-copied from inside lit, or "" if the literal looks like fresh
+// construction. A literal is a copy when at least one element reads a
+// field off a value of the same (possibly pointered) type — e.g.
+// Scenario{Periods: s.Periods} or CostFunc{Breaks: clone(s.Cost.Breaks)}.
+func copiedFrom(pass *Pass, lit *ast.CompositeLit, typ types.Type) string {
+	target := typeName(typ)
+	var src string
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		ast.Inspect(val, func(n ast.Node) bool {
+			if src != "" {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := pass.TypesInfo.Types[sel.X]
+			if !ok {
+				return true
+			}
+			if typeName(base.Type) == target && target != "" {
+				// Reading a field off another value of the same type.
+				if selIsField(pass, sel) {
+					src = exprString(sel.X)
+				}
+			}
+			return true
+		})
+		if src != "" {
+			return src
+		}
+	}
+	return ""
+}
+
+// typeName returns "pkgpath.Name" for a (possibly pointered) named
+// type, or "".
+func typeName(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// selIsField reports whether sel selects a struct field (not a method).
+func selIsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	return s.Kind() == types.FieldVal
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// exprString renders a simple expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "value"
+}

@@ -1,0 +1,24 @@
+package lint
+
+// Analyzers returns the full tubelint suite in reporting order. Every
+// analyzer registered here is run by cmd/tubelint in both standalone
+// and `go vet -vettool` modes.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Structclone,
+		Locksplit,
+		Aliasret,
+		Globalrand,
+		Floateq,
+	}
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package aliasret holds aliasret's cases: exported methods on
+// annotated types must not return internal slice/map state by
+// reference, because the caller's alias outlives the method (and, for
+// mutex-guarded fields, the critical section).
+package aliasret
+
+import "sync"
+
+// Store is opted in via the type marker.
+//
+//tubelint:noalias
+type Store struct {
+	names  []string
+	scores map[string]float64
+}
+
+// Names returns the field directly: the classic leak.
+func (s *Store) Names() []string {
+	return s.names // want "Names returns internal field names without copying"
+}
+
+// Scores leaks through a trivial local alias.
+func (s *Store) Scores() map[string]float64 {
+	m := s.scores
+	return m // want "Scores returns internal field scores without copying"
+}
+
+// NamesCopy is the fixed shape: copy before returning.
+func (s *Store) NamesCopy() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Count returns a scalar; nothing to alias.
+func (s *Store) Count() int {
+	return len(s.names)
+}
+
+// peek is unexported: internal callers are trusted with aliases.
+func (s *Store) peek() []string {
+	return s.names
+}
+
+// AllowedView documents an intentional shared view.
+func (s *Store) AllowedView() []string {
+	//lint:allow aliasret read-only hot path, caller contract forbids mutation
+	return s.names
+}
+
+// Gauge opts in implicitly through its guarded field: returning the
+// slice hands out state that mu no longer protects.
+type Gauge struct {
+	mu      sync.Mutex
+	samples []float64 // guarded by mu
+}
+
+// Samples leaks the guarded slice.
+func (g *Gauge) Samples() []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.samples // want `Samples returns internal field samples without copying; callers can mutate Gauge state through the alias \(and the alias outlives the mu critical section\)`
+}
+
+// Snapshot is the fixed shape.
+func (g *Gauge) Snapshot() []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]float64(nil), g.samples...)
+}
+
+// Plain is unannotated and unguarded: not in scope.
+type Plain struct {
+	data []int
+}
+
+// Data on an unannotated type is the author's business.
+func (p *Plain) Data() []int {
+	return p.data
+}
+
+var _ = (*Store)(nil).peek

@@ -1,0 +1,11 @@
+// Test files are exempt wholesale: asserting exact expected values is
+// the point of a numerical test. Nothing here may be reported.
+package floateq
+
+func exactAssert(got, want float64) bool {
+	return got == want
+}
+
+func exactTable(got []float64, want float64) bool {
+	return got[0] != want
+}

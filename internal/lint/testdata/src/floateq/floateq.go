@@ -1,0 +1,65 @@
+// Package floateq holds floateq's cases: exact float comparison flagged
+// outside tests, with the zero-sentinel, NaN-idiom, const-const, and
+// //lint:allow exemptions all exercised.
+package floateq
+
+// Converged is the solver-termination antipattern floateq exists for.
+func Converged(cost, prev float64) bool {
+	return cost == prev // want "exact floating-point == comparison"
+}
+
+// Changed is the same bug spelled with !=.
+func Changed(a, b float64) bool {
+	return a != b // want "exact floating-point != comparison"
+}
+
+// MixedInt still compares as float: the untyped int converts.
+func MixedInt(x float64) bool {
+	return x == 3 // want "exact floating-point == comparison"
+}
+
+// FuncResult must be flagged even though both sides print identically:
+// the NaN exemption is for access paths, not calls.
+func FuncResult(f func() float64) bool {
+	return f() == f() // want "exact floating-point == comparison"
+}
+
+// ZeroSentinel compares against exact zero, the "option unset" idiom.
+func ZeroSentinel(maxNorm float64) bool {
+	return maxNorm == 0
+}
+
+type opts struct{ eps float64 }
+
+// ZeroSentinelField is the same idiom through a selector.
+func ZeroSentinelField(o opts) bool {
+	return 0.0 != o.eps
+}
+
+// IsNaN is the self-comparison idiom.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// IsNaNField applies to selectors and indexes too.
+func IsNaNField(o opts, xs []float64) bool {
+	return o.eps != o.eps || xs[0] != xs[0]
+}
+
+// Consts fold exactly at compile time.
+func Consts() bool {
+	const half = 0.5
+	return half == 0.25*2
+}
+
+// Ints are not floats; integer equality is exact.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// SameBits documents a sanctioned exact comparison with a mandatory
+// reason; the allow suppresses the report on the next line.
+func SameBits(a, b float64) bool {
+	//lint:allow floateq bit-identity check on a deliberately copied value
+	return a == b
+}

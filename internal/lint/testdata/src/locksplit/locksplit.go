@@ -1,0 +1,103 @@
+// Package locksplit holds locksplit's cases, built around a faithful
+// reconstruction of the PR 2 Measurement.Reset race: totals read under
+// one hold of mu, the map cleared under a second, losing any Record
+// that lands in the gap.
+package locksplit
+
+import "sync"
+
+// Meter reconstructs the pre-PR 2 measurement engine.
+type Meter struct {
+	mu      sync.Mutex
+	classes []string           // immutable after construction
+	totals  []float64          // guarded by mu
+	byUser  map[string]float64 // guarded by mu
+	n       int                // guarded by mu
+}
+
+// Record is the single-critical-section true negative.
+func (m *Meter) Record(user string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byUser[user] += v
+	m.totals[0] += v
+	m.n++
+}
+
+// Reset reconstructs the historical bug: snapshot under one hold, clear
+// under a second. A Record between the two acquisitions is counted in
+// byUser but missing from the returned totals — the lost update.
+func (m *Meter) Reset() []float64 {
+	m.mu.Lock()
+	out := append([]float64(nil), m.totals...)
+	m.mu.Unlock()
+	m.mu.Lock()
+	m.byUser = make(map[string]float64) // want "Reset releases mu after reading totals and re-acquires it to write byUser"
+	m.totals = make([]float64, len(m.totals))
+	m.mu.Unlock()
+	return out
+}
+
+// Totals locks once to read; fine on its own, but see ComposedReset.
+func (m *Meter) Totals() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]float64(nil), m.totals...)
+}
+
+// clear locks once to write; fine on its own, but see ComposedReset.
+func (m *Meter) clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byUser = make(map[string]float64)
+}
+
+// ComposedReset is the same race spelled as two locking sibling calls —
+// the shape the original Reset actually had.
+func (m *Meter) ComposedReset() []float64 {
+	out := m.Totals()
+	m.clear() // want "ComposedReset releases mu after reading totals and re-acquires it to write byUser"
+	return out
+}
+
+// Rollover is the fixed shape: snapshot and clear in one critical
+// section.
+func (m *Meter) Rollover() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]float64(nil), m.totals...)
+	m.byUser = make(map[string]float64)
+	m.totals = make([]float64, len(m.totals))
+	return out
+}
+
+// ReadTwice re-acquires but only reads; no lost update, no report.
+func (m *Meter) ReadTwice() (int, float64) {
+	m.mu.Lock()
+	n := m.n
+	m.mu.Unlock()
+	m.mu.Lock()
+	t := m.totals[0]
+	m.mu.Unlock()
+	return n, t
+}
+
+// AllowedSplit documents an accepted stale-read-then-write.
+func (m *Meter) AllowedSplit() []float64 {
+	m.mu.Lock()
+	out := append([]float64(nil), m.totals...)
+	m.mu.Unlock()
+	m.mu.Lock()
+	//lint:allow locksplit monotonic gauge, stale snapshot acceptable here
+	m.n = 0
+	m.mu.Unlock()
+	return out
+}
+
+// Broken carries a typo'd annotation so it cannot silently disable
+// enforcement.
+type Broken struct {
+	mu sync.Mutex
+	// guarded by mux
+	data []int // want "has no mutex field mux"
+}

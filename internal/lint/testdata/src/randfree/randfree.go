@@ -1,0 +1,10 @@
+// Package randfree sits outside globalrand's deterministic import
+// paths: global math/rand here is allowed (e.g. load-generator jitter).
+package randfree
+
+import "math/rand"
+
+// Jitter may use the global generator; this package is not in scope.
+func Jitter() float64 {
+	return rand.Float64()
+}

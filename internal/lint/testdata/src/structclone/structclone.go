@@ -1,0 +1,66 @@
+// Package structclone holds structclone's true-positive and
+// true-negative cases, including a faithful reconstruction of the PR 1
+// cloneScenario bug: an out-of-package field-list copy of core.Scenario
+// that silently drops NoWrap.
+package structclone
+
+import "tdp/internal/core"
+
+// cloneScenario reconstructs the historical bug: every field listed by
+// hand, so the NoWrap option added later is silently false in the copy.
+func cloneScenario(s *core.Scenario) *core.Scenario {
+	cp := &core.Scenario{ // want "field-list copy of core.Scenario from s"
+		Periods: s.Periods,
+		Betas:   append([]float64(nil), s.Betas...),
+		Cost: core.CostFunc{ // want "field-list copy of core.CostFunc from s.Cost"
+			Breaks: append([]float64(nil), s.Cost.Breaks...),
+			Slopes: append([]float64(nil), s.Cost.Slopes...),
+		},
+	}
+	cp.Demand = make([][]float64, len(s.Demand))
+	for i, row := range s.Demand {
+		cp.Demand[i] = append([]float64(nil), row...)
+	}
+	return cp
+}
+
+// derefCopy is the other lossy shape: all slice fields alias the
+// original.
+func derefCopy(s *core.Scenario) core.Scenario {
+	cp := *s // want "dereference copy of core.Scenario"
+	return cp
+}
+
+// goodClone uses the type's own Clone: fields added later carry over.
+func goodClone(s *core.Scenario) *core.Scenario {
+	return s.Clone()
+}
+
+// freshConstruction builds a new scenario from scratch; composite
+// literals that do not read fields off another Scenario are fine.
+func freshConstruction(demand [][]float64) *core.Scenario {
+	return &core.Scenario{
+		Periods: len(demand),
+		Demand:  demand,
+		Betas:   []float64{1, 2},
+		Cost:    core.CostFunc{Breaks: []float64{0}, Slopes: []float64{1}},
+	}
+}
+
+// fieldAccess dereferences only to reach a field, which copies nothing.
+func fieldAccess(s *core.Scenario) int {
+	return (*s).Periods
+}
+
+// allowedCopy documents an intentional shallow copy.
+func allowedCopy(s *core.Scenario) core.Scenario {
+	//lint:allow structclone read-only view, never outlives the call
+	return *s
+}
+
+var _ = cloneScenario
+var _ = derefCopy
+var _ = goodClone
+var _ = freshConstruction
+var _ = fieldAccess
+var _ = allowedCopy

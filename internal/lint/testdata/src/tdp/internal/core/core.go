@@ -1,0 +1,36 @@
+// Package core is a fixture stand-in for the real tdp/internal/core:
+// just enough of Scenario and CostFunc for structclone's registry
+// ("tdp/internal/core.Scenario", "tdp/internal/core.CostFunc") to bind.
+package core
+
+// CostFunc mirrors the piecewise-linear cost structure.
+type CostFunc struct {
+	Breaks []float64
+	Slopes []float64
+}
+
+// Scenario mirrors the pricing problem instance. NoWrap plays the role
+// of the scalar option the PR 1 field-list copy silently dropped.
+type Scenario struct {
+	Periods int
+	Demand  [][]float64
+	Betas   []float64
+	Cost    CostFunc
+	NoWrap  bool
+}
+
+// Clone deep-copies the scenario; in-package copies are exempt because
+// this is where the copy logic is maintained.
+func (s *Scenario) Clone() *Scenario {
+	cp := *s
+	cp.Betas = append([]float64(nil), s.Betas...)
+	cp.Cost = CostFunc{
+		Breaks: append([]float64(nil), s.Cost.Breaks...),
+		Slopes: append([]float64(nil), s.Cost.Slopes...),
+	}
+	cp.Demand = make([][]float64, len(s.Demand))
+	for i, row := range s.Demand {
+		cp.Demand[i] = append([]float64(nil), row...)
+	}
+	return &cp
+}

@@ -1,0 +1,42 @@
+// Package stochastic is a fixture stand-in living under one of
+// globalrand's deterministic import paths, so global math/rand use here
+// must be flagged while seeded local generators stay legal.
+package stochastic
+
+import (
+	"math/rand"
+	mrand2 "math/rand/v2"
+)
+
+// GlobalDraw uses the process-global generator: irreproducible.
+func GlobalDraw() float64 {
+	return rand.Float64() // want "uses the process-global source"
+}
+
+// GlobalShuffle is the same violation through another top-level func.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "uses the process-global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// GlobalV2 catches the math/rand/v2 spelling too.
+func GlobalV2() uint64 {
+	return mrand2.Uint64() // want "uses the process-global source"
+}
+
+// SeededDraw threads an explicit generator: reproducible, legal.
+func SeededDraw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// NewRNG may call the constructors; only the top-level draws are banned.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// AllowedGlobal documents a sanctioned escape hatch.
+func AllowedGlobal() float64 {
+	//lint:allow globalrand jitter for backoff only, never in results
+	return rand.Float64()
+}

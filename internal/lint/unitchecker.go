@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol with the
+// standard library only (the x/tools unitchecker is not vendored). The
+// go command invokes the tool once per package as
+//
+//	tubelint <flags> <objdir>/vet.cfg
+//
+// where vet.cfg is the JSON below (mirrors cmd/go/internal/work's
+// vetConfig). The tool type-checks the package against the export data
+// the build recorded in PackageFile, runs the analyzers, prints
+// findings to stderr as file:line:col: message, writes the (empty —
+// tubelint uses no cross-package facts) facts file to VetxOutput, and
+// exits nonzero when anything was reported.
+
+// VetConfig is the per-package configuration written by the go command.
+type VetConfig struct {
+	ID            string
+	Compiler      string
+	Dir           string
+	ImportPath    string
+	GoFiles       []string
+	NonGoFiles    []string
+	IgnoredFiles  []string
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes the vet protocol for one vet.cfg file and
+// returns the process exit code. Diagnostics go to w.
+func RunUnitchecker(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "tubelint: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "tubelint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	unit, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go's hack for packages that vet cannot type-check but
+			// the compiler can (issue 18395): report success silently.
+			writeVetx(&cfg)
+			return 0
+		}
+		fmt.Fprintf(w, "tubelint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := unit.Run(analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "tubelint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Facts must be written even on success so the go command can cache
+	// the (empty) result for dependency vet runs.
+	writeVetx(&cfg)
+
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", unit.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+func writeVetx(cfg *VetConfig) {
+	if cfg.VetxOutput != "" {
+		os.WriteFile(cfg.VetxOutput, []byte{}, 0666)
+	}
+}
+
+// typecheckUnit parses cfg.GoFiles and type-checks them against the
+// export data recorded in cfg.PackageFile.
+func typecheckUnit(cfg *VetConfig) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, post-ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	goVersion := cfg.GoVersion
+	if !strings.HasPrefix(goVersion, "go1") {
+		goVersion = "" // unknown scheme; let go/types use its default
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

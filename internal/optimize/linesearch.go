@@ -109,9 +109,15 @@ func Brent(fn func(float64) float64, a, b, tol float64) (xmin, fmin float64) {
 			} else {
 				b = u
 			}
+			// Brent bookkeeping: these equality tests ask whether the
+			// bracketing points *are the same point* (w, v, x are assigned
+			// from one another, never recomputed), not whether two computed
+			// values happen to agree — exact comparison is the algorithm.
+			//lint:allow floateq Brent point-identity bookkeeping, values assigned not computed
 			if fu <= fw || w == x {
 				v, fv = w, fw
 				w, fw = u, fu
+				//lint:allow floateq Brent point-identity bookkeeping, values assigned not computed
 			} else if fu <= fv || v == x || v == w {
 				v, fv = u, fu
 			}

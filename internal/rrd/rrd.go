@@ -81,10 +81,10 @@ type archive struct {
 // sample).
 type DB struct {
 	mu       sync.Mutex
-	step     int64
-	lastTime int64
-	started  bool
-	archives []*archive
+	step     int64      // immutable after New
+	lastTime int64      // guarded by mu
+	started  bool       // guarded by mu
+	archives []*archive // guarded by mu (the archive structs too)
 }
 
 // New creates a database with the given primary step (in whatever time

@@ -99,6 +99,10 @@ func AreaBetween(a, b Profile) (float64, error) {
 	if err := b.Validate(); err != nil {
 		return 0, err
 	}
+	// Period length is configuration copied from construction, never the
+	// result of arithmetic: profiles either share the same structure or
+	// they don't, so exact inequality is the intended test.
+	//lint:allow floateq structural-identity check on copied configuration, not computed values
 	if len(a.Usage) != len(b.Usage) || a.PeriodSeconds != b.PeriodSeconds {
 		return 0, fmt.Errorf("profiles %d×%vs vs %d×%vs: %w",
 			len(a.Usage), a.PeriodSeconds, len(b.Usage), b.PeriodSeconds, ErrBadProfile)

@@ -14,10 +14,10 @@ import (
 // "move the baseline usage price", §I-C), floored at zero.
 type Billing struct {
 	mu        sync.Mutex
-	basePrice float64 // $0.10 per volume unit
-	charges   map[string]float64
-	rewards   map[string]float64 // value of rewards credited per user
-	periods   int
+	basePrice float64            // $0.10 per volume unit; immutable after New
+	charges   map[string]float64 // guarded by mu
+	rewards   map[string]float64 // guarded by mu: value of rewards credited per user
+	periods   int                // guarded by mu
 }
 
 // NewBilling creates a billing engine with the given baseline usage price
@@ -92,6 +92,11 @@ type Statement struct {
 func (b *Billing) Statements() []Statement {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.statementsLocked()
+}
+
+// statementsLocked builds the sorted statement list; callers hold mu.
+func (b *Billing) statementsLocked() []Statement {
 	out := make([]Statement, 0, len(b.charges))
 	for user, charge := range b.charges {
 		out = append(out, Statement{
@@ -105,12 +110,17 @@ func (b *Billing) Statements() []Statement {
 }
 
 // CloseCycle returns the final statements and resets for the next cycle.
+// Snapshot and reset happen under one hold of mu: the earlier
+// Statements-then-reset pair left a window where an AddPeriod landing
+// between the two acquisitions was charged to users but wiped before
+// appearing on any statement (the locksplit bug class, caught by
+// tubelint once the fields above were annotated).
 func (b *Billing) CloseCycle() []Statement {
-	stmts := b.Statements()
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	stmts := b.statementsLocked()
 	b.charges = make(map[string]float64)
 	b.rewards = make(map[string]float64)
 	b.periods = 0
-	b.mu.Unlock()
 	return stmts
 }

@@ -3,8 +3,10 @@ package tube
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -150,5 +152,57 @@ func TestBillOverHTTP(t *testing.T) {
 	}
 	if st.User != "dave" {
 		t.Errorf("user = %q", st.User)
+	}
+}
+
+func TestCloseCycleAtomicNoLostAccruals(t *testing.T) {
+	// Regression for the split-critical-section CloseCycle: it used to
+	// snapshot statements under one hold of mu and reset the maps under a
+	// second, so an AddPeriod landing in the gap was charged to the user
+	// and then wiped before appearing on any statement. With snapshot and
+	// reset in one critical section, every accrued unit must show up on
+	// exactly one cycle's statements. (Run under -race in CI.)
+	b, err := NewBilling(1)
+	if err != nil {
+		t.Fatalf("NewBilling: %v", err)
+	}
+	const (
+		writers = 4
+		adds    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w)
+			for i := 0; i < adds; i++ {
+				// reward 0 → price 1 → each call accrues exactly 1.
+				if err := b.AddPeriod(map[string]float64{user: 1}, 0); err != nil {
+					t.Errorf("AddPeriod: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var closed []Statement
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			closed = append(closed, b.CloseCycle()...)
+		}
+	}()
+	wg.Wait()
+	<-done
+	closed = append(closed, b.CloseCycle()...)
+
+	var total float64
+	for _, s := range closed {
+		total += s.Charge
+	}
+	if want := float64(writers * adds); total != want {
+		t.Fatalf("accrued %v across cycles, want %v: CloseCycle lost updates", total, want)
 	}
 }

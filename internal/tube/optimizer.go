@@ -35,14 +35,14 @@ type OptimizerConfig struct {
 type Optimizer struct {
 	mu        sync.Mutex
 	cfg       OptimizerConfig
-	meas      *Measurement
-	profiler  *Profiler
-	online    *core.OnlineOptimizer
+	meas      *Measurement          // internally synchronized (sharded engine)
+	profiler  *Profiler             // internally synchronized
+	online    *core.OnlineOptimizer // guarded by mu: the online engine has no lock of its own
 	priceHist *rrd.DB
 	usageHist *rrd.DB
 	billing   *Billing
-	period    int
-	rewards   []float64 // day-shaped published schedule
+	period    int       // guarded by mu
+	rewards   []float64 // guarded by mu: day-shaped published schedule
 }
 
 // NewOptimizer validates the configuration, computes the initial reward

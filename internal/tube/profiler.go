@@ -13,8 +13,8 @@ import (
 // estimation algorithm.
 type Profiler struct {
 	mu    sync.Mutex
-	model *estimate.Model
-	obs   []estimate.Observation
+	model *estimate.Model        // immutable after New (Fit does not mutate)
+	obs   []estimate.Observation // guarded by mu
 }
 
 // NewProfiler builds a profiler for the given day structure: n periods,
@@ -81,11 +81,11 @@ type ClassProfiler struct {
 	mu        sync.Mutex
 	periods   int
 	classes   int
-	baseline  [][]float64 // [period][class] TIP demand
+	baseline  [][]float64 // [period][class] TIP demand; immutable after New
 	maxReward float64
 	maxIter   int
-	rewards   [][]float64   // per observation day
-	usage     [][][]float64 // per observation day: [period][class]
+	rewards   [][]float64   // guarded by mu: per observation day
+	usage     [][][]float64 // guarded by mu: per observation day: [period][class]
 }
 
 // NewClassProfiler builds a per-class profiler from the per-period,

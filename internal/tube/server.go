@@ -50,7 +50,7 @@ type Server struct {
 	counters     map[string]*atomic.Int64
 
 	mu      sync.Mutex
-	httpSrv *http.Server // non-nil once Serve has been called
+	httpSrv *http.Server // guarded by mu: non-nil once Serve has been called
 }
 
 // NewServer builds the HTTP surface for an optimizer.

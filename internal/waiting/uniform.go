@@ -72,11 +72,22 @@ func (w UniformArrival) ValueAt(p, t float64) float64 {
 	return w.c * p * math.Pow(t+1, -w.Beta)
 }
 
-// powerIntegral evaluates ∫_k^{k+1} v^{−β} dv.
+// powerIntegral evaluates ∫_k^{k+1} v^{−β} dv (k ≥ 1).
+//
+// The textbook antiderivative (b^(1−β) − a^(1−β))/(1−β) cancels
+// catastrophically as β → 1: both powers round to 1 ± ~1e−16 while their
+// true difference shrinks like (1−β)·ln(b/a), so at β = 1 ± 1e−12 the
+// quotient carried only ~2 correct digits. Factoring out a^(1−β) and
+// using expm1 evaluates the same quantity without subtracting nearby
+// numbers, and flows continuously into the β = 1 limit ln(b/a); the
+// remaining equality is a division-by-zero guard at the exact singular
+// point, not a convergence test.
 func powerIntegral(beta float64, k int) float64 {
 	a, b := float64(k), float64(k+1)
-	if beta == 1 {
-		return math.Log(b / a)
+	lr := math.Log(b / a)
+	delta := 1 - beta
+	if delta == 0 {
+		return lr
 	}
-	return (math.Pow(b, 1-beta) - math.Pow(a, 1-beta)) / (1 - beta)
+	return math.Pow(a, delta) * math.Expm1(delta*lr) / delta
 }

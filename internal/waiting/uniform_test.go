@@ -107,3 +107,40 @@ func TestUniformArrivalZeroBeta(t *testing.T) {
 		}
 	}
 }
+
+func TestPowerIntegralContinuityNearBetaOne(t *testing.T) {
+	// Regression for the catastrophic cancellation in the textbook
+	// antiderivative (b^(1−β)−a^(1−β))/(1−β): at β = 1 ± 1e−12 the powers
+	// both round to 1 ± ~1e−16 and the quotient kept only ~2 correct
+	// digits (relative error ~1e−2 at k = 100). The expm1 form must flow
+	// smoothly into the β = 1 branch from both sides.
+	for _, k := range []int{1, 7, 100} {
+		exact := math.Log(float64(k+1) / float64(k))
+		for _, beta := range []float64{1 - 1e-12, 1 + 1e-12} {
+			got := powerIntegral(beta, k)
+			if rel := math.Abs(got-exact) / exact; rel > 1e-9 {
+				t.Errorf("powerIntegral(%v, %d) = %v, want ≈ %v (rel err %.2e)",
+					beta, k, got, exact, rel)
+			}
+		}
+	}
+}
+
+func TestPowerIntegralClosedForms(t *testing.T) {
+	// Spot-check the stable form against hand-computed integrals.
+	cases := []struct {
+		beta float64
+		k    int
+		want float64
+	}{
+		{2, 1, 0.5},                // ∫₁² v⁻² = 1 − 1/2
+		{2, 3, 1.0 / 12},           // 1/3 − 1/4
+		{0.5, 1, 2*math.Sqrt2 - 2}, // 2(√2 − 1)
+		{0, 5, 1},                  // ∫ of 1
+	}
+	for _, c := range cases {
+		if got := powerIntegral(c.beta, c.k); math.Abs(got-c.want) > 1e-14 {
+			t.Errorf("powerIntegral(%v, %d) = %v, want %v", c.beta, c.k, got, c.want)
+		}
+	}
+}
