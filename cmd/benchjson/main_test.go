@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: tdp/internal/obs
+cpu: AMD EPYC 7B13
+BenchmarkBareAtomicInc-1   	579030261	         2.072 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCounterInc-1      	538785920	         2.228 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHistogramObserve-1	100000000	        10.41 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tdp/internal/obs	7.213s
+pkg: tdp/internal/ingest
+BenchmarkIngestRecord-1    	 5000000	       241.0 ns/op
+PASS
+ok  	tdp/internal/ingest	1.402s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkCounterInc-1  538785920  2.228 ns/op  0 B/op  0 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkCounterInc-1" || b.Iterations != 538785920 {
+		t.Errorf("got %+v", b)
+	}
+	if b.NsPerOp != 2.228 {
+		t.Errorf("ns/op = %v", b.NsPerOp)
+	}
+	if b.Metrics["B/op"] != 0 || b.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	for _, bad := range []string{
+		"",
+		"PASS",
+		"ok  	tdp/internal/obs	7.213s",
+		"Benchmark",                       // no fields beyond the name
+		"BenchmarkX-1 notanumber 1 ns/op", // bad iteration count
+		"BenchmarkX-1 100 xyz ns/op",      // bad value
+		"BenchmarkX-1 100 2.0",            // value without unit
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Errorf("line %q accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout strings.Builder
+	if err := run([]string{"-out", out}, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading output: %v", err)
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("env headers: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Package != "tdp/internal/obs" {
+		t.Errorf("package attribution: %+v", doc.Benchmarks[0])
+	}
+	if doc.Benchmarks[3].Name != "BenchmarkIngestRecord-1" ||
+		doc.Benchmarks[3].Package != "tdp/internal/ingest" {
+		t.Errorf("last benchmark: %+v", doc.Benchmarks[3])
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout strings.Builder
+	if err := run(nil, strings.NewReader(sampleBench), &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), `"name": "BenchmarkBareAtomicInc-1"`) {
+		t.Errorf("stdout output:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\nok\n"), &strings.Builder{}); err == nil {
+		t.Error("empty benchmark input accepted")
+	}
+}

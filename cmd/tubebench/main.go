@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"tdp/internal/experiments"
+	"tdp/internal/obs"
 	"tdp/internal/parallel"
 )
 
@@ -67,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	format := fs.String("format", "text", "output format: text or json")
 	jobs := fs.Int("jobs", runtime.NumCPU(), "number of experiments to run concurrently (≤ 0: one per CPU)")
+	metricsOut := fs.String("metrics-out", "", "write the process metrics snapshot (solver counters/histograms) to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,11 +129,39 @@ func run(args []string, out io.Writer) error {
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(jsonOut)
+		if err := enc.Encode(jsonOut); err != nil {
+			return err
+		}
+	} else {
+		for i, e := range todo {
+			fmt.Fprintf(out, "==== %s — %s ====\n", e.id, e.desc)
+			fmt.Fprintln(out, results[i].Render())
+		}
 	}
-	for i, e := range todo {
-		fmt.Fprintf(out, "==== %s — %s ====\n", e.id, e.desc)
-		fmt.Fprintln(out, results[i].Render())
+	if *metricsOut != "" {
+		// After a full catalogue run the default registry holds the
+		// per-solver iteration/eval/residual distributions — the solver
+		// workload profile of the whole evaluation.
+		if err := dumpMetrics(*metricsOut, out); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// dumpMetrics writes the process-wide exposition to path ("-" = the
+// command's own output writer).
+func dumpMetrics(path string, out io.Writer) error {
+	if path == "-" {
+		return obs.Default().WritePrometheus(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := obs.Default().WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }

@@ -6,6 +6,13 @@
 // POST /usage endpoint against the batched POST /usage/batch endpoint
 // and prints the sustained-reports/s speedup.
 //
+// Latencies are accumulated in a streaming obs.Histogram — the workers
+// observe concurrently on the hot path, exactly like the instrumented
+// server — and the percentiles are histogram quantiles. -metrics-out
+// dumps the full Prometheus exposition (client, server, and process
+// registries) after the run; -pprof mounts /debug/pprof on the server
+// under load.
+//
 // After the drive, the harness verifies in-process that the sharded
 // accounting engine saw every report exactly once (volumes are integral
 // MB, so the check is exact).
@@ -21,10 +28,10 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"time"
 
 	"tdp/internal/core"
+	"tdp/internal/obs"
 	"tdp/internal/parallel"
 	"tdp/internal/tube"
 )
@@ -37,12 +44,14 @@ func main() {
 }
 
 type loadConfig struct {
-	addr    string
-	users   int
-	reports int
-	batch   int
-	jobs    int
-	shards  int
+	addr       string
+	users      int
+	reports    int
+	batch      int
+	jobs       int
+	shards     int
+	pprof      bool
+	metricsOut string
 }
 
 func run(args []string, out io.Writer) error {
@@ -55,6 +64,8 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "measurement engine shards (0 = auto)")
 	mode := fs.String("mode", "batch", `ingestion mode: "single" or "batch"`)
 	compare := fs.Bool("compare", false, "run both modes and report the batch/single speedup")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the server under load")
+	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,10 +75,12 @@ func run(args []string, out io.Writer) error {
 	cfg := loadConfig{
 		addr: *addr, users: *users, reports: *reports,
 		batch: *batch, jobs: *jobs, shards: *shards,
+		pprof: *pprofFlag, metricsOut: *metricsOut,
 	}
 	fmt.Fprintf(out, "tubeload: %d users × %d reports = %d reports, %d workers, shards=%d\n",
 		cfg.users, cfg.reports, cfg.users*cfg.reports, parallel.Jobs(cfg.jobs), cfg.shards)
 
+	var last *loadResult
 	if *compare {
 		single, err := runLoad(cfg, false)
 		if err != nil {
@@ -81,23 +94,48 @@ func run(args []string, out io.Writer) error {
 		batched.print(out)
 		fmt.Fprintf(out, "batch/single speedup: %.1f× sustained reports/s\n",
 			batched.throughput()/single.throughput())
-		return nil
+		last = batched
+	} else {
+		useBatch := false
+		switch *mode {
+		case "batch":
+			useBatch = true
+		case "single":
+		default:
+			return fmt.Errorf("unknown mode %q (want single or batch)", *mode)
+		}
+		res, err := runLoad(cfg, useBatch)
+		if err != nil {
+			return err
+		}
+		res.print(out)
+		last = res
 	}
-
-	useBatch := false
-	switch *mode {
-	case "batch":
-		useBatch = true
-	case "single":
-	default:
-		return fmt.Errorf("unknown mode %q (want single or batch)", *mode)
+	if cfg.metricsOut != "" {
+		// In -compare mode the snapshot covers the last (batched) run's
+		// client and server registries plus the shared process registry.
+		if err := dumpMetrics(cfg.metricsOut, out, last.registries...); err != nil {
+			return err
+		}
 	}
-	res, err := runLoad(cfg, useBatch)
-	if err != nil {
-		return err
-	}
-	res.print(out)
 	return nil
+}
+
+// dumpMetrics writes the merged exposition to path ("-" = the harness's
+// own output writer).
+func dumpMetrics(path string, out io.Writer, regs ...*obs.Registry) error {
+	if path == "-" {
+		return obs.WritePrometheusAll(out, regs...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := obs.WritePrometheusAll(f, regs...); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 var loadClasses = []string{"web", "ftp", "video"}
@@ -122,14 +160,15 @@ func loadScenario() *core.Scenario {
 }
 
 type loadResult struct {
-	mode     string
-	reports  int
-	requests int
-	elapsed  time.Duration
-	p50      time.Duration
-	p95      time.Duration
-	p99      time.Duration
-	verified string
+	mode       string
+	reports    int
+	requests   int
+	elapsed    time.Duration
+	p50        time.Duration
+	p95        time.Duration
+	p99        time.Duration
+	verified   string
+	registries []*obs.Registry // client, server, and process registries for -metrics-out
 }
 
 func (r *loadResult) throughput() float64 {
@@ -143,6 +182,10 @@ func (r *loadResult) print(out io.Writer) {
 		r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond), r.p99.Round(time.Microsecond))
 	fmt.Fprintf(out, "           %s\n", r.verified)
 }
+
+// latencyBuckets resolves client-side request latency from 1µs to ~12s
+// with ~±20% bucket resolution (factor-1.5 geometric spacing).
+var latencyBuckets = obs.ExpBuckets(1e-6, 1.5, 40)
 
 // runLoad starts a fresh optimizer+server, drives the full load, and
 // verifies the accounted totals in-process before tearing down.
@@ -159,6 +202,19 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.pprof {
+		srv.EnablePprof()
+	}
+	mode := "single"
+	if useBatch {
+		mode = fmt.Sprintf("batch=%d", cfg.batch)
+	}
+	// The harness's own registry: client-observed latency, striped so
+	// the workers' concurrent Observes stay off each other's cache lines
+	// — the same hot path the server's middleware runs.
+	clientReg := obs.NewRegistry()
+	lat := clientReg.Histogram("tubeload_request_seconds",
+		"client-observed request latency", obs.Labels{"mode": mode}, latencyBuckets)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return nil, err
@@ -174,7 +230,6 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 	base := "http://" + ln.Addr().String()
 
 	workers := parallel.Jobs(cfg.jobs)
-	lats := make([][]time.Duration, workers)
 	start := time.Now()
 	err = parallel.ForEach(context.Background(), workers, workers, func(w int) error {
 		client := &http.Client{
@@ -197,7 +252,7 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 					if err != nil {
 						return err
 					}
-					lats[w] = append(lats[w], d)
+					lat.Observe(d.Seconds())
 				}
 			} else {
 				for r := 0; r < cfg.reports; r++ {
@@ -208,7 +263,7 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 					if err != nil {
 						return err
 					}
-					lats[w] = append(lats[w], d)
+					lat.Observe(d.Seconds())
 				}
 			}
 		}
@@ -235,34 +290,24 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 			accounted, accepted, total, cfg.users*cfg.reports)
 	}
 
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	mode := "single"
-	if useBatch {
-		mode = fmt.Sprintf("batch=%d", cfg.batch)
-	}
+	// One merged snapshot serves all three quantiles (and the request
+	// count) — no sorting, no per-request slice retention.
+	snap := lat.Snapshot()
 	return &loadResult{
-		mode:     mode,
-		reports:  cfg.users * cfg.reports,
-		requests: len(all),
-		elapsed:  elapsed,
-		p50:      percentile(all, 0.50),
-		p95:      percentile(all, 0.95),
-		p99:      percentile(all, 0.99),
-		verified: fmt.Sprintf("verified: %d reports, %.0f MB accounted", accepted, accounted),
+		mode:       mode,
+		reports:    cfg.users * cfg.reports,
+		requests:   int(snap.Count),
+		elapsed:    elapsed,
+		p50:        secondsToDuration(snap.Quantile(0.50)),
+		p95:        secondsToDuration(snap.Quantile(0.95)),
+		p99:        secondsToDuration(snap.Quantile(0.99)),
+		verified:   fmt.Sprintf("verified: %d reports, %.0f MB accounted", accepted, accounted),
+		registries: []*obs.Registry{clientReg, srv.Registry(), obs.Default()},
 	}, nil
 }
 
-// percentile returns the q-th (0..1) latency from a sorted sample.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }
 
 func postTimed(client *http.Client, url string, payload any, wantStatus int) (time.Duration, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -53,25 +55,40 @@ func TestTubeloadBadFlags(t *testing.T) {
 	}
 }
 
-func TestPercentile(t *testing.T) {
-	if got := percentile(nil, 0.5); got != 0 {
-		t.Errorf("empty percentile = %v", got)
+// TestTubeloadMetricsOut runs a small load with -metrics-out and checks
+// the dump is a merged Prometheus exposition covering the harness's
+// client histogram, the server's handler counters, and the ingest
+// engine.
+func TestTubeloadMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var sb strings.Builder
+	if err := run([]string{"-users", "4", "-reports", "5", "-batch", "5", "-jobs", "2", "-metrics-out", path}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
 	}
-	sorted := make([]time.Duration, 100)
-	for i := range sorted {
-		sorted[i] = time.Duration(i+1) * time.Millisecond
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics dump: %v", err)
 	}
-	for _, tc := range []struct {
-		q    float64
-		want time.Duration
-	}{
-		{0.50, 50 * time.Millisecond},
-		{0.95, 95 * time.Millisecond},
-		{0.99, 99 * time.Millisecond},
-		{1.00, 100 * time.Millisecond},
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE tubeload_request_seconds histogram\n",
+		`tubeload_request_seconds_bucket{mode="batch=5",le="+Inf"} 4` + "\n",
+		`tubeload_request_seconds_count{mode="batch=5"} 4` + "\n",
+		`tube_http_requests_total{handler="usage_batch"} 4` + "\n",
+		"ingest_reports_total 20\n",
+		"ingest_batches_total 4\n",
 	} {
-		if got := percentile(sorted, tc.q); got != tc.want {
-			t.Errorf("percentile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q\n%s", want, out)
 		}
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if got := secondsToDuration(0.0015); got != 1500*time.Microsecond {
+		t.Errorf("secondsToDuration(0.0015) = %v", got)
+	}
+	if got := secondsToDuration(0); got != 0 {
+		t.Errorf("secondsToDuration(0) = %v", got)
 	}
 }

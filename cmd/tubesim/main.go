@@ -18,6 +18,7 @@ import (
 
 	"tdp/internal/core"
 	"tdp/internal/emul"
+	"tdp/internal/obs"
 	"tdp/internal/tube"
 )
 
@@ -49,6 +50,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "experiment random seed")
 	users := fs.Int("users", 2, "emulated users (patience alternates impatient/patient)")
 	periods := fs.Int("periods", 12, "periods in the emulated day (≥ 2)")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the price server")
+	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +99,9 @@ func run(args []string, out io.Writer) error {
 	srv, err := tube.NewServer(opt)
 	if err != nil {
 		return err
+	}
+	if *pprofFlag {
+		srv.EnablePprof()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -187,5 +193,27 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "optimizer price history (%d periods closed), GUI pulls: %d\n",
 		len(hist), gui.Pulls())
+	if *metricsOut != "" {
+		if err := dumpMetrics(*metricsOut, out, srv.Registry(), obs.Default()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpMetrics writes the merged Prometheus exposition to path ("-" =
+// the command's own output writer).
+func dumpMetrics(path string, out io.Writer, regs ...*obs.Registry) error {
+	if path == "-" {
+		return obs.WritePrometheusAll(out, regs...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := obs.WritePrometheusAll(f, regs...); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }

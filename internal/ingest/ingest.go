@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBadReport is returned for invalid reports or configurations.
@@ -56,7 +57,8 @@ type shard struct {
 	mu     sync.Mutex
 	byUser map[string][]float64 // guarded by mu: user → per-class-index MB
 	n      int64                // guarded by mu: reports accepted
-	_      [96]byte
+	b      int64                // guarded by mu: batch lock acquisitions (grouped path)
+	_      [88]byte
 }
 
 // Engine is the sharded accounting engine for one accounting period.
@@ -65,6 +67,7 @@ type Engine struct {
 	classIdx map[string]int // precomputed set: O(1) class check on the hot path
 	shards   []shard
 	mask     uint32
+	met      atomic.Pointer[engineMetrics] // nil until Instrument
 }
 
 // DefaultShards is the shard count used when NewEngine is given 0: the
@@ -160,12 +163,18 @@ func (e *Engine) Record(user, class string, volumeMB float64) error {
 	r := Report{User: user, Class: class, VolumeMB: volumeMB}
 	idx, err := e.validate(&r)
 	if err != nil {
+		if m := e.metrics(); m != nil {
+			m.rejected.Inc()
+		}
 		return err
 	}
 	s := &e.shards[e.shardIdxFor(user)]
 	s.mu.Lock()
 	s.apply(user, idx, volumeMB, len(e.classes))
 	s.mu.Unlock()
+	if m := e.metrics(); m != nil {
+		m.records.Inc()
+	}
 	return nil
 }
 
@@ -192,6 +201,11 @@ func (e *Engine) RecordBatch(reports []Report) error {
 	for i := range reports {
 		idx, err := e.validate(&reports[i])
 		if err != nil {
+			// All-or-nothing: the whole batch is rejected, so the whole
+			// batch counts as rejected.
+			if m := e.metrics(); m != nil {
+				m.rejected.Add(int64(len(reports)))
+			}
 			return fmt.Errorf("report %d: %w", i, err)
 		}
 		idxs[i] = int32(idx)
@@ -208,6 +222,10 @@ func (e *Engine) RecordBatch(reports []Report) error {
 			s.mu.Lock()
 			s.apply(r.User, int(idxs[i]), r.VolumeMB, nClasses)
 			s.mu.Unlock()
+		}
+		if m := e.metrics(); m != nil {
+			m.records.Add(int64(len(reports)))
+			m.batches.Inc()
 		}
 		return nil
 	}
@@ -226,11 +244,16 @@ func (e *Engine) RecordBatch(reports []Report) error {
 	for _, si := range touched {
 		s := &e.shards[si]
 		s.mu.Lock()
+		s.b++
 		for _, i := range perShard[si] {
 			r := &reports[i]
 			s.apply(r.User, int(idxs[i]), r.VolumeMB, nClasses)
 		}
 		s.mu.Unlock()
+	}
+	if m := e.metrics(); m != nil {
+		m.records.Add(int64(len(reports)))
+		m.batches.Inc()
 	}
 	return nil
 }
@@ -336,6 +359,7 @@ func (e *Engine) Rollover() (classTotals []float64, userTotals map[string]float6
 		old[i] = e.shards[i].byUser
 		e.shards[i].byUser = make(map[string][]float64, len(old[i]))
 		e.shards[i].n = 0
+		e.shards[i].b = 0
 	}
 	e.unlockAll()
 

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The acceptance bar for the subsystem: Counter.Inc and
+// Histogram.Observe must stay within 2× of a bare atomic.Int64 add on
+// the ingest hot path. Run the three benchmarks together:
+//
+//	go test ./internal/obs -bench 'BareAtomic|CounterInc|HistogramObserve' -benchtime=2s
+
+func BenchmarkBareAtomicInc(b *testing.B) {
+	var n atomic.Int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Add(1)
+	}
+	sinkInt64 = n.Load()
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	sinkInt64 = c.Value()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-5)
+	}
+	sinkInt64 = h.Count()
+}
+
+func BenchmarkBareAtomicIncParallel(b *testing.B) {
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.Add(1)
+		}
+	})
+	sinkInt64 = n.Load()
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	sinkInt64 = c.Value()
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			h.Observe(float64(i&1023) * 1e-5)
+			i++
+		}
+	})
+	sinkInt64 = h.Count()
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	h := NewHistogram(DefBuckets)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i%997) * 1e-5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt64 = h.Snapshot().Count
+	}
+}
+
+var sinkInt64 int64

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// floatBits and floatFrom convert between float64 values and the uint64
+// payload the atomics carry.
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// DefBuckets is the default bucket layout: 32 powers of two from 1µs,
+// spanning ~1µs to ~4300s. It covers both request latencies in seconds
+// and solver iteration counts without configuration.
+var DefBuckets = ExpBuckets(1e-6, 2, 32)
+
+// ExpBuckets returns n bucket upper bounds growing geometrically from
+// start by factor: start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket upper bounds in arithmetic progression
+// from start with the given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Histogram is a streaming log-bucketed histogram. Observe is lock-free:
+// one binary search over the immutable bounds plus a single atomic add
+// in a randomly chosen stripe, with a rare CAS to track the global
+// min/max. Counts are exact; Sum (and therefore the mean and quantiles)
+// is approximated from bucket midpoints clamped to the observed
+// [Min, Max] — the standard trade for a fixed-memory streaming sketch
+// (DESIGN.md §10 quantifies the error: within one bucket width).
+type Histogram struct {
+	bounds []float64 // immutable after construction, sorted ascending
+	// stripes[i] holds len(bounds)+1 bucket cells (last = +Inf overflow);
+	// each stripe is a separate allocation so concurrent writers touch
+	// different cache lines.
+	stripes [][]atomic.Int64
+	mask    uint64
+	minBits atomic.Uint64 // Float64bits of the smallest observation (init +Inf)
+	maxBits atomic.Uint64 // Float64bits of the largest observation (init -Inf)
+}
+
+// NewHistogram builds a standalone histogram with the given bucket
+// upper bounds (nil → DefBuckets). Bounds are deduplicated, sorted, and
+// copied; an implicit +Inf overflow bucket is always present.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	// Drop duplicates and non-finite bounds (+Inf is implicit). Exact
+	// bit equality is the right duplicate test here (floateq-safe too).
+	out := b[:0]
+	for _, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if len(out) > 0 && math.Float64bits(v) == math.Float64bits(out[len(out)-1]) {
+			continue
+		}
+		out = append(out, v)
+	}
+	b = out
+	if len(b) == 0 {
+		panic("obs: histogram needs at least one finite bucket bound")
+	}
+	n := stripes()
+	h := &Histogram{bounds: b, mask: uint64(n - 1)}
+	h.stripes = make([][]atomic.Int64, n)
+	for i := range h.stripes {
+		h.stripes[i] = make([]atomic.Int64, len(b)+1)
+	}
+	h.minBits.Store(floatBits(math.Inf(1)))
+	h.maxBits.Store(floatBits(math.Inf(-1)))
+	return h
+}
+
+// newHistogramStripes builds a histogram with an explicit stripe count
+// (power of two) for the sharded-vs-serial property tests.
+func newHistogramStripes(bounds []float64, n int) *Histogram {
+	h := NewHistogram(bounds)
+	h.mask = uint64(n - 1)
+	h.stripes = make([][]atomic.Int64, n)
+	for i := range h.stripes {
+		h.stripes[i] = make([]atomic.Int64, len(h.bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value. NaN observations are dropped (they have no
+// bucket and would poison min/max).
+func (h *Histogram) Observe(v float64) {
+	if v != v { // NaN check without math.IsNaN's call overhead
+		return
+	}
+	// First bound ≥ v, by hand-inlined binary search (sort.SearchFloat64s
+	// costs a closure call per probe).
+	bounds := h.bounds
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := uint64(0)
+	if h.mask != 0 {
+		i = stripeIdx(h.mask)
+	}
+	h.stripes[i][lo].Add(1)
+	h.updateMin(v)
+	h.updateMax(v)
+}
+
+// updateMin lowers the global minimum to v if needed. The load-compare
+// fast path is loop-free so the compiler inlines it into Observe; the
+// CAS retry loop (casMin) only runs on a new record value, which is
+// rare after warm-up.
+func (h *Histogram) updateMin(v float64) {
+	if old := h.minBits.Load(); floatFrom(old) > v {
+		h.casMin(old, v)
+	}
+}
+
+func (h *Histogram) casMin(old uint64, v float64) {
+	for !h.minBits.CompareAndSwap(old, floatBits(v)) {
+		old = h.minBits.Load()
+		if floatFrom(old) <= v {
+			return
+		}
+	}
+}
+
+func (h *Histogram) updateMax(v float64) {
+	if old := h.maxBits.Load(); floatFrom(old) < v {
+		h.casMax(old, v)
+	}
+}
+
+func (h *Histogram) casMax(old uint64, v float64) {
+	for !h.maxBits.CompareAndSwap(old, floatBits(v)) {
+		old = h.maxBits.Load()
+		if floatFrom(old) >= v {
+			return
+		}
+	}
+}
+
+// Snapshot is a merged point-in-time view of a histogram.
+type Snapshot struct {
+	Count  int64     // total observations
+	Sum    float64   // approximate sum (bucket representatives, clamped to [Min, Max])
+	Min    float64   // smallest observation; 0 when Count == 0
+	Max    float64   // largest observation; 0 when Count == 0
+	Bounds []float64 // bucket upper bounds (without the +Inf overflow)
+	Counts []int64   // per-bucket counts, len(Bounds)+1 (last = overflow)
+}
+
+// Snapshot merges the stripes in index order into an exact per-bucket
+// count vector. A snapshot taken concurrently with writers is a valid
+// cut: every completed Observe is in exactly one bucket cell.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for _, st := range h.stripes {
+		for j := range st {
+			s.Counts[j] += st[j].Load()
+		}
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = floatFrom(h.minBits.Load())
+	s.Max = floatFrom(h.maxBits.Load())
+	// Approximate the sum from bucket representatives: the midpoint of
+	// each bucket's [lower, upper] range intersected with [Min, Max].
+	for j, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := s.bucketRange(j)
+		s.Sum += float64(c) * (lo + hi) / 2
+	}
+	return s
+}
+
+// bucketRange returns bucket j's effective [lower, upper] range, clamped
+// to the observed [Min, Max] so open-ended buckets (below the first
+// bound, above the last) contribute finite representatives.
+func (s Snapshot) bucketRange(j int) (lo, hi float64) {
+	if j == 0 {
+		lo = s.Min
+	} else {
+		lo = s.Bounds[j-1]
+	}
+	if j == len(s.Bounds) {
+		hi = s.Max
+	} else {
+		hi = s.Bounds[j]
+	}
+	if lo < s.Min {
+		lo = s.Min
+	}
+	if hi > s.Max {
+		hi = s.Max
+	}
+	if lo > hi { // all mass of this bucket sits outside [Min, Max]
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the rank. Edge behavior: Count == 0 → 0,
+// q ≤ 0 → Min, q ≥ 1 → Max, a single observation → that observation.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 || s.Count == 1 {
+		if s.Count == 1 && q < 1 {
+			return s.Min
+		}
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for j, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := s.bucketRange(j)
+			// Position of the rank inside this bucket, interpolated
+			// uniformly across the bucket's c observations.
+			frac := float64(rank-cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return s.Max // unreachable: ranks are ≤ Count
+}
+
+// Mean returns the approximate mean observation.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile is shorthand for Snapshot().Quantile(q); callers taking
+// several quantiles should snapshot once.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.Snapshot().Count }

@@ -1,0 +1,379 @@
+// Package obs is the observability substrate for the TUBE stack: a
+// registry of named counters, gauges, and log-bucketed streaming
+// histograms with Prometheus text-format exposition, plus a lightweight
+// span API for tracing the daily control loop (optimize → publish →
+// ingest → estimate, the paper's Fig. 1 cycle).
+//
+// The package is built for the same regime as internal/ingest: many
+// goroutines hammering the write path (every usage report increments
+// counters and observes latencies) while reads are rare (a /metrics
+// scrape or a period close). The design mirrors the ingestion engine's
+// answer:
+//
+//   - Hot-path writes are striped. A Counter is a set of cache-line
+//     padded cells; Inc picks a cell with a cheap per-call random index
+//     (math/rand/v2's lock-free runtime source) so concurrent
+//     increments land on different cache lines instead of serializing
+//     on one contended word. A Histogram stripes whole bucket arrays
+//     the same way. On GOMAXPROCS=1 the stripe count collapses to one
+//     and Inc is a bare atomic add.
+//   - Reads are merge-on-read. Value/Snapshot walk the stripes in index
+//     order and sum; bucket counts are exact, and the merge order is
+//     fixed so snapshots are deterministic for a given set of
+//     observations.
+//   - Registration is get-or-create. Asking twice for the same
+//     (name, labels) returns the same metric, so instrumented packages
+//     can bind lazily without coordinating initialization order.
+//
+// Metric naming follows the Prometheus convention used throughout the
+// repo: <subsystem>_<noun>[_<unit>][_total], e.g. ingest_reports_total,
+// tube_http_request_seconds, optimize_solve_iterations (DESIGN.md §10).
+package obs
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the registry's metric families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// Labels attaches constant dimensions to a metric at registration time
+// (e.g. {"handler": "price"}). Label sets are part of the metric's
+// identity: the same name with different labels is a different series
+// of the same family.
+type Labels map[string]string
+
+// family groups every series registered under one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	members []*series      // registration order; accessed only under the owning Registry's mu
+	byKey   map[string]int // label key → index; accessed only under the owning Registry's mu
+}
+
+// series is one registered (name, labels) pair and its backing metric.
+type series struct {
+	labels string // rendered `k="v",...` fragment, sorted by key; "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	gf     *gaugeFunc
+	h      *Histogram
+}
+
+// Registry is a namespace of metrics. Registration is get-or-create and
+// safe for concurrent use; the hot-path metric types it hands out are
+// internally synchronized and never touch the registry lock again.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+	order    []string           // guarded by mu: family registration order
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry that package-level
+// instrumentation (solver metrics, controller metrics) binds to.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Servers serve it alongside
+// their own registry so in-process subsystems that have no handle on a
+// server (the optimize package, a Controller) still show up on
+// GET /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// validName reports whether s is a legal Prometheus metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders a label set as a sorted, escaped `k="v",...`
+// fragment, the canonical identity of a series within its family.
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns (creating if needed) the family and the series slot
+// for (name, labels), checking kind consistency. Callers hold r.mu.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) (*family, *series, bool) {
+	fam, ok := r.families[name]
+	if !ok {
+		if !validName(name) {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+		fam = &family{name: name, help: help, kind: kind, byKey: make(map[string]int)}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != kind {
+		// gauge and gaugeFunc expose the same family type but are
+		// different implementations; mixing them under one name would
+		// make the scrape ambiguous, so it is a programmer error too.
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	key := labelKey(labels)
+	if i, ok := fam.byKey[key]; ok {
+		return fam, fam.members[i], true
+	}
+	s := &series{labels: key}
+	fam.byKey[key] = len(fam.members)
+	fam.members = append(fam.members, s)
+	return fam, s, false
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use. Counters are monotonically non-decreasing.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, existed := r.lookup(name, help, kindCounter, labels)
+	if !existed {
+		s.c = NewCounter()
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, existed := r.lookup(name, help, kindGauge, labels)
+	if !existed {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (e.g. the depth of an ingest shard, read under its own lock).
+// Re-registering the same (name, labels) replaces the callback — the
+// newest owner of the name wins, which is what a restarted engine wants.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if fn == nil {
+		panic("obs: nil GaugeFunc callback")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, existed := r.lookup(name, help, kindGaugeFunc, labels)
+	if !existed {
+		s.gf = &gaugeFunc{}
+	}
+	s.gf.set(fn)
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use with the given bucket upper bounds (nil →
+// DefBuckets). The bucket layout of an existing histogram is kept;
+// later registrations only retrieve it.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, existed := r.lookup(name, help, kindHistogram, labels)
+	if !existed {
+		s.h = NewHistogram(buckets)
+	}
+	return s.h
+}
+
+// stripes returns the number of write stripes for hot-path metrics: a
+// power of two sized from GOMAXPROCS (1 when single-threaded, so the
+// striping indirection vanishes exactly when it cannot help).
+func stripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < 4*n && p < 256 {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeIdx picks a stripe with the runtime's lock-free per-thread RNG.
+// Random assignment keeps two goroutines that run concurrently on
+// different Ps off the same cache line with probability 1−1/stripes.
+func stripeIdx(mask uint64) uint64 {
+	return mrand.Uint64() & mask
+}
+
+// cell is one counter stripe, padded so adjacent cells never share a
+// cache line.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically non-decreasing striped counter. The zero
+// value is NOT usable; construct via NewCounter or Registry.Counter.
+type Counter struct {
+	cells []cell // immutable slice header; cells are internally atomic
+	mask  uint64
+}
+
+// NewCounter builds an unregistered counter (Registry.Counter is the
+// usual path; standalone counters suit tests and ad-hoc tooling).
+func NewCounter() *Counter {
+	n := stripes()
+	return &Counter{cells: make([]cell, n), mask: uint64(n - 1)}
+}
+
+// newCounterStripes builds a counter with an explicit stripe count
+// (power of two) — the property tests pin it independently of
+// GOMAXPROCS.
+func newCounterStripes(n int) *Counter {
+	return &Counter{cells: make([]cell, n), mask: uint64(n - 1)}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (d must be ≥ 0; counters are monotonic).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("obs: counter decremented")
+	}
+	i := uint64(0)
+	if c.mask != 0 {
+		i = stripeIdx(c.mask)
+	}
+	c.cells[i].n.Add(d)
+}
+
+// Value merges the stripes in index order and returns the total.
+func (c *Counter) Value() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].n.Load()
+	}
+	return s
+}
+
+// Gauge is a settable float64 metric (current period, last congestion
+// cost, …). Gauges are not striped: they are written once per period,
+// not once per report.
+type Gauge struct {
+	bits atomic.Uint64 // Float64bits of the current value
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add adds d to the value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFrom(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFrom(g.bits.Load()) }
+
+// gaugeFunc holds a scrape-time callback behind its own lock so
+// GaugeFunc re-registration cannot race a concurrent scrape.
+type gaugeFunc struct {
+	mu sync.Mutex
+	fn func() float64 // guarded by mu
+}
+
+func (g *gaugeFunc) set(fn func() float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fn = fn
+}
+
+func (g *gaugeFunc) value() float64 {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	return fn()
+}

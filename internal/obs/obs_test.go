@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewCounter().Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", nil)
+	b := r.Counter("x_total", "other help ignored", nil)
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	l1 := r.Counter("y_total", "", Labels{"h": "a"})
+	l2 := r.Counter("y_total", "", Labels{"h": "b"})
+	if l1 == l2 {
+		t.Fatal("different labels returned the same counter")
+	}
+	if l1 != r.Counter("y_total", "", Labels{"h": "a"}) {
+		t.Fatal("label lookup not stable")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m_total", "", nil)
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("0bad name", "", nil)
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("gf", "", nil, func() float64 { return 1 })
+	r.GaugeFunc("gf", "", nil, func() float64 { return 2 })
+	snap := r.capture()
+	if len(snap) != 1 || len(snap[0].members) != 1 {
+		t.Fatalf("unexpected capture shape: %+v", snap)
+	}
+	if got := snap[0].members[0].gf.value(); got != 2 {
+		t.Fatalf("gauge func = %v, want 2 (last registration wins)", got)
+	}
+}
+
+// TestCounterShardedVsSerial is the sharded-counter equivalence
+// property test (mirroring the ingest engine's equivalence tests): for
+// any interleaving of concurrent Adds across any stripe count, the
+// merged Value equals the serial sum.
+func TestCounterShardedVsSerial(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	for _, nstripes := range []int{1, 2, 8, 64} {
+		c := newCounterStripes(nstripes)
+		var ref int64
+		for w := 0; w < workers; w++ {
+			for i := 0; i < perW; i++ {
+				ref += int64(w*perW+i) % 7
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					c.Add(int64(w*perW+i) % 7)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := c.Value(); got != ref {
+			t.Fatalf("stripes=%d: merged value %d, want serial sum %d", nstripes, got, ref)
+		}
+	}
+}
+
+// TestHistogramShardedVsSerial: concurrent striped observations must
+// merge to exactly the single-stripe (serial-equivalent) bucket counts.
+func TestHistogramShardedVsSerial(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	vals := make([]float64, 4000)
+	for i := range vals {
+		vals[i] = float64(i%11) * 0.9
+	}
+	serial := newHistogramStripes(bounds, 1)
+	for _, v := range vals {
+		serial.Observe(v)
+	}
+	for _, nstripes := range []int{2, 8, 32} {
+		h := newHistogramStripes(bounds, nstripes)
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(vals); i += workers {
+					h.Observe(vals[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		got, want := h.Snapshot(), serial.Snapshot()
+		if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("stripes=%d: count/min/max = %d/%v/%v, want %d/%v/%v",
+				nstripes, got.Count, got.Min, got.Max, want.Count, want.Min, want.Max)
+		}
+		for j := range got.Counts {
+			if got.Counts[j] != want.Counts[j] {
+				t.Fatalf("stripes=%d: bucket %d = %d, want %d",
+					nstripes, j, got.Counts[j], want.Counts[j])
+			}
+		}
+	}
+}
+
+// TestConcurrentWritesVsScrape exercises the race the -race build
+// checks: hot-path Inc/Observe racing a /metrics-style scrape.
+func TestConcurrentWritesVsScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scrape_reports_total", "reports", nil)
+	h := r.Histogram("scrape_seconds", "latency", nil, ExpBuckets(1e-6, 2, 16))
+	r.GaugeFunc("scrape_depth", "", nil, func() float64 { return float64(c.Value()) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sink discardWriter
+		if err := r.WritePrometheus(&sink); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// A final quiescent scrape must agree with the merged values.
+	if c.Value() != h.Count() {
+		t.Fatalf("counter %d != histogram count %d after quiesce", c.Value(), h.Count())
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// famView is a registry family captured under the registry lock: metric
+// pointers only, so the (possibly lock-taking) GaugeFunc callbacks and
+// histogram merges run after the registry lock is released.
+type famView struct {
+	name    string
+	help    string
+	kind    metricKind
+	members []seriesView
+}
+
+type seriesView struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	gf     *gaugeFunc
+	h      *Histogram
+}
+
+// capture snapshots the registry's family/series structure.
+func (r *Registry) capture() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]famView, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fv := famView{name: f.name, help: f.help, kind: f.kind}
+		for _, s := range f.members {
+			fv.members = append(fv.members, seriesView{
+				labels: s.labels, c: s.c, g: s.g, gf: s.gf, h: s.h,
+			})
+		}
+		out = append(out, fv)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per sample,
+// histograms as cumulative le-labeled buckets with _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writeFamilies(w, r.capture())
+}
+
+// WritePrometheusAll renders several registries as one exposition. When
+// two registries define the same family name, the first registry wins
+// and later duplicates are skipped (a scrape must not repeat a family).
+// Servers use this to merge their per-server registry with Default().
+func WritePrometheusAll(w io.Writer, regs ...*Registry) error {
+	var all []famView
+	seen := make(map[string]bool)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, fv := range r.capture() {
+			if seen[fv.name] {
+				continue
+			}
+			seen[fv.name] = true
+			all = append(all, fv)
+		}
+	}
+	return writeFamilies(w, all)
+}
+
+func writeFamilies(w io.Writer, fams []famView) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.members {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", s.labels, "", float64(s.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, "", s.labels, "", s.g.Value())
+			case kindGaugeFunc:
+				writeSample(bw, f.name, "", s.labels, "", s.gf.value())
+			case kindHistogram:
+				writeHistogram(bw, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series, _sum and _count.
+func writeHistogram(bw *bufio.Writer, name, labels string, snap Snapshot) {
+	var cum int64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		writeSample(bw, name, "_bucket", labels, `le="`+formatFloat(b)+`"`, float64(cum))
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	writeSample(bw, name, "_bucket", labels, `le="+Inf"`, float64(cum))
+	writeSample(bw, name, "_sum", labels, "", snap.Sum)
+	writeSample(bw, name, "_count", labels, "", float64(snap.Count))
+}
+
+// writeSample writes one `name{labels} value` line. extra is an extra
+// label fragment (the histogram le label) appended after labels.
+func writeSample(bw *bufio.Writer, name, suffix, labels, extra string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: shortest round-trip decimal, with
+// the exposition format's spellings for the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

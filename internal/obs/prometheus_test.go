@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat checks the exposition output line-by-line
+// against the text format rules: HELP before TYPE, cumulative buckets,
+// a +Inf bucket, _sum and _count, sorted label rendering.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests served", Labels{"handler": "price"}).Add(3)
+	r.Counter("reqs_total", "requests served", Labels{"handler": "usage"}).Add(5)
+	r.Gauge("period", "current period", nil).Set(7)
+	r.GaugeFunc("depth", "shard depth", Labels{"shard": "0"}, func() float64 { return 2 })
+	h := r.Histogram("lat_seconds", "latency", nil, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP reqs_total requests served\n",
+		"# TYPE reqs_total counter\n",
+		`reqs_total{handler="price"} 3` + "\n",
+		`reqs_total{handler="usage"} 5` + "\n",
+		"# TYPE period gauge\n",
+		"period 7\n",
+		`depth{shard="0"} 2` + "\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{le="1"} 2` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be `name{...} value` with a parseable
+	// float value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Errorf("sample line %q is not `series value`", line)
+		}
+	}
+}
+
+func TestWritePrometheusAllDedup(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("shared_total", "", nil).Add(1)
+	b.Counter("shared_total", "", nil).Add(100)
+	b.Counter("only_b_total", "", nil).Add(2)
+
+	var sb strings.Builder
+	if err := WritePrometheusAll(&sb, a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "shared_total 1\n") {
+		t.Errorf("first registry should win for shared_total:\n%s", out)
+	}
+	if strings.Contains(out, "shared_total 100") {
+		t.Errorf("duplicate family leaked from second registry:\n%s", out)
+	}
+	if !strings.Contains(out, "only_b_total 2\n") {
+		t.Errorf("second registry's unique family missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"v": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{v="a\"b\\c\nd"} 1`; !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping wrong, want %s in:\n%s", want, sb.String())
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	for in, want := range map[float64]string{
+		1.5: "1.5", 0: "0",
+	} {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the control loop. Spans form a tree:
+// StartSpan under a context that already carries a span attaches the
+// new span as a child, so one Controller.RunDay yields a nested trace
+// of optimize → publish → ingest → estimate.
+//
+// A span is safe for concurrent use: parallel stages of the loop may
+// start children under the same parent while the parent is live.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // guarded by mu: zero until End
+	children []*Span   // guarded by mu
+}
+
+// timeNow is swapped out by tests for deterministic traces.
+var timeNow = time.Now
+
+type spanCtxKey struct{}
+
+// StartSpan begins a span named name. If ctx already carries a span the
+// new one is attached as its child; either way the returned context
+// carries the new span for further nesting. StartSpan(context.TODO(), …)
+// starts a root.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: timeNow()}
+	if parent := SpanFromContext(ctx); parent != nil {
+		parent.addChild(s)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.children = append(s.children, c)
+}
+
+// End closes the span and returns its duration. End is idempotent:
+// the first call fixes the end time, later calls return the same
+// duration.
+func (s *Span) End() time.Duration {
+	now := timeNow()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	return s.end.Sub(s.start)
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time { return s.start }
+
+// Duration returns the elapsed time: end−start once ended, time since
+// start while the span is live.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return timeNow().Sub(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.end.IsZero()
+}
+
+// Children returns a copy of the child spans in start order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Render writes the span tree as an indented text trace:
+//
+//	controller.run_day             1.8ms
+//	  optimize.plan                1.2ms
+//	  usage.react                  0.4ms
+//	  profile.observe              0.2ms
+func (s *Span) Render() string {
+	var sb strings.Builder
+	s.render(&sb, 0)
+	return sb.String()
+}
+
+func (s *Span) render(sb *strings.Builder, depth int) {
+	fmt.Fprintf(sb, "%s%-*s %s\n",
+		strings.Repeat("  ", depth), 32-2*depth, s.name, s.Duration())
+	for _, c := range s.Children() {
+		c.render(sb, depth+1)
+	}
+}

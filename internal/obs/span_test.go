@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances by a fixed step on every reading, giving spans
+// deterministic durations.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	old := timeNow
+	timeNow = fakeClock(time.Millisecond)
+	defer func() { timeNow = old }()
+
+	ctx, root := StartSpan(context.Background(), "controller.run_day")
+	cctx, plan := StartSpan(ctx, "optimize.plan")
+	if SpanFromContext(cctx) != plan {
+		t.Fatal("child context does not carry the child span")
+	}
+	plan.End()
+	_, react := StartSpan(ctx, "usage.react")
+	react.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "optimize.plan" || kids[1].Name() != "usage.react" {
+		t.Fatalf("children = %v", kids)
+	}
+	if plan.Duration() <= 0 {
+		t.Fatalf("plan duration = %v, want > 0", plan.Duration())
+	}
+	if !root.Ended() {
+		t.Fatal("root not ended")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	old := timeNow
+	timeNow = fakeClock(time.Millisecond)
+	defer func() { timeNow = old }()
+
+	_, s := StartSpan(context.Background(), "x")
+	d1 := s.End()
+	d2 := s.End()
+	if d1 != d2 {
+		t.Fatalf("End not idempotent: %v then %v", d1, d2)
+	}
+}
+
+func TestSpanRootWithoutParent(t *testing.T) {
+	if s := SpanFromContext(context.Background()); s != nil {
+		t.Fatalf("empty context carries span %v", s)
+	}
+	_, s := StartSpan(context.Background(), "root")
+	if s.Name() != "root" || len(s.Children()) != 0 {
+		t.Fatalf("unexpected root: %v", s)
+	}
+}
+
+func TestSpanRender(t *testing.T) {
+	old := timeNow
+	timeNow = fakeClock(time.Millisecond)
+	defer func() { timeNow = old }()
+
+	ctx, root := StartSpan(context.Background(), "day")
+	_, c := StartSpan(ctx, "plan")
+	c.End()
+	root.End()
+
+	out := root.Render()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render = %q, want 2 lines", out)
+	}
+	if !strings.HasPrefix(lines[0], "day") || !strings.HasPrefix(lines[1], "  plan") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestSpanChildrenIsACopy(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "r")
+	StartSpan(ctx, "c1")
+	kids := root.Children()
+	kids[0] = nil
+	if root.Children()[0] == nil {
+		t.Fatal("mutating Children() result leaked into the span")
+	}
+}

@@ -1,0 +1,77 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// rosenbrockN is the classic n-dimensional Rosenbrock valley — a
+// non-trivial smooth test problem so the solver benchmarks exercise the
+// full line-search/curvature machinery rather than converging in a
+// couple of steps.
+func rosenbrockN(n int) Objective {
+	return FuncObjective{
+		Fn: func(x []float64) float64 {
+			var s float64
+			for i := 0; i+1 < len(x); i++ {
+				a := x[i+1] - x[i]*x[i]
+				b := 1 - x[i]
+				s += 100*a*a + b*b
+			}
+			return s
+		},
+		GradFn: func(x, g []float64) {
+			for i := range g {
+				g[i] = 0
+			}
+			for i := 0; i+1 < len(x); i++ {
+				a := x[i+1] - x[i]*x[i]
+				g[i] += -400*a*x[i] - 2*(1-x[i])
+				g[i+1] += 200 * a
+			}
+		},
+	}
+}
+
+func benchStart(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = -1.2 + 0.1*float64(i%3)
+	}
+	return x
+}
+
+func BenchmarkSolverProjectedGradient(b *testing.B) {
+	obj := rosenbrockN(16)
+	bounds := UniformBounds(16, -5, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fixed iteration budget: first-order descent crawls along the
+		// Rosenbrock valley, so this benchmarks 200 iterations of work
+		// (ErrMaxIterations is the expected outcome, not a failure).
+		res, err := ProjectedGradient(obj, benchStart(16), bounds, WithMaxIterations(200))
+		if err != nil && !errors.Is(err, ErrMaxIterations) {
+			b.Fatal(err)
+		}
+		sinkFloat = res.F
+	}
+}
+
+func BenchmarkSolverLBFGS(b *testing.B) {
+	obj := rosenbrockN(16)
+	bounds := UniformBounds(16, -5, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := LBFGS(obj, benchStart(16), bounds, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsNaN(res.F) {
+			b.Fatal("NaN objective")
+		}
+		sinkFloat = res.F
+	}
+}
+
+var sinkFloat float64

@@ -2,14 +2,9 @@ package optimize
 
 import "math"
 
-// CoordinateDescent minimizes fn over the box b by cyclic exact
-// minimization along each coordinate with golden-section search.
-//
-// It needs only function values (no gradient), which makes it robust on the
-// piecewise-linear kinks of the un-smoothed TDP cost. The paper's Prop. 3
-// shows the static model's Hessian is diagonal, which is exactly the regime
-// where coordinate descent excels.
-func CoordinateDescent(fn func([]float64) float64, x0 []float64, b Bounds, opts ...Option) (Result, error) {
+// coordinateDescent is the uninstrumented core of CoordinateDescent
+// (metrics.go wraps it with per-solve recording).
+func coordinateDescent(fn func([]float64) float64, x0 []float64, b Bounds, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, op := range opts {
 		op.apply(&o)

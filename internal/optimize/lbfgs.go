@@ -5,15 +5,12 @@ import (
 	"math"
 )
 
-// LBFGS minimizes a smooth objective over a box using the limited-memory
-// BFGS two-loop recursion with projected backtracking line search — a
-// light L-BFGS-B. For the smoothed TDP objectives it converges in far
-// fewer iterations than plain projected gradient, which matters as the
-// number of periods grows (see BenchmarkAblationSolvers).
+// lbfgs is the uninstrumented core of LBFGS (metrics.go wraps it with
+// per-solve recording).
 //
 // History pairs that violate the curvature condition sᵀy > 0 (possible
 // near box faces) are skipped, falling back toward steepest descent.
-func LBFGS(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (Result, error) {
+func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, op := range opts {
 		op.apply(&o)

@@ -49,10 +49,9 @@ type LMResult struct {
 	Converged  bool
 }
 
-// LevenbergMarquardt minimizes ‖r(x)‖² with a damped Gauss–Newton
-// iteration and a central-difference Jacobian. Optional box constraints
-// are handled by projecting trial steps.
-func LevenbergMarquardt(r Residualer, x0 []float64, cfg LMConfig) (LMResult, error) {
+// levenbergMarquardt is the uninstrumented core of LevenbergMarquardt
+// (metrics.go wraps it with per-solve recording).
+func levenbergMarquardt(r Residualer, x0 []float64, cfg LMConfig) (LMResult, error) {
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 200
 	}

@@ -62,13 +62,9 @@ func WithCallback(fn func(iter int, x []float64, f float64)) Option {
 	return callbackOption{fn: fn}
 }
 
-// ProjectedGradient minimizes obj over the box b starting from x0, using
-// steepest descent with Armijo backtracking and projection onto the box.
-//
-// For convex objectives (the static TDP model satisfies Prop. 3's
-// conditions) the returned point is a global minimizer up to tolerance.
-// A Result is returned even alongside ErrMaxIterations.
-func ProjectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
+// projectedGradient is the uninstrumented core of ProjectedGradient
+// (metrics.go wraps it with per-solve recording).
+func projectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, op := range opts {
 		op.apply(&o)

@@ -2,13 +2,9 @@ package optimize
 
 import "math"
 
-// ProjectedSubgradient minimizes a convex (possibly non-smooth) objective
-// over the box b using the classical projected subgradient method with a
-// diminishing step size a/(1+k). It tracks and returns the best iterate.
-//
-// Subgradient methods converge slowly but need no smoothness; this is the
-// baseline method in the solver ablation (DESIGN.md §5).
-func ProjectedSubgradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
+// projectedSubgradient is the uninstrumented core of
+// ProjectedSubgradient (metrics.go wraps it with per-solve recording).
+func projectedSubgradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, op := range opts {
 		op.apply(&o)

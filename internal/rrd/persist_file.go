@@ -1,0 +1,65 @@
+package rrd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveFile persists the database to path crash-safely: the snapshot is
+// written to a temporary file in the same directory, fsynced, and then
+// atomically renamed over path. A crash at any point leaves either the
+// old complete snapshot or the new complete snapshot — never a
+// truncated one (a truncated snapshot would brick the GUI's price
+// history on restart; LoadFile rejects it, but rejecting is still
+// losing the history).
+func (db *DB) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rrd: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = db.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("rrd: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("rrd: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rrd: rename %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself is durable. Some
+	// filesystems refuse to sync directories; the data file is already
+	// safe on disk either way.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadFile reconstructs a database from a snapshot file written by
+// SaveFile. Partial or corrupt snapshots are rejected with an error
+// wrapping ErrBadConfig (version/structure mismatch) or the decoder's
+// error (truncation), never a silently wrong database.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rrd: load %s: %w", path, err)
+	}
+	defer f.Close()
+	db, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("rrd: load %s: %w", path, err)
+	}
+	return db, nil
+}

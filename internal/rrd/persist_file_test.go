@@ -1,0 +1,133 @@
+package rrd
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := New(1, ArchiveSpec{Func: Last, Steps: 1, Rows: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := db.Update(int64(i), float64(i)*1.5); err != nil {
+			t.Fatalf("Update(%d): %v", i, err)
+		}
+	}
+	return db
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "hist.rrd")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	want, _ := db.Fetch(0)
+	pts, _ := got.Fetch(0)
+	if len(pts) != len(want) {
+		t.Fatalf("fetched %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestSaveFileOverwritesAtomically(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "hist.rrd")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("first SaveFile: %v", err)
+	}
+	if err := db.Update(6, 99); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("second SaveFile: %v", err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	pts, _ := got.Fetch(0)
+	last := pts[len(pts)-1]
+	if last.Value != 99.0 {
+		t.Fatalf("last point = %+v, want value 99", last)
+	}
+}
+
+// TestLoadFileRejectsTruncated simulates the crash SaveFile prevents:
+// a snapshot cut off mid-write must be rejected with a clear error, not
+// loaded as a silently wrong database.
+func TestLoadFileRejectsTruncated(t *testing.T) {
+	db := testDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.rrd")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.3, 0.9} {
+		cut := filepath.Join(dir, "cut.rrd")
+		if err := os.WriteFile(cut, raw[:int(float64(len(raw))*frac)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(cut); err == nil {
+			t.Fatalf("truncated snapshot (%.0f%%) loaded without error", frac*100)
+		} else if !strings.Contains(err.Error(), "load") {
+			t.Fatalf("unhelpful error for truncated snapshot: %v", err)
+		}
+	}
+}
+
+func TestLoadFileRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"garbage.rrd":    "not json at all {{{",
+		"bad_vers.rrd":   `{"version":99,"step":1,"archives":[{"func":0,"steps":1,"rows":8}]}`,
+		"bad_ring.rrd":   `{"version":1,"step":1,"archives":[{"func":0,"steps":1,"rows":8,"ring":[],"head":0,"filled":0}]}`,
+		"bad_fields.rrd": `{"version":1,"step":-5,"archives":[]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Errorf("%s loaded without error", name)
+		}
+	}
+	// Structure errors specifically wrap ErrBadConfig.
+	if _, err := LoadFile(filepath.Join(dir, "bad_vers.rrd")); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("version mismatch err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.rrd")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}

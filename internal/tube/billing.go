@@ -81,6 +81,13 @@ func (b *Billing) Periods() int {
 	return b.periods
 }
 
+// Users returns how many users carry a charge this cycle.
+func (b *Billing) Users() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.charges)
+}
+
 // Statement is one user's line on the cycle statement.
 type Statement struct {
 	User         string  `json:"user"`

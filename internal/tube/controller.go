@@ -1,9 +1,12 @@
 package tube
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"tdp/internal/core"
+	"tdp/internal/obs"
 )
 
 // Controller closes the paper's Fig. 1 loop across days: publish a day of
@@ -58,6 +61,10 @@ type DayReport struct {
 	Betas []float64
 	// Reestimated reports whether profiling updated the betas.
 	Reestimated bool
+	// Trace is the day's timed span tree (plan → react → observe →
+	// estimate). Only RunDay/RunDayCtx populate it; a bare ObserveDay
+	// leaves it nil.
+	Trace *obs.Span
 }
 
 // NewController validates the configuration.
@@ -147,12 +154,21 @@ func (c *Controller) PlanDay() ([]float64, error) {
 // profiler, and once enough days are banked the patience estimates are
 // refreshed for the next PlanDay.
 func (c *Controller) ObserveDay(rewards []float64, usage [][]float64) (*DayReport, error) {
+	return c.observeDay(context.Background(), rewards, usage)
+}
+
+// observeDay is ObserveDay with span threading: under a traced context
+// it times the profiler fold (profile.observe) and the re-estimation
+// (profile.estimate) separately, since the LM fit dominates.
+func (c *Controller) observeDay(ctx context.Context, rewards []float64, usage [][]float64) (*DayReport, error) {
 	n := len(c.cfg.Demand)
 	if len(rewards) != n || len(usage) != n {
 		return nil, fmt.Errorf("day has %d rewards, %d usage rows, want %d: %w",
 			len(rewards), len(usage), n, ErrBadInput)
 	}
+	_, obsSpan := obs.StartSpan(ctx, "profile.observe")
 	if err := c.profiler.AddObservation(rewards, usage); err != nil {
+		obsSpan.End()
 		return nil, err
 	}
 	c.days++
@@ -168,8 +184,11 @@ func (c *Controller) ObserveDay(rewards []float64, usage [][]float64) (*DayRepor
 		}
 		report.CongestionCost += c.cfg.Cost.Value(report.UsageTotals[i] - c.cfg.Capacity[i])
 	}
+	obsSpan.End()
 	if c.profiler.ObservationCount() >= c.cfg.MinObservations {
+		_, estSpan := obs.StartSpan(ctx, "profile.estimate")
 		betas, err := c.profiler.EstimateBetas()
+		estSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("re-profiling: %w", err)
 		}
@@ -177,7 +196,23 @@ func (c *Controller) ObserveDay(rewards []float64, usage [][]float64) (*DayRepor
 		report.Reestimated = true
 	}
 	report.Betas = c.Betas()
+	c.publishDayMetrics(report)
 	return report, nil
+}
+
+// publishDayMetrics exports the closed day to the default registry.
+func (c *Controller) publishDayMetrics(report *DayReport) {
+	reg := obs.Default()
+	reg.Counter("controller_days_total", "control-loop days closed", nil).Inc()
+	if report.Reestimated {
+		reg.Counter("controller_reestimates_total", "patience re-estimations performed", nil).Inc()
+	}
+	reg.Gauge("controller_congestion_cost", "congestion cost of the last closed day", nil).
+		Set(report.CongestionCost)
+	for j, b := range report.Betas {
+		reg.Gauge("controller_beta", "patience estimate in force, by class index", obs.Labels{"class": strconv.Itoa(j)}).
+			Set(b)
+	}
 }
 
 // UserModel maps a published reward schedule to the realized per-period,
@@ -187,13 +222,42 @@ type UserModel func(rewards []float64) ([][]float64, error)
 
 // RunDay plans, lets users react, and observes — one full loop turn.
 func (c *Controller) RunDay(react UserModel) (*DayReport, error) {
+	return c.RunDayCtx(context.Background(), react)
+}
+
+// RunDayCtx is RunDay under a context: the day runs inside a span tree
+// rooted at controller.run_day (attached as a child if ctx already
+// carries a span), and the finished tree is returned on the report's
+// Trace field — one timed trace of optimize → publish/react →
+// ingest/observe → estimate per loop turn.
+func (c *Controller) RunDayCtx(ctx context.Context, react UserModel) (*DayReport, error) {
+	ctx, day := obs.StartSpan(ctx, "controller.run_day")
+	defer func() {
+		obs.Default().Histogram("controller_day_seconds",
+			"wall-clock duration of one control-loop day", nil, dayBuckets).
+			Observe(day.End().Seconds())
+	}()
+
+	_, plan := obs.StartSpan(ctx, "optimize.plan")
 	rewards, err := c.PlanDay()
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, reactSpan := obs.StartSpan(ctx, "usage.react")
 	usage, err := react(rewards)
+	reactSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("user reaction: %w", err)
 	}
-	return c.ObserveDay(rewards, usage)
+	report, err := c.observeDay(ctx, rewards, usage)
+	if err != nil {
+		return nil, err
+	}
+	report.Trace = day
+	return report, nil
 }
+
+// dayBuckets spans 100µs…~1.5h: planning on a laptop scenario sits at
+// the low end, a million-user estimation day at the high end.
+var dayBuckets = obs.ExpBuckets(1e-4, 2, 24)

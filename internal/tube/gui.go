@@ -185,3 +185,21 @@ func (g *GUI) LoadHistory(r io.Reader) error {
 	g.history = db
 	return nil
 }
+
+// SaveHistoryFile persists the price history to path via the RRD
+// package's crash-safe write-temp + fsync + rename path, so a crash
+// mid-save cannot truncate the archive.
+func (g *GUI) SaveHistoryFile(path string) error {
+	return g.history.SaveFile(path)
+}
+
+// LoadHistoryFile restores a history snapshot written by
+// SaveHistoryFile; partial or corrupt files are rejected.
+func (g *GUI) LoadHistoryFile(path string) error {
+	db, err := rrd.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	g.history = db
+	return nil
+}

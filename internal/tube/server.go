@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"tdp/internal/ingest"
+	"tdp/internal/obs"
 )
 
 // PriceInfo is the payload the communication engine publishes: the reward
@@ -44,14 +46,21 @@ type Server struct {
 	opt *Optimizer
 	mux *http.ServeMux
 
-	// Per-handler request counters (handler name → count), maintained by
-	// the counting middleware and served at GET /stats.
+	// reg is the server's metric namespace: per-handler request counters
+	// and latency histograms (maintained by the counting middleware),
+	// the ingest engine's counters, and gauges over the optimizer's
+	// state. GET /metrics serves it merged with obs.Default().
+	reg          *obs.Registry
 	counterNames []string
-	counters     map[string]*atomic.Int64
+	counters     map[string]*obs.Counter
 
 	mu      sync.Mutex
 	httpSrv *http.Server // guarded by mu: non-nil once Serve has been called
 }
+
+// latencyBuckets spans 1µs…8s in powers of two — wide enough for an
+// in-process handler call and a loaded listener alike.
+var latencyBuckets = obs.ExpBuckets(1e-6, 2, 24)
 
 // NewServer builds the HTTP surface for an optimizer.
 func NewServer(opt *Optimizer) (*Server, error) {
@@ -61,7 +70,8 @@ func NewServer(opt *Optimizer) (*Server, error) {
 	s := &Server{
 		opt:      opt,
 		mux:      http.NewServeMux(),
-		counters: make(map[string]*atomic.Int64),
+		reg:      obs.NewRegistry(),
+		counters: make(map[string]*obs.Counter),
 	}
 	s.handle("GET /price", "price", s.handlePrice)
 	s.handle("GET /history", "history", s.handleHistory)
@@ -69,25 +79,66 @@ func NewServer(opt *Optimizer) (*Server, error) {
 	s.handle("POST /usage", "usage", s.handleUsage)
 	s.handle("POST /usage/batch", "usage_batch", s.handleUsageBatch)
 	s.handle("GET /stats", "stats", s.handleStats)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	opt.Measurement().Engine().Instrument(s.reg)
+	s.registerStateGauges()
 	return s, nil
 }
 
-// handle registers a route wrapped in a request counter.
+// registerStateGauges exposes the optimizer's control-loop state as
+// scrape-time gauges: the period clock, the published incentive, and
+// the billing/profiling engines' progress.
+func (s *Server) registerStateGauges() {
+	opt := s.opt
+	s.reg.GaugeFunc("tube_current_period", "period index in progress", nil,
+		func() float64 { return float64(opt.Period()) })
+	s.reg.GaugeFunc("tube_current_reward", "published reward for the period in progress ($0.10 units)", nil,
+		func() float64 { return opt.CurrentReward() })
+	s.reg.GaugeFunc("tube_billing_periods", "periods accrued in the open billing cycle", nil,
+		func() float64 { return float64(opt.Billing().Periods()) })
+	s.reg.GaugeFunc("tube_billing_users", "users carrying a charge in the open billing cycle", nil,
+		func() float64 { return float64(opt.Billing().Users()) })
+	s.reg.GaugeFunc("tube_profiler_observations", "days recorded by the profiling engine", nil,
+		func() float64 { return float64(opt.Profiler().ObservationCount()) })
+}
+
+// handle registers a route wrapped in request counting and latency
+// observation.
 func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
-	c := new(atomic.Int64)
+	lbl := obs.Labels{"handler": name}
+	c := s.reg.Counter("tube_http_requests_total", "HTTP requests served, by handler", lbl)
+	hist := s.reg.Histogram("tube_http_request_seconds", "HTTP request latency in seconds, by handler", lbl, latencyBuckets)
 	s.counters[name] = c
 	s.counterNames = append(s.counterNames, name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		c.Add(1)
+		start := time.Now()
+		c.Inc()
 		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
 	})
+}
+
+// Registry returns the server's metric registry, for embedding tools
+// (tubeload, tubesim) that want to dump or extend the server's metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: the profile endpoints expose stacks
+// and heap contents, so production deployments opt in explicitly
+// (tubesim/tubeload do so behind their -pprof flag).
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // RequestCounts returns a snapshot of the per-handler request counters.
 func (s *Server) RequestCounts() map[string]int64 {
 	out := make(map[string]int64, len(s.counters))
 	for name, c := range s.counters {
-		out[name] = c.Load()
+		out[name] = c.Value()
 	}
 	return out
 }
@@ -220,6 +271,15 @@ func usageStatus(err error) int {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.RequestCounts())
+}
+
+// handleMetrics serves the Prometheus exposition: the server's own
+// registry (handler counters/latencies, ingest, optimizer-state gauges)
+// merged with the process-wide default registry (solver and controller
+// metrics).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheusAll(w, s.reg, obs.Default())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
