@@ -161,7 +161,7 @@ func BenchmarkTubeOptimizerTiming(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := online.Advance(waiting.Dist12[i%12][:]); err != nil {
+		if _, err := online.Advance(waiting.Dist12[i%12][:]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,16 @@
 // Lines that are not benchmark results (test chatter, PASS/ok, build
 // noise) are ignored; `pkg:` headers attribute subsequent benchmarks to
 // their package.
+//
+// With -diff it becomes a regression gate instead of a converter:
+//
+//	benchjson -diff BENCH_4.json BENCH_5.json -track 'Ingest|Usage' -threshold 0.20
+//
+// Benchmarks present in both documents (matched by package and name,
+// ignoring the -P GOMAXPROCS suffix) are compared on ns/op; the command
+// fails if any benchmark matching -track regressed by more than
+// -threshold. Entries that appear on only one side are listed but never
+// fail the gate — renames and new benchmarks are not regressions.
 package main
 
 import (
@@ -17,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -50,8 +62,36 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("out", "-", "output file (- for stdout)")
+	diffBase := fs.String("diff", "", "baseline JSON document; compare ns/op instead of emitting JSON")
+	threshold := fs.Float64("threshold", 0.20, "allowed fractional ns/op regression in -diff mode")
+	track := fs.String("track", "", "regexp of benchmark names the -diff gate enforces (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *diffBase != "" {
+		re, err := compileTrack(*track)
+		if err != nil {
+			return err
+		}
+		base, err := readDocument(*diffBase)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", *diffBase, err)
+		}
+		var cur Document
+		if fs.NArg() == 0 {
+			if err := loadInto(&cur, stdin); err != nil {
+				return err
+			}
+		}
+		for _, path := range fs.Args() {
+			d, err := readDocument(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			cur.Benchmarks = append(cur.Benchmarks, d.Benchmarks...)
+		}
+		return diffDocuments(base, cur, re, *threshold, stdout)
 	}
 
 	var doc Document
@@ -87,6 +127,142 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// compileTrack compiles the -track expression; empty means "gate every
+// common benchmark".
+func compileTrack(expr string) (*regexp.Regexp, error) {
+	if expr == "" {
+		return nil, nil
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("-track %q: %w", expr, err)
+	}
+	return re, nil
+}
+
+// readDocument loads either a benchjson JSON document or raw `go test
+// -bench` text from path, so the gate accepts both checked-in artifacts
+// and fresh benchmark output.
+func readDocument(path string) (Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Document{}, err
+	}
+	defer f.Close()
+	var doc Document
+	if err := loadInto(&doc, f); err != nil {
+		return Document{}, err
+	}
+	return doc, nil
+}
+
+// loadInto sniffs r: a leading '{' means a JSON document, anything else is
+// parsed as benchmark text.
+func loadInto(doc *Document, r io.Reader) error {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(1)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if len(head) == 1 && head[0] == '{' {
+		var d Document
+		if err := json.NewDecoder(br).Decode(&d); err != nil {
+			return err
+		}
+		if doc.Goos == "" {
+			doc.Goos, doc.Goarch, doc.CPU = d.Goos, d.Goarch, d.CPU
+		}
+		doc.Benchmarks = append(doc.Benchmarks, d.Benchmarks...)
+		return nil
+	}
+	return parseInto(doc, br)
+}
+
+// benchKey identifies a benchmark across documents: package plus name with
+// the trailing -P GOMAXPROCS suffix stripped, so runs from machines with
+// different core counts still match.
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Package + "\t" + name
+}
+
+// bestNs collapses repeated runs (-count N) of one benchmark to the
+// minimum ns/op — the least-noise estimate of the true cost on a shared
+// machine. Entries without an ns/op measurement are dropped.
+func bestNs(doc Document) map[string]float64 {
+	best := make(map[string]float64)
+	for _, b := range doc.Benchmarks {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		k := benchKey(b)
+		if v, ok := best[k]; !ok || b.NsPerOp < v {
+			best[k] = b.NsPerOp
+		}
+	}
+	return best
+}
+
+// diffDocuments compares ns/op for the benchmarks common to base and cur,
+// prints the full comparison, and fails if any tracked benchmark regressed
+// beyond the threshold.
+func diffDocuments(base, cur Document, track *regexp.Regexp, threshold float64, w io.Writer) error {
+	old := bestNs(base)
+	now := bestNs(cur)
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		if _, ok := now[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var failed []string
+	for _, k := range keys {
+		o, n := old[k], now[k]
+		delta := (n - o) / o
+		name := strings.ReplaceAll(k, "\t", " ")
+		status := "ok"
+		tracked := track == nil || track.MatchString(k)
+		if tracked && delta > threshold {
+			status = "REGRESSED"
+			failed = append(failed, fmt.Sprintf("%s: %.4g → %.4g ns/op (%+.1f%%)", name, o, n, 100*delta))
+		} else if !tracked {
+			status = "untracked"
+		}
+		fmt.Fprintf(w, "%-72s %12.4g %12.4g %+8.1f%%  %s\n", name, o, n, 100*delta, status)
+	}
+	var only []string
+	for k := range old {
+		if _, ok := now[k]; !ok {
+			only = append(only, fmt.Sprintf("%-72s only in baseline", strings.ReplaceAll(k, "\t", " ")))
+		}
+	}
+	for k := range now {
+		if _, ok := old[k]; !ok {
+			only = append(only, fmt.Sprintf("%-72s only in current", strings.ReplaceAll(k, "\t", " ")))
+		}
+	}
+	sort.Strings(only)
+	for _, line := range only {
+		fmt.Fprintln(w, line)
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no common benchmarks between baseline and current")
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%%:\n  %s",
+			100*threshold, strings.Join(failed, "\n  "))
+	}
+	fmt.Fprintf(w, "%d common benchmarks within %.0f%%\n", len(keys), 100*threshold)
+	return nil
 }
 
 // parseInto scans r line by line, accumulating benchmark results and

@@ -96,3 +96,114 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Error("empty benchmark input accepted")
 	}
 }
+
+// writeDoc marshals a Document to a temp file and returns its path.
+func writeDoc(t *testing.T, doc Document) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchDoc(ns map[string]float64) Document {
+	var doc Document
+	for name, v := range ns {
+		doc.Benchmarks = append(doc.Benchmarks, Benchmark{
+			Name: name, Package: "tdp/internal/x", Iterations: 100, NsPerOp: v,
+		})
+	}
+	return doc
+}
+
+func TestBenchKeyStripsProcSuffix(t *testing.T) {
+	a := Benchmark{Name: "BenchmarkX-16", Package: "p"}
+	b := Benchmark{Name: "BenchmarkX-1", Package: "p"}
+	if benchKey(a) != benchKey(b) {
+		t.Errorf("keys differ: %q vs %q", benchKey(a), benchKey(b))
+	}
+	// A sub-benchmark suffix that is not numeric must survive.
+	c := Benchmark{Name: "BenchmarkX/shards=8-16", Package: "p"}
+	if got := benchKey(c); got != "p\tBenchmarkX/shards=8" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	base := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 100, "BenchmarkB-1": 200}))
+	cur := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-2": 110, "BenchmarkB-2": 190}))
+	var out strings.Builder
+	if err := run([]string{"-diff", base, cur}, nil, &out); err != nil {
+		t.Fatalf("diff within threshold failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 common benchmarks") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	base := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 100}))
+	cur := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 121}))
+	var out strings.Builder
+	err := run([]string{"-diff", base, cur}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("regression not reported: %v", err)
+	}
+}
+
+func TestDiffTrackLimitsGate(t *testing.T) {
+	base := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 100, "BenchmarkNoisy-1": 100}))
+	cur := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 105, "BenchmarkNoisy-1": 400}))
+	var out strings.Builder
+	if err := run([]string{"-diff", base, "-track", "BenchmarkA", cur}, nil, &out); err != nil {
+		t.Fatalf("untracked regression failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "untracked") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDiffMinOfRepeatedRuns(t *testing.T) {
+	// -count N runs: the gate compares minima, so a noisy high sample in
+	// the current run must not fail when a clean sample exists.
+	var cur Document
+	for _, v := range []float64{300, 104, 290} {
+		cur.Benchmarks = append(cur.Benchmarks, Benchmark{
+			Name: "BenchmarkA-1", Package: "tdp/internal/x", Iterations: 10, NsPerOp: v,
+		})
+	}
+	base := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 100}))
+	var out strings.Builder
+	if err := run([]string{"-diff", base, writeDoc(t, cur)}, nil, &out); err != nil {
+		t.Fatalf("min-of-runs not applied: %v\n%s", err, out.String())
+	}
+}
+
+func TestDiffCurrentFromBenchText(t *testing.T) {
+	// The current side may be raw `go test -bench` text on stdin.
+	base := writeDoc(t, Document{Benchmarks: []Benchmark{{
+		Name: "BenchmarkCounterInc-1", Package: "tdp/internal/obs", Iterations: 1, NsPerOp: 2.5,
+	}}})
+	var out strings.Builder
+	err := run([]string{"-diff", base, "-track", "CounterInc"}, strings.NewReader(sampleBench), &out)
+	if err != nil {
+		t.Fatalf("text input diff: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkCounterInc") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDiffNoCommonBenchmarks(t *testing.T) {
+	base := writeDoc(t, benchDoc(map[string]float64{"BenchmarkA-1": 100}))
+	cur := writeDoc(t, benchDoc(map[string]float64{"BenchmarkB-1": 100}))
+	err := run([]string{"-diff", base, cur}, nil, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("disjoint documents accepted: %v", err)
+	}
+}

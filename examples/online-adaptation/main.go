@@ -31,7 +31,7 @@ func main() {
 	for j, v := range waiting.Dist48[0] {
 		actual[j] = v * 20.0 / 23.0
 	}
-	if err := online.Advance(actual); err != nil {
+	if _, err := online.Advance(actual); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("observed 200 MBps in period 1 → adjusted p1: $%.4f (paper: 0.045 → 0.057)\n",
@@ -40,7 +40,7 @@ func main() {
 	// The rest of the day arrives as estimated; the optimizer re-tunes
 	// one reward per elapsed period.
 	for i := 1; i < 48; i++ {
-		if err := online.Advance(waiting.Dist48[i/2][:]); err != nil {
+		if _, err := online.Advance(waiting.Dist48[i/2][:]); err != nil {
 			log.Fatal(err)
 		}
 	}

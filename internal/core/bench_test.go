@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdp/internal/optimize"
+)
+
+// benchRewards is a deterministic mid-box schedule exercising both active
+// and clipped price regions.
+func benchRewards(n int, maxR float64) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64() * maxR
+	}
+	return p
+}
+
+// The eval-layer benchmarks pin the tentpole claims directly: the pooled
+// kernel paths run at 0 allocs/op steady state, and the Ref twins measure
+// the pre-flattening implementations they replaced.
+
+func BenchmarkStaticCostAt(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, sm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = sm.CostAt(p)
+	}
+}
+
+func BenchmarkStaticCostAtRef(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, sm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = sm.ReferenceCostAt(p)
+	}
+}
+
+func BenchmarkStaticValueGrad(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := sm.smoothedObjective(0.01).(optimize.ValueGrader)
+	p := benchRewards(48, sm.MaxReward())
+	grad := make([]float64, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = obj.ValueGrad(p, grad)
+	}
+}
+
+func BenchmarkStaticValueGradRef(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := sm.ReferenceObjective(0.01)
+	p := benchRewards(48, sm.MaxReward())
+	grad := make([]float64, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = obj.Value(p)
+		obj.Grad(p, grad)
+	}
+}
+
+func BenchmarkDynamicCostAt(b *testing.B) {
+	dm, err := NewDynamicModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, dm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = dm.CostAt(p)
+	}
+}
+
+func BenchmarkDynamicCostAtRef(b *testing.B) {
+	dm, err := NewDynamicModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, dm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = dm.ReferenceCostAt(p)
+	}
+}
+
+// The per-period solve benchmarks measure the online algorithm's inner
+// step (§III-B): the O(n) incremental coordinate path, warm vs cold
+// bracketing, and the original full-O(n²)-per-eval Brent search.
+
+func BenchmarkSolveForPeriodWarm(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, sm.MaxReward())
+	cold, err := sm.SolveForPeriodCold(p, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ps, err := sm.SolveForPeriodWarm(p, 7, cold.Reward)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ps.Cost
+	}
+}
+
+func BenchmarkSolveForPeriodCold(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, sm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ps, err := sm.SolveForPeriodCold(p, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ps.Cost
+	}
+}
+
+func BenchmarkSolveForPeriodRef(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchRewards(48, sm.MaxReward())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, fbest, err := sm.ReferenceSolveForPeriod(p, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = fbest
+	}
+}
+
+// BenchmarkSetDemandRow measures the O(n·m) incremental kernel update the
+// online optimizer uses instead of rebuilding the model each period.
+func BenchmarkSetDemandRow(b *testing.B) {
+	sm, err := NewStaticModel(paper48())
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := append([]float64(nil), sm.scn.Demand[5]...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		row[0] = 1 + float64(i%3)
+		if err := sm.SetDemandRow(5, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink float64

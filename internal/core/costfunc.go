@@ -102,6 +102,18 @@ func (f CostFunc) Smooth(x, mu float64) float64 {
 	return s
 }
 
+// SmoothBoth evaluates the smoothed cost and its derivative together,
+// sharing one exponential per breakpoint — the fused form the
+// value+gradient evaluation path uses.
+func (f CostFunc) SmoothBoth(x, mu float64) (v, d float64) {
+	for i, b := range f.Breaks {
+		sv, sd := optimize.SmoothMaxBoth(x-b, mu)
+		v += f.Slopes[i] * sv
+		d += f.Slopes[i] * sd
+	}
+	return v, d
+}
+
 // SmoothDeriv evaluates d/dx of the smoothed cost.
 func (f CostFunc) SmoothDeriv(x, mu float64) float64 {
 	var s float64

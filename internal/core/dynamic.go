@@ -24,14 +24,15 @@ import (
 // at the end of the period. All cost breakpoints must be ≥ 0 so that
 // f(max(z,0)) = f(z).
 //
-// Like StaticModel, the linear-in-p waiting family lets the model
-// precompute kernel tables, so evaluations are O(n²).
+// Like StaticModel, the linear-in-p waiting family lets the model share
+// the flattened deferKernel tables, so evaluations are branch-free O(n²)
+// passes with pooled workspaces and no steady-state allocation.
 type DynamicModel struct {
 	scn    *Scenario
 	wfs    []waiting.UniformArrival
 	totals []float64
-	inW    []float64
-	outW   [][]float64
+	kd     *deferKernel
+	ws     wsPool
 	n, m   int
 
 	// StartBacklog is the work in the system at the start of period 1
@@ -66,34 +67,8 @@ func NewDynamicModel(scn *Scenario) (*DynamicModel, error) {
 		}
 		dm.wfs[j] = w
 	}
-	dm.outW = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		dm.outW[i] = make([]float64, n)
-		for dt := 1; dt <= n-1; dt++ {
-			if scn.NoWrap && i+dt >= n {
-				continue // deferral would cross the day boundary
-			}
-			var s float64
-			for j, d := range scn.Demand[i] {
-				if d != 0 {
-					s += d * dm.wfs[j].DerivP(1, dt)
-				}
-			}
-			dm.outW[i][dt] = s
-		}
-	}
-	dm.inW = make([]float64, n)
-	for i := 0; i < n; i++ {
-		var s float64
-		for dt := 1; dt <= n-1; dt++ {
-			k := i - dt
-			if k < 0 {
-				k += n
-			}
-			s += dm.outW[k][dt]
-		}
-		dm.inW[i] = s
-	}
+	dm.kd = newDeferKernel(funcsOf(dm.wfs), scn.Demand, n, scn.NoWrap)
+	dm.ws.init(n)
 	return dm, nil
 }
 
@@ -106,48 +81,48 @@ func (dm *DynamicModel) MaxReward() float64 {
 	return math.Min(dm.scn.Cost.MaxSlope(), dm.scn.NormReward())
 }
 
-// Arrivals returns the post-deferral arrival profile arr_i for rewards p.
-func (dm *DynamicModel) Arrivals(p []float64) []float64 {
-	arr, _ := dm.arrivals(p)
-	return arr
+// SetDemandRow replaces the demand estimate for period i (0-based) and
+// incrementally updates the kernel tables in O(n·m).
+func (dm *DynamicModel) SetDemandRow(i int, row []float64) error {
+	if err := checkPeriod(i, dm.n); err != nil {
+		return err
+	}
+	if len(row) != dm.m {
+		return fmt.Errorf("demand row with %d types, want %d: %w", len(row), dm.m, ErrBadScenario)
+	}
+	var total float64
+	for j, d := range row {
+		if d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("demand %v for type %d: %w", d, j, ErrBadScenario)
+		}
+		total += d
+	}
+	copy(dm.scn.Demand[i], row)
+	dm.totals[i] = total
+	dm.kd.setDemandRow(i, dm.scn.Demand[i])
+	return nil
 }
 
-func (dm *DynamicModel) arrivals(p []float64) (arr, in []float64) {
-	n := dm.n
-	arr = make([]float64, n)
-	in = make([]float64, n)
-	for i := 0; i < n; i++ {
-		if pi := p[i]; pi > 0 {
-			in[i] = pi * dm.inW[i]
-		}
-	}
-	for i := 0; i < n; i++ {
-		var out float64
-		row := dm.outW[i]
-		for dt := 1; dt <= n-1; dt++ {
-			k := i + dt
-			if k >= n {
-				k -= n
-			}
-			if pk := p[k]; pk > 0 {
-				out += row[dt] * pk
-			}
-		}
-		arr[i] = dm.totals[i] - out + in[i]
-	}
-	return arr, in
+// Arrivals returns the post-deferral arrival profile arr_i for rewards p.
+func (dm *DynamicModel) Arrivals(p []float64) []float64 {
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
+	return append([]float64(nil), w.x...)
 }
 
 // Load returns the offered load per period (backlog carried in plus new
 // arrivals) and the end-of-period backlog, the quantities Fig. 8 plots.
 func (dm *DynamicModel) Load(p []float64) (load, backlog []float64) {
-	arr, _ := dm.arrivals(p)
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
 	n := dm.n
 	load = make([]float64, n)
 	backlog = make([]float64, n)
 	carry := dm.StartBacklog
 	for i := 0; i < n; i++ {
-		load[i] = carry + arr[i]
+		load[i] = carry + w.x[i]
 		z := load[i] - dm.scn.Capacity[i]
 		if z < 0 {
 			z = 0
@@ -165,83 +140,142 @@ func (dm *DynamicModel) CostAt(p []float64) float64 {
 
 // TIPCost returns the cost with no rewards offered.
 func (dm *DynamicModel) TIPCost() float64 {
-	return dm.CostAt(make([]float64, dm.n))
+	w := dm.ws.get()
+	zero := w.pwork
+	for i := range zero {
+		zero[i] = 0
+	}
+	c := dm.costSmoothed(zero, 0)
+	dm.ws.put(w)
+	return c
 }
 
 func (dm *DynamicModel) costSmoothed(p []float64, mu float64) float64 {
-	arr, in := dm.arrivals(p)
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
 	var c float64
 	carry := dm.StartBacklog
 	for i := 0; i < dm.n; i++ {
-		z := carry + arr[i] - dm.scn.Capacity[i]
-		c += p[i]*in[i] + dm.scn.Cost.Smooth(z, mu)
+		z := carry + w.x[i] - dm.scn.Capacity[i]
+		c += p[i]*w.in[i] + dm.scn.Cost.Smooth(z, mu)
 		carry = optimize.SmoothMax(z, mu)
 	}
 	return c
 }
 
+// dynamicObjective is the softplus-smoothed dynamic cost with its analytic
+// adjoint gradient. It implements optimize.ValueGrader: the fused path
+// runs the arrival pass and backlog recursion once, caching the per-period
+// derivatives for the adjoint sweep so value and gradient share all the
+// transcendental work.
+type dynamicObjective struct {
+	dm *DynamicModel
+	mu float64
+}
+
+var _ optimize.ValueGrader = dynamicObjective{}
+
+// Value implements optimize.Objective.
+func (o dynamicObjective) Value(p []float64) float64 { return o.dm.costSmoothed(p, o.mu) }
+
+// Grad implements optimize.Objective.
+func (o dynamicObjective) Grad(p, grad []float64) {
+	dm := o.dm
+	n := dm.n
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
+	carry := dm.StartBacklog
+	for i := 0; i < n; i++ {
+		w.z[i] = carry + w.x[i] - dm.scn.Capacity[i]
+		carry = optimize.SmoothMax(w.z[i], o.mu)
+	}
+	o.adjoint(p, w, grad)
+}
+
+// ValueGrad implements optimize.ValueGrader.
+func (o dynamicObjective) ValueGrad(p, grad []float64) float64 {
+	dm := o.dm
+	n := dm.n
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
+	var c float64
+	carry := dm.StartBacklog
+	for i := 0; i < n; i++ {
+		z := carry + w.x[i] - dm.scn.Capacity[i]
+		w.z[i] = z
+		v, fp := dm.scn.Cost.SmoothBoth(z, o.mu)
+		c += p[i]*w.in[i] + v
+		w.fp[i] = fp
+		carry, w.sder[i] = optimize.SmoothMaxBoth(z, o.mu)
+	}
+	// Adjoint sweep over the cached derivatives: λ_i = f'(z_i) +
+	// λ_{i+1}·S'(z_i).
+	lam := 0.0
+	for i := n - 1; i >= 0; i-- {
+		lam = w.fp[i] + lam*w.sder[i]
+		w.lam2[i] = lam
+		w.lam2[n+i] = lam
+	}
+	dm.kd.gradGather(p, w.lam2, grad)
+	return c
+}
+
+// adjoint fills the gradient from the backlog state w.z (already computed
+// for the current p), recomputing the per-period derivatives.
+func (o dynamicObjective) adjoint(p []float64, w *evalWS, grad []float64) {
+	dm := o.dm
+	n := dm.n
+	// λ_i = ∂C/∂z_i = f'(z_i) + λ_{i+1}·S'(z_i).
+	lam := 0.0
+	for i := n - 1; i >= 0; i-- {
+		lam = dm.scn.Cost.SmoothDeriv(w.z[i], o.mu)
+		if i < n-1 {
+			lam += w.lam2[i+1] * optimize.SmoothMaxDeriv(w.z[i], o.mu)
+		}
+		w.lam2[i] = lam
+		w.lam2[n+i] = lam
+	}
+	dm.kd.gradGather(p, w.lam2, grad)
+}
+
 // smoothedObjective builds the softplus-smoothed objective with its
 // analytic (adjoint) gradient.
 func (dm *DynamicModel) smoothedObjective(mu float64) optimize.Objective {
-	return optimize.FuncObjective{
-		Fn: func(p []float64) float64 { return dm.costSmoothed(p, mu) },
-		GradFn: func(p, grad []float64) {
-			n := dm.n
-			arr, _ := dm.arrivals(p)
-			z := make([]float64, n)
-			carry := dm.StartBacklog
-			for i := 0; i < n; i++ {
-				z[i] = carry + arr[i] - dm.scn.Capacity[i]
-				carry = optimize.SmoothMax(z[i], mu)
-			}
-			// Adjoint sweep: λ_i = ∂C/∂z_i = f'(z_i) + λ_{i+1}·S'(z_i).
-			lambda := make([]float64, n)
-			for i := n - 1; i >= 0; i-- {
-				lambda[i] = dm.scn.Cost.SmoothDeriv(z[i], mu)
-				if i < n-1 {
-					lambda[i] += lambda[i+1] * optimize.SmoothMaxDeriv(z[i], mu)
-				}
-			}
-			// grad[r] = 2p_r·inW[r] + λ_r·inW[r] − Σ_{i≠r} λ_i·outW[i][t(i→r)].
-			for r := 0; r < n; r++ {
-				g := (2*p[r] + lambda[r]) * dm.inW[r]
-				for dt := 1; dt <= n-1; dt++ {
-					i := r - dt
-					if i < 0 {
-						i += n
-					}
-					if lambda[i] != 0 {
-						g -= lambda[i] * dm.outW[i][dt]
-					}
-				}
-				grad[r] = g
-			}
-		},
-	}
+	return dynamicObjective{dm: dm, mu: mu}
 }
 
-// Solve minimizes the dynamic-model cost over rewards in [0, P].
-func (dm *DynamicModel) Solve() (*Pricing, error) {
+// Solve minimizes the dynamic-model cost over rewards in [0, P]. Options
+// are forwarded to the homotopy driver; optimize.WithWarmStart(prev)
+// seeds the solve and truncates the smoothing schedule.
+func (dm *DynamicModel) Solve(opts ...optimize.Option) (*Pricing, error) {
 	bounds := optimize.UniformBounds(dm.n, 0, dm.MaxReward())
 	x0 := make([]float64, dm.n)
 	res, err := optimize.Homotopy(
 		func(mu float64) optimize.Objective { return dm.smoothedObjective(mu) },
 		dm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
-		optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+		append([]optimize.Option{
+			optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+		}, opts...)...,
 	)
 	if err != nil && res.X == nil {
 		return nil, fmt.Errorf("dynamic solve: %w", err)
 	}
 	p := res.X
-	arr, in := dm.arrivals(p)
+	w := dm.ws.get()
+	dm.kd.arrivalsInto(p, dm.totals, w.x, w.in, w.p2)
 	var outlay float64
 	for i := 0; i < dm.n; i++ {
-		outlay += p[i] * in[i]
+		outlay += p[i] * w.in[i]
 	}
+	arr := append([]float64(nil), w.x...)
+	dm.ws.put(w)
 	return &Pricing{
 		Rewards:      p,
 		Usage:        arr,
-		Cost:         dm.CostAt(p),
+		Cost:         res.F,
 		TIPCost:      dm.TIPCost(),
 		RewardOutlay: outlay,
 		Iterations:   res.Iterations,
@@ -252,13 +286,68 @@ func (dm *DynamicModel) Solve() (*Pricing, error) {
 // SolveForPeriod optimizes the single reward p_{period+1} with the others
 // held fixed — the online algorithm's inner step against the dynamic cost.
 func (dm *DynamicModel) SolveForPeriod(p []float64, period int) (float64, float64, error) {
-	if period < 0 || period >= dm.n {
-		return 0, 0, fmt.Errorf("period %d of %d: %w", period, dm.n, ErrBadScenario)
+	ps, err := dm.solveForPeriod(p, period, 0, false)
+	if err != nil {
+		return 0, 0, err
 	}
-	work := append([]float64(nil), p...)
-	best, fbest := optimize.Brent(func(t float64) float64 {
-		work[period] = t
-		return dm.CostAt(work)
-	}, 0, dm.MaxReward(), 1e-10)
-	return best, fbest, nil
+	return ps.Reward, ps.Cost, nil
+}
+
+// SolveForPeriodWarm is SolveForPeriod seeded with the previous reward for
+// the slot; see StaticModel.SolveForPeriodWarm.
+func (dm *DynamicModel) SolveForPeriodWarm(p []float64, period int, prev float64) (PeriodSolve, error) {
+	return dm.solveForPeriod(p, period, prev, true)
+}
+
+// SolveForPeriodCold is SolveForPeriod with the solve report; see
+// StaticModel.SolveForPeriodCold.
+func (dm *DynamicModel) SolveForPeriodCold(p []float64, period int) (PeriodSolve, error) {
+	return dm.solveForPeriod(p, period, 0, false)
+}
+
+func (dm *DynamicModel) solveForPeriod(p []float64, period int, prev float64, warm bool) (PeriodSolve, error) {
+	if err := checkPeriod(period, dm.n); err != nil {
+		return PeriodSolve{}, err
+	}
+	w := dm.ws.get()
+	defer dm.ws.put(w)
+
+	// Arrivals are affine in p_r⁺ exactly as in the static model, so each
+	// Brent evaluation runs the O(n) backlog recursion over the base
+	// profile plus the coordinate sensitivity, not a fresh O(n²) pass.
+	copy(w.pwork, p)
+	w.pwork[period] = 0
+	dm.kd.arrivalsInto(w.pwork, dm.totals, w.baseX, w.in, w.p2)
+	var constOutlay float64
+	for i := 0; i < dm.n; i++ {
+		constOutlay += w.pwork[i] * w.in[i]
+	}
+	dm.kd.periodCoef(period, w.coef)
+	inWr := dm.kd.inW[period]
+
+	evals := 0
+	eval := func(t float64) float64 {
+		evals++
+		tp := t
+		if tp < 0 {
+			tp = 0
+		}
+		c := constOutlay + t*tp*inWr
+		carry := dm.StartBacklog
+		for i := 0; i < dm.n; i++ {
+			z := carry + w.baseX[i] + w.coef[i]*tp - dm.scn.Capacity[i]
+			c += dm.scn.Cost.Value(z)
+			if z < 0 {
+				z = 0
+			}
+			carry = z
+		}
+		return c
+	}
+
+	best, _, usedWarm := minimizeCoord(eval, dm.MaxReward(), prev, warm)
+
+	w.pwork[period] = best
+	fbest := dm.CostAt(w.pwork)
+	return PeriodSolve{Reward: best, Cost: fbest, Evals: evals, Warm: usedWarm}, nil
 }

@@ -24,12 +24,14 @@ import (
 // congestion cost of the concurrent volume exceeding capacity.
 //
 // Unlike the fixed-size model the recursion is smooth (no max kink), so
-// only the piecewise-linear f needs smoothing during the solve.
+// only the piecewise-linear f needs smoothing during the solve. The
+// linearity of the recursion also yields an exact adjoint gradient, so the
+// solve no longer falls back to numeric differentiation.
 type FixedDurationModel struct {
 	scn    *Scenario
 	totals []float64
-	inW    []float64
-	outW   [][]float64
+	kd     *deferKernel
+	ws     wsPool
 	n, m   int
 
 	// DepartRate is d_i per period (same for all periods); 1/DepartRate is
@@ -71,72 +73,21 @@ func NewFixedDurationModel(scn *Scenario, departRate, sessionSize float64) (*Fix
 		}
 		wfs[j] = w
 	}
-	fm.outW = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		fm.outW[i] = make([]float64, n)
-		for dt := 1; dt <= n-1; dt++ {
-			if scn.NoWrap && i+dt >= n {
-				continue // deferral would cross the day boundary
-			}
-			var s float64
-			for j, d := range scn.Demand[i] {
-				if d != 0 {
-					s += d * wfs[j].DerivP(1, dt)
-				}
-			}
-			fm.outW[i][dt] = s
-		}
-	}
-	fm.inW = make([]float64, n)
-	for i := 0; i < n; i++ {
-		var s float64
-		for dt := 1; dt <= n-1; dt++ {
-			k := i - dt
-			if k < 0 {
-				k += n
-			}
-			s += fm.outW[k][dt]
-		}
-		fm.inW[i] = s
-	}
+	fm.kd = newDeferKernel(funcsOf(wfs), scn.Demand, n, scn.NoWrap)
+	fm.ws.init(n)
 	return fm, nil
-}
-
-// arrivals mirrors DynamicModel.arrivals: post-deferral volume per period.
-func (fm *FixedDurationModel) arrivals(p []float64) (arr, in []float64) {
-	n := fm.n
-	arr = make([]float64, n)
-	in = make([]float64, n)
-	for i := 0; i < n; i++ {
-		if pi := p[i]; pi > 0 {
-			in[i] = pi * fm.inW[i]
-		}
-	}
-	for i := 0; i < n; i++ {
-		var out float64
-		row := fm.outW[i]
-		for dt := 1; dt <= n-1; dt++ {
-			k := i + dt
-			if k >= n {
-				k -= n
-			}
-			if pk := p[k]; pk > 0 {
-				out += row[dt] * pk
-			}
-		}
-		arr[i] = fm.totals[i] - out + in[i]
-	}
-	return arr, in
 }
 
 // SessionCounts returns end-of-period session counts N_i under rewards p.
 func (fm *FixedDurationModel) SessionCounts(p []float64) []float64 {
-	arr, _ := fm.arrivals(p)
+	w := fm.ws.get()
+	defer fm.ws.put(w)
+	fm.kd.arrivalsInto(p, fm.totals, w.x, w.in, w.p2)
 	out := make([]float64, fm.n)
 	decay := math.Exp(-fm.DepartRate)
 	north := fm.StartSessions
 	for i := 0; i < fm.n; i++ {
-		nu := arr[i] / fm.SessionSize // arrivals in sessions/period
+		nu := w.x[i] / fm.SessionSize // arrivals in sessions/period
 		north = north*decay + (nu/fm.DepartRate)*(1-decay)
 		out[i] = north
 	}
@@ -150,49 +101,125 @@ func (fm *FixedDurationModel) CostAt(p []float64) float64 {
 
 // TIPCost returns the no-reward cost.
 func (fm *FixedDurationModel) TIPCost() float64 {
-	return fm.CostAt(make([]float64, fm.n))
+	w := fm.ws.get()
+	zero := w.pwork
+	for i := range zero {
+		zero[i] = 0
+	}
+	c := fm.costSmoothed(zero, 0)
+	fm.ws.put(w)
+	return c
 }
 
 func (fm *FixedDurationModel) costSmoothed(p []float64, mu float64) float64 {
-	arr, in := fm.arrivals(p)
+	w := fm.ws.get()
+	defer fm.ws.put(w)
+	fm.kd.arrivalsInto(p, fm.totals, w.x, w.in, w.p2)
 	decay := math.Exp(-fm.DepartRate)
 	north := fm.StartSessions
 	var c float64
 	for i := 0; i < fm.n; i++ {
-		nu := arr[i] / fm.SessionSize
+		nu := w.x[i] / fm.SessionSize
 		north = north*decay + (nu/fm.DepartRate)*(1-decay)
-		c += p[i]*in[i] + fm.scn.Cost.Smooth(fm.SessionSize*north-fm.scn.Capacity[i], mu)
+		c += p[i]*w.in[i] + fm.scn.Cost.Smooth(fm.SessionSize*north-fm.scn.Capacity[i], mu)
 	}
 	return c
 }
 
-// Solve minimizes the fixed-duration cost with the homotopy solver and
-// numeric gradients (the recursion itself is smooth; only f is smoothed).
-func (fm *FixedDurationModel) Solve() (*Pricing, error) {
+// fixedDurationObjective is the smoothed cost with an exact adjoint
+// gradient: the session-count recursion is linear in the arrivals, so the
+// adjoint on N accumulates backward in O(n) —
+//
+//	adN_i = b·f'(b·N_i − A_i) + e^{−d}·adN_{i+1},   ∂C/∂arr_i = adN_i·(1−e^{−d})/(d·b)
+//
+// — and scatters to reward space through the shared kernel gather. It
+// implements optimize.ValueGrader so line searches fuse the value and
+// gradient passes over one arrival computation.
+type fixedDurationObjective struct {
+	fm *FixedDurationModel
+	mu float64
+}
+
+var _ optimize.ValueGrader = fixedDurationObjective{}
+
+// Value implements optimize.Objective.
+func (o fixedDurationObjective) Value(p []float64) float64 { return o.fm.costSmoothed(p, o.mu) }
+
+// Grad implements optimize.Objective.
+func (o fixedDurationObjective) Grad(p, grad []float64) {
+	o.valueGrad(p, grad, false)
+}
+
+// ValueGrad implements optimize.ValueGrader.
+func (o fixedDurationObjective) ValueGrad(p, grad []float64) float64 {
+	return o.valueGrad(p, grad, true)
+}
+
+func (o fixedDurationObjective) valueGrad(p, grad []float64, needValue bool) float64 {
+	fm := o.fm
+	n := fm.n
+	w := fm.ws.get()
+	defer fm.ws.put(w)
+	fm.kd.arrivalsInto(p, fm.totals, w.x, w.in, w.p2)
+	decay := math.Exp(-fm.DepartRate)
+	gain := (1 - decay) / (fm.DepartRate * fm.SessionSize) // ∂N_i/∂arr_i
+	north := fm.StartSessions
+	var c float64
+	for i := 0; i < n; i++ {
+		// Same association as costSmoothed so the fused value matches it
+		// bit for bit; gain is only the adjoint's sensitivity.
+		nu := w.x[i] / fm.SessionSize
+		north = north*decay + (nu/fm.DepartRate)*(1-decay)
+		load := fm.SessionSize*north - fm.scn.Capacity[i]
+		if needValue {
+			v, fp := fm.scn.Cost.SmoothBoth(load, o.mu)
+			c += p[i]*w.in[i] + v
+			w.fp[i] = fp
+		} else {
+			w.fp[i] = fm.scn.Cost.SmoothDeriv(load, o.mu)
+		}
+	}
+	adN := 0.0
+	for i := n - 1; i >= 0; i-- {
+		adN = fm.SessionSize*w.fp[i] + decay*adN
+		lam := adN * gain
+		w.lam2[i] = lam
+		w.lam2[n+i] = lam
+	}
+	fm.kd.gradGather(p, w.lam2, grad)
+	return c
+}
+
+// Solve minimizes the fixed-duration cost with the homotopy solver and the
+// exact adjoint gradient (the recursion itself is smooth; only f is
+// smoothed). Options are forwarded to the homotopy driver.
+func (fm *FixedDurationModel) Solve(opts ...optimize.Option) (*Pricing, error) {
 	bounds := optimize.UniformBounds(fm.n, 0, math.Min(fm.scn.Cost.MaxSlope(), fm.scn.NormReward()))
 	x0 := make([]float64, fm.n)
 	res, err := optimize.Homotopy(
 		func(mu float64) optimize.Objective {
-			return optimize.FuncObjective{Fn: func(p []float64) float64 {
-				return fm.costSmoothed(p, mu)
-			}}
+			return fixedDurationObjective{fm: fm, mu: mu}
 		},
 		fm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
-		optimize.WithMaxIterations(800), optimize.WithTolerance(1e-7),
+		append([]optimize.Option{
+			optimize.WithMaxIterations(800), optimize.WithTolerance(1e-7),
+		}, opts...)...,
 	)
 	if err != nil && res.X == nil {
 		return nil, fmt.Errorf("fixed-duration solve: %w", err)
 	}
 	p := res.X
-	_, in := fm.arrivals(p)
+	w := fm.ws.get()
+	fm.kd.arrivalsInto(p, fm.totals, w.x, w.in, w.p2)
 	var outlay float64
 	for i := 0; i < fm.n; i++ {
-		outlay += p[i] * in[i]
+		outlay += p[i] * w.in[i]
 	}
+	fm.ws.put(w)
 	return &Pricing{
 		Rewards:      p,
 		Usage:        fm.SessionCounts(p),
-		Cost:         fm.CostAt(p),
+		Cost:         res.F,
 		TIPCost:      fm.TIPCost(),
 		RewardOutlay: outlay,
 		Iterations:   res.Iterations,

@@ -2,14 +2,18 @@ package core
 
 import (
 	"fmt"
+
+	"tdp/internal/optimize"
 )
 
 // periodModel is the slice of StaticModel/DynamicModel the online
-// algorithm needs: full solve for initialization and single-period
-// re-optimization as periods elapse.
+// algorithm needs: full solve for initialization, incremental demand
+// updates, and warm single-period re-optimization as periods elapse.
 type periodModel interface {
-	Solve() (*Pricing, error)
-	SolveForPeriod(p []float64, period int) (float64, float64, error)
+	Solve(opts ...optimize.Option) (*Pricing, error)
+	SolveForPeriodWarm(p []float64, period int, prev float64) (PeriodSolve, error)
+	SolveForPeriodCold(p []float64, period int) (PeriodSolve, error)
+	SetDemandRow(i int, row []float64) error
 	CostAt(p []float64) float64
 }
 
@@ -23,6 +27,24 @@ type OnlineConfig struct {
 	// The default 1 replaces the estimate outright, as in §V-B where the
 	// ISP adopts the measured 200 MBps for period 1.
 	Alpha float64
+	// Cold disables warm-starting the per-period solves from the current
+	// reward; each re-optimization then brackets the full [0, MaxReward]
+	// interval. It exists for the warm-vs-cold comparison tests and
+	// benchmarks.
+	Cold bool
+}
+
+// OnlineStats accumulates the work spent on per-period re-optimizations —
+// the quantities the TUBE observability layer publishes to compare warm
+// and cold operation.
+type OnlineStats struct {
+	// PeriodSolves counts completed Advance re-optimizations.
+	PeriodSolves int
+	// WarmSolves counts the solves settled inside the warm bracket
+	// (always 0 when Cold is set or on bracket-edge fallbacks).
+	WarmSolves int
+	// Evals is the cumulative number of one-dimensional cost evaluations.
+	Evals int
 }
 
 // OnlineOptimizer implements §III-B's online price determination
@@ -30,12 +52,17 @@ type OnlineConfig struct {
 // period fold the observed arrivals into the demand estimate and
 // re-optimize the reward for the same period one day ahead, holding the
 // other n−1 rewards fixed.
+//
+// The demand fold updates the underlying model's kernel tables in place
+// (O(n·m)) instead of rebuilding the model, and the per-period solve is
+// warm-started from the reward currently published for the slot.
 type OnlineOptimizer struct {
 	scn     *Scenario
 	cfg     OnlineConfig
 	model   periodModel
 	rewards []float64
 	elapsed int
+	stats   OnlineStats
 }
 
 // NewOnlineOptimizer initializes the rolling reward schedule with a full
@@ -50,7 +77,13 @@ func NewOnlineOptimizer(scn *Scenario, cfg OnlineConfig) (*OnlineOptimizer, erro
 	}
 	cp := scn.Clone()
 	o := &OnlineOptimizer{scn: cp, cfg: cfg}
-	if err := o.rebuild(); err != nil {
+	var err error
+	if cfg.UseDynamic {
+		o.model, err = NewDynamicModel(cp)
+	} else {
+		o.model, err = NewStaticModel(cp)
+	}
+	if err != nil {
 		return nil, err
 	}
 	pr, err := o.model.Solve()
@@ -70,6 +103,9 @@ func (o *OnlineOptimizer) Rewards() []float64 {
 // Elapsed returns the number of completed periods.
 func (o *OnlineOptimizer) Elapsed() int { return o.elapsed }
 
+// Stats returns the accumulated re-optimization work counters.
+func (o *OnlineOptimizer) Stats() OnlineStats { return o.stats }
+
 // CurrentReward returns the published reward for the period now beginning.
 func (o *OnlineOptimizer) CurrentReward() float64 {
 	return o.rewards[o.elapsed%o.scn.Periods]
@@ -87,29 +123,44 @@ func (o *OnlineOptimizer) DemandEstimate() [][]float64 {
 
 // Advance records the observed per-type arrivals for the period that just
 // ended, folds them into the demand estimate, and re-optimizes the reward
-// for that period's slot one day ahead (steps 2–3 of the algorithm).
-func (o *OnlineOptimizer) Advance(observed []float64) error {
+// for that period's slot one day ahead (steps 2–3 of the algorithm). It
+// returns the solve report (reward, exact cost, evaluation count, and
+// whether the warm bracket sufficed).
+func (o *OnlineOptimizer) Advance(observed []float64) (PeriodSolve, error) {
 	n := o.scn.Periods
 	idx := o.elapsed % n
 	if len(observed) != len(o.scn.Betas) {
-		return fmt.Errorf("observed %d types, want %d: %w", len(observed), len(o.scn.Betas), ErrBadScenario)
+		return PeriodSolve{}, fmt.Errorf("observed %d types, want %d: %w", len(observed), len(o.scn.Betas), ErrBadScenario)
 	}
 	for j, v := range observed {
 		if v < 0 {
-			return fmt.Errorf("negative observation for type %d: %w", j, ErrBadScenario)
+			return PeriodSolve{}, fmt.Errorf("negative observation for type %d: %w", j, ErrBadScenario)
 		}
 		o.scn.Demand[idx][j] = (1-o.cfg.Alpha)*o.scn.Demand[idx][j] + o.cfg.Alpha*v
 	}
-	if err := o.rebuild(); err != nil {
-		return err
+	if err := o.model.SetDemandRow(idx, o.scn.Demand[idx]); err != nil {
+		return PeriodSolve{}, err
 	}
-	r, _, err := o.model.SolveForPeriod(o.rewards, idx)
+	var (
+		ps  PeriodSolve
+		err error
+	)
+	if o.cfg.Cold {
+		ps, err = o.model.SolveForPeriodCold(o.rewards, idx)
+	} else {
+		ps, err = o.model.SolveForPeriodWarm(o.rewards, idx, o.rewards[idx])
+	}
 	if err != nil {
-		return err
+		return PeriodSolve{}, err
 	}
-	o.rewards[idx] = r
+	o.rewards[idx] = ps.Reward
 	o.elapsed++
-	return nil
+	o.stats.PeriodSolves++
+	o.stats.Evals += ps.Evals
+	if ps.Warm {
+		o.stats.WarmSolves++
+	}
+	return ps, nil
 }
 
 // CostAt evaluates the current model's daily cost for a reward schedule —
@@ -118,12 +169,10 @@ func (o *OnlineOptimizer) CostAt(p []float64) float64 {
 	return o.model.CostAt(p)
 }
 
-func (o *OnlineOptimizer) rebuild() error {
-	var err error
-	if o.cfg.UseDynamic {
-		o.model, err = NewDynamicModel(o.scn)
-	} else {
-		o.model, err = NewStaticModel(o.scn)
-	}
-	return err
+// ColdPeriodSolve runs a full-bracket single-period solve against the
+// current model and schedule without mutating any state. Deployments use
+// it once at startup to calibrate how much work a cold re-optimization
+// costs, giving the warm-solve metrics an evals-saved baseline.
+func (o *OnlineOptimizer) ColdPeriodSolve(period int) (PeriodSolve, error) {
+	return o.model.SolveForPeriodCold(o.rewards, period)
 }

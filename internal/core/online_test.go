@@ -29,7 +29,7 @@ func TestOnlineDoesNotAliasCallerScenario(t *testing.T) {
 		t.Fatalf("NewOnlineOptimizer: %v", err)
 	}
 	obs := make([]float64, len(scn.Betas))
-	if err := o.Advance(obs); err != nil {
+	if _, err := o.Advance(obs); err != nil {
 		t.Fatalf("Advance: %v", err)
 	}
 	// The caller's demand must be untouched by the zero observation.
@@ -47,12 +47,12 @@ func TestOnlineAdvanceErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewOnlineOptimizer: %v", err)
 	}
-	if err := o.Advance([]float64{1, 2}); !errors.Is(err, ErrBadScenario) {
+	if _, err := o.Advance([]float64{1, 2}); !errors.Is(err, ErrBadScenario) {
 		t.Errorf("short observation: err = %v, want ErrBadScenario", err)
 	}
 	bad := make([]float64, 10)
 	bad[3] = -1
-	if err := o.Advance(bad); !errors.Is(err, ErrBadScenario) {
+	if _, err := o.Advance(bad); !errors.Is(err, ErrBadScenario) {
 		t.Errorf("negative observation: err = %v, want ErrBadScenario", err)
 	}
 	if o.Elapsed() != 0 {
@@ -76,7 +76,7 @@ func TestOnlinePaperExperiment(t *testing.T) {
 	// Actual period-1 arrivals: 200 instead of 230 MBps, scaled uniformly
 	// across types as in Table XI's style of perturbation.
 	actual := scaleRow(waiting.Dist48[0][:], 20.0/23.0)
-	if err := o.Advance(actual); err != nil {
+	if _, err := o.Advance(actual); err != nil {
 		t.Fatalf("Advance: %v", err)
 	}
 	adjusted := o.Rewards()
@@ -87,7 +87,7 @@ func TestOnlinePaperExperiment(t *testing.T) {
 	}
 	// Continue the day: remaining periods arrive as estimated.
 	for i := 1; i < 48; i++ {
-		if err := o.Advance(waiting.Dist48[i/2][:]); err != nil {
+		if _, err := o.Advance(waiting.Dist48[i/2][:]); err != nil {
 			t.Fatalf("Advance period %d: %v", i+1, err)
 		}
 	}
@@ -117,7 +117,7 @@ func TestOnlineStaticBackendRuns(t *testing.T) {
 		t.Fatalf("NewOnlineOptimizer: %v", err)
 	}
 	first := o.CurrentReward()
-	if err := o.Advance(waiting.Dist12[0][:]); err != nil {
+	if _, err := o.Advance(waiting.Dist12[0][:]); err != nil {
 		t.Fatalf("Advance: %v", err)
 	}
 	if o.Elapsed() != 1 {
@@ -137,7 +137,7 @@ func TestOnlineEWMAUpdatesEstimate(t *testing.T) {
 	}
 	before := o.DemandEstimate()[0][0] // 4 (Table VIII period 1, β=0.5)
 	obs := make([]float64, 10)         // all-zero observation
-	if err := o.Advance(obs); err != nil {
+	if _, err := o.Advance(obs); err != nil {
 		t.Fatalf("Advance: %v", err)
 	}
 	after := o.DemandEstimate()[0][0]

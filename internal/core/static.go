@@ -15,21 +15,17 @@ import (
 // rewards, so Solve finds the global optimum.
 //
 // Because the paper's waiting family w_β(p,t) = C_β·p/(t+1)^β is linear in
-// p, the model precomputes two kernel tables at construction:
-//
-//	inW[i]      = Σ_{k≠i} Σ_j D[k][j]·C_j/(t(k→i)+1)^{β_j}, so In_i = p_i·inW[i]
-//	outW[i][dt] = Σ_j D[i][j]·C_j/(dt+1)^{β_j},             so Out_i = Σ_dt outW[i][dt]·p_{i+dt}
-//
-// making each cost or gradient evaluation O(n²) with no transcendental
+// p, the model precomputes the flattened kernel tables of deferKernel at
+// construction, making each cost or gradient evaluation an O(n²) pass of
+// branch-free dot products with no allocations and no transcendental
 // calls — this is the "choice of representation" §II argues keeps the
 // optimization tractable in near real time.
 type StaticModel struct {
 	scn    *Scenario
 	wfs    []waiting.PowerLaw
-	totals []float64   // X_i
-	kern   [][]float64 // kern[j][dt] = C_j·(dt+1)^{−β_j}, dt ∈ [1, n−1]
-	inW    []float64
-	outW   [][]float64
+	totals []float64 // X_i
+	kd     *deferKernel
+	ws     wsPool
 	n, m   int
 }
 
@@ -47,44 +43,11 @@ func NewStaticModel(scn *Scenario) (*StaticModel, error) {
 		scn:    scn,
 		wfs:    wfs,
 		totals: scn.TotalDemand(),
+		kd:     newDeferKernel(funcsOf(wfs), scn.Demand, n, scn.NoWrap),
 		n:      n,
 		m:      m,
 	}
-	sm.kern = make([][]float64, m)
-	for j := range sm.kern {
-		sm.kern[j] = make([]float64, n) // index dt ∈ [1, n−1]; [0] unused
-		for dt := 1; dt <= n-1; dt++ {
-			sm.kern[j][dt] = wfs[j].DerivP(1, dt) // = C_j·(dt+1)^{−β_j}
-		}
-	}
-	sm.inW = make([]float64, n)
-	sm.outW = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		sm.outW[i] = make([]float64, n)
-		for dt := 1; dt <= n-1; dt++ {
-			if scn.NoWrap && i+dt >= n {
-				continue // deferral would cross the day boundary
-			}
-			var s float64
-			for j, d := range scn.Demand[i] {
-				if d != 0 {
-					s += d * sm.kern[j][dt]
-				}
-			}
-			sm.outW[i][dt] = s
-		}
-	}
-	for i := 0; i < n; i++ {
-		var s float64
-		for dt := 1; dt <= n-1; dt++ {
-			k := i - dt
-			if k < 0 {
-				k += n
-			}
-			s += sm.outW[k][dt] // Σ_j D[k][j]·kern[j][dt]
-		}
-		sm.inW[i] = s
-	}
+	sm.ws.init(n)
 	return sm, nil
 }
 
@@ -99,44 +62,50 @@ func (sm *StaticModel) MaxReward() float64 {
 	return math.Min(sm.scn.Cost.MaxSlope(), sm.scn.NormReward())
 }
 
-// usage computes the TDP usage x and the deferred-into vector In for
-// rewards p.
-func (sm *StaticModel) usage(p []float64) (x, in []float64) {
-	n := sm.n
-	x = make([]float64, n)
-	in = make([]float64, n)
-	for i := 0; i < n; i++ {
-		pi := math.Max(p[i], 0)
-		in[i] = pi * sm.inW[i]
+// SetDemandRow replaces the demand estimate for period i (0-based) and
+// incrementally updates the kernel tables in O(n·m) — the online
+// algorithm's per-period estimate fold, which previously rebuilt the whole
+// model.
+func (sm *StaticModel) SetDemandRow(i int, row []float64) error {
+	if err := checkPeriod(i, sm.n); err != nil {
+		return err
 	}
-	for i := 0; i < n; i++ {
-		// Out_i = Σ_dt outW[i][dt]·p_{(i+dt) mod n}.
-		var out float64
-		row := sm.outW[i]
-		for dt := 1; dt <= n-1; dt++ {
-			k := i + dt
-			if k >= n {
-				k -= n
-			}
-			if pk := p[k]; pk > 0 {
-				out += row[dt] * pk
-			}
+	if len(row) != sm.m {
+		return fmt.Errorf("demand row with %d types, want %d: %w", len(row), sm.m, ErrBadScenario)
+	}
+	var total float64
+	for j, d := range row {
+		if d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("demand %v for type %d: %w", d, j, ErrBadScenario)
 		}
-		x[i] = sm.totals[i] - out + in[i]
+		total += d
 	}
-	return x, in
+	copy(sm.scn.Demand[i], row)
+	sm.totals[i] = total
+	sm.kd.setDemandRow(i, sm.scn.Demand[i])
+	return nil
+}
+
+// usageInto computes the TDP usage x and the deferred-into vector In for
+// rewards p, into the workspace.
+func (sm *StaticModel) usageInto(p []float64, w *evalWS) (x, in []float64) {
+	sm.kd.arrivalsInto(p, sm.totals, w.x, w.in, w.p2)
+	return w.x, w.in
 }
 
 // UsageAt returns the TDP usage profile x_i for the given rewards.
 func (sm *StaticModel) UsageAt(p []float64) []float64 {
-	x, _ := sm.usage(p)
-	return x
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, _ := sm.usageInto(p, w)
+	return append([]float64(nil), x...)
 }
 
 // UsageByType returns the per-period, per-type TDP usage x_i^j — the
 // breakdown the TUBE measurement engine observes per traffic class.
 func (sm *StaticModel) UsageByType(p []float64) [][]float64 {
 	n := sm.n
+	kern := sm.kd.kern
 	out := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		out[i] = make([]float64, sm.m)
@@ -150,7 +119,7 @@ func (sm *StaticModel) UsageByType(p []float64) [][]float64 {
 						k -= n
 					}
 					if pk := p[k]; pk > 0 {
-						xj -= sm.scn.Demand[i][j] * sm.kern[j][dt] * pk
+						xj -= sm.scn.Demand[i][j] * kern[j*n+dt] * pk
 					}
 				}
 				// Inflow into (i, j) from period i−dt.
@@ -162,7 +131,7 @@ func (sm *StaticModel) UsageByType(p []float64) [][]float64 {
 					continue
 				}
 				if pi := p[i]; pi > 0 {
-					xj += sm.scn.Demand[src][j] * sm.kern[j][dt] * pi
+					xj += sm.scn.Demand[src][j] * kern[j*n+dt] * pi
 				}
 			}
 			out[i][j] = xj
@@ -173,7 +142,9 @@ func (sm *StaticModel) UsageByType(p []float64) [][]float64 {
 
 // CostAt evaluates the exact (unsmoothed) objective (1) at rewards p.
 func (sm *StaticModel) CostAt(p []float64) float64 {
-	x, in := sm.usage(p)
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, in := sm.usageInto(p, w)
 	var c float64
 	for i := 0; i < sm.n; i++ {
 		c += p[i]*in[i] + sm.scn.Cost.Value(x[i]-sm.scn.Capacity[i])
@@ -183,7 +154,9 @@ func (sm *StaticModel) CostAt(p []float64) float64 {
 
 // RewardOutlayAt returns the reward-payment portion Σ p_i·In_i of the cost.
 func (sm *StaticModel) RewardOutlayAt(p []float64) float64 {
-	_, in := sm.usage(p)
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	_, in := sm.usageInto(p, w)
 	var c float64
 	for i := 0; i < sm.n; i++ {
 		c += p[i] * in[i]
@@ -208,7 +181,9 @@ func (sm *StaticModel) TIPCost() float64 {
 // maximizing this is equivalent to minimizing CostAt; the tests verify
 // π(p) + CostAt(p) is constant in p.
 func (sm *StaticModel) ProfitAt(p []float64, usagePrice, operatingCost float64) float64 {
-	x, in := sm.usage(p)
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, in := sm.usageInto(p, w)
 	var revenue, rewards, opCost, congestion float64
 	for i := 0; i < sm.n; i++ {
 		revenue += usagePrice * sm.totals[i] // ΣX_i = Σx_i (no sessions vanish)
@@ -228,59 +203,83 @@ func (sm *StaticModel) DeferredMatrix(p []float64) [][]float64 {
 		q[k] = make([]float64, n)
 	}
 	for k := 0; k < n; k++ {
+		row := sm.kd.outW[k*n : k*n+n]
 		for dt := 1; dt <= n-1; dt++ {
 			i := (k + dt) % n
 			if pi := p[i]; pi > 0 {
-				q[k][i] = sm.outW[k][dt] * pi
+				q[k][i] = row[dt] * pi
 			}
 		}
 	}
 	return q
 }
 
-// smoothedObjective returns the softplus-smoothed cost with its analytic
+// staticObjective is the softplus-smoothed cost with its analytic
 // gradient at temperature mu (mu = 0 gives the exact kinked cost and its
-// subgradient).
-func (sm *StaticModel) smoothedObjective(mu float64) optimize.Objective {
-	return optimize.FuncObjective{
-		Fn: func(p []float64) float64 {
-			x, in := sm.usage(p)
-			var c float64
-			for i := 0; i < sm.n; i++ {
-				c += p[i]*in[i] + sm.scn.Cost.Smooth(x[i]-sm.scn.Capacity[i], mu)
-			}
-			return c
-		},
-		GradFn: func(p, grad []float64) {
-			n := sm.n
-			x, _ := sm.usage(p)
-			fp := make([]float64, n) // f'(x_i − A_i)
-			for i := 0; i < n; i++ {
-				fp[i] = sm.scn.Cost.SmoothDeriv(x[i]-sm.scn.Capacity[i], mu)
-			}
-			for r := 0; r < n; r++ {
-				// d(p_r·In_r)/dp_r = 2p_r·inW[r]; dx_r/dp_r = inW[r].
-				g := (2*p[r] + fp[r]) * sm.inW[r]
-				// −Σ_{i≠r} f'_i · ∂Out_i/∂p_r; deferring from i to r takes
-				// dt(i→r) periods, i.e. i = r − dt (mod n).
-				for dt := 1; dt <= n-1; dt++ {
-					i := r - dt
-					if i < 0 {
-						i += n
-					}
-					if fp[i] != 0 {
-						g -= fp[i] * sm.outW[i][dt]
-					}
-				}
-				grad[r] = g
-			}
-		},
+// subgradient). It implements optimize.ValueGrader: the fused path
+// computes the usage profile once and derives both the value and the
+// gradient from it, sharing one exponential per (period, breakpoint).
+type staticObjective struct {
+	sm *StaticModel
+	mu float64
+}
+
+var _ optimize.ValueGrader = staticObjective{}
+
+// Value implements optimize.Objective.
+func (o staticObjective) Value(p []float64) float64 {
+	sm := o.sm
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, in := sm.usageInto(p, w)
+	var c float64
+	for i := 0; i < sm.n; i++ {
+		c += p[i]*in[i] + sm.scn.Cost.Smooth(x[i]-sm.scn.Capacity[i], o.mu)
 	}
+	return c
+}
+
+// Grad implements optimize.Objective.
+func (o staticObjective) Grad(p, grad []float64) {
+	sm := o.sm
+	n := sm.n
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, _ := sm.usageInto(p, w)
+	for i := 0; i < n; i++ {
+		fp := sm.scn.Cost.SmoothDeriv(x[i]-sm.scn.Capacity[i], o.mu)
+		w.lam2[i] = fp
+		w.lam2[n+i] = fp
+	}
+	sm.kd.gradGather(p, w.lam2, grad)
+}
+
+// ValueGrad implements optimize.ValueGrader.
+func (o staticObjective) ValueGrad(p, grad []float64) float64 {
+	sm := o.sm
+	n := sm.n
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+	x, in := sm.usageInto(p, w)
+	var c float64
+	for i := 0; i < n; i++ {
+		v, fp := sm.scn.Cost.SmoothBoth(x[i]-sm.scn.Capacity[i], o.mu)
+		c += p[i]*in[i] + v
+		w.lam2[i] = fp
+		w.lam2[n+i] = fp
+	}
+	sm.kd.gradGather(p, w.lam2, grad)
+	return c
+}
+
+func (sm *StaticModel) smoothedObjective(mu float64) optimize.Objective {
+	return staticObjective{sm: sm, mu: mu}
 }
 
 // SmoothedObjective exposes the softplus-smoothed cost (with its analytic
-// gradient) at temperature mu, for callers plugging in their own solver or
-// schedule; mu = 0 gives the exact kinked cost with a subgradient.
+// gradient and a fused optimize.ValueGrader path) at temperature mu, for
+// callers plugging in their own solver or schedule; mu = 0 gives the exact
+// kinked cost with a subgradient.
 func (sm *StaticModel) SmoothedObjective(mu float64) optimize.Objective {
 	return sm.smoothedObjective(mu)
 }
@@ -308,12 +307,15 @@ const (
 )
 
 // Solve minimizes the ISP cost over rewards with the production solver.
-func (sm *StaticModel) Solve() (*Pricing, error) {
-	return sm.SolveWith(SolverHomotopy)
+// Options are forwarded to the solver; in particular
+// optimize.WithWarmStart(prev) seeds the solve from a previous day's
+// schedule and truncates the smoothing homotopy.
+func (sm *StaticModel) Solve(opts ...optimize.Option) (*Pricing, error) {
+	return sm.SolveWith(SolverHomotopy, opts...)
 }
 
 // SolveWith minimizes the ISP cost with a specific solver.
-func (sm *StaticModel) SolveWith(solver Solver) (*Pricing, error) {
+func (sm *StaticModel) SolveWith(solver Solver, opts ...optimize.Option) (*Pricing, error) {
 	bounds := optimize.UniformBounds(sm.n, 0, sm.MaxReward())
 	x0 := make([]float64, sm.n)
 	var (
@@ -325,14 +327,20 @@ func (sm *StaticModel) SolveWith(solver Solver) (*Pricing, error) {
 		res, err = optimize.Homotopy(
 			func(mu float64) optimize.Objective { return sm.smoothedObjective(mu) },
 			sm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
-			optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+			append([]optimize.Option{
+				optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+			}, opts...)...,
 		)
 	case SolverCoordinate:
 		res, err = optimize.CoordinateDescent(sm.CostAt, x0, bounds,
-			optimize.WithMaxIterations(400), optimize.WithTolerance(1e-9))
+			append([]optimize.Option{
+				optimize.WithMaxIterations(400), optimize.WithTolerance(1e-9),
+			}, opts...)...)
 	case SolverSubgradient:
 		res, err = optimize.ProjectedSubgradient(sm.smoothedObjective(0), x0, bounds,
-			optimize.WithMaxIterations(30000), optimize.WithInitialStep(sm.MaxReward()))
+			append([]optimize.Option{
+				optimize.WithMaxIterations(30000), optimize.WithInitialStep(sm.MaxReward()),
+			}, opts...)...)
 	case SolverLBFGS:
 		res, err = optimize.HomotopyWith(
 			func(obj optimize.Objective, start []float64, b optimize.Bounds, opts ...optimize.Option) (optimize.Result, error) {
@@ -340,7 +348,9 @@ func (sm *StaticModel) SolveWith(solver Solver) (*Pricing, error) {
 			},
 			func(mu float64) optimize.Objective { return sm.smoothedObjective(mu) },
 			sm.CostAt, x0, bounds, optimize.DefaultSchedule(), true,
-			optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+			append([]optimize.Option{
+				optimize.WithMaxIterations(3000), optimize.WithTolerance(1e-8),
+			}, opts...)...,
 		)
 	default:
 		return nil, fmt.Errorf("unknown solver %d: %w", solver, ErrBadScenario)
@@ -356,25 +366,119 @@ func (sm *StaticModel) SolveWith(solver Solver) (*Pricing, error) {
 // cost. This one-dimensional solve is the inner step of the online
 // algorithm (§III-B).
 func (sm *StaticModel) SolveForPeriod(p []float64, period int) (float64, float64, error) {
-	if period < 0 || period >= sm.n {
-		return 0, 0, fmt.Errorf("period %d of %d: %w", period, sm.n, ErrBadScenario)
+	ps, err := sm.solveForPeriod(p, period, 0, false)
+	if err != nil {
+		return 0, 0, err
 	}
-	work := append([]float64(nil), p...)
-	best, fbest := optimize.Brent(func(t float64) float64 {
-		work[period] = t
-		return sm.CostAt(work)
-	}, 0, sm.MaxReward(), 1e-10)
-	return best, fbest, nil
+	return ps.Reward, ps.Cost, nil
 }
 
-// pricingAt packages a solver result into a Pricing.
+// SolveForPeriodWarm is SolveForPeriod seeded with the previous reward for
+// the slot: the one-dimensional search first brackets around prev and only
+// falls back to the full [0, MaxReward] interval when the minimizer pins
+// an interior bracket edge (the cost is convex along a coordinate, so an
+// interior minimizer of the sub-bracket is the global one).
+func (sm *StaticModel) SolveForPeriodWarm(p []float64, period int, prev float64) (PeriodSolve, error) {
+	return sm.solveForPeriod(p, period, prev, true)
+}
+
+// SolveForPeriodCold is SolveForPeriod with the solve report (full-bracket
+// search, eval count included) — the cold baseline the warm-vs-cold
+// comparisons measure against.
+func (sm *StaticModel) SolveForPeriodCold(p []float64, period int) (PeriodSolve, error) {
+	return sm.solveForPeriod(p, period, 0, false)
+}
+
+func (sm *StaticModel) solveForPeriod(p []float64, period int, prev float64, warm bool) (PeriodSolve, error) {
+	if err := checkPeriod(period, sm.n); err != nil {
+		return PeriodSolve{}, err
+	}
+	w := sm.ws.get()
+	defer sm.ws.put(w)
+
+	// O(n) incremental coordinate cost: with p_r zeroed once (one O(n²)
+	// pass), the usage profile is affine in p_r⁺ with sensitivity coef, so
+	// each Brent evaluation recomputes only n cost terms instead of the
+	// full quadratic usage pass.
+	copy(w.pwork, p)
+	w.pwork[period] = 0
+	sm.kd.arrivalsInto(w.pwork, sm.totals, w.baseX, w.in, w.p2)
+	var constOutlay float64
+	for i := 0; i < sm.n; i++ {
+		constOutlay += w.pwork[i] * w.in[i]
+	}
+	sm.kd.periodCoef(period, w.coef)
+	inWr := sm.kd.inW[period]
+
+	evals := 0
+	eval := func(t float64) float64 {
+		evals++
+		tp := t
+		if tp < 0 {
+			tp = 0
+		}
+		c := constOutlay + t*tp*inWr
+		for i := 0; i < sm.n; i++ {
+			c += sm.scn.Cost.Value(w.baseX[i] + w.coef[i]*tp - sm.scn.Capacity[i])
+		}
+		return c
+	}
+
+	best, _, usedWarm := minimizeCoord(eval, sm.MaxReward(), prev, warm)
+
+	// Report the canonical exact cost at the optimum (one O(n²) pass), so
+	// callers see the same value CostAt would produce.
+	w.pwork[period] = best
+	fbest := sm.CostAt(w.pwork)
+	return PeriodSolve{Reward: best, Cost: fbest, Evals: evals, Warm: usedWarm}, nil
+}
+
+// minimizeCoord runs the one-dimensional reward search over [0, maxR]. A
+// warm solve first tries a ±maxR/32 bracket around prev at a relaxed
+// x-tolerance — when the coordinate minimum sits at a kink of the
+// piecewise-linear cost the cost error is first-order in the x-tolerance,
+// so 1e-7 in the reward keeps the cost within ~1e-10 of the cold answer —
+// and accepts the result unless it pinned an artificial (interior)
+// bracket edge. By convexity along a coordinate, an interior minimizer of
+// the sub-bracket is the global one; a pinned edge means the true
+// minimizer lies outside, so the solve falls back to the full interval at
+// the cold tolerance.
+func minimizeCoord(eval func(float64) float64, maxR, prev float64, warm bool) (best, fbest float64, usedWarm bool) {
+	const (
+		coldTol = 1e-10
+		warmTol = 1e-7
+	)
+	if warm {
+		half := maxR / 32
+		lo := math.Max(0, prev-half)
+		hi := math.Min(maxR, prev+half)
+		if hi > lo {
+			best, fbest = optimize.Brent(eval, lo, hi, warmTol)
+			edge := 4 * warmTol * (1 + math.Abs(best))
+			loPinned := lo > 0 && best-lo <= edge
+			hiPinned := hi < maxR && hi-best <= edge
+			if !loPinned && !hiPinned {
+				return best, fbest, true
+			}
+		}
+	}
+	best, fbest = optimize.Brent(eval, 0, maxR, coldTol)
+	return best, fbest, false
+}
+
+// pricingAt packages a solver result into a Pricing. The solver already
+// reports the exact cost at the optimum (the homotopy driver's final
+// re-evaluation), so the cost is not recomputed here.
 func (sm *StaticModel) pricingAt(res optimize.Result) *Pricing {
 	p := res.X
-	x, in := sm.usage(p)
+	w := sm.ws.get()
+	x, in := sm.usageInto(p, w)
 	var outlay float64
 	for i := 0; i < sm.n; i++ {
 		outlay += p[i] * in[i]
 	}
+	usage := append([]float64(nil), x...)
+	sm.ws.put(w)
 	// Clean up numerically-zero rewards for presentation.
 	rewards := append([]float64(nil), p...)
 	for i, r := range rewards {
@@ -384,8 +488,8 @@ func (sm *StaticModel) pricingAt(res optimize.Result) *Pricing {
 	}
 	return &Pricing{
 		Rewards:      rewards,
-		Usage:        x,
-		Cost:         sm.CostAt(p),
+		Usage:        usage,
+		Cost:         res.F,
 		TIPCost:      sm.TIPCost(),
 		RewardOutlay: outlay,
 		Iterations:   res.Iterations,

@@ -46,7 +46,13 @@ func Definite() (*DefiniteResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	single := *dc
+	// A fresh model rather than a struct copy: the model owns a workspace
+	// pool that must not be duplicated.
+	single, err := core.NewDefiniteChoiceModel(scn)
+	if err != nil {
+		return nil, err
+	}
+	single.Threshold = 0.2
 	single.Starts = 1
 	one, err := single.Solve()
 	if err != nil {

@@ -128,11 +128,11 @@ func TableX() (*TableXResult, error) {
 	for j, v := range waiting.Dist48[0] {
 		actualPeriod1[j] = v * 20.0 / 23.0 // 230 → 200 MBps, uniformly
 	}
-	if err := online.Advance(actualPeriod1); err != nil {
+	if _, err := online.Advance(actualPeriod1); err != nil {
 		return nil, err
 	}
 	for i := 1; i < 48; i++ {
-		if err := online.Advance(waiting.Dist48[i/2][:]); err != nil {
+		if _, err := online.Advance(waiting.Dist48[i/2][:]); err != nil {
 			return nil, err
 		}
 	}

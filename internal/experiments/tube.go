@@ -32,7 +32,7 @@ func Timing() (*TimingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := online.Advance(waiting.Dist12[0][:]); err != nil {
+	if _, err := online.Advance(waiting.Dist12[0][:]); err != nil {
 		return nil, err
 	}
 	priceDur := time.Since(start)

@@ -9,6 +9,9 @@ func coordinateDescent(fn func([]float64) float64, x0 []float64, b Bounds, opts 
 	for _, op := range opts {
 		op.apply(&o)
 	}
+	if o.warmStart != nil {
+		x0 = o.warmStart
+	}
 	n := len(x0)
 	if err := b.Validate(n); err != nil {
 		return Result{}, err

@@ -5,6 +5,26 @@ import (
 	"math"
 )
 
+// dotN is an unrolled inner product for the two-loop recursion; with the
+// objective evaluations fused and row-paired, the recursion's dots are a
+// visible slice of what remains of the per-iteration cost.
+func dotN(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
 // lbfgs is the uninstrumented core of LBFGS (metrics.go wraps it with
 // per-solve recording).
 //
@@ -15,6 +35,9 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 	for _, op := range opts {
 		op.apply(&o)
 	}
+	if o.warmStart != nil {
+		x0 = o.warmStart
+	}
 	n := len(x0)
 	if err := b.Validate(n); err != nil {
 		return Result{}, err
@@ -23,18 +46,28 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 		memory = 8
 	}
 
+	vg := asValueGrader(obj)
 	x := append([]float64(nil), x0...)
 	b.Project(x)
-	f := obj.Value(x)
-	evals := 1
 	grad := make([]float64, n)
-	obj.Grad(x, grad)
+	var f float64
+	if vg != nil {
+		// Fused path: value and first gradient from one usage computation.
+		f = vg.ValueGrad(x, grad)
+	} else {
+		f = obj.Value(x)
+		obj.Grad(x, grad)
+	}
+	evals := 1
 
 	type pair struct {
 		s, y []float64
 		rho  float64
 	}
-	var hist []pair
+	// History buffers are recycled through spare: at most memory+1 pairs are
+	// ever allocated, so the steady-state iteration allocates nothing.
+	hist := make([]pair, 0, memory)
+	spare := pair{s: make([]float64, n), y: make([]float64, n)}
 	dir := make([]float64, n)
 	trial := make([]float64, n)
 	gradNew := make([]float64, n)
@@ -51,25 +84,33 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 
 		// Two-loop recursion: dir = −H·grad.
 		copy(dir, grad)
-		for i := len(hist) - 1; i >= 0; i-- {
-			p := hist[i]
-			var sd float64
-			for j := range dir {
-				sd += p.s[j] * dir[j]
-			}
-			a := p.rho * sd
-			alpha[i] = a
-			for j := range dir {
-				dir[j] -= a * p.y[j]
+		if m := len(hist); m > 0 {
+			// Each update pass fuses with the next pair's sᵀdir product so
+			// dir makes one memory round-trip per history pair, not two.
+			sd := dotN(hist[m-1].s, dir)
+			for i := m - 1; i >= 0; i-- {
+				p := hist[i]
+				a := p.rho * sd
+				alpha[i] = a
+				if i > 0 {
+					sn := hist[i-1].s
+					sd = 0
+					for j := range dir {
+						d := dir[j] - a*p.y[j]
+						dir[j] = d
+						sd += sn[j] * d
+					}
+				} else {
+					for j := range dir {
+						dir[j] -= a * p.y[j]
+					}
+				}
 			}
 		}
 		if len(hist) > 0 {
 			last := hist[len(hist)-1]
-			var sy, yy float64
-			for j := range last.s {
-				sy += last.s[j] * last.y[j]
-				yy += last.y[j] * last.y[j]
-			}
+			sy := dotN(last.s, last.y)
+			yy := dotN(last.y, last.y)
 			if yy > 0 {
 				scale := sy / yy
 				for j := range dir {
@@ -77,15 +118,24 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 				}
 			}
 		}
-		for i := 0; i < len(hist); i++ {
-			p := hist[i]
-			var yd float64
-			for j := range dir {
-				yd += p.y[j] * dir[j]
-			}
-			beta := p.rho * yd
-			for j := range dir {
-				dir[j] += p.s[j] * (alpha[i] - beta)
+		if m := len(hist); m > 0 {
+			yd := dotN(hist[0].y, dir)
+			for i := 0; i < m; i++ {
+				p := hist[i]
+				c := alpha[i] - p.rho*yd
+				if i+1 < m {
+					yn := hist[i+1].y
+					yd = 0
+					for j := range dir {
+						d := dir[j] + p.s[j]*c
+						dir[j] = d
+						yd += yn[j] * d
+					}
+				} else {
+					for j := range dir {
+						dir[j] += p.s[j] * c
+					}
+				}
 			}
 		}
 		for j := range dir {
@@ -93,17 +143,16 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 		}
 		// Descent check; fall back to steepest descent if the recursion
 		// produced an ascent direction (possible with skipped pairs).
-		var dg float64
-		for j := range dir {
-			dg += dir[j] * grad[j]
-		}
-		if dg >= 0 {
+		if dotN(dir, grad) >= 0 {
 			for j := range dir {
 				dir[j] = -grad[j]
 			}
 		}
 
-		// Projected backtracking line search.
+		// Projected backtracking line search. With a fused evaluator every
+		// trial computes its gradient alongside the value; acceptance then
+		// skips the separate Grad call that used to recompute the usage
+		// profile at the same point.
 		accepted := false
 		step := 1.0
 		for back := 0; back < o.maxBack; back++ {
@@ -115,23 +164,39 @@ func lbfgs(obj Objective, x0 []float64, b Bounds, memory int, opts ...Option) (R
 			for j := range x {
 				decrease += grad[j] * (x[j] - trial[j])
 			}
-			ft := obj.Value(trial)
+			var ft float64
+			trialHasGrad := false
+			if vg != nil {
+				// Fused evaluation for every trial (see projectedGradient):
+				// ValueGrad is cheaper than Value plus the separate Grad a
+				// value-only acceptance would owe.
+				ft = vg.ValueGrad(trial, gradNew)
+				trialHasGrad = true
+			} else {
+				ft = obj.Value(trial)
+			}
 			evals++
 			if ft <= f-armijoC*decrease && decrease > 0 {
-				obj.Grad(trial, gradNew)
-				// Curvature-safe history update.
-				s := make([]float64, n)
-				y := make([]float64, n)
+				if !trialHasGrad {
+					obj.Grad(trial, gradNew)
+				}
+				// Curvature-safe history update into the recycled buffers.
 				var sy float64
 				for j := range x {
-					s[j] = trial[j] - x[j]
-					y[j] = gradNew[j] - grad[j]
-					sy += s[j] * y[j]
+					spare.s[j] = trial[j] - x[j]
+					spare.y[j] = gradNew[j] - grad[j]
+					sy += spare.s[j] * spare.y[j]
 				}
 				if sy > 1e-12 {
-					hist = append(hist, pair{s: s, y: y, rho: 1 / sy})
-					if len(hist) > memory {
-						hist = hist[1:]
+					spare.rho = 1 / sy
+					if len(hist) == memory {
+						evicted := hist[0]
+						copy(hist, hist[1:])
+						hist[memory-1] = spare
+						spare = evicted
+					} else {
+						hist = append(hist, spare)
+						spare = pair{s: make([]float64, n), y: make([]float64, n)}
 					}
 				}
 				copy(x, trial)

@@ -49,7 +49,8 @@ func finalResidual(obj Objective, x []float64, b Bounds) float64 {
 	if x == nil {
 		return math.NaN()
 	}
-	grad := make([]float64, len(x))
+	grad, put := getScratch(len(x))
+	defer put()
 	obj.Grad(x, grad)
 	return projGradNormInf(x, grad, b)
 }

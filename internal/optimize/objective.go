@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrBadBounds is returned when a box constraint has lower > upper or
@@ -37,11 +38,28 @@ type Objective interface {
 	Grad(x, grad []float64)
 }
 
+// ValueGrader is the optional fused evaluation fast path: objectives whose
+// value and gradient share an expensive intermediate (the TDP models
+// recompute the full O(n²) usage profile for each) implement it so the
+// solvers can obtain both from one computation. ValueGrad must be
+// equivalent to calling Value and Grad at the same point.
+//
+// ProjectedGradient, LBFGS, and the homotopy driver detect the interface
+// and use it on the line-search trial most likely to be accepted, halving
+// the usage computations on the steady-state descent path.
+type ValueGrader interface {
+	// ValueGrad writes the gradient at x into grad and returns the
+	// objective value at x.
+	ValueGrad(x, grad []float64) float64
+}
+
 // FuncObjective adapts plain functions to the Objective interface. If
-// GradFn is nil, a central-difference numerical gradient is used.
+// GradFn is nil, a central-difference numerical gradient is used. If
+// ValueGradFn is set, FuncObjective also satisfies ValueGrader.
 type FuncObjective struct {
-	Fn     func(x []float64) float64
-	GradFn func(x, grad []float64)
+	Fn          func(x []float64) float64
+	GradFn      func(x, grad []float64)
+	ValueGradFn func(x, grad []float64) float64
 }
 
 // Value implements Objective.
@@ -56,9 +74,57 @@ func (f FuncObjective) Grad(x, grad []float64) {
 	NumGrad(f.Fn, x, grad)
 }
 
+// ValueGrad implements ValueGrader when ValueGradFn is set; otherwise it
+// falls back to separate Value and Grad calls.
+func (f FuncObjective) ValueGrad(x, grad []float64) float64 {
+	if f.ValueGradFn != nil {
+		return f.ValueGradFn(x, grad)
+	}
+	v := f.Value(x)
+	f.Grad(x, grad)
+	return v
+}
+
+// asValueGrader returns the fused evaluator for obj, or nil when obj has
+// no genuine fused path. A FuncObjective without ValueGradFn is treated as
+// unfused: its fallback ValueGrad would not save any work, and the solvers
+// structure their line searches differently around a real fused path.
+func asValueGrader(obj Objective) ValueGrader {
+	if f, ok := obj.(FuncObjective); ok {
+		if f.ValueGradFn == nil {
+			return nil
+		}
+		return f
+	}
+	vg, ok := obj.(ValueGrader)
+	if !ok {
+		return nil
+	}
+	return vg
+}
+
+// scratchPool recycles float64 scratch slices across evaluations (NumGrad,
+// final-residual probes) so the numerical-gradient fallback inside hot
+// solve loops stops allocating per call.
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getScratch returns a length-n scratch slice (contents unspecified) and a
+// put function returning it to the pool.
+func getScratch(n int) ([]float64, func()) {
+	sp := scratchPool.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	s := (*sp)[:n]
+	return s, func() { scratchPool.Put(sp) }
+}
+
 // NumGrad writes a central-difference approximation of ∇fn(x) into grad.
+// The perturbation scratch is drawn from a package pool, so repeated calls
+// do not allocate.
 func NumGrad(fn func([]float64) float64, x, grad []float64) {
-	h := make([]float64, len(x))
+	h, put := getScratch(len(x))
+	defer put()
 	copy(h, x)
 	for i := range x {
 		step := 1e-6 * (1 + math.Abs(x[i]))

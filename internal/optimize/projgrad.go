@@ -12,7 +12,9 @@ type options struct {
 	initStep  float64
 	callback  func(iter int, x []float64, f float64)
 	maxBack   int
-	stepDecay float64 // subgradient step decay mode toggle
+	stepDecay float64   // subgradient step decay mode toggle
+	warmStart []float64 // overrides x0; truncates homotopy schedules
+	warmMu    float64   // largest smoothing temperature kept when warm
 }
 
 func defaultOptions() options {
@@ -21,6 +23,7 @@ func defaultOptions() options {
 		tol:      1e-8,
 		initStep: 1.0,
 		maxBack:  60,
+		warmMu:   0.03,
 	}
 }
 
@@ -62,6 +65,40 @@ func WithCallback(fn func(iter int, x []float64, f float64)) Option {
 	return callbackOption{fn: fn}
 }
 
+type warmStartOption struct{ x0 []float64 }
+
+func (o warmStartOption) apply(opts *options) { opts.warmStart = o.x0 }
+
+// WithWarmStart seeds a solve from a previous solution instead of the
+// caller's default start point. The slice is copied before use. Iterative
+// solvers begin from it directly; Homotopy and HomotopyWith additionally
+// truncate their smoothing schedule (see WithWarmMu), since a point near
+// the optimum does not need the coarse high-temperature stages that exist
+// only to guide a cold start across the kinks.
+func WithWarmStart(x0 []float64) Option { return warmStartOption{x0: x0} }
+
+// WarmStartOf extracts the WithWarmStart point from an option list, or nil
+// if none is present. Solvers that manage their own start points (e.g. the
+// definite-choice multistart, which must not let a warm point suppress its
+// random restarts) use it to fold the warm point into their start set.
+func WarmStartOf(opts []Option) []float64 {
+	o := defaultOptions()
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	return o.warmStart
+}
+
+type warmMuOption float64
+
+func (o warmMuOption) apply(opts *options) { opts.warmMu = float64(o) }
+
+// WithWarmMu sets the largest smoothing temperature the homotopy keeps
+// when warm-started (default 0.03). Schedule entries above it are skipped;
+// if every entry is above it, the final (finest) entry is kept so the
+// solve still refines at the target smoothness.
+func WithWarmMu(mu float64) Option { return warmMuOption(mu) }
+
 // projectedGradient is the uninstrumented core of ProjectedGradient
 // (metrics.go wraps it with per-solve recording).
 func projectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error) {
@@ -69,22 +106,44 @@ func projectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (R
 	for _, op := range opts {
 		op.apply(&o)
 	}
+	if o.warmStart != nil {
+		x0 = o.warmStart
+	}
 	n := len(x0)
 	if err := b.Validate(n); err != nil {
 		return Result{}, err
 	}
 
+	vg := asValueGrader(obj)
 	x := append([]float64(nil), x0...)
 	b.Project(x)
-	f := obj.Value(x)
-	evals := 1
 	grad := make([]float64, n)
 	trial := make([]float64, n)
+	gradNext := grad
+	if vg != nil {
+		gradNext = make([]float64, n)
+	}
+
+	// With a fused evaluator the initial value comes with the first
+	// gradient for free (one usage computation instead of two).
+	var f float64
+	haveGrad := false
+	if vg != nil {
+		f = vg.ValueGrad(x, grad)
+		haveGrad = true
+	} else {
+		f = obj.Value(x)
+	}
+	evals := 1
 	step := o.initStep
+	streak := 0 // consecutive first-trial acceptances since the last growth
 
 	const armijoC = 1e-4
 	for iter := 0; iter < o.maxIter; iter++ {
-		obj.Grad(x, grad)
+		if !haveGrad {
+			obj.Grad(x, grad)
+		}
+		haveGrad = false
 		if o.callback != nil {
 			o.callback(iter, x, f)
 		}
@@ -92,7 +151,10 @@ func projectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (R
 			return Result{X: x, F: f, Iterations: iter, Evals: evals, Converged: true}, nil
 		}
 
-		// Backtracking line search along the projected-gradient arc.
+		// Backtracking line search along the projected-gradient arc. With a
+		// fused evaluator every trial computes its gradient alongside the
+		// value, so acceptance — at any backtracking depth — skips the Grad
+		// call at the top of the next iteration entirely.
 		accepted := false
 		s := step
 		for back := 0; back < o.maxBack; back++ {
@@ -104,21 +166,50 @@ func projectedGradient(obj Objective, x0 []float64, b Bounds, opts ...Option) (R
 			for i := range x {
 				decrease += grad[i] * (x[i] - trial[i])
 			}
-			ft := obj.Value(trial)
+			var ft float64
+			trialHasGrad := false
+			if vg != nil {
+				// Fused evaluation for every trial: ValueGrad costs far less
+				// than Value plus a separate Grad, so even when a trial is
+				// rejected the fused call beats paying a full gradient at the
+				// top of the next iteration after a value-only acceptance.
+				ft = vg.ValueGrad(trial, gradNext)
+				trialHasGrad = true
+			} else {
+				ft = obj.Value(trial)
+			}
 			evals++
 			if ft <= f-armijoC*decrease {
 				copy(x, trial)
 				f = ft
-				// Allow the step to grow again after a success.
-				step = math.Min(s*2, o.initStep*1e4)
+				if trialHasGrad {
+					grad, gradNext = gradNext, grad
+					haveGrad = true
+				}
+				// Grow the step only after two consecutive first-trial
+				// successes; growing after every acceptance makes the steady
+				// state oscillate (accept s, probe 2s, reject, accept s, …),
+				// which rejects almost every iteration's first trial and
+				// doubles the line-search evaluation count.
+				step = s
+				if back == 0 {
+					streak++
+					if streak >= 2 {
+						step = math.Min(s*2, o.initStep*1e4)
+						streak = 0
+					}
+				} else {
+					streak = 0
+				}
 				accepted = true
 				break
 			}
 			s /= 2
 		}
 		if !accepted {
-			// The point is numerically stationary within the box.
-			obj.Grad(x, grad)
+			// The point is numerically stationary within the box (grad is
+			// already the gradient at x; recomputing it cannot change the
+			// residual).
 			if projGradNormInf(x, grad, b) <= math.Sqrt(o.tol) {
 				return Result{X: x, F: f, Iterations: iter, Evals: evals, Converged: true}, nil
 			}

@@ -21,6 +21,31 @@ func SmoothMax(x, mu float64) float64 {
 	}
 }
 
+// SmoothMaxBoth returns SmoothMax(x, μ) and its derivative sigmoid(x/μ)
+// from a single exponential. The fused value+gradient evaluation path uses
+// it so one usage computation yields both the objective and its slope
+// without doubling the transcendental work.
+func SmoothMaxBoth(x, mu float64) (v, d float64) {
+	if mu <= 0 {
+		return math.Max(x, 0), SmoothMaxDeriv(x, mu)
+	}
+	t := x / mu
+	switch {
+	case t > 35:
+		return x, 1
+	case t < -35:
+		return 0, 0
+	case t <= 0:
+		e := math.Exp(t)
+		return mu * math.Log1p(e), e / (1 + e)
+	default:
+		// log1p(e^t) = t + log1p(e^{−t}); the e^{−t} form stays accurate
+		// for large t and shares its exponential with the sigmoid.
+		em := math.Exp(-t)
+		return x + mu*math.Log1p(em), 1 / (1 + em)
+	}
+}
+
 // SmoothMaxDeriv is d/dx SmoothMax(x, μ) = sigmoid(x/μ).
 func SmoothMaxDeriv(x, mu float64) float64 {
 	if mu <= 0 {
@@ -61,10 +86,39 @@ func Homotopy(make func(mu float64) Objective, exact func([]float64) float64,
 type Inner func(obj Objective, x0 []float64, b Bounds, opts ...Option) (Result, error)
 
 // HomotopyWith is Homotopy with a caller-chosen inner solver per stage.
+//
+// When WithWarmStart is supplied, the solve begins from the warm point and
+// the schedule is truncated to its entries ≤ the WithWarmMu threshold
+// (keeping at least the final, finest temperature): the coarse stages
+// exist only to steer a cold start across the cost's kinks, and re-running
+// them from a near-optimal point just smears it away from the optimum and
+// burns evaluations re-converging.
 func HomotopyWith(inner Inner, make func(mu float64) Objective, exact func([]float64) float64,
 	x0 []float64, b Bounds, schedule []float64, polish bool, opts ...Option) (Result, error) {
 
+	o := defaultOptions()
+	for _, op := range opts {
+		op.apply(&o)
+	}
 	x := append([]float64(nil), x0...)
+	if o.warmStart != nil {
+		x = append(x[:0], o.warmStart...)
+		// NB: the builtin make is shadowed by the objective factory here.
+		kept := append([]float64(nil), schedule...)[:0]
+		for _, mu := range schedule {
+			if mu <= o.warmMu {
+				kept = append(kept, mu)
+			}
+		}
+		if len(kept) == 0 && len(schedule) > 0 {
+			kept = append(kept, schedule[len(schedule)-1])
+		}
+		schedule = kept
+		// The inner solves start from the homotopy's evolving x, not the
+		// original warm point; strip the option so a stale warm start
+		// cannot override stage-to-stage continuation.
+		opts = filterWarmStart(opts)
+	}
 	var total Result
 	for _, mu := range schedule {
 		res, err := inner(make(mu), x, b, opts...)
@@ -79,7 +133,10 @@ func HomotopyWith(inner Inner, make func(mu float64) Objective, exact func([]flo
 		total.X, total.F, total.Converged = res.X, res.F, res.Converged
 	}
 	if polish && exact != nil {
-		res, err := CoordinateDescent(exact, x, b, WithTolerance(1e-9), WithMaxIterations(60))
+		// 1e-11 in x: at a kink minimum the cost error is first-order in
+		// the final coordinate moves (the sweep stops at 10× this tol), and
+		// warm-started solves are pinned to cold ones at ≤1e-9 in cost.
+		res, err := CoordinateDescent(exact, x, b, WithTolerance(1e-11), WithMaxIterations(80))
 		total.Iterations += res.Iterations
 		total.Evals += res.Evals
 		if err == nil || res.X != nil {
@@ -97,4 +154,16 @@ func HomotopyWith(inner Inner, make func(mu float64) Objective, exact func([]flo
 // below a cent.
 func DefaultSchedule() []float64 {
 	return []float64{1, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001}
+}
+
+// filterWarmStart returns opts without any WithWarmStart entries.
+func filterWarmStart(opts []Option) []Option {
+	out := make([]Option, 0, len(opts))
+	for _, op := range opts {
+		if _, ok := op.(warmStartOption); ok {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tdp/internal/core"
+	"tdp/internal/obs"
 	"tdp/internal/rrd"
 )
 
@@ -43,6 +44,11 @@ type Optimizer struct {
 	billing   *Billing
 	period    int       // guarded by mu
 	rewards   []float64 // guarded by mu: day-shaped published schedule
+
+	// coldPeriodEvals is a one-shot cold-solve calibration measured at
+	// construction: the 1-D evaluation count of a full-bracket per-period
+	// solve on this scenario, the baseline for the evals-saved metric.
+	coldPeriodEvals int
 }
 
 // NewOptimizer validates the configuration, computes the initial reward
@@ -91,15 +97,22 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One-shot calibration: measure what a cold full-bracket per-period
+	// solve costs here, so warm solves can report evaluations saved.
+	coldPS, err := online.ColdPeriodSolve(0)
+	if err != nil {
+		return nil, err
+	}
 	return &Optimizer{
-		cfg:       cfg,
-		meas:      meas,
-		profiler:  profiler,
-		online:    online,
-		priceHist: priceHist,
-		usageHist: usageHist,
-		billing:   billing,
-		rewards:   online.Rewards(),
+		cfg:             cfg,
+		meas:            meas,
+		profiler:        profiler,
+		online:          online,
+		priceHist:       priceHist,
+		usageHist:       usageHist,
+		billing:         billing,
+		rewards:         online.Rewards(),
+		coldPeriodEvals: coldPS.Evals,
 	}, nil
 }
 
@@ -152,10 +165,12 @@ func (o *Optimizer) ClosePeriod() ([]float64, error) {
 		return nil, fmt.Errorf("billing: %w", err)
 	}
 
-	if err := o.online.Advance(observed); err != nil {
+	ps, err := o.online.Advance(observed)
+	if err != nil {
 		return nil, fmt.Errorf("close period %d: %w", o.period, err)
 	}
 	o.rewards = o.online.Rewards()
+	o.recordPeriodSolve(ps)
 
 	var total float64
 	for _, v := range observed {
@@ -171,6 +186,30 @@ func (o *Optimizer) ClosePeriod() ([]float64, error) {
 	o.period++
 	return observed, nil
 }
+
+// recordPeriodSolve publishes one online re-optimization to the default
+// registry, keyed by whether the warm bracket sufficed.
+func (o *Optimizer) recordPeriodSolve(ps core.PeriodSolve) {
+	start := "cold"
+	if ps.Warm {
+		start = "warm"
+	}
+	reg := obs.Default()
+	lbl := obs.Labels{"start": start}
+	reg.Counter("online_period_solves_total", "per-period re-optimizations, by start mode", lbl).Inc()
+	reg.Histogram("online_period_solve_evals", "1-D cost evaluations per period re-optimization",
+		lbl, periodEvalBuckets).Observe(float64(ps.Evals))
+	if ps.Warm {
+		if saved := o.coldPeriodEvals - ps.Evals; saved > 0 {
+			reg.Counter("online_period_evals_saved_total",
+				"1-D cost evaluations avoided by warm-started period solves, vs the startup cold calibration", nil).
+				Add(int64(saved))
+		}
+	}
+}
+
+// periodEvalBuckets spans 1…1024 one-dimensional evaluations per solve.
+var periodEvalBuckets = obs.ExpBuckets(1, 2, 11)
 
 // PriceHistory returns the archived per-period published rewards.
 func (o *Optimizer) PriceHistory() ([]rrd.Point, error) {
