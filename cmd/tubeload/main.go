@@ -50,6 +50,7 @@ type loadConfig struct {
 	batch      int
 	jobs       int
 	shards     int
+	stream     bool
 	pprof      bool
 	metricsOut string
 }
@@ -64,6 +65,7 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "measurement engine shards (0 = auto)")
 	mode := fs.String("mode", "batch", `ingestion mode: "single" or "batch"`)
 	compare := fs.Bool("compare", false, "run both modes and report the batch/single speedup")
+	stream := fs.Bool("stream", false, "attach a streaming delta subscriber to the ingest engine and verify conservation under load")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the server under load")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +77,7 @@ func run(args []string, out io.Writer) error {
 	cfg := loadConfig{
 		addr: *addr, users: *users, reports: *reports,
 		batch: *batch, jobs: *jobs, shards: *shards,
-		pprof: *pprofFlag, metricsOut: *metricsOut,
+		stream: *stream, pprof: *pprofFlag, metricsOut: *metricsOut,
 	}
 	fmt.Fprintf(out, "tubeload: %d users × %d reports = %d reports, %d workers, shards=%d\n",
 		cfg.users, cfg.reports, cfg.users*cfg.reports, parallel.Jobs(cfg.jobs), cfg.shards)
@@ -215,6 +217,26 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 	clientReg := obs.NewRegistry()
 	lat := clientReg.Histogram("tubeload_request_seconds",
 		"client-observed request latency", obs.Labels{"mode": mode}, latencyBuckets)
+	// With -stream, a live delta subscriber folds every accepted report
+	// into striped per-class adders on the recording goroutines — the
+	// same hot path the streaming profiler's consistency sketch rides —
+	// and the post-drive check verifies the folded totals match the
+	// sharded engine's authoritative sums exactly.
+	var streamed []*obs.FloatAdder
+	if cfg.stream {
+		eng := opt.Measurement().Engine()
+		streamed = make([]*obs.FloatAdder, len(eng.Classes()))
+		for j := range streamed {
+			streamed[j] = obs.NewFloatAdder()
+		}
+		eng.Subscribe(func(byClass []float64) {
+			for j, v := range byClass {
+				if v != 0 {
+					streamed[j].Add(v)
+				}
+			}
+		})
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return nil, err
@@ -289,6 +311,20 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 		return nil, fmt.Errorf("accounting mismatch: %.0f MB / %d reports accounted, want %.0f / %d",
 			accounted, accepted, total, cfg.users*cfg.reports)
 	}
+	verified := fmt.Sprintf("verified: %d reports, %.0f MB accounted", accepted, accounted)
+	if cfg.stream {
+		var folded float64
+		for _, a := range streamed {
+			folded += a.Value()
+		}
+		// Same exactness argument as above: integral MB sums below 2^53.
+		//lint:allow floateq integral sums below 2^53 are exact; tolerance would mask lost deltas
+		if folded != accounted {
+			return nil, fmt.Errorf("stream conservation mismatch: subscriber folded %.0f MB, engine accounted %.0f MB",
+				folded, accounted)
+		}
+		verified += fmt.Sprintf("; stream subscriber folded %.0f MB (exact match)", folded)
+	}
 
 	// One merged snapshot serves all three quantiles (and the request
 	// count) — no sorting, no per-request slice retention.
@@ -301,7 +337,7 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 		p50:        secondsToDuration(snap.Quantile(0.50)),
 		p95:        secondsToDuration(snap.Quantile(0.95)),
 		p99:        secondsToDuration(snap.Quantile(0.99)),
-		verified:   fmt.Sprintf("verified: %d reports, %.0f MB accounted", accepted, accounted),
+		verified:   verified,
 		registries: []*obs.Registry{clientReg, srv.Registry(), obs.Default()},
 	}, nil
 }

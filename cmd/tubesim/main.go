@@ -50,6 +50,9 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "experiment random seed")
 	users := fs.Int("users", 2, "emulated users (patience alternates impatient/patient)")
 	periods := fs.Int("periods", 12, "periods in the emulated day (≥ 2)")
+	days := fs.Int("days", 1, "emulated days to run back-to-back (each under its freshly pulled schedule)")
+	stream := fs.Bool("stream", false, "enable streaming profiling: per-period warm β re-estimation from the live ingest stream")
+	streamWindow := fs.Int("stream-window", 0, "streaming profiler day window (0 = engine default)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the price server")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *periods < 2 {
 		return fmt.Errorf("need at least 2 periods, got %d", *periods)
+	}
+	if *days < 1 {
+		return fmt.Errorf("need at least 1 day, got %d", *days)
 	}
 
 	// The optimizer's demand estimate: the emulation's expected demand in
@@ -92,7 +98,12 @@ func run(args []string, out io.Writer) error {
 		Cost:          core.LinearCost(cfg.CostSlope),
 		PeriodSeconds: cfg.PeriodSeconds,
 	}
-	opt, err := tube.NewOptimizer(tube.OptimizerConfig{Scenario: scn, Classes: classes})
+	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
+		Scenario:     scn,
+		Classes:      classes,
+		Streaming:    *stream,
+		StreamWindow: *streamWindow,
+	})
 	if err != nil {
 		return err
 	}
@@ -130,37 +141,44 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg.Rewards = info.Rewards
 
-	tip, tdp, err := emul.RunComparison(cfg)
-	if err != nil {
-		return err
-	}
-
-	// Feed the TDP run's measured per-class usage back through the wire,
-	// one batch per period through the sharded ingestion endpoint,
-	// closing each period at the optimizer.
-	for i := 0; i < cfg.Periods; i++ {
-		var batch []tube.UsageReport
-		for _, u := range cfg.Users {
-			for _, cl := range cfg.Classes {
-				vol := tdp.OfferedByUserClassPeriod[u.Name][cl.Name][i]
-				if vol <= 0 {
-					continue
+	// The closed loop, one iteration per emulated day: pull the published
+	// schedule, run the testbed day under it, then feed the TDP run's
+	// measured per-class usage back through the wire — one batch per
+	// period through the sharded ingestion endpoint, closing each period
+	// at the optimizer. With -stream the optimizer re-estimates β at
+	// every period close from that same rollover cut, so later days run
+	// under prices informed by earlier days' live traffic.
+	var tip, tdp *emul.Result
+	for day := 0; day < *days; day++ {
+		cfg.Rewards = info.Rewards
+		cfg.Seed = *seed + int64(day)
+		tip, tdp, err = emul.RunComparison(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.Periods; i++ {
+			var batch []tube.UsageReport
+			for _, u := range cfg.Users {
+				for _, cl := range cfg.Classes {
+					vol := tdp.OfferedByUserClassPeriod[u.Name][cl.Name][i]
+					if vol <= 0 {
+						continue
+					}
+					batch = append(batch, tube.UsageReport{
+						User: u.Name, Class: cl.Name, VolumeMB: vol,
+					})
 				}
-				batch = append(batch, tube.UsageReport{
-					User: u.Name, Class: cl.Name, VolumeMB: vol,
-				})
 			}
-		}
-		if err := gui.ReportUsageBatch(ctx, batch); err != nil {
-			return err
-		}
-		if _, err := opt.ClosePeriod(); err != nil {
-			return err
-		}
-		if _, err := gui.PullPrice(ctx); err != nil {
-			return err
+			if err := gui.ReportUsageBatch(ctx, batch); err != nil {
+				return err
+			}
+			if _, err := opt.ClosePeriod(); err != nil {
+				return err
+			}
+			if info, err = gui.PullPrice(ctx); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -193,6 +211,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "optimizer price history (%d periods closed), GUI pulls: %d\n",
 		len(hist), gui.Pulls())
+	if sp := opt.Stream(); sp != nil {
+		betas, ok := sp.Betas()
+		div, derr := sp.Divergence()
+		fmt.Fprintf(out, "\nstreaming profiler: %d days folded (window %d, full=%v), stale periods: %d\n",
+			sp.Days(), sp.WindowLen(), sp.WindowFull(), sp.StalePeriods())
+		if ok {
+			fmt.Fprintf(out, "streaming β estimate: %.4f\n", betas)
+		}
+		if derr == nil {
+			fmt.Fprintf(out, "streaming vs cold-batch divergence: %.2e\n", div)
+		}
+	}
 	if *metricsOut != "" {
 		if err := dumpMetrics(*metricsOut, out, srv.Registry(), obs.Default()); err != nil {
 			return err

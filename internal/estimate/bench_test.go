@@ -1,0 +1,130 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchStream builds a fitter with a full window of replayed noiseless
+// days and a converged warm fit, the steady state a per-period
+// refinement runs in.
+func benchStream(b *testing.B, n, window int) (*Model, Params, *StreamFitter) {
+	b.Helper()
+	m, truth := streamTruthModel(n)
+	sf, err := NewStreamFitter(m, StreamConfig{Window: window})
+	if err != nil {
+		b.Fatalf("NewStreamFitter: %v", err)
+	}
+	for d := 0; d < window; d++ {
+		p := dayRewards(n, d)
+		tt, err := m.NetFlows(truth, p)
+		if err != nil {
+			b.Fatalf("NetFlows: %v", err)
+		}
+		if err := sf.AddDay(p, tt); err != nil {
+			b.Fatalf("AddDay: %v", err)
+		}
+	}
+	if _, err := sf.Refine(); err != nil {
+		b.Fatalf("warm-up Refine: %v", err)
+	}
+	return m, truth, sf
+}
+
+// BenchmarkStreamFitWarm measures the real per-period cost: one new
+// period folded into the day in progress, then a warm-started
+// refinement over the full window.
+func BenchmarkStreamFitWarm(b *testing.B) {
+	for _, sz := range []struct{ n, window int }{{12, 3}, {24, 3}, {48, 3}} {
+		b.Run(fmt.Sprintf("n%dw%d", sz.n, sz.window), func(b *testing.B) {
+			m, truth, sf := benchStream(b, sz.n, sz.window)
+			n := sz.n
+			period := 0
+			day := 0
+			p := dayRewards(n, day)
+			tt, _ := m.NetFlows(truth, p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sf.ObservePeriod(period, p[period], m.BaselineTIP[period]-tt[period]); err != nil {
+					b.Fatalf("ObservePeriod: %v", err)
+				}
+				if _, err := sf.Refine(); err != nil {
+					b.Fatalf("Refine: %v", err)
+				}
+				period++
+				if period == n {
+					period = 0
+					day++
+					b.StopTimer()
+					p = dayRewards(n, day)
+					tt, _ = m.NetFlows(truth, p)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamFitReused measures the quiesced fast path: Refine with
+// no new data returns the cached fit.
+func BenchmarkStreamFitReused(b *testing.B) {
+	_, _, sf := benchStream(b, 24, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sf.Refine(); err != nil {
+			b.Fatalf("Refine: %v", err)
+		}
+	}
+}
+
+// BenchmarkStreamFitColdBatch is the day-end baseline the streaming
+// engine replaces: a cold Model.Fit over the same window.
+func BenchmarkStreamFitColdBatch(b *testing.B) {
+	for _, sz := range []struct{ n, window int }{{12, 3}, {24, 3}} {
+		b.Run(fmt.Sprintf("n%dw%d", sz.n, sz.window), func(b *testing.B) {
+			m, truth, sf := benchStream(b, sz.n, sz.window)
+			obs := sf.Observations()
+			batch := make([]Observation, len(obs))
+			for i, o := range obs {
+				batch[i] = Observation{
+					Rewards: append([]float64(nil), o.Rewards...),
+					T:       append([]float64(nil), o.T...),
+				}
+			}
+			_ = truth
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Fit(batch); err != nil {
+					b.Fatalf("Fit: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamObservePeriod isolates the O(1) fold of one period
+// report into the day in progress (no refinement).
+func BenchmarkStreamObservePeriod(b *testing.B) {
+	m, _, sf := benchStream(b, 24, 3)
+	n := m.Periods
+	period := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sf.ObservePeriod(period, 0.5, 90); err != nil {
+			b.Fatalf("ObservePeriod: %v", err)
+		}
+		period++
+		if period == n {
+			period = 0
+		}
+	}
+	if sf.Days() < 0 {
+		b.Fatal("unreachable")
+	}
+	_ = math.Inf(1)
+}

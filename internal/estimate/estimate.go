@@ -90,6 +90,10 @@ type Model struct {
 	// Large deployments (many periods × types) may trade accuracy for
 	// latency here.
 	MaxIter int
+	// Tol is the LM relative-reduction tolerance (0 = the solver default,
+	// 1e-10). The streaming-vs-batch parity tests tighten it so both
+	// paths land on the same optimum to well below their 1e-6 contract.
+	Tol float64
 }
 
 // Validate checks the model description.
@@ -190,51 +194,24 @@ func (m *Model) Fit(obs []Observation) (*FitResult, error) {
 			return nil, fmt.Errorf("observation %d malformed: %w", s, ErrBadInput)
 		}
 	}
-	n, mt := m.Periods, m.Types
-	dim := n * mt * 2 // packed: per period, m raw alphas then m betas
-	x0 := make([]float64, dim)
-	for i := 0; i < n; i++ {
-		for j := 0; j < mt; j++ {
-			x0[m.alphaIdx(i, j)] = 1 / float64(mt)
-			x0[m.betaIdx(i, j)] = 1
-		}
-	}
-	lower := make([]float64, dim)
-	upper := make([]float64, dim)
-	for i := 0; i < n; i++ {
-		for j := 0; j < mt; j++ {
-			lower[m.alphaIdx(i, j)] = 1e-3
-			upper[m.alphaIdx(i, j)] = 1
-			lower[m.betaIdx(i, j)] = 0
-			upper[m.betaIdx(i, j)] = 10
-		}
-	}
-	bounds := optimize.Bounds{Lower: lower, Upper: upper}
+	n := m.Periods
+	x0 := m.neutralStart()
+	bounds := m.fitBounds()
 
-	resid := optimize.FuncResiduals{
-		N: len(obs) * n,
-		Fn: func(x, out []float64) {
-			prm := m.unpack(x)
-			for s, o := range obs {
-				pred, err := m.NetFlows(prm, o.Rewards)
-				if err != nil {
-					for i := 0; i < n; i++ {
-						out[s*n+i] = 1e6
-					}
-					continue
-				}
-				for i := 0; i < n; i++ {
-					out[s*n+i] = pred[i] - o.T[i]
-				}
-			}
-		},
-	}
+	// The residuals are evaluated by the packed fast path shared with
+	// StreamFitter (identical math to NetFlows ∘ unpack, pinned by the
+	// stream equivalence tests, without the per-call Params/PowerLaw
+	// allocations the numeric Jacobian would multiply by dim+1).
+	fast := newStreamResid(m)
+	fast.bind(obs)
+	resid := optimize.FuncResiduals{N: len(obs) * n, Fn: fast.eval}
 	maxIter := m.MaxIter
 	if maxIter <= 0 {
 		maxIter = 400
 	}
 	res, err := optimize.LevenbergMarquardt(resid, x0, optimize.LMConfig{
 		MaxIter: maxIter,
+		Tol:     m.Tol,
 		Bounds:  &bounds,
 	})
 	if err != nil && !errors.Is(err, optimize.ErrLMStalled) && !errors.Is(err, optimize.ErrMaxIterations) {
@@ -249,6 +226,40 @@ func (m *Model) Fit(obs []Observation) (*FitResult, error) {
 
 func (m *Model) alphaIdx(i, j int) int { return i*m.Types*2 + j }
 func (m *Model) betaIdx(i, j int) int  { return i*m.Types*2 + m.Types + j }
+
+// packedDim is the LM parameter-vector length: per period, m raw alphas
+// then m betas.
+func (m *Model) packedDim() int { return m.Periods * m.Types * 2 }
+
+// neutralStart is the cold-start point shared by Fit and StreamFitter:
+// uniform mixing proportions and β = 1 everywhere.
+func (m *Model) neutralStart() []float64 {
+	x0 := make([]float64, m.packedDim())
+	for i := 0; i < m.Periods; i++ {
+		for j := 0; j < m.Types; j++ {
+			x0[m.alphaIdx(i, j)] = 1 / float64(m.Types)
+			x0[m.betaIdx(i, j)] = 1
+		}
+	}
+	return x0
+}
+
+// fitBounds is the LM box shared by Fit and StreamFitter: α ∈ [1e-3, 1]
+// (raw, renormalized by unpack) and β ∈ [0, 10].
+func (m *Model) fitBounds() optimize.Bounds {
+	dim := m.packedDim()
+	lower := make([]float64, dim)
+	upper := make([]float64, dim)
+	for i := 0; i < m.Periods; i++ {
+		for j := 0; j < m.Types; j++ {
+			lower[m.alphaIdx(i, j)] = 1e-3
+			upper[m.alphaIdx(i, j)] = 1
+			lower[m.betaIdx(i, j)] = 0
+			upper[m.betaIdx(i, j)] = 10
+		}
+	}
+	return optimize.Bounds{Lower: lower, Upper: upper}
+}
 
 // unpack converts the packed LM vector into Params, normalizing each
 // period's raw alphas to sum to 1.

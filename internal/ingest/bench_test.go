@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"tdp/internal/obs"
 )
 
 func benchUsers(n int) []string {
@@ -98,5 +100,60 @@ func BenchmarkIngestRollover(b *testing.B) {
 		if ct[0] == 0 {
 			b.Fatal("empty rollover")
 		}
+	}
+}
+
+// BenchmarkIngestSubscribe measures the marginal cost of the delta
+// subscription path: Record and RecordBatch with 0 subscribers (the
+// single atomic-pointer load every caller pays) versus 1 subscriber
+// folding the pooled per-class vector into a striped accumulator —
+// the exact consumer shape of the tube streaming profiler.
+func BenchmarkIngestSubscribe(b *testing.B) {
+	users := benchUsers(4096)
+	batch := make([]Report, 64)
+	for i := range batch {
+		batch[i] = Report{
+			User:     users[(i*131)&(len(users)-1)],
+			Class:    classes3()[i%3],
+			VolumeMB: 1,
+		}
+	}
+	mkEngine := func(b *testing.B, subs int) *Engine {
+		eng, err := NewEngine(classes3(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < subs; s++ {
+			sum := obs.NewFloatAdder()
+			eng.Subscribe(func(byClass []float64) {
+				for _, v := range byClass {
+					if v != 0 {
+						sum.Add(v)
+					}
+				}
+			})
+		}
+		return eng
+	}
+	for _, subs := range []int{0, 1} {
+		b.Run(fmt.Sprintf("record/subs=%d", subs), func(b *testing.B) {
+			eng := mkEngine(b, subs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Record(users[(i*7919)&(len(users)-1)], "web", 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch64/subs=%d", subs), func(b *testing.B) {
+			eng := mkEngine(b, subs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RecordBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "reports/s")
+		})
 	}
 }

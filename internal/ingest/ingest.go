@@ -68,6 +68,7 @@ type Engine struct {
 	shards   []shard
 	mask     uint32
 	met      atomic.Pointer[engineMetrics] // nil until Instrument
+	sub      subscriptions                 // delta subscribers (see subscribe.go)
 }
 
 // DefaultShards is the shard count used when NewEngine is given 0: the
@@ -175,6 +176,7 @@ func (e *Engine) Record(user, class string, volumeMB float64) error {
 	if m := e.metrics(); m != nil {
 		m.records.Inc()
 	}
+	e.notifyReport(idx, volumeMB)
 	return nil
 }
 
@@ -227,6 +229,7 @@ func (e *Engine) RecordBatch(reports []Report) error {
 			m.records.Add(int64(len(reports)))
 			m.batches.Inc()
 		}
+		e.notifyBatch(reports, idxs)
 		return nil
 	}
 	// Group report indices by shard, preserving submission order within
@@ -255,6 +258,7 @@ func (e *Engine) RecordBatch(reports []Report) error {
 		m.records.Add(int64(len(reports)))
 		m.batches.Inc()
 	}
+	e.notifyBatch(reports, idxs)
 	return nil
 }
 

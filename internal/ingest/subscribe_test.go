@@ -1,0 +1,297 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tdp/internal/obs"
+)
+
+// collect accumulates every delivered delta into a per-class total,
+// safe for the concurrent synchronous delivery the engine performs.
+type collect struct {
+	mu     sync.Mutex
+	total  []float64
+	calls  int
+	lastMB []float64
+}
+
+func (c *collect) fn(byClass []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.total == nil {
+		c.total = make([]float64, len(byClass))
+		c.lastMB = make([]float64, len(byClass))
+	}
+	copy(c.lastMB, byClass)
+	for i, v := range byClass {
+		c.total[i] += v
+	}
+	c.calls++
+}
+
+func TestSubscribeDeliversRecordDeltas(t *testing.T) {
+	e, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	id := e.Subscribe(c.fn)
+	if id == 0 {
+		t.Fatal("Subscribe returned zero token")
+	}
+	if e.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d, want 1", e.Subscribers())
+	}
+	if err := e.Record("alice", "web", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Record("bob", "video", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.calls != 2 {
+		t.Fatalf("calls = %d, want 2", c.calls)
+	}
+	want := []float64{10, 0, 2.5} // web, ftp, video
+	for i, v := range want {
+		if c.total[i] != v {
+			t.Fatalf("class %d total = %v, want %v", i, c.total[i], v)
+		}
+	}
+	if c.lastMB[2] != 2.5 || c.lastMB[0] != 0 {
+		t.Fatalf("last delta %v, want only video set", c.lastMB)
+	}
+}
+
+// TestSubscribeDeliversBatchDeltas exercises both RecordBatch paths:
+// shards=1 forces the grouped per-shard path for any batch, a large
+// shard count keeps small batches on the per-report path.
+func TestSubscribeDeliversBatchDeltas(t *testing.T) {
+	for _, shards := range []int{1, 64} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e, err := NewEngine(classes3(), shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c collect
+			e.Subscribe(c.fn)
+			batch := []Report{
+				{User: "alice", Class: "web", VolumeMB: 1},
+				{User: "bob", Class: "web", VolumeMB: 2},
+				{User: "carol", Class: "ftp", VolumeMB: 4},
+			}
+			if err := e.RecordBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.calls != 1 {
+				t.Fatalf("calls = %d, want one delta per batch", c.calls)
+			}
+			want := []float64{3, 4, 0}
+			for i, v := range want {
+				if c.total[i] != v {
+					t.Fatalf("class %d total = %v, want %v", i, c.total[i], v)
+				}
+			}
+		})
+	}
+}
+
+func TestSubscribeRejectedBatchDeliversNothing(t *testing.T) {
+	e, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	e.Subscribe(c.fn)
+	bad := []Report{
+		{User: "alice", Class: "web", VolumeMB: 1},
+		{User: "bob", Class: "nosuch", VolumeMB: 2},
+	}
+	if err := e.RecordBatch(bad); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.calls != 0 {
+		t.Fatalf("rejected batch delivered %d deltas", c.calls)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	e, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b collect
+	idA := e.Subscribe(a.fn)
+	idB := e.Subscribe(b.fn)
+	if e.Subscribers() != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", e.Subscribers())
+	}
+	if !e.Unsubscribe(idA) {
+		t.Fatal("Unsubscribe(idA) = false")
+	}
+	if e.Unsubscribe(idA) {
+		t.Fatal("double Unsubscribe succeeded")
+	}
+	if err := e.Record("alice", "web", 1); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	callsA := a.calls
+	a.mu.Unlock()
+	b.mu.Lock()
+	callsB := b.calls
+	b.mu.Unlock()
+	if callsA != 0 || callsB != 1 {
+		t.Fatalf("calls after unsubscribe: a=%d b=%d, want 0/1", callsA, callsB)
+	}
+	if !e.Unsubscribe(idB) {
+		t.Fatal("Unsubscribe(idB) = false")
+	}
+	if e.Subscribers() != 0 {
+		t.Fatalf("Subscribers() = %d, want 0", e.Subscribers())
+	}
+	if e.Subscribe(nil) != 0 {
+		t.Fatal("Subscribe(nil) returned a token")
+	}
+}
+
+// TestSubscribeConservation is the ingest→fitter subscription race
+// test: many goroutines mix Record and RecordBatch while a subscriber
+// folds deltas into a striped accumulator, and the folded totals must
+// equal the engine's own accounting exactly (every delta delivered
+// once, none lost, none doubled). Run under -race in CI.
+func TestSubscribeConservation(t *testing.T) {
+	e, err := NewEngine(classes3(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]*obs.FloatAdder, 3)
+	for i := range sums {
+		sums[i] = obs.NewFloatAdder()
+	}
+	e.Subscribe(func(byClass []float64) {
+		for i, v := range byClass {
+			if v != 0 {
+				sums[i].Add(v)
+			}
+		}
+	})
+	const G, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cls := classes3()
+			for i := 0; i < perG; i++ {
+				u := fmt.Sprintf("u%d-%d", g, i%17)
+				if i%3 == 0 {
+					batch := []Report{
+						{User: u, Class: cls[i%3], VolumeMB: 1},
+						{User: u + "x", Class: cls[(i+1)%3], VolumeMB: 2},
+					}
+					if err := e.RecordBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := e.Record(u, cls[i%3], 0.5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := e.ClassTotals()
+	for i := range want {
+		if got := sums[i].Value(); got != want[i] {
+			t.Fatalf("class %d: subscriber folded %v, engine accounted %v", i, got, want[i])
+		}
+	}
+}
+
+// TestSubscribeNotifyAllocs pins the delivery path: with a subscriber
+// attached, Record and RecordBatch allocate nothing for the delta
+// (buffers come from the pool and never escape).
+func TestSubscribeNotifyAllocs(t *testing.T) {
+	e, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	e.Subscribe(func(byClass []float64) {
+		for _, v := range byClass {
+			sink += v
+		}
+	})
+	// Warm the shard maps and the buffer pool first.
+	if err := e.Record("alice", "web", 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := e.Record("alice", "web", 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Record with subscriber allocates %.1f per call, want 0", allocs)
+	}
+	// RecordBatch itself allocates its index scratch; the delta path
+	// must add nothing on top of that baseline.
+	batch := []Report{
+		{User: "alice", Class: "web", VolumeMB: 1},
+		{User: "alice", Class: "ftp", VolumeMB: 1},
+	}
+	bare, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(1000, func() {
+		if err := bare.RecordBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocs = testing.AllocsPerRun(1000, func() {
+		if err := e.RecordBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > base {
+		t.Errorf("RecordBatch delta path adds %.1f allocs per call (with %.1f, without %.1f), want 0",
+			allocs-base, allocs, base)
+	}
+	_ = sink
+}
+
+func TestSubscribeDeltasMetric(t *testing.T) {
+	e, err := NewEngine(classes3(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+	e.Subscribe(func([]float64) {})
+	if err := e.Record("alice", "web", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecordBatch([]Report{{User: "b", Class: "ftp", VolumeMB: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m := e.metrics()
+	if got := m.deltas.Value(); got != 2 {
+		t.Fatalf("ingest_deltas_total = %d, want 2", got)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import "sync/atomic"
+
+// fcell is one float accumulator stripe, padded like the counter cells so
+// adjacent stripes never share a cache line.
+type fcell struct {
+	bits atomic.Uint64 // Float64bits of the stripe's partial sum
+	_    [56]byte
+}
+
+// FloatAdder is a cache-line-striped float64 accumulator: the floating
+// point sibling of Counter, built on the same stripe machinery as the
+// histograms (stripes sized from GOMAXPROCS, per-thread random stripe
+// pick). Add is lock-free — one CAS loop on a stripe that is rarely
+// contended — which makes the adder suitable for hot ingestion paths
+// that accumulate volumes (MB) rather than event counts: the streaming
+// profiling engine's per-period window sketch is a matrix of these.
+//
+// The zero value is NOT usable; construct via NewFloatAdder.
+type FloatAdder struct {
+	cells []fcell // immutable slice header; cells are internally atomic
+	mask  uint64
+}
+
+// NewFloatAdder builds a striped float accumulator.
+func NewFloatAdder() *FloatAdder {
+	n := stripes()
+	return &FloatAdder{cells: make([]fcell, n), mask: uint64(n - 1)}
+}
+
+// newFloatAdderStripes builds an adder with an explicit stripe count
+// (power of two) for the sharded-vs-serial property tests.
+func newFloatAdderStripes(n int) *FloatAdder {
+	return &FloatAdder{cells: make([]fcell, n), mask: uint64(n - 1)}
+}
+
+// Add accumulates v. NaN contributions are dropped (one poisoned report
+// must not destroy a whole window cell).
+func (a *FloatAdder) Add(v float64) {
+	if v != v { // NaN check without math.IsNaN's call overhead
+		return
+	}
+	i := uint64(0)
+	if a.mask != 0 {
+		i = stripeIdx(a.mask)
+	}
+	c := &a.cells[i].bits
+	for {
+		old := c.Load()
+		if c.CompareAndSwap(old, floatBits(floatFrom(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value merges the stripes in index order and returns the total. A read
+// concurrent with writers is a valid cut per stripe: every completed Add
+// is in exactly one stripe sum.
+func (a *FloatAdder) Value() float64 {
+	var s float64
+	for i := range a.cells {
+		s += floatFrom(a.cells[i].bits.Load())
+	}
+	return s
+}
+
+// Swap returns the accumulated total and resets the adder toward zero.
+// Each stripe is swapped atomically, but the stripes are swapped one
+// after another: an Add racing Swap lands entirely in the returned total
+// or entirely in the next one, never split or lost, though two
+// concurrent Swaps may interleave their cuts. Period-close paths that
+// need one global cut should quiesce writers first (the tube optimizer
+// folds the authoritative rollover totals instead, and uses Swap only
+// for the advisory live sketch).
+func (a *FloatAdder) Swap() float64 {
+	var s float64
+	zero := floatBits(0)
+	for i := range a.cells {
+		s += floatFrom(a.cells[i].bits.Swap(zero))
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFloatAdderSerial(t *testing.T) {
+	a := NewFloatAdder()
+	var want float64
+	for i := 0; i < 1000; i++ {
+		v := 0.25 * float64(i%7)
+		a.Add(v)
+		want += v
+	}
+	if got := a.Value(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Value = %v, want %v", got, want)
+	}
+	if got := a.Swap(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Swap = %v, want %v", got, want)
+	}
+	if got := a.Value(); got != 0 {
+		t.Fatalf("Value after Swap = %v, want 0", got)
+	}
+}
+
+func TestFloatAdderNaNDropped(t *testing.T) {
+	a := NewFloatAdder()
+	a.Add(1.5)
+	a.Add(math.NaN())
+	a.Add(2.5)
+	if got := a.Value(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Value = %v, want 4 (NaN dropped)", got)
+	}
+}
+
+// TestFloatAdderStripesEquivalent pins the sharded adder to a 1-stripe
+// serial reference: integer-valued contributions make every stripe split
+// exact, so the totals must match bit for bit.
+func TestFloatAdderStripesEquivalent(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		a := newFloatAdderStripes(n)
+		var want float64
+		for i := 0; i < 500; i++ {
+			v := float64(i % 13)
+			a.Add(v)
+			want += v
+		}
+		if got := a.Value(); got != want {
+			t.Fatalf("stripes=%d: Value = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestFloatAdderConcurrent hammers one adder from many goroutines; the
+// CAS loop must not lose updates (integer values keep sums exact).
+func TestFloatAdderConcurrent(t *testing.T) {
+	a := NewFloatAdder()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %v, want %v", got, workers*perWorker)
+	}
+}
+
+// TestFloatAdderSwapNoLoss checks that a Swap racing writers neither
+// loses nor duplicates contributions: the sum of all swapped cuts plus
+// the residue equals everything added.
+func TestFloatAdderSwapNoLoss(t *testing.T) {
+	a := NewFloatAdder()
+	const workers, perWorker = 4, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var swapped float64
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			swapped += a.Swap()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total := swapped + a.Value(); total != workers*perWorker {
+		t.Fatalf("swapped+residue = %v, want %v", total, workers*perWorker)
+	}
+}
+
+func BenchmarkFloatAdderAdd(b *testing.B) {
+	a := NewFloatAdder()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			a.Add(1.5)
+		}
+	})
+	_ = a.Value()
+}

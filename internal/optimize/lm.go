@@ -39,6 +39,12 @@ type LMConfig struct {
 	Tol       float64 // relative reduction tolerance (default 1e-10)
 	InitialMu float64 // initial damping (default 1e-3)
 	Bounds    *Bounds // optional box; steps are clamped into it
+	// AbsTol, when > 0, declares convergence as soon as the residual sum
+	// of squares drops to or below it — checked before every Jacobian
+	// build, so a warm start already at the optimum returns after a
+	// single residual evaluation instead of burning a full damping sweep.
+	// Streaming re-fits that run every period rely on this fast path.
+	AbsTol float64
 }
 
 // LMResult reports the outcome of a least-squares fit.
@@ -84,6 +90,10 @@ func levenbergMarquardt(r Residualer, x0 []float64, cfg LMConfig) (LMResult, err
 	jac := linalg.NewMatrix(m, n)
 	trial := make([]float64, n)
 	tres := make([]float64, m)
+
+	if cfg.AbsTol > 0 && rss <= cfg.AbsTol {
+		return LMResult{X: x, RSS: rss, Iterations: 0, Converged: true}, nil
+	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		numJacobian(r, x, res, jac)
@@ -133,7 +143,7 @@ func levenbergMarquardt(r Residualer, x0 []float64, cfg LMConfig) (LMResult, err
 				rss = trss
 				mu = math.Max(mu/3, 1e-12)
 				improved = true
-				if relDrop < cfg.Tol || rss < cfg.Tol {
+				if relDrop < cfg.Tol || rss < cfg.Tol || (cfg.AbsTol > 0 && rss <= cfg.AbsTol) {
 					return LMResult{X: x, RSS: rss, Iterations: iter + 1, Converged: true}, nil
 				}
 				break

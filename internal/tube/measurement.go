@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 
+	"tdp/internal/core"
+	"tdp/internal/estimate"
 	"tdp/internal/ingest"
 )
 
@@ -50,14 +52,25 @@ func NewMeasurementShards(classes []string, shards int) (*Measurement, error) {
 	return &Measurement{eng: eng}, nil
 }
 
-// badInput rebrands an ingest validation error under this package's
-// sentinel so existing errors.Is(err, ErrBadInput) callers keep working.
+// badInput rebrands a lower-layer validation error under this package's
+// sentinel. The tube package fronts three engines with their own
+// sentinels — ingest.ErrBadReport, estimate.ErrBadInput,
+// core.ErrBadScenario — and callers of the tube API should not need to
+// know which layer rejected their input: every public entry point
+// funnels its error through here, so errors.Is(err, tube.ErrBadInput)
+// works uniformly while the original sentinel stays wrapped underneath
+// (errors.Is against the lower-layer sentinel also still matches).
 func badInput(err error) error {
 	if err == nil {
 		return nil
 	}
-	if errors.Is(err, ingest.ErrBadReport) {
-		return fmt.Errorf("%v: %w", err, ErrBadInput)
+	if errors.Is(err, ErrBadInput) {
+		return err // already branded; don't double-wrap
+	}
+	if errors.Is(err, ingest.ErrBadReport) ||
+		errors.Is(err, estimate.ErrBadInput) ||
+		errors.Is(err, core.ErrBadScenario) {
+		return fmt.Errorf("%w: %w", err, ErrBadInput)
 	}
 	return err
 }

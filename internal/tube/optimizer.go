@@ -28,6 +28,17 @@ type OptimizerConfig struct {
 	// Shards is the measurement engine's lock-stripe count (0 → the
 	// ingest package default, sized from GOMAXPROCS).
 	Shards int
+	// ProfileWindow bounds the day-batch profiling engine to a sliding
+	// window of the most recent days (0 = retain every day, the
+	// original unbounded behavior).
+	ProfileWindow int
+	// Streaming enables the streaming profiling engine: per-class
+	// patience is re-estimated with a warm-started refinement at every
+	// period close, fed from the same atomic rollover cut that drives
+	// billing and price determination.
+	Streaming bool
+	// StreamWindow is the streaming engine's day window (default 3).
+	StreamWindow int
 }
 
 // Optimizer is the TUBE server brain: it owns the measurement engine, the
@@ -38,6 +49,7 @@ type Optimizer struct {
 	cfg       OptimizerConfig
 	meas      *Measurement          // internally synchronized (sharded engine)
 	profiler  *Profiler             // internally synchronized
+	stream    *StreamProfiler       // internally synchronized; nil unless cfg.Streaming
 	online    *core.OnlineOptimizer // guarded by mu: the online engine has no lock of its own
 	priceHist *rrd.DB
 	usageHist *rrd.DB
@@ -58,7 +70,7 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 		return nil, fmt.Errorf("nil scenario: %w", ErrBadInput)
 	}
 	if err := cfg.Scenario.Validate(); err != nil {
-		return nil, err
+		return nil, badInput(err)
 	}
 	if len(cfg.Classes) != len(cfg.Scenario.Betas) {
 		return nil, fmt.Errorf("%d classes for %d session types: %w",
@@ -79,11 +91,27 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ProfileWindow > 0 {
+		if err := profiler.SetWindow(cfg.ProfileWindow); err != nil {
+			return nil, err
+		}
+	}
+	var stream *StreamProfiler
+	if cfg.Streaming {
+		stream, err = NewStreamProfiler(cfg.Scenario.Demand, cfg.Scenario.NormReward(),
+			StreamConfig{Window: cfg.StreamWindow})
+		if err != nil {
+			return nil, err
+		}
+		if err := stream.Attach(meas.Engine()); err != nil {
+			return nil, err
+		}
+	}
 	online, err := core.NewOnlineOptimizer(cfg.Scenario, core.OnlineConfig{
 		UseDynamic: cfg.UseDynamic,
 	})
 	if err != nil {
-		return nil, err
+		return nil, badInput(err)
 	}
 	priceHist, err := rrd.New(1, rrd.ArchiveSpec{Func: rrd.Last, Steps: 1, Rows: cfg.HistoryRows})
 	if err != nil {
@@ -107,6 +135,7 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 		cfg:             cfg,
 		meas:            meas,
 		profiler:        profiler,
+		stream:          stream,
 		online:          online,
 		priceHist:       priceHist,
 		usageHist:       usageHist,
@@ -121,6 +150,10 @@ func (o *Optimizer) Measurement() *Measurement { return o.meas }
 
 // Profiler exposes the profiling engine.
 func (o *Optimizer) Profiler() *Profiler { return o.profiler }
+
+// Stream exposes the streaming profiling engine (nil unless the
+// optimizer was configured with Streaming).
+func (o *Optimizer) Stream() *StreamProfiler { return o.stream }
 
 // Billing exposes the billing engine.
 func (o *Optimizer) Billing() *Billing { return o.billing }
@@ -163,6 +196,21 @@ func (o *Optimizer) ClosePeriod() ([]float64, error) {
 
 	if err := o.billing.AddPeriod(perUser, reward); err != nil {
 		return nil, fmt.Errorf("billing: %w", err)
+	}
+
+	// Streaming profiling rides the same critical section: the fold
+	// consumes the (reward, totals) pair of THIS rollover cut before any
+	// schedule update below can change the reward — billed, profiled and
+	// re-priced usage all describe one atomic period close.
+	if o.stream != nil {
+		if _, err := o.stream.FoldPeriod(idx, reward, observed); err != nil {
+			return nil, fmt.Errorf("stream profile: %w", err)
+		}
+		if o.stream.Days() > 0 {
+			if _, err := o.stream.Refine(); err != nil {
+				return nil, fmt.Errorf("stream refine: %w", err)
+			}
+		}
 	}
 
 	ps, err := o.online.Advance(observed)

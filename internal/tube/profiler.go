@@ -11,10 +11,20 @@ import (
 // usage observations under the published rewards and estimates one
 // patience index per traffic class with the §IV waiting-function
 // estimation algorithm.
+//
+// By default every recorded day is retained forever — fine for a
+// testbed week, an unbounded leak on a server that closes periods for
+// months. SetWindow bounds retention to a sliding window of the most
+// recent days; once the window is full, new days overwrite the oldest
+// in place (the slot's backing arrays are reused, so a windowed
+// profiler's memory stays flat no matter how many days it sees).
 type Profiler struct {
-	mu    sync.Mutex
-	model *estimate.Model        // immutable after New (Fit does not mutate)
-	obs   []estimate.Observation // guarded by mu
+	mu     sync.Mutex
+	model  *estimate.Model        // immutable after New (Fit does not mutate)
+	window int                    // guarded by mu: max days retained; 0 = unbounded
+	obs    []estimate.Observation // guarded by mu: ring when window > 0
+	head   int                    // guarded by mu: oldest slot once the ring is full
+	total  int                    // guarded by mu: days ever recorded
 }
 
 // NewProfiler builds a profiler for the given day structure: n periods,
@@ -28,9 +38,46 @@ func NewProfiler(periods, classes int, baselineTIP []float64, maxReward float64)
 		MaxReward:   maxReward,
 	}
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, badInput(err)
 	}
 	return &Profiler{model: m}, nil
+}
+
+// SetWindow bounds retention to the most recent `days` observations
+// (0 restores unbounded growth). If more than `days` observations are
+// already banked, the oldest are dropped.
+func (p *Profiler) SetWindow(days int) error {
+	if days < 0 {
+		return fmt.Errorf("window %d: %w", days, ErrBadInput)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = p.chronological(nil)
+	p.head = 0
+	if days > 0 && len(p.obs) > days {
+		p.obs = append(p.obs[:0], p.obs[len(p.obs)-days:]...)
+	}
+	p.window = days
+	return nil
+}
+
+// Window returns the retention bound (0 = unbounded).
+func (p *Profiler) Window() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.window
+}
+
+// chronological appends the retained observations, oldest first, to dst.
+// Callers must hold p.mu. The returned headers alias the ring's backing
+// arrays — deep-copy before releasing the lock if the data must survive
+// subsequent AddObservation calls.
+func (p *Profiler) chronological(dst []estimate.Observation) []estimate.Observation {
+	if p.window > 0 && len(p.obs) == p.window {
+		dst = append(dst, p.obs[p.head:]...)
+		return append(dst, p.obs[:p.head]...)
+	}
+	return append(dst, p.obs...)
 }
 
 // AddObservation records one day's rewards and per-period usage decreases
@@ -42,6 +89,20 @@ func (p *Profiler) AddObservation(rewards, t []float64) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.total++
+	if p.window > 0 && len(p.obs) == p.window {
+		// Ring full: overwrite the oldest day in place, reusing its
+		// backing arrays so long-running windowed profiling allocates
+		// nothing per day.
+		slot := &p.obs[p.head]
+		copy(slot.Rewards, rewards)
+		copy(slot.T, t)
+		p.head++
+		if p.head == p.window {
+			p.head = 0
+		}
+		return nil
+	}
 	p.obs = append(p.obs, estimate.Observation{
 		Rewards: append([]float64(nil), rewards...),
 		T:       append([]float64(nil), t...),
@@ -49,25 +110,43 @@ func (p *Profiler) AddObservation(rewards, t []float64) error {
 	return nil
 }
 
-// ObservationCount returns the number of recorded observations.
+// ObservationCount returns the number of retained observations.
 func (p *Profiler) ObservationCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.obs)
 }
 
-// Estimate runs the waiting-function estimation on everything recorded so
+// TotalObserved returns the number of days ever recorded (monotonic;
+// the window retains the most recent min(TotalObserved, Window)).
+func (p *Profiler) TotalObserved() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Estimate runs the waiting-function estimation on everything retained so
 // far and returns the fitted per-period, per-class parameters.
 func (p *Profiler) Estimate() (estimate.Params, error) {
 	p.mu.Lock()
-	obs := append([]estimate.Observation(nil), p.obs...)
+	// Deep copy under the lock: a windowed ring reuses slot arrays, so
+	// the fit must not read storage a concurrent AddObservation may
+	// overwrite.
+	ordered := p.chronological(nil)
+	obs := make([]estimate.Observation, len(ordered))
+	for i, o := range ordered {
+		obs[i] = estimate.Observation{
+			Rewards: append([]float64(nil), o.Rewards...),
+			T:       append([]float64(nil), o.T...),
+		}
+	}
 	p.mu.Unlock()
 	if len(obs) == 0 {
 		return estimate.Params{}, fmt.Errorf("no observations: %w", ErrBadInput)
 	}
 	fit, err := p.model.Fit(obs)
 	if err != nil {
-		return estimate.Params{}, fmt.Errorf("profile: %w", err)
+		return estimate.Params{}, badInput(fmt.Errorf("profile: %w", err))
 	}
 	return fit.Params, nil
 }
@@ -77,6 +156,9 @@ func (p *Profiler) Estimate() (estimate.Params, error) {
 // aggregate algorithm (Profiler), it exploits the measurement engine's
 // per-class accounting, which sidesteps the mixture-identifiability
 // problem: each class is a single-type estimation with its own net flows.
+//
+// Like Profiler, retention is unbounded by default and SetWindow bounds
+// it to a sliding window with in-place slot reuse.
 type ClassProfiler struct {
 	mu        sync.Mutex
 	periods   int
@@ -84,8 +166,11 @@ type ClassProfiler struct {
 	baseline  [][]float64 // [period][class] TIP demand; immutable after New
 	maxReward float64
 	maxIter   int
-	rewards   [][]float64   // guarded by mu: per observation day
-	usage     [][][]float64 // guarded by mu: per observation day: [period][class]
+	window    int           // guarded by mu: max days retained; 0 = unbounded
+	rewards   [][]float64   // guarded by mu: ring of per-day rewards when window > 0
+	usage     [][][]float64 // guarded by mu: ring of per-day [period][class] usage
+	head      int           // guarded by mu: oldest slot once the ring is full
+	total     int           // guarded by mu: days ever recorded
 }
 
 // NewClassProfiler builds a per-class profiler from the per-period,
@@ -113,6 +198,47 @@ func NewClassProfiler(baseline [][]float64, maxReward float64, maxIter int) (*Cl
 	return cp, nil
 }
 
+// SetWindow bounds retention to the most recent `days` observations
+// (0 restores unbounded growth). If more than `days` observations are
+// already banked, the oldest are dropped.
+func (cp *ClassProfiler) SetWindow(days int) error {
+	if days < 0 {
+		return fmt.Errorf("window %d: %w", days, ErrBadInput)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	rewards, usage := cp.chronological()
+	cp.rewards, cp.usage = rewards, usage
+	cp.head = 0
+	if days > 0 && len(cp.rewards) > days {
+		drop := len(cp.rewards) - days
+		cp.rewards = append(cp.rewards[:0], cp.rewards[drop:]...)
+		cp.usage = append(cp.usage[:0], cp.usage[drop:]...)
+	}
+	cp.window = days
+	return nil
+}
+
+// Window returns the retention bound (0 = unbounded).
+func (cp *ClassProfiler) Window() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.window
+}
+
+// chronological returns the retained days, oldest first. Callers must
+// hold cp.mu; the returned rows alias ring storage.
+func (cp *ClassProfiler) chronological() ([][]float64, [][][]float64) {
+	if cp.window > 0 && len(cp.rewards) == cp.window {
+		r := make([][]float64, 0, cp.window)
+		u := make([][][]float64, 0, cp.window)
+		r = append(append(r, cp.rewards[cp.head:]...), cp.rewards[:cp.head]...)
+		u = append(append(u, cp.usage[cp.head:]...), cp.usage[:cp.head]...)
+		return r, u
+	}
+	return cp.rewards, cp.usage
+}
+
 // AddObservation records one day: the published rewards and the measured
 // per-period, per-class usage.
 func (cp *ClassProfiler) AddObservation(rewards []float64, usage [][]float64) error {
@@ -120,26 +246,49 @@ func (cp *ClassProfiler) AddObservation(rewards []float64, usage [][]float64) er
 		return fmt.Errorf("observation dims %d/%d, want %d: %w",
 			len(rewards), len(usage), cp.periods, ErrBadInput)
 	}
-	u := make([][]float64, cp.periods)
 	for i, row := range usage {
 		if len(row) != cp.classes {
 			return fmt.Errorf("usage period %d has %d classes, want %d: %w",
 				i+1, len(row), cp.classes, ErrBadInput)
 		}
-		u[i] = append([]float64(nil), row...)
 	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+	cp.total++
+	if cp.window > 0 && len(cp.rewards) == cp.window {
+		// Ring full: reuse the oldest day's storage in place.
+		copy(cp.rewards[cp.head], rewards)
+		slot := cp.usage[cp.head]
+		for i, row := range usage {
+			copy(slot[i], row)
+		}
+		cp.head++
+		if cp.head == cp.window {
+			cp.head = 0
+		}
+		return nil
+	}
+	u := make([][]float64, cp.periods)
+	for i, row := range usage {
+		u[i] = append([]float64(nil), row...)
+	}
 	cp.rewards = append(cp.rewards, append([]float64(nil), rewards...))
 	cp.usage = append(cp.usage, u)
 	return nil
 }
 
-// ObservationCount returns the number of recorded days.
+// ObservationCount returns the number of retained days.
 func (cp *ClassProfiler) ObservationCount() int {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	return len(cp.rewards)
+}
+
+// TotalObserved returns the number of days ever recorded.
+func (cp *ClassProfiler) TotalObserved() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.total
 }
 
 // EstimateBetas fits one patience index per class: a single-type §IV
@@ -147,9 +296,20 @@ func (cp *ClassProfiler) ObservationCount() int {
 // average across periods.
 func (cp *ClassProfiler) EstimateBetas() ([]float64, error) {
 	cp.mu.Lock()
-	days := len(cp.rewards)
-	rewards := cp.rewards
-	usage := cp.usage
+	// Deep copy under the lock: ring slots are reused by concurrent
+	// AddObservation calls.
+	ordRewards, ordUsage := cp.chronological()
+	days := len(ordRewards)
+	rewards := make([][]float64, days)
+	usage := make([][][]float64, days)
+	for d := 0; d < days; d++ {
+		rewards[d] = append([]float64(nil), ordRewards[d]...)
+		u := make([][]float64, cp.periods)
+		for i, row := range ordUsage[d] {
+			u[i] = append([]float64(nil), row...)
+		}
+		usage[d] = u
+	}
 	cp.mu.Unlock()
 	if days == 0 {
 		return nil, fmt.Errorf("no observations: %w", ErrBadInput)
@@ -177,7 +337,7 @@ func (cp *ClassProfiler) EstimateBetas() ([]float64, error) {
 		}
 		fit, err := model.Fit(obs)
 		if err != nil {
-			return nil, fmt.Errorf("class %d: %w", j, err)
+			return nil, badInput(fmt.Errorf("class %d: %w", j, err))
 		}
 		var num, den float64
 		for i := 0; i < cp.periods; i++ {

@@ -81,6 +81,9 @@ func NewServer(opt *Optimizer) (*Server, error) {
 	s.handle("GET /stats", "stats", s.handleStats)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	opt.Measurement().Engine().Instrument(s.reg)
+	if sp := opt.Stream(); sp != nil {
+		sp.Instrument(s.reg)
+	}
 	s.registerStateGauges()
 	return s, nil
 }

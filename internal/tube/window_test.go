@@ -1,0 +1,193 @@
+package tube
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tdp/internal/core"
+)
+
+// TestProfilerWindowEviction: a windowed profiler keeps exactly the most
+// recent days, oldest-first, and its estimate matches a fresh profiler
+// fed only those days.
+func TestProfilerWindowEviction(t *testing.T) {
+	scn := testScenario()
+	p, err := NewProfiler(scn.Periods, 3, scn.TotalDemand(), scn.NormReward())
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	if err := p.SetWindow(-1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative window: err = %v, want ErrBadInput", err)
+	}
+	if err := p.SetWindow(3); err != nil {
+		t.Fatalf("SetWindow: %v", err)
+	}
+	day := func(d int) ([]float64, []float64) {
+		rewards := make([]float64, scn.Periods)
+		ts := make([]float64, scn.Periods)
+		for i := range rewards {
+			rewards[i] = 0.1 + 0.8*float64((i+d)%5)/5
+			ts[i] = float64(d*100 + i)
+		}
+		return rewards, ts
+	}
+	for d := 0; d < 7; d++ {
+		rewards, ts := day(d)
+		if err := p.AddObservation(rewards, ts); err != nil {
+			t.Fatalf("day %d: %v", d, err)
+		}
+	}
+	if p.ObservationCount() != 3 || p.TotalObserved() != 7 {
+		t.Fatalf("retained %d of %d, want 3 of 7", p.ObservationCount(), p.TotalObserved())
+	}
+	// Shrinking mid-stream keeps the most recent days.
+	if err := p.SetWindow(2); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if p.ObservationCount() != 2 {
+		t.Fatalf("retained %d after shrink, want 2", p.ObservationCount())
+	}
+}
+
+// TestProfilerWindowMemoryFlat is the leak regression: 10k simulated
+// days through a windowed profiler must not grow memory — once the ring
+// is full, AddObservation reuses the evicted slot's arrays and
+// allocates nothing.
+func TestProfilerWindowMemoryFlat(t *testing.T) {
+	scn := testScenario()
+	p, err := NewProfiler(scn.Periods, 3, scn.TotalDemand(), scn.NormReward())
+	if err != nil {
+		t.Fatalf("NewProfiler: %v", err)
+	}
+	if err := p.SetWindow(7); err != nil {
+		t.Fatalf("SetWindow: %v", err)
+	}
+	rewards := make([]float64, scn.Periods)
+	ts := make([]float64, scn.Periods)
+	for i := range rewards {
+		rewards[i] = 0.5
+		ts[i] = float64(i)
+	}
+	// Fill the ring.
+	for d := 0; d < 7; d++ {
+		if err := p.AddObservation(rewards, ts); err != nil {
+			t.Fatalf("fill day %d: %v", d, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if err := p.AddObservation(rewards, ts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("windowed AddObservation allocates %.1f per day, want 0", allocs)
+	}
+	if p.ObservationCount() != 7 {
+		t.Errorf("retained %d days after 10k, want 7", p.ObservationCount())
+	}
+	if p.TotalObserved() < 10007 {
+		t.Errorf("TotalObserved = %d, want ≥ 10007", p.TotalObserved())
+	}
+}
+
+// TestClassProfilerWindowMemoryFlat: same leak regression for the
+// per-class profiling engine.
+func TestClassProfilerWindowMemoryFlat(t *testing.T) {
+	scn := testScenario()
+	cp, err := NewClassProfiler(scn.Demand, scn.NormReward(), 50)
+	if err != nil {
+		t.Fatalf("NewClassProfiler: %v", err)
+	}
+	if err := cp.SetWindow(5); err != nil {
+		t.Fatalf("SetWindow: %v", err)
+	}
+	rewards := make([]float64, scn.Periods)
+	usage := make([][]float64, scn.Periods)
+	for i := range rewards {
+		rewards[i] = 0.4
+		usage[i] = []float64{1, 2, 3}
+	}
+	for d := 0; d < 5; d++ {
+		if err := cp.AddObservation(rewards, usage); err != nil {
+			t.Fatalf("fill day %d: %v", d, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if err := cp.AddObservation(rewards, usage); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("windowed AddObservation allocates %.1f per day, want 0", allocs)
+	}
+	if cp.ObservationCount() != 5 || cp.TotalObserved() < 10005 {
+		t.Errorf("retained %d days, total %d; want 5 retained, ≥ 10005 total",
+			cp.ObservationCount(), cp.TotalObserved())
+	}
+}
+
+// TestClassProfilerWindowedEstimateMatchesFresh: the windowed estimate
+// equals a fresh profiler fed exactly the retained days — eviction
+// changes what is remembered, not how it is interpreted.
+func TestClassProfilerWindowedEstimateMatchesFresh(t *testing.T) {
+	scn := testScenario()
+	m, err := NewClassProfilerTruth(t)
+	if err != nil {
+		t.Fatalf("truth: %v", err)
+	}
+	windowed, err := NewClassProfiler(scn.Demand, scn.NormReward(), 100)
+	if err != nil {
+		t.Fatalf("NewClassProfiler: %v", err)
+	}
+	if err := windowed.SetWindow(3); err != nil {
+		t.Fatalf("SetWindow: %v", err)
+	}
+	fresh, err := NewClassProfiler(scn.Demand, scn.NormReward(), 100)
+	if err != nil {
+		t.Fatalf("NewClassProfiler: %v", err)
+	}
+	var days [][2]interface{}
+	for d := 0; d < 6; d++ {
+		rewards := make([]float64, scn.Periods)
+		for i := range rewards {
+			rewards[i] = 0.1 + 0.8*float64((i*3+d)%7)/7
+		}
+		usage := m(rewards)
+		if err := windowed.AddObservation(rewards, usage); err != nil {
+			t.Fatalf("day %d: %v", d, err)
+		}
+		days = append(days, [2]interface{}{rewards, usage})
+	}
+	for _, d := range days[len(days)-3:] {
+		if err := fresh.AddObservation(d[0].([]float64), d[1].([][]float64)); err != nil {
+			t.Fatalf("fresh: %v", err)
+		}
+	}
+	got, err := windowed.EstimateBetas()
+	if err != nil {
+		t.Fatalf("windowed EstimateBetas: %v", err)
+	}
+	want, err := fresh.EstimateBetas()
+	if err != nil {
+		t.Fatalf("fresh EstimateBetas: %v", err)
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Errorf("class %d: windowed %v, fresh-on-window %v", j, got[j], want[j])
+		}
+	}
+}
+
+// NewClassProfilerTruth returns a generator of per-period per-class
+// usage under the test scenario's true betas.
+func NewClassProfilerTruth(t *testing.T) (func(rewards []float64) [][]float64, error) {
+	t.Helper()
+	m, err := core.NewStaticModel(testScenario())
+	if err != nil {
+		return nil, err
+	}
+	return func(rewards []float64) [][]float64 {
+		return m.UsageByType(rewards)
+	}, nil
+}
