@@ -4,7 +4,14 @@
 // from a bounded worker pool, and reports sustained throughput plus
 // p50/p95/p99 request latency. With -compare it pits the per-report
 // POST /usage endpoint against the batched POST /usage/batch endpoint
-// and prints the sustained-reports/s speedup.
+// and the binary POST /usage/wire endpoint and prints the
+// sustained-reports/s speedups.
+//
+// With -cluster N the harness instead brings up N clustered nodes on
+// real listeners, drives the full load through a consistent-hash
+// Router, and — mid-drive — joins a new node at 40% and decommissions
+// one at 70%, verifying afterwards that every report was accounted
+// exactly once across all engines despite the rebalances.
 //
 // Latencies are accumulated in a streaming obs.Histogram — the workers
 // observe concurrently on the hot path, exactly like the instrumented
@@ -30,10 +37,12 @@ import (
 	"os"
 	"time"
 
+	"tdp/internal/cluster"
 	"tdp/internal/core"
 	"tdp/internal/obs"
 	"tdp/internal/parallel"
 	"tdp/internal/tube"
+	"tdp/internal/wire"
 )
 
 func main() {
@@ -63,8 +72,9 @@ func run(args []string, out io.Writer) error {
 	batch := fs.Int("batch", 64, "reports per request in batch mode")
 	jobs := fs.Int("jobs", 0, "concurrent load workers (0 = one per CPU)")
 	shards := fs.Int("shards", 0, "measurement engine shards (0 = auto)")
-	mode := fs.String("mode", "batch", `ingestion mode: "single" or "batch"`)
-	compare := fs.Bool("compare", false, "run both modes and report the batch/single speedup")
+	mode := fs.String("mode", "batch", `ingestion mode: "single", "batch" or "wire"`)
+	compare := fs.Bool("compare", false, "run all modes and report the batch/single and wire/batch speedups")
+	clusterN := fs.Int("cluster", 0, "drive N clustered nodes through the consistent-hash router, with a mid-run join and leave (0 = single-node modes)")
 	stream := fs.Bool("stream", false, "attach a streaming delta subscriber to the ingest engine and verify conservation under load")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the server under load")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
@@ -82,31 +92,39 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "tubeload: %d users × %d reports = %d reports, %d workers, shards=%d\n",
 		cfg.users, cfg.reports, cfg.users*cfg.reports, parallel.Jobs(cfg.jobs), cfg.shards)
 
+	if *clusterN > 0 {
+		return runCluster(cfg, *clusterN, out)
+	}
+
 	var last *loadResult
 	if *compare {
-		single, err := runLoad(cfg, false)
+		single, err := runLoad(cfg, modeSingle)
 		if err != nil {
 			return err
 		}
 		single.print(out)
-		batched, err := runLoad(cfg, true)
+		batched, err := runLoad(cfg, modeBatch)
 		if err != nil {
 			return err
 		}
 		batched.print(out)
+		wired, err := runLoad(cfg, modeWire)
+		if err != nil {
+			return err
+		}
+		wired.print(out)
 		fmt.Fprintf(out, "batch/single speedup: %.1f× sustained reports/s\n",
 			batched.throughput()/single.throughput())
-		last = batched
+		fmt.Fprintf(out, "wire/batch speedup:   %.2f× sustained reports/s\n",
+			wired.throughput()/batched.throughput())
+		last = wired
 	} else {
-		useBatch := false
 		switch *mode {
-		case "batch":
-			useBatch = true
-		case "single":
+		case modeSingle, modeBatch, modeWire:
 		default:
-			return fmt.Errorf("unknown mode %q (want single or batch)", *mode)
+			return fmt.Errorf("unknown mode %q (want single, batch or wire)", *mode)
 		}
-		res, err := runLoad(cfg, useBatch)
+		res, err := runLoad(cfg, *mode)
 		if err != nil {
 			return err
 		}
@@ -189,9 +207,16 @@ func (r *loadResult) print(out io.Writer) {
 // with ~±20% bucket resolution (factor-1.5 geometric spacing).
 var latencyBuckets = obs.ExpBuckets(1e-6, 1.5, 40)
 
+// Single-node ingestion modes.
+const (
+	modeSingle = "single"
+	modeBatch  = "batch"
+	modeWire   = "wire"
+)
+
 // runLoad starts a fresh optimizer+server, drives the full load, and
 // verifies the accounted totals in-process before tearing down.
-func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
+func runLoad(cfg loadConfig, loadMode string) (*loadResult, error) {
 	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
 		Scenario: loadScenario(),
 		Classes:  loadClasses,
@@ -207,9 +232,25 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 	if cfg.pprof {
 		srv.EnablePprof()
 	}
-	mode := "single"
-	if useBatch {
-		mode = fmt.Sprintf("batch=%d", cfg.batch)
+	mode := loadMode
+	if loadMode != modeSingle {
+		mode = fmt.Sprintf("%s=%d", loadMode, cfg.batch)
+	}
+	var tab *wire.ClassTable
+	if loadMode == modeWire {
+		// The wire endpoint exists on clustered servers; a one-member ring
+		// makes this node own every user.
+		tab, err = wire.NewClassTable(loadClasses)
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.EnableCluster(tube.ClusterOptions{
+			SelfID:     "n0",
+			Ring:       cluster.Config{Version: 1, Members: []cluster.Member{{ID: "n0", Addr: "http://self"}}},
+			QueueDepth: 4096,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	// The harness's own registry: client-observed latency, striped so
 	// the workers' concurrent Observes stay off each other's cache lines
@@ -259,9 +300,14 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 			Transport: &http.Transport{MaxIdleConnsPerHost: 2},
 		}
 		defer client.CloseIdleConnections()
+		var enc *wire.Encoder
+		if loadMode == modeWire {
+			enc = wire.NewEncoder(tab) // encoders are single-goroutine; one per worker
+		}
 		for u := w; u < cfg.users; u += workers {
 			user := fmt.Sprintf("u%06d", u)
-			if useBatch {
+			switch loadMode {
+			case modeBatch, modeWire:
 				for lo := 0; lo < cfg.reports; lo += cfg.batch {
 					hi := min(lo+cfg.batch, cfg.reports)
 					reps := make([]tube.UsageReport, 0, hi-lo)
@@ -270,13 +316,19 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 							User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
 						})
 					}
-					d, err := postTimed(client, base+"/usage/batch", reps, http.StatusOK)
+					var d time.Duration
+					var err error
+					if loadMode == modeWire {
+						d, err = postWireTimed(client, base+"/usage/wire", enc, reps)
+					} else {
+						d, err = postTimed(client, base+"/usage/batch", reps, http.StatusOK)
+					}
 					if err != nil {
 						return err
 					}
 					lat.Observe(d.Seconds())
 				}
-			} else {
+			default:
 				for r := 0; r < cfg.reports; r++ {
 					rep := tube.UsageReport{
 						User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
@@ -294,6 +346,18 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
+	}
+	if loadMode == modeWire {
+		// Wire batches are acked on admission; flush the apply queue so
+		// the engine totals below are final.
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.DrainCluster(dctx); err != nil {
+			return nil, err
+		}
+		if shed := srv.ShedReports(); shed != 0 {
+			return nil, fmt.Errorf("wire queue shed %d reports under load", shed)
+		}
 	}
 
 	// Verify the sharded engine accounted every report exactly once.
@@ -344,6 +408,35 @@ func runLoad(cfg loadConfig, useBatch bool) (*loadResult, error) {
 
 func secondsToDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
+}
+
+// postWireTimed encodes a batch with the worker's encoder and posts it
+// to the binary ingest endpoint, requiring full acceptance.
+func postWireTimed(client *http.Client, url string, enc *wire.Encoder, reps []tube.UsageReport) (time.Duration, error) {
+	body, err := enc.Encode(reps)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url, cluster.WireContentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	var ack cluster.WireAck
+	decErr := json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	d := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if decErr != nil {
+		return 0, fmt.Errorf("POST %s: decode ack: %w", url, decErr)
+	}
+	if ack.Accepted != len(reps) || len(ack.Rejected) > 0 {
+		return 0, fmt.Errorf("POST %s: accepted %d of %d (%d rejected)",
+			url, ack.Accepted, len(reps), len(ack.Rejected))
+	}
+	return d, nil
 }
 
 func postTimed(client *http.Client, url string, payload any, wantStatus int) (time.Duration, error) {

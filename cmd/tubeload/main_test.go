@@ -41,6 +41,43 @@ func TestTubeloadSingleMode(t *testing.T) {
 	}
 }
 
+func TestTubeloadWireMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-users", "8", "-reports", "8", "-batch", "4", "-mode", "wire", "-jobs", "2"}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "wire=4:    64 reports / 16 requests") ||
+		!strings.Contains(out, "verified: 64 reports, 64 MB accounted") {
+		t.Errorf("wire mode output:\n%s", out)
+	}
+}
+
+// TestTubeloadCluster drives the clustered path end to end: 3 real
+// nodes, a join and a leave mid-stream, exactly-once verified by run()
+// itself (it returns an error on any accounting mismatch).
+func TestTubeloadCluster(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-users", "32", "-reports", "12", "-batch", "16", "-cluster", "3", "-jobs", "2"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"n3 joined (ring v2)",
+		"n1 left the ring (ring v3)",
+		"over 3→4→3 nodes",
+		"rerouted",
+		"router healed to ring v3",
+		"drop rate 0.00% (0 shed",
+		"verified: 384 reports, 384 MB accounted exactly once across 4 engines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q\n%s", want, out)
+		}
+	}
+}
+
 func TestTubeloadBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-users", "0"},
@@ -48,6 +85,7 @@ func TestTubeloadBadFlags(t *testing.T) {
 		{"-batch", "0"},
 		{"-mode", "turbo"},
 		{"-addr", "256.0.0.1:99999"},
+		{"-cluster", "1"},
 	} {
 		if err := run(args, &strings.Builder{}); err == nil {
 			t.Errorf("args %v accepted", args)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"tdp/internal/cluster"
 	"tdp/internal/core"
 	"tdp/internal/emul"
 	"tdp/internal/obs"
@@ -52,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	periods := fs.Int("periods", 12, "periods in the emulated day (≥ 2)")
 	days := fs.Int("days", 1, "emulated days to run back-to-back (each under its freshly pulled schedule)")
 	stream := fs.Bool("stream", false, "enable streaming profiling: per-period warm β re-estimation from the live ingest stream")
+	wireFlag := fs.Bool("wire", false, "report usage over the binary wire format (POST /usage/wire) instead of JSON batches")
 	streamWindow := fs.Int("stream-window", 0, "streaming profiler day window (0 = engine default)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the price server")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
@@ -114,6 +116,18 @@ func run(args []string, out io.Writer) error {
 	if *pprofFlag {
 		srv.EnablePprof()
 	}
+	if *wireFlag {
+		// The wire endpoint lives on clustered servers; a one-member ring
+		// makes this node own every user.
+		if err := srv.EnableCluster(tube.ClusterOptions{
+			SelfID: "n0",
+			Ring: cluster.Config{Version: 1, Members: []cluster.Member{
+				{ID: "n0", Addr: "http://self"},
+			}},
+		}); err != nil {
+			return err
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -135,6 +149,11 @@ func run(args []string, out io.Writer) error {
 	gui, err := tube.NewGUI(base)
 	if err != nil {
 		return err
+	}
+	if *wireFlag {
+		if err := gui.EnableWire(classes); err != nil {
+			return err
+		}
 	}
 	ctx := context.Background()
 	info, err := gui.PullPrice(ctx)
@@ -170,7 +189,16 @@ func run(args []string, out io.Writer) error {
 					})
 				}
 			}
-			if err := gui.ReportUsageBatch(ctx, batch); err != nil {
+			if *wireFlag {
+				if err := gui.ReportUsageWire(ctx, batch); err != nil {
+					return err
+				}
+				// Wire batches are acked on admission and applied by the
+				// queue worker; flush before the period rollover cut.
+				if err := srv.DrainCluster(ctx); err != nil {
+					return err
+				}
+			} else if err := gui.ReportUsageBatch(ctx, batch); err != nil {
 				return err
 			}
 			if _, err := opt.ClosePeriod(); err != nil {

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tdp/internal/ingest"
+	"tdp/internal/wire"
+)
+
+// BenchmarkRingOwner measures the hot placement lookup the router and
+// every node's admission filter run once per report.
+func BenchmarkRingOwner(b *testing.B) {
+	for _, n := range []int{3, 16} {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			ring, err := Build(Config{Version: 1, Members: testMembers(n)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := testKeys(1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ring.OwnerID(keys[i&1023])
+			}
+		})
+	}
+}
+
+// BenchmarkRouterSend drives the full data path minus the network:
+// partition by owner, encode per-owner wire frames, decode and admit on
+// in-process nodes. This is the per-batch cluster overhead on top of
+// the raw engine.
+func BenchmarkRouterSend(b *testing.B) {
+	for _, nNodes := range []int{1, 3} {
+		for _, batch := range []int{256} {
+			b.Run(fmt.Sprintf("nodes=%d/batch=%d", nNodes, batch), func(b *testing.B) {
+				tab, err := wire.NewClassTable(routerClasses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ring, err := Build(Config{Version: 1, Members: testMembers(nNodes)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sender := &memSender{nodes: make(map[string]*memNode)}
+				for _, m := range ring.Members() {
+					sender.nodes[m.ID] = newMemNode(b, m.ID, ring, tab)
+				}
+				rt, err := NewRouter(tab, ring, sender)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reps := routerReports(batch/4, 4)[:batch]
+				ctx := context.Background()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rt.Send(ctx, reps); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+			})
+		}
+	}
+}
+
+// BenchmarkShedQueuePush measures the admission-side cost of the
+// bounded queue under a running drain worker.
+func BenchmarkShedQueuePush(b *testing.B) {
+	q, err := NewShedQueue(routerClasses, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q.Start(func([]ingest.Report) {})
+	defer q.Close()
+	batch := routerReports(16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(batch)
+	}
+}

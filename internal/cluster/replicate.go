@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdp/internal/obs"
+)
+
+// Replicator pulls price snapshots from a leader node and applies them
+// locally: pull-based chain replication with at-most-one in-flight
+// pull, the simplest protocol that keeps every follower within one
+// interval of the leader without a consensus dependency. Followers can
+// themselves serve GET /cluster/snapshot from their applied copy, so a
+// large cluster can fan the pulls out in a tree instead of thundering
+// the leader.
+type Replicator struct {
+	leader   string // base URL of the node to pull from
+	client   *http.Client
+	apply    func(PriceSnapshot) error
+	interval time.Duration
+
+	lastTaken atomic.Int64 // TakenUnixNano of the newest applied snapshot
+
+	mu      sync.Mutex
+	stop    chan struct{} // guarded by mu: non-nil while running
+	wg      sync.WaitGroup
+	pulls   *obs.Counter // optional, set by Instrument before Start
+	failures *obs.Counter
+}
+
+// NewReplicator builds a replicator pulling from leaderURL every
+// interval (default 1s), applying each newer snapshot via apply.
+func NewReplicator(leaderURL string, interval time.Duration, apply func(PriceSnapshot) error) (*Replicator, error) {
+	if leaderURL == "" || apply == nil {
+		return nil, fmt.Errorf("%w: replicator needs a leader URL and an apply func", ErrBadConfig)
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Replicator{
+		leader:   leaderURL,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		apply:    apply,
+		interval: interval,
+	}, nil
+}
+
+// Instrument registers pull counters and the staleness gauge on reg.
+func (r *Replicator) Instrument(reg *obs.Registry) {
+	r.mu.Lock()
+	r.pulls = reg.Counter("cluster_replication_pulls_total", "snapshot pulls attempted", nil)
+	r.failures = reg.Counter("cluster_replication_failures_total", "snapshot pulls failed", nil)
+	r.mu.Unlock()
+	reg.GaugeFunc("cluster_replication_staleness_seconds",
+		"age of the newest applied price snapshot (-1 before the first)", nil,
+		func() float64 { return r.StalenessSeconds() })
+}
+
+// StalenessSeconds returns the age of the newest applied snapshot, or
+// -1 if none has been applied yet.
+func (r *Replicator) StalenessSeconds() float64 {
+	t := r.lastTaken.Load()
+	if t == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, t)).Seconds()
+}
+
+// PullOnce fetches the leader's snapshot and applies it if newer than
+// the last applied one (replays and reorderings are no-ops).
+func (r *Replicator) PullOnce(ctx context.Context) error {
+	r.mu.Lock()
+	pulls, failures := r.pulls, r.failures
+	r.mu.Unlock()
+	if pulls != nil {
+		pulls.Inc()
+	}
+	err := r.pullOnce(ctx)
+	if err != nil && failures != nil {
+		failures.Inc()
+	}
+	return err
+}
+
+func (r *Replicator) pullOnce(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+"/cluster/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("pull snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pull snapshot: status %d", resp.StatusCode)
+	}
+	snap, err := DecodeSnapshot(resp.Body)
+	if err != nil {
+		return err
+	}
+	if snap.TakenUnixNano <= r.lastTaken.Load() {
+		return nil // already have this one (or newer)
+	}
+	if err := r.apply(snap); err != nil {
+		return fmt.Errorf("apply snapshot: %w", err)
+	}
+	r.lastTaken.Store(snap.TakenUnixNano)
+	return nil
+}
+
+// Start launches the pull loop (one immediate pull, then one per
+// interval). Errors are counted, not fatal: replication is best-effort
+// between period closes and the staleness gauge is the alarm.
+func (r *Replicator) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		return // already running
+	}
+	stop := make(chan struct{})
+	r.stop = stop
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		tick := time.NewTicker(r.interval)
+		defer tick.Stop()
+		ctx := context.Background()
+		_ = r.PullOnce(ctx)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				_ = r.PullOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Stop halts the pull loop and waits for it to exit.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	stop := r.stop
+	r.stop = nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	r.wg.Wait()
+}

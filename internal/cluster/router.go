@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"tdp/internal/ingest"
+	"tdp/internal/obs"
+	"tdp/internal/wire"
+)
+
+// ErrRouting is returned when reports remain undeliverable after the
+// router's retry rounds (every candidate owner keeps disowning them).
+var ErrRouting = errors.New("cluster: reports undeliverable")
+
+// WireAck is the response of POST /usage/wire: how many reports the
+// node accounted (or admitted to its queue) and which it disowned.
+// Rejected indices are in the request's report order, spanning all
+// frames in the body. RingVersion is the node's current ring view, so
+// a router holding a stale ring learns it is behind and can refetch.
+type WireAck struct {
+	Accepted    int    `json:"accepted"`
+	Rejected    []int  `json:"rejected,omitempty"`
+	RingVersion uint64 `json:"ringVersion"`
+	// Queued means the batch was admitted to the node's shed queue
+	// rather than applied synchronously; Shed counts reports the
+	// admission displaced (shed-oldest overload protection).
+	Queued bool `json:"queued,omitempty"`
+	Shed   int  `json:"shed,omitempty"`
+}
+
+// Sender delivers one encoded wire body to a node. Implementations:
+// HTTPSender for real deployments, in-process fakes for the property
+// tests.
+type Sender interface {
+	SendWire(ctx context.Context, node Member, body []byte) (WireAck, error)
+}
+
+// RingFetcher is an optional Sender capability: fetch a node's current
+// ring config, used to self-heal a router whose ring is older than the
+// cluster's (the acks carry the node's version).
+type RingFetcher interface {
+	FetchRing(ctx context.Context, node Member) (Config, error)
+}
+
+// WireContentType is the media type of wire-framed request bodies.
+const WireContentType = "application/x-tube-wire"
+
+// HTTPSender posts wire bodies to node.Addr + /usage/wire.
+type HTTPSender struct {
+	Client *http.Client
+}
+
+func (s *HTTPSender) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// SendWire implements Sender over HTTP. Any 2xx with a parseable ack is
+// a protocol-level success (the ack may still reject reports).
+func (s *HTTPSender) SendWire(ctx context.Context, node Member, body []byte) (WireAck, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.Addr+"/usage/wire",
+		bytes.NewReader(body))
+	if err != nil {
+		return WireAck{}, fmt.Errorf("build request for %s: %w", node.ID, err)
+	}
+	req.Header.Set("Content-Type", WireContentType)
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return WireAck{}, fmt.Errorf("send wire to %s: %w", node.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return WireAck{}, fmt.Errorf("send wire to %s: status %d: %s", node.ID, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var ack WireAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return WireAck{}, fmt.Errorf("decode ack from %s: %w", node.ID, err)
+	}
+	return ack, nil
+}
+
+// FetchRing implements RingFetcher over GET /cluster/ring.
+func (s *HTTPSender) FetchRing(ctx context.Context, node Member) (Config, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node.Addr+"/cluster/ring", nil)
+	if err != nil {
+		return Config{}, err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return Config{}, fmt.Errorf("fetch ring from %s: %w", node.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Config{}, fmt.Errorf("fetch ring from %s: status %d", node.ID, resp.StatusCode)
+	}
+	var cfg Config
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("decode ring from %s: %w", node.ID, err)
+	}
+	return cfg, nil
+}
+
+// RouteStats summarizes one Send: how many reports went where and how
+// much ownership churn the rounds absorbed.
+type RouteStats struct {
+	Reports  int            // reports delivered
+	Rerouted int            // reports resent after an ownership rejection
+	Rounds   int            // partition→fan-out rounds taken
+	Shed     int            // reports the receiving nodes shed on admission
+	PerNode  map[string]int // accepted (or queued) reports per node ID
+}
+
+// routerMetrics is the optional obs hookup.
+type routerMetrics struct {
+	reports  *obs.Counter
+	batches  *obs.Counter
+	rerouted *obs.Counter
+	rounds   *obs.Histogram
+}
+
+// Router is the cluster-aware ingest client: it partitions a batch by
+// ring owner, encodes one wire body per owner, fans out, and resends
+// anything a node disowns (rebalance in flight) to the new owner.
+// Safe for concurrent Send calls.
+type Router struct {
+	tab       *wire.ClassTable
+	sender    Sender
+	ring      atomic.Pointer[Ring]
+	maxRounds int
+	encPool   sync.Pool // *wire.Encoder
+	met       atomic.Pointer[routerMetrics]
+}
+
+// NewRouter builds a router over a class table, an initial ring, and a
+// sender.
+func NewRouter(tab *wire.ClassTable, ring *Ring, sender Sender) (*Router, error) {
+	if tab == nil || ring == nil || sender == nil {
+		return nil, fmt.Errorf("%w: router needs table, ring and sender", ErrBadConfig)
+	}
+	rt := &Router{tab: tab, sender: sender, maxRounds: 8}
+	rt.ring.Store(ring)
+	return rt, nil
+}
+
+// Ring returns the router's current ring view.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// UpdateRing swaps the ring view if cfg is strictly newer; it returns
+// whether the swap happened.
+func (rt *Router) UpdateRing(ring *Ring) bool {
+	for {
+		cur := rt.ring.Load()
+		if ring.Version() <= cur.Version() {
+			return false
+		}
+		if rt.ring.CompareAndSwap(cur, ring) {
+			return true
+		}
+	}
+}
+
+// Instrument registers the router's counters on reg.
+func (rt *Router) Instrument(reg *obs.Registry) {
+	rt.met.Store(&routerMetrics{
+		reports:  reg.Counter("cluster_router_reports_total", "usage reports delivered through the router", nil),
+		batches:  reg.Counter("cluster_router_batches_total", "wire bodies sent to nodes", nil),
+		rerouted: reg.Counter("cluster_router_rerouted_total", "reports resent after an ownership rejection", nil),
+		rounds:   reg.Histogram("cluster_router_rounds", "partition→fan-out rounds per Send", nil, obs.ExpBuckets(1, 2, 5)),
+	})
+}
+
+func (rt *Router) encoder() *wire.Encoder {
+	if v := rt.encPool.Get(); v != nil {
+		return v.(*wire.Encoder)
+	}
+	return wire.NewEncoder(rt.tab)
+}
+
+// Send routes every report to its ring owner, retrying disowned
+// reports against refreshed ownership for up to maxRounds rounds. On
+// success every report was accepted by exactly one node: a node only
+// acks reports it owns under its current view and applies them exactly
+// once, and the router resends only explicitly rejected indices.
+func (rt *Router) Send(ctx context.Context, reports []ingest.Report) (RouteStats, error) {
+	stats := RouteStats{PerNode: make(map[string]int)}
+	if len(reports) == 0 {
+		return stats, nil
+	}
+	enc := rt.encoder()
+	defer rt.encPool.Put(enc)
+
+	pending := reports
+	var next []ingest.Report
+	for round := 0; len(pending) > 0; round++ {
+		if round >= rt.maxRounds {
+			return stats, fmt.Errorf("%w: %d reports still disowned after %d rounds",
+				ErrRouting, len(pending), round)
+		}
+		stats.Rounds = round + 1
+		ring := rt.ring.Load()
+		// Partition by owner, preserving submission order per owner (a
+		// user's reports keep their relative order: one user → one owner).
+		byOwner := make(map[string][]ingest.Report)
+		for i := range pending {
+			id := ring.OwnerID(pending[i].User)
+			byOwner[id] = append(byOwner[id], pending[i])
+		}
+		next = next[:0]
+		var newestSeen uint64
+		var newestNode Member
+		for id, part := range byOwner {
+			node, ok := ring.Member(id)
+			if !ok { // cannot happen: OwnerID comes from ring membership
+				return stats, fmt.Errorf("%w: owner %q not in ring", ErrRouting, id)
+			}
+			body, err := enc.Encode(part)
+			if err != nil {
+				return stats, err
+			}
+			ack, err := rt.sender.SendWire(ctx, node, body)
+			if err != nil {
+				return stats, err
+			}
+			if m := rt.met.Load(); m != nil {
+				m.batches.Inc()
+			}
+			accepted := len(part) - len(ack.Rejected)
+			if ack.Accepted != accepted {
+				return stats, fmt.Errorf("%w: node %s acked %d of %d with %d rejections",
+					ErrRouting, id, ack.Accepted, len(part), len(ack.Rejected))
+			}
+			stats.PerNode[id] += accepted
+			stats.Reports += accepted
+			stats.Shed += ack.Shed
+			for _, ri := range ack.Rejected {
+				if ri < 0 || ri >= len(part) {
+					return stats, fmt.Errorf("%w: node %s rejected index %d of %d",
+						ErrRouting, id, ri, len(part))
+				}
+				next = append(next, part[ri])
+			}
+			if ack.RingVersion > newestSeen {
+				newestSeen, newestNode = ack.RingVersion, node
+			}
+		}
+		if len(next) > 0 {
+			if m := rt.met.Load(); m != nil {
+				m.rerouted.Add(int64(len(next)))
+			}
+			stats.Rerouted += len(next)
+			// If a node is on a newer ring than ours, refetch before the
+			// next round — otherwise we would resend to the same owner.
+			if newestSeen > ring.Version() {
+				if rf, ok := rt.sender.(RingFetcher); ok {
+					if cfg, err := rf.FetchRing(ctx, newestNode); err == nil {
+						if fresh, err := Build(cfg); err == nil {
+							rt.UpdateRing(fresh)
+						}
+					}
+				}
+			}
+		}
+		// Fresh copy for the next round: the partition map holds copies,
+		// so nothing aliases next's backing array afterwards.
+		pending = append([]ingest.Report(nil), next...)
+	}
+	if m := rt.met.Load(); m != nil {
+		m.reports.Add(int64(stats.Reports))
+		m.rounds.Observe(float64(stats.Rounds))
+	}
+	return stats, nil
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdp/internal/obs"
+)
+
+func sampleSnapshot() PriceSnapshot {
+	return PriceSnapshot{
+		Format:        snapshotVersion,
+		Period:        5,
+		Rewards:       []float64{0, 0.1, 0.25, 0.4},
+		RingVersion:   3,
+		TakenUnixNano: 1_700_000_000_000_000_000,
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*PriceSnapshot)
+	}{
+		{"bad format", func(s *PriceSnapshot) { s.Format = 99 }},
+		{"negative period", func(s *PriceSnapshot) { s.Period = -1 }},
+		{"empty rewards", func(s *PriceSnapshot) { s.Rewards = nil }},
+		{"NaN reward", func(s *PriceSnapshot) { s.Rewards[1] = math.NaN() }},
+		{"Inf reward", func(s *PriceSnapshot) { s.Rewards[0] = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		s := sampleSnapshot()
+		tc.mut(&s)
+		if err := s.Validate(); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: %v, want ErrBadSnapshot", tc.name, err)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: Encode accepted an invalid snapshot", tc.name)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prices.snap")
+	want := sampleSnapshot()
+	if err := SaveSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != want.Period || got.RingVersion != want.RingVersion ||
+		got.TakenUnixNano != want.TakenUnixNano || len(got.Rewards) != len(want.Rewards) {
+		t.Fatalf("round trip: %+v, want %+v", got, want)
+	}
+	for i := range got.Rewards {
+		//lint:allow floateq JSON round-trips float64 exactly via shortest-form encoding
+		if got.Rewards[i] != want.Rewards[i] {
+			t.Fatalf("reward %d: %v, want %v", i, got.Rewards[i], want.Rewards[i])
+		}
+	}
+}
+
+func TestSnapshotFileCorruptRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prices.snap")
+	if err := SaveSnapshotFile(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated file.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated: %v, want ErrBadSnapshot", err)
+	}
+	// Valid JSON, invalid contents.
+	if err := os.WriteFile(path, []byte(`{"format":1,"period":-3,"rewards":[1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("invalid contents: %v, want ErrBadSnapshot", err)
+	}
+	// Missing file surfaces the underlying error, not a zero snapshot.
+	if _, err := LoadSnapshotFile(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Fatal("missing file loaded successfully")
+	}
+}
+
+func TestReplicatorPullApplyAndReplay(t *testing.T) {
+	var served atomic.Int64
+	snap := sampleSnapshot()
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/cluster/snapshot" {
+			http.NotFound(w, req)
+			return
+		}
+		served.Add(1)
+		_ = snap.Encode(w)
+	}))
+	defer leader.Close()
+
+	var applies atomic.Int64
+	var got atomic.Pointer[PriceSnapshot]
+	rep, err := NewReplicator(leader.URL, time.Hour, func(s PriceSnapshot) error {
+		applies.Add(1)
+		got.Store(&s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep.Instrument(reg)
+
+	if rep.StalenessSeconds() >= 0 {
+		t.Fatalf("staleness %v before first pull, want -1", rep.StalenessSeconds())
+	}
+	ctx := context.Background()
+	if err := rep.PullOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if applies.Load() != 1 || got.Load().Period != snap.Period {
+		t.Fatalf("first pull: applies=%d snap=%+v", applies.Load(), got.Load())
+	}
+	// Replaying the same snapshot is a no-op.
+	if err := rep.PullOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if applies.Load() != 1 {
+		t.Fatalf("replay re-applied: applies=%d", applies.Load())
+	}
+	// A newer snapshot is applied; staleness now tracks its timestamp.
+	snap.Period++
+	snap.TakenUnixNano = time.Now().UnixNano()
+	if err := rep.PullOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if applies.Load() != 2 || got.Load().Period != snap.Period {
+		t.Fatalf("newer snapshot: applies=%d snap=%+v", applies.Load(), got.Load())
+	}
+	if s := rep.StalenessSeconds(); s < 0 || s > 60 {
+		t.Fatalf("staleness %v after fresh snapshot", s)
+	}
+	if pulls := reg.Counter("cluster_replication_pulls_total", "", nil).Value(); pulls != 3 {
+		t.Fatalf("pull counter %d, want 3", pulls)
+	}
+	if fails := reg.Counter("cluster_replication_failures_total", "", nil).Value(); fails != 0 {
+		t.Fatalf("failure counter %d, want 0", fails)
+	}
+}
+
+func TestReplicatorFailuresCounted(t *testing.T) {
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer leader.Close()
+	rep, err := NewReplicator(leader.URL, time.Hour, func(PriceSnapshot) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep.Instrument(reg)
+	if err := rep.PullOnce(context.Background()); err == nil {
+		t.Fatal("pull from a 503 leader succeeded")
+	}
+	if fails := reg.Counter("cluster_replication_failures_total", "", nil).Value(); fails != 1 {
+		t.Fatalf("failure counter %d, want 1", fails)
+	}
+}
+
+func TestReplicatorStartStop(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.TakenUnixNano = time.Now().UnixNano()
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_ = snap.Encode(w)
+	}))
+	defer leader.Close()
+	applied := make(chan struct{}, 1)
+	rep, err := NewReplicator(leader.URL, 10*time.Millisecond, func(PriceSnapshot) error {
+		select {
+		case applied <- struct{}{}:
+		default:
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	rep.Start() // idempotent
+	select {
+	case <-applied:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replicator never applied a snapshot")
+	}
+	rep.Stop()
+	rep.Stop() // idempotent
+}
+
+func TestNewReplicatorValidation(t *testing.T) {
+	if _, err := NewReplicator("", time.Second, func(PriceSnapshot) error { return nil }); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty leader: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewReplicator("http://x", time.Second, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil apply: %v, want ErrBadConfig", err)
+	}
+}

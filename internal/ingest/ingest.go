@@ -42,6 +42,11 @@ import (
 // ErrBadReport is returned for invalid reports or configurations.
 var ErrBadReport = errors.New("ingest: bad report")
 
+// ErrNotOwned is returned when an ownership filter (SetFilter) rejects a
+// report's user: the report is valid but belongs to another node of the
+// cluster. The serving layer maps it to a redirect, not a client error.
+var ErrNotOwned = errors.New("ingest: user not owned by this node")
+
 // Report is one usage accounting record: volumeMB of class traffic
 // attributed to user. It is also the wire format of the TUBE server's
 // /usage and /usage/batch endpoints.
@@ -69,6 +74,27 @@ type Engine struct {
 	mask     uint32
 	met      atomic.Pointer[engineMetrics] // nil until Instrument
 	sub      subscriptions                 // delta subscribers (see subscribe.go)
+	filter   atomic.Pointer[FilterFunc]    // nil until SetFilter: cluster ownership hook
+}
+
+// FilterFunc is an ownership predicate over user keys: true means this
+// engine's node owns the user and the report may be accounted here.
+type FilterFunc func(user string) bool
+
+// SetFilter installs (or, with nil, removes) an ownership filter applied
+// to externally submitted reports: Record and RecordBatch reject reports
+// whose user the filter disowns with an error wrapping ErrNotOwned.
+// RecordBatchAdmitted bypasses the filter for batches whose ownership
+// the cluster layer already checked at admission — once a node has
+// acknowledged a batch it must account it even if the ring has since
+// moved the users, or a rebalance would silently lose acknowledged
+// reports.
+func (e *Engine) SetFilter(f FilterFunc) {
+	if f == nil {
+		e.filter.Store(nil)
+		return
+	}
+	e.filter.Store(&f)
 }
 
 // DefaultShards is the shard count used when NewEngine is given 0: the
@@ -133,19 +159,33 @@ func (e *Engine) Classes() []string { return append([]string(nil), e.classes...)
 // NumShards returns the number of lock stripes.
 func (e *Engine) NumShards() int { return len(e.shards) }
 
-// shardIdxFor maps a user to its stripe via FNV-1a (inlined to keep the
-// hot path allocation-free).
-func (e *Engine) shardIdxFor(user string) int {
+// UserHash is the FNV-1a hash placing a user key, shared by the
+// in-process shard mapping below and the cluster ring's consistent-hash
+// placement (internal/cluster), so one user's reports land on one shard
+// of one node under every topology.
+func UserHash(user string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(user); i++ {
 		h ^= uint32(user[i])
 		h *= 16777619
 	}
-	return int(h & e.mask)
+	return h
+}
+
+// shardIdxFor maps a user to its stripe via FNV-1a (inlined to keep the
+// hot path allocation-free).
+func (e *Engine) shardIdxFor(user string) int {
+	return int(UserHash(user) & e.mask)
 }
 
 // validate checks one report and resolves its class index.
 func (e *Engine) validate(r *Report) (int, error) {
+	return e.validateIn(r, true)
+}
+
+// validateIn checks one report, optionally enforcing the ownership
+// filter (admission-checked cluster batches skip it).
+func (e *Engine) validateIn(r *Report, enforceOwner bool) (int, error) {
 	if r.User == "" {
 		return 0, fmt.Errorf("empty user: %w", ErrBadReport)
 	}
@@ -155,6 +195,11 @@ func (e *Engine) validate(r *Report) (int, error) {
 	}
 	if r.VolumeMB < 0 || math.IsNaN(r.VolumeMB) {
 		return 0, fmt.Errorf("bad volume %v: %w", r.VolumeMB, ErrBadReport)
+	}
+	if enforceOwner {
+		if f := e.filter.Load(); f != nil && !(*f)(r.User) {
+			return 0, fmt.Errorf("user %q: %w", r.User, ErrNotOwned)
+		}
 	}
 	return idx, nil
 }
@@ -196,12 +241,24 @@ func (s *shard) apply(user string, classIdx int, volumeMB float64, nClasses int)
 // the batch is rejected and NOTHING is applied, so a client retrying a
 // failed batch cannot double-count its valid prefix.
 func (e *Engine) RecordBatch(reports []Report) error {
+	return e.recordBatch(reports, true)
+}
+
+// RecordBatchAdmitted accounts a batch whose ownership was already
+// checked by the cluster admission layer: the ownership filter is
+// bypassed (see SetFilter), all other validation is identical to
+// RecordBatch. Use only for reports this node has acknowledged.
+func (e *Engine) RecordBatchAdmitted(reports []Report) error {
+	return e.recordBatch(reports, false)
+}
+
+func (e *Engine) recordBatch(reports []Report, enforceOwner bool) error {
 	if len(reports) == 0 {
 		return nil
 	}
 	idxs := make([]int32, len(reports))
 	for i := range reports {
-		idx, err := e.validate(&reports[i])
+		idx, err := e.validateIn(&reports[i], enforceOwner)
 		if err != nil {
 			// All-or-nothing: the whole batch is rejected, so the whole
 			// batch counts as rejected.

@@ -2,18 +2,20 @@ package rrd
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
 
-// SaveFile persists the database to path crash-safely: the snapshot is
-// written to a temporary file in the same directory, fsynced, and then
-// atomically renamed over path. A crash at any point leaves either the
-// old complete snapshot or the new complete snapshot — never a
-// truncated one (a truncated snapshot would brick the GUI's price
-// history on restart; LoadFile rejects it, but rejecting is still
-// losing the history).
-func (db *DB) SaveFile(path string) (err error) {
+// AtomicWriteFile persists whatever write produces to path crash-safely:
+// the content is written to a temporary file in the same directory,
+// fsynced, and atomically renamed over path. A crash at any point leaves
+// either the old complete file or the new complete file — never a
+// truncated one. It is the shared persist machinery behind the RRD
+// snapshots here and the cluster price-plane snapshots
+// (internal/cluster), which have the same all-or-nothing durability
+// contract.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -25,7 +27,7 @@ func (db *DB) SaveFile(path string) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = db.Save(tmp); err != nil {
+	if err = write(tmp); err != nil {
 		return err
 	}
 	if err = tmp.Sync(); err != nil {
@@ -45,6 +47,15 @@ func (db *DB) SaveFile(path string) (err error) {
 		_ = d.Close()
 	}
 	return nil
+}
+
+// SaveFile persists the database to path crash-safely via
+// AtomicWriteFile. A crash at any point leaves either the old complete
+// snapshot or the new complete snapshot — never a truncated one (a
+// truncated snapshot would brick the GUI's price history on restart;
+// LoadFile rejects it, but rejecting is still losing the history).
+func (db *DB) SaveFile(path string) error {
+	return AtomicWriteFile(path, db.Save)
 }
 
 // LoadFile reconstructs a database from a snapshot file written by

@@ -1,0 +1,379 @@
+package tube
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdp/internal/cluster"
+	"tdp/internal/ingest"
+	"tdp/internal/obs"
+	"tdp/internal/wire"
+)
+
+// ClusterOptions configures a Server as one node of a consistent-hash
+// serving plane (DESIGN.md §13).
+type ClusterOptions struct {
+	// SelfID is this node's member ID; it must appear in Ring.Members.
+	SelfID string
+	// Ring is the initial ring configuration. Later configs arrive via
+	// PUT /cluster/ring and must carry a strictly higher Version.
+	Ring cluster.Config
+	// QueueDepth bounds the wire-ingest apply queue in batches (default
+	// 256). When full, the OLDEST queued batch is shed and counted in
+	// cluster_shed_reports_total — overload degrades visibly, never as
+	// silent latency collapse.
+	QueueDepth int
+	// LeaderURL, when non-empty, makes this node a price FOLLOWER: it
+	// pulls snapshots from the leader at that base URL and serves
+	// GET /price from the replicated schedule. Empty means this node is
+	// the leader (it runs the optimizer control loop and cuts snapshots).
+	LeaderURL string
+	// ReplicateEvery is the follower pull interval (default 1s).
+	ReplicateEvery time.Duration
+}
+
+// clusterState is the per-node cluster plane hanging off a Server.
+type clusterState struct {
+	selfID string
+	leader bool
+
+	ring    atomic.Pointer[cluster.Ring]
+	tab     *wire.ClassTable
+	decPool sync.Pool // *wire.Decoder
+	queue   *cluster.ShedQueue
+	rep     *cluster.Replicator                  // non-nil on followers
+	snap    atomic.Pointer[cluster.PriceSnapshot] // follower's applied snapshot
+
+	wireReports  *obs.Counter
+	wireRejected *obs.Counter
+	ringSwaps    *obs.Counter
+}
+
+// EnableCluster joins this server to a consistent-hash serving plane:
+// it mounts POST /usage/wire (binary batch ingest with ownership
+// enforcement and load shedding), GET/PUT /cluster/ring, and
+// GET /cluster/snapshot, and installs an ownership filter on the ingest
+// engine so the JSON paths reject misrouted users with 421. Call before
+// Serve — routes cannot be added once the server is handling requests.
+func (s *Server) EnableCluster(opts ClusterOptions) error {
+	if s.cl != nil {
+		return fmt.Errorf("cluster already enabled: %w", ErrBadInput)
+	}
+	if opts.SelfID == "" {
+		return fmt.Errorf("cluster needs a SelfID: %w", ErrBadInput)
+	}
+	ring, err := cluster.Build(opts.Ring)
+	if err != nil {
+		return err
+	}
+	if _, ok := ring.Member(opts.SelfID); !ok {
+		return fmt.Errorf("self %q not in ring: %w", opts.SelfID, ErrBadInput)
+	}
+	eng := s.opt.Measurement().Engine()
+	classes := eng.Classes()
+	tab, err := wire.NewClassTable(classes)
+	if err != nil {
+		return err
+	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = 256
+	}
+	q, err := cluster.NewShedQueue(classes, depth)
+	if err != nil {
+		return err
+	}
+	cl := &clusterState{
+		selfID: opts.SelfID,
+		leader: opts.LeaderURL == "",
+		tab:    tab,
+		queue:  q,
+	}
+	cl.decPool.New = func() any { return wire.NewDecoder(tab) }
+	cl.ring.Store(ring)
+	q.Instrument(s.reg, classes)
+	q.Start(func(batch []ingest.Report) {
+		// Admission (ownership, validity) happened before the ack; a ring
+		// move while the batch sat queued must not un-account it.
+		_ = eng.RecordBatchAdmitted(batch)
+	})
+	// The JSON ingest paths enforce ownership per the CURRENT ring view;
+	// the closure loads it atomically so ring swaps need no re-install.
+	eng.SetFilter(func(user string) bool {
+		return cl.ring.Load().Owns(cl.selfID, user)
+	})
+	if opts.LeaderURL != "" {
+		rep, err := cluster.NewReplicator(opts.LeaderURL, opts.ReplicateEvery, func(snap cluster.PriceSnapshot) error {
+			cl.snap.Store(&snap)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.Instrument(s.reg)
+		cl.rep = rep
+		rep.Start()
+	}
+	cl.wireReports = s.reg.Counter("cluster_wire_reports_total", "reports admitted over the wire ingest path", nil)
+	cl.wireRejected = s.reg.Counter("cluster_wire_rejected_total", "reports rejected as not-owned on the wire ingest path", nil)
+	cl.ringSwaps = s.reg.Counter("cluster_ring_swaps_total", "ring configurations applied", nil)
+	s.reg.GaugeFunc("cluster_ring_version", "version of the ring configuration in effect", nil,
+		func() float64 { return float64(cl.ring.Load().Version()) })
+	s.reg.GaugeFunc("cluster_owned_fraction", "fraction of the hash circle this node owns", nil,
+		func() float64 { r := cl.ring.Load(); return r.OwnedFraction(cl.selfID) })
+	s.cl = cl
+	s.handle("POST /usage/wire", "usage_wire", s.handleUsageWire)
+	s.handle("GET /cluster/ring", "ring_get", s.handleRingGet)
+	s.handle("PUT /cluster/ring", "ring_put", s.handleRingPut)
+	s.handle("GET /cluster/snapshot", "cluster_snapshot", s.handleSnapshot)
+	return nil
+}
+
+// Ring returns the node's current ring view (nil when clustering is
+// off).
+func (s *Server) Ring() *cluster.Ring {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.ring.Load()
+}
+
+// DrainCluster blocks until every admitted wire batch has been applied
+// to the ingest engine (no-op when clustering is off). Harnesses call
+// it before comparing engine totals against what they sent.
+func (s *Server) DrainCluster(ctx context.Context) error {
+	if s.cl == nil {
+		return nil
+	}
+	return s.cl.queue.Drain(ctx)
+}
+
+// ShedReports returns how many reports this node's apply queue has shed
+// under overload (0 when clustering is off).
+func (s *Server) ShedReports() int64 {
+	if s.cl == nil {
+		return 0
+	}
+	n, _ := s.cl.queue.ShedTotals()
+	return n
+}
+
+// closeCluster stops the replication loop and drains the apply queue so
+// every acked batch is accounted before shutdown returns.
+func (s *Server) closeCluster(ctx context.Context) error {
+	cl := s.cl
+	if cl == nil {
+		return nil
+	}
+	if cl.rep != nil {
+		cl.rep.Stop()
+	}
+	err := cl.queue.Drain(ctx)
+	cl.queue.Close()
+	return err
+}
+
+// maxWireBody bounds a POST /usage/wire request: two full-size frames.
+const maxWireBody = 2 * wire.DefaultMaxFrameBytes
+
+func (s *Server) handleUsageWire(w http.ResponseWriter, r *http.Request) {
+	cl := s.cl
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWireBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.rejected["usage_wire"].Inc()
+			http.Error(w, fmt.Sprintf("wire body over %d bytes", maxWireBody), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	dec := cl.decPool.Get().(*wire.Decoder)
+	defer cl.decPool.Put(dec)
+	// The queue keeps the decoded slice alive past the handler, so each
+	// request decodes into fresh storage (user strings are still
+	// interned by the decoder).
+	var reps []ingest.Report
+	for buf := body; len(buf) > 0; {
+		var n int
+		reps, n, err = dec.Decode(buf, reps)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, wire.ErrTooLarge) {
+				s.rejected["usage_wire"].Inc()
+				status = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		buf = buf[n:]
+	}
+	// Ownership is enforced against this node's CURRENT ring view:
+	// misrouted reports are rejected by index, never silently accepted,
+	// and the ack's RingVersion tells a stale router to refetch.
+	ring := cl.ring.Load()
+	owned := reps[:0]
+	var rejected []int
+	for i := range reps {
+		if ring.Owns(cl.selfID, reps[i].User) {
+			owned = append(owned, reps[i])
+		} else {
+			rejected = append(rejected, i)
+		}
+	}
+	shed := 0
+	if len(owned) > 0 {
+		shed = cl.queue.Push(owned)
+	}
+	cl.wireReports.Add(int64(len(owned)))
+	cl.wireRejected.Add(int64(len(rejected)))
+	writeJSON(w, http.StatusOK, cluster.WireAck{
+		Accepted:    len(owned),
+		Rejected:    rejected,
+		RingVersion: ring.Version(),
+		Queued:      true,
+		Shed:        shed,
+	})
+}
+
+func (s *Server) handleRingGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cl.ring.Load().Config())
+}
+
+// ringAck is the PUT /cluster/ring response: whether the config was
+// applied and the version now in effect.
+type ringAck struct {
+	Applied bool   `json:"applied"`
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleRingPut(w http.ResponseWriter, r *http.Request) {
+	var cfg cluster.Config
+	if err := decodeJSONBody(w, r, maxBatchBody, &cfg); err != nil {
+		s.httpBodyError(w, err, "ring_put", "malformed ring config")
+		return
+	}
+	next, err := cluster.Build(cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cl := s.cl
+	// Versions are monotonic: an equal-or-older config is acknowledged
+	// but not applied, so replayed or reordered pushes cannot roll the
+	// ring back.
+	for {
+		cur := cl.ring.Load()
+		if next.Version() <= cur.Version() {
+			writeJSON(w, http.StatusOK, ringAck{Applied: false, Version: cur.Version()})
+			return
+		}
+		if cl.ring.CompareAndSwap(cur, next) {
+			cl.ringSwaps.Inc()
+			writeJSON(w, http.StatusOK, ringAck{Applied: true, Version: next.Version()})
+			return
+		}
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	cl := s.cl
+	if cl.leader {
+		snap := cluster.NewPriceSnapshot(s.opt.Period(), s.opt.Schedule(), cl.ring.Load().Version())
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	// Followers re-serve their applied copy, so pulls can fan out in a
+	// tree instead of thundering the leader.
+	if snap := cl.snap.Load(); snap != nil {
+		writeJSON(w, http.StatusOK, *snap)
+		return
+	}
+	http.Error(w, "no snapshot replicated yet", http.StatusServiceUnavailable)
+}
+
+// replicatedPrice returns the follower's price view, or false when this
+// node serves prices from its own optimizer (leader or non-clustered).
+func (s *Server) replicatedPrice() (PriceInfo, bool, error) {
+	cl := s.cl
+	if cl == nil || cl.leader {
+		return PriceInfo{}, false, nil
+	}
+	snap := cl.snap.Load()
+	if snap == nil {
+		return PriceInfo{}, true, fmt.Errorf("price replica not yet synchronized")
+	}
+	return PriceInfo{
+		Period:  snap.Period,
+		Reward:  snap.Rewards[snap.Period%len(snap.Rewards)],
+		Rewards: snap.Rewards,
+	}, true, nil
+}
+
+// ClusterHealth is the cluster section of the /healthz payload.
+type ClusterHealth struct {
+	Self          string          `json:"self"`
+	Leader        bool            `json:"leader"`
+	RingVersion   uint64          `json:"ringVersion"`
+	Members       int             `json:"members"`
+	OwnedFraction float64         `json:"ownedFraction"`
+	OwnedRanges   []cluster.Range `json:"ownedRanges"`
+	// ReplicationStalenessSeconds is the age of the applied price
+	// snapshot (-1 before the first); absent on the leader.
+	ReplicationStalenessSeconds *float64 `json:"replicationStalenessSeconds,omitempty"`
+	QueuedBatches               int      `json:"queuedBatches"`
+	ShedReports                 int64    `json:"shedReports"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	Status  string         `json:"status"` // "ok", "starting", or "degraded"
+	Period  int            `json:"period"`
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// replicaStalenessLimit is how stale a follower's price snapshot may be
+// before /healthz degrades the node.
+const replicaStalenessLimit = 15 * time.Second
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{Status: "ok", Period: s.opt.Period()}
+	if cl := s.cl; cl != nil {
+		ring := cl.ring.Load()
+		shed, _ := cl.queue.ShedTotals()
+		ch := &ClusterHealth{
+			Self:          cl.selfID,
+			Leader:        cl.leader,
+			RingVersion:   ring.Version(),
+			Members:       len(ring.Members()),
+			OwnedFraction: ring.OwnedFraction(cl.selfID),
+			OwnedRanges:   ring.OwnedRanges(cl.selfID),
+			QueuedBatches: cl.queue.Depth(),
+			ShedReports:   shed,
+		}
+		if cl.rep != nil {
+			stale := cl.rep.StalenessSeconds()
+			ch.ReplicationStalenessSeconds = &stale
+			if stale < 0 {
+				h.Status = "starting"
+			} else if stale > replicaStalenessLimit.Seconds() {
+				h.Status = "degraded"
+			}
+		}
+		h.Cluster = ch
+	}
+	status := http.StatusOK
+	if h.Status != "ok" {
+		// Load balancers treat non-200 as not-ready; "starting" and
+		// "degraded" both mean "don't route new traffic here yet".
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

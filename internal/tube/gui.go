@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"time"
 
+	"tdp/internal/cluster"
 	"tdp/internal/rrd"
+	"tdp/internal/wire"
 )
 
 // GUI is the user-side TUBE client: it pulls the price exactly once per
@@ -23,6 +25,7 @@ type GUI struct {
 	pulls   int
 	last    PriceInfo
 	havePri bool
+	enc     *wire.Encoder // non-nil once EnableWire has run
 }
 
 // NewGUI builds a client for the optimizer at baseURL (no trailing slash).
@@ -125,6 +128,56 @@ func (g *GUI) ReportUsageBatch(ctx context.Context, reps []UsageReport) error {
 	}
 	if ack.Accepted != len(reps) {
 		return fmt.Errorf("batch ack %d != %d sent", ack.Accepted, len(reps))
+	}
+	return nil
+}
+
+// EnableWire switches this client to the binary batch format for
+// ReportUsageWire. The class list must match the server's ingest
+// configuration exactly — the wire frames carry a hash of it and the
+// server rejects frames built against a different table.
+func (g *GUI) EnableWire(classes []string) error {
+	tab, err := wire.NewClassTable(classes)
+	if err != nil {
+		return err
+	}
+	g.enc = wire.NewEncoder(tab)
+	return nil
+}
+
+// ReportUsageWire posts a batch in the binary wire format (EnableWire
+// first). Roughly the JSON batch path with the encode/decode cost
+// replaced by the wire codec; the server may queue the batch behind its
+// load-shedding apply queue.
+func (g *GUI) ReportUsageWire(ctx context.Context, reps []UsageReport) error {
+	if g.enc == nil {
+		return fmt.Errorf("wire format not enabled: %w", ErrBadInput)
+	}
+	frame, err := g.enc.Encode(reps)
+	if err != nil {
+		return fmt.Errorf("encode wire batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base+"/usage/wire",
+		bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("build request: %w", err)
+	}
+	req.Header.Set("Content-Type", cluster.WireContentType)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("report usage wire: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("report usage wire: status %d", resp.StatusCode)
+	}
+	var ack cluster.WireAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return fmt.Errorf("decode wire ack: %w", err)
+	}
+	if len(ack.Rejected) > 0 || ack.Accepted != len(reps) {
+		return fmt.Errorf("wire ack accepted %d of %d (%d rejected as not owned)",
+			ack.Accepted, len(reps), len(ack.Rejected))
 	}
 	return nil
 }

@@ -53,10 +53,22 @@ type Server struct {
 	reg          *obs.Registry
 	counterNames []string
 	counters     map[string]*obs.Counter
+	rejected     map[string]*obs.Counter
+
+	// cl is the cluster plane, non-nil once EnableCluster has run.
+	cl *clusterState
 
 	mu      sync.Mutex
 	httpSrv *http.Server // guarded by mu: non-nil once Serve has been called
 }
+
+// Request-body bounds: a single report is tiny, a JSON batch is capped
+// well above the largest batch the harnesses send. Oversize bodies are
+// rejected with 413 and counted in tube_http_rejected_total.
+const (
+	maxUsageBody = 64 << 10
+	maxBatchBody = 16 << 20
+)
 
 // latencyBuckets spans 1µs…8s in powers of two — wide enough for an
 // in-process handler call and a loaded listener alike.
@@ -72,6 +84,7 @@ func NewServer(opt *Optimizer) (*Server, error) {
 		mux:      http.NewServeMux(),
 		reg:      obs.NewRegistry(),
 		counters: make(map[string]*obs.Counter),
+		rejected: make(map[string]*obs.Counter),
 	}
 	s.handle("GET /price", "price", s.handlePrice)
 	s.handle("GET /history", "history", s.handleHistory)
@@ -80,6 +93,7 @@ func NewServer(opt *Optimizer) (*Server, error) {
 	s.handle("POST /usage/batch", "usage_batch", s.handleUsageBatch)
 	s.handle("GET /stats", "stats", s.handleStats)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	opt.Measurement().Engine().Instrument(s.reg)
 	if sp := opt.Stream(); sp != nil {
 		sp.Instrument(s.reg)
@@ -106,13 +120,18 @@ func (s *Server) registerStateGauges() {
 }
 
 // handle registers a route wrapped in request counting and latency
-// observation.
+// observation. Body-carrying handlers also get a rejection counter for
+// oversize payloads.
 func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 	lbl := obs.Labels{"handler": name}
 	c := s.reg.Counter("tube_http_requests_total", "HTTP requests served, by handler", lbl)
 	hist := s.reg.Histogram("tube_http_request_seconds", "HTTP request latency in seconds, by handler", lbl, latencyBuckets)
 	s.counters[name] = c
 	s.counterNames = append(s.counterNames, name)
+	if len(pattern) > 4 && (pattern[:4] == "POST" || pattern[:3] == "PUT") {
+		s.rejected[name] = s.reg.Counter("tube_http_rejected_total",
+			"requests rejected for oversized bodies, by handler", lbl)
+	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		c.Inc()
@@ -137,11 +156,15 @@ func (s *Server) EnablePprof() {
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
-// RequestCounts returns a snapshot of the per-handler request counters.
+// RequestCounts returns a snapshot of the per-handler request counters,
+// including the "<handler>_rejected" oversize-body rejections.
 func (s *Server) RequestCounts() map[string]int64 {
-	out := make(map[string]int64, len(s.counters))
+	out := make(map[string]int64, len(s.counters)+len(s.rejected))
 	for name, c := range s.counters {
 		out[name] = c.Value()
+	}
+	for name, c := range s.rejected {
+		out[name+"_rejected"] = c.Value()
 	}
 	return out
 }
@@ -171,19 +194,34 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Shutdown gracefully stops a Serve-d server: the listener closes
 // immediately, in-flight requests (usage batches mid-ingest included)
-// run to completion or until ctx expires. A server never started is a
-// no-op.
+// run to completion or until ctx expires, and a clustered node drains
+// its acked wire batches into the engine before returning. A server
+// never started still drains its cluster plane.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	if cerr := s.closeCluster(ctx); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	// A cluster follower serves the leader's replicated schedule: the
+	// whole plane publishes one price while only the leader solves.
+	if info, replicated, err := s.replicatedPrice(); replicated {
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
 	info := PriceInfo{
 		Period:  s.opt.Period(),
 		Reward:  s.opt.CurrentReward(),
@@ -239,12 +277,12 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	var rep UsageReport
-	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		http.Error(w, "malformed usage report", http.StatusBadRequest)
+	if err := decodeJSONBody(w, r, maxUsageBody, &rep); err != nil {
+		s.httpBodyError(w, err, "usage", "malformed usage report")
 		return
 	}
 	if err := s.opt.Measurement().Record(rep.User, rep.Class, rep.VolumeMB); err != nil {
-		http.Error(w, err.Error(), usageStatus(err))
+		s.usageError(w, err, []UsageReport{rep})
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -252,20 +290,59 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUsageBatch(w http.ResponseWriter, r *http.Request) {
 	var reps []UsageReport
-	if err := json.NewDecoder(r.Body).Decode(&reps); err != nil {
-		http.Error(w, "malformed usage batch", http.StatusBadRequest)
+	if err := decodeJSONBody(w, r, maxBatchBody, &reps); err != nil {
+		s.httpBodyError(w, err, "usage_batch", "malformed usage batch")
 		return
 	}
 	if err := s.opt.Measurement().RecordBatch(reps); err != nil {
 		// All-or-nothing: on error nothing was accounted, so the client
 		// can safely retry the whole batch after fixing it.
-		http.Error(w, err.Error(), usageStatus(err))
+		s.usageError(w, err, reps)
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchAck{Accepted: len(reps)})
 }
 
+// decodeJSONBody decodes a size-bounded JSON request body.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+}
+
+// httpBodyError maps a body-decode failure to 413 (over the byte bound,
+// counted per handler) or 400 (malformed).
+func (s *Server) httpBodyError(w http.ResponseWriter, err error, handler, malformed string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		if c := s.rejected[handler]; c != nil {
+			c.Inc()
+		}
+		http.Error(w, fmt.Sprintf("request body over %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, malformed, http.StatusBadRequest)
+}
+
+// usageError writes an ingest failure. A clustered node rejecting a
+// misrouted user answers 421 with an X-Tube-Owner redirect hint naming
+// the node that does own the user.
+func (s *Server) usageError(w http.ResponseWriter, err error, reps []UsageReport) {
+	if errors.Is(err, ingest.ErrNotOwned) && s.cl != nil {
+		ring := s.cl.ring.Load()
+		for i := range reps {
+			if reps[i].User != "" && !ring.Owns(s.cl.selfID, reps[i].User) {
+				w.Header().Set("X-Tube-Owner", ring.Owner(reps[i].User).Addr)
+				break
+			}
+		}
+	}
+	http.Error(w, err.Error(), usageStatus(err))
+}
+
 func usageStatus(err error) int {
+	if errors.Is(err, ingest.ErrNotOwned) {
+		// The user hashes to another node's range: misdirected request.
+		return http.StatusMisdirectedRequest
+	}
 	if errors.Is(err, ErrBadInput) || errors.Is(err, ingest.ErrBadReport) {
 		return http.StatusBadRequest
 	}

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"tdp/internal/ingest"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must reject or
+// accept without panicking, and anything it accepts must re-encode to a
+// batch that decodes identically (decode is a retraction of encode).
+func FuzzDecode(f *testing.F) {
+	tab, err := NewClassTable(testClasses)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewEncoder(tab)
+	seed, err := enc.Encode(sampleBatch(9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'T', 'W', 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(tab)
+		got, consumed, err := dec.Decode(data, nil)
+		if err != nil {
+			return
+		}
+		if consumed <= 0 || consumed > len(data) {
+			t.Fatalf("accepted frame consumed %d of %d bytes", consumed, len(data))
+		}
+		frame, err := NewEncoder(tab).Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		again, _, err := NewDecoder(tab).Decode(frame, nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !sameReports(got, again) {
+			t.Fatal("decode∘encode not idempotent on accepted input")
+		}
+	})
+}
+
+// FuzzRoundTrip builds a batch from fuzzed fields and asserts
+// decode(encode(x)) == x bit-for-bit, across both frame versions.
+func FuzzRoundTrip(f *testing.F) {
+	tab, err := NewClassTable(testClasses)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("alice", "bob", uint8(3), uint64(0x3ff0000000000000), uint64(42))
+	f.Add("", "u", uint8(0), uint64(0x7ff8000000000123), uint64(0))
+	f.Fuzz(func(t *testing.T, userA, userB string, n uint8, volBitsA, volBitsB uint64) {
+		batch := make([]ingest.Report, int(n)%33)
+		for i := range batch {
+			u, vb := userA, volBitsA
+			if i%2 == 1 {
+				u, vb = userB, volBitsB
+			}
+			batch[i] = ingest.Report{
+				User:     u,
+				Class:    testClasses[(i+int(n))%len(testClasses)],
+				VolumeMB: math.Float64frombits(vb + uint64(i)),
+			}
+		}
+		for _, v := range []byte{VersionLegacy, VersionCurrent} {
+			enc := NewEncoder(tab)
+			if err := enc.SetVersion(v); err != nil {
+				t.Fatal(err)
+			}
+			frame, err := enc.Encode(batch)
+			if err != nil {
+				t.Fatalf("v%d encode: %v", v, err)
+			}
+			got, consumed, err := NewDecoder(tab).Decode(frame, nil)
+			if err != nil {
+				t.Fatalf("v%d decode: %v", v, err)
+			}
+			if consumed != len(frame) {
+				t.Fatalf("v%d: consumed %d of %d", v, consumed, len(frame))
+			}
+			if !sameReports(batch, got) {
+				t.Fatalf("v%d round trip mismatch", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,506 @@
+// Package wire is the compact binary batch format for usage reports on
+// the cluster ingest path. JSON costs the hot path twice: encoding/json
+// allocates per report on both ends, and the text form of a (user,
+// class, volume) triple is ~60 bytes where the information content is
+// ~10. This codec replaces it with length-prefixed, CRC-guarded frames:
+//
+//	offset  size  field
+//	0       2     magic "TW"
+//	2       1     version (0 or 1)
+//	3       1     flags (reserved, must be 0)
+//	4       4     payload length, uint32 LE
+//	8       n     payload (version-specific, below)
+//	8+n     4     CRC-32 (IEEE) over bytes [0, 8+n), uint32 LE
+//
+// Version 1 payload (the default):
+//
+//	classHash uint32 LE        FNV-1a over the class names (table check)
+//	C         uvarint          class count, must match the table
+//	counts    C × uvarint      reports per class (header summary: lets a
+//	                           receiver account or shed a frame per class
+//	                           without decoding the records)
+//	U         uvarint          user-table size
+//	users     U × (uvarint len, bytes)   in order of first appearance
+//	N         uvarint          record count (== Σ counts)
+//	records   N × (uvarint userIdx, uvarint classIdx, uvarint volBits)
+//
+// volBits is bits.ReverseBytes64(math.Float64bits(v)): byte-swapping
+// moves a float's always-populated exponent bits to the low end and its
+// usually-zero low mantissa bytes to the high end, so the uvarint of an
+// integral or low-precision volume is 2–4 bytes instead of 8–10. The
+// user table amortizes each user string once per frame instead of once
+// per record — the dominant saving for per-user batches.
+//
+// Version 0 is the naive record-per-record layout (inline user string,
+// fixed 8-byte float). It exists as the cross-version compatibility
+// target: decoders accept both, encoders emit v1 unless pinned.
+//
+// Encode and decode are zero-allocation at steady state: the Encoder
+// reuses its output buffer and user-index map, the Decoder reuses its
+// user table and interns user strings across frames (the same client's
+// next frame carries the same users, so after warm-up decoded reports
+// alias interned strings instead of fresh copies).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+
+	"tdp/internal/ingest"
+)
+
+// Frame format errors. Decode errors always wrap one of these, so the
+// serving layer can distinguish garbage (reject the request) from a
+// class-table mismatch (configuration skew between nodes).
+var (
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrCorrupt    = errors.New("wire: corrupt frame")
+	ErrVersion    = errors.New("wire: unsupported frame version")
+	ErrClassTable = errors.New("wire: class table mismatch")
+	ErrTooLarge   = errors.New("wire: frame exceeds size limit")
+	ErrBadBatch   = errors.New("wire: batch not encodable")
+)
+
+const (
+	magic0 = 'T'
+	magic1 = 'W'
+
+	// VersionLegacy is the v0 record-per-record layout; VersionCurrent
+	// is the user-table + varint-packed v1 layout.
+	VersionLegacy  = 0
+	VersionCurrent = 1
+
+	headerLen  = 8
+	trailerLen = 4
+
+	// DefaultMaxFrameBytes bounds a single frame's payload; a corrupt
+	// length prefix must not make a decoder reserve gigabytes.
+	DefaultMaxFrameBytes = 16 << 20
+)
+
+// ClassTable is the shared class-name ↔ index agreement between an
+// encoder and a decoder. Frames carry an FNV-1a hash of the table so a
+// node detects a peer built against a different class list instead of
+// silently crediting the wrong class.
+type ClassTable struct {
+	names []string
+	idx   map[string]int
+	hash  uint32
+}
+
+// NewClassTable builds the agreement from the class names in index
+// order (the same slice ingest.NewEngine was given).
+func NewClassTable(classes []string) (*ClassTable, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("%w: no classes", ErrBadBatch)
+	}
+	t := &ClassTable{
+		names: append([]string(nil), classes...),
+		idx:   make(map[string]int, len(classes)),
+	}
+	h := uint32(2166136261)
+	for i, c := range classes {
+		if c == "" {
+			return nil, fmt.Errorf("%w: class %d empty", ErrBadBatch, i)
+		}
+		if _, dup := t.idx[c]; dup {
+			return nil, fmt.Errorf("%w: class %q duplicate", ErrBadBatch, c)
+		}
+		t.idx[c] = i
+		for j := 0; j < len(c); j++ {
+			h ^= uint32(c[j])
+			h *= 16777619
+		}
+		h ^= 0 // separator byte
+		h *= 16777619
+	}
+	t.hash = h
+	return t, nil
+}
+
+// Len returns the number of classes.
+func (t *ClassTable) Len() int { return len(t.names) }
+
+// Names returns the class names in index order.
+func (t *ClassTable) Names() []string { return append([]string(nil), t.names...) }
+
+// Hash returns the table's FNV-1a identity carried in every frame.
+func (t *ClassTable) Hash() uint32 { return t.hash }
+
+// Name returns the class name at index i.
+func (t *ClassTable) Name(i int) string { return t.names[i] }
+
+// Index resolves a class name.
+func (t *ClassTable) Index(name string) (int, bool) {
+	i, ok := t.idx[name]
+	return i, ok
+}
+
+// packVolume maps a float64 volume to its varint-friendly form: the
+// byte-reversed bit pattern puts the low (usually zero) mantissa bytes
+// in the varint's dropped high positions. Exact for every bit pattern,
+// NaN payloads included.
+func packVolume(v float64) uint64 { return bits.ReverseBytes64(math.Float64bits(v)) }
+
+func unpackVolume(u uint64) float64 { return math.Float64frombits(bits.ReverseBytes64(u)) }
+
+// Encoder turns report batches into frames. Not safe for concurrent
+// use; pool one per sending goroutine (the Router does).
+type Encoder struct {
+	tab     *ClassTable
+	version byte
+	buf     []byte
+	userIdx map[string]int
+	users   []string
+	counts  []uint64
+}
+
+// NewEncoder builds a v1 encoder over the class table.
+func NewEncoder(tab *ClassTable) *Encoder {
+	return &Encoder{
+		tab:     tab,
+		version: VersionCurrent,
+		userIdx: make(map[string]int),
+		counts:  make([]uint64, tab.Len()),
+	}
+}
+
+// SetVersion pins the frame version emitted (VersionLegacy for peers
+// that only speak v0).
+func (e *Encoder) SetVersion(v byte) error {
+	if v != VersionLegacy && v != VersionCurrent {
+		return fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	e.version = v
+	return nil
+}
+
+// Encode frames one batch, returning the encoder's internal buffer —
+// valid only until the next Encode call.
+func (e *Encoder) Encode(reports []ingest.Report) ([]byte, error) {
+	out, err := e.AppendFrame(e.buf[:0], reports)
+	if err != nil {
+		return nil, err
+	}
+	e.buf = out
+	return out, nil
+}
+
+// AppendFrame appends one frame holding the batch to dst and returns
+// the extended slice. Every report's class must be in the table; the
+// batch is otherwise taken as-is (engine-level validation — unknown
+// users, negative volumes — happens at the receiving node).
+func (e *Encoder) AppendFrame(dst []byte, reports []ingest.Report) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, magic0, magic1, e.version, 0, 0, 0, 0, 0)
+	var err error
+	switch e.version {
+	case VersionCurrent:
+		dst, err = e.appendPayloadV1(dst, reports)
+	case VersionLegacy:
+		dst, err = e.appendPayloadV0(dst, reports)
+	}
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := len(dst) - start - headerLen
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(payloadLen))
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+func (e *Encoder) appendPayloadV1(dst []byte, reports []ingest.Report) ([]byte, error) {
+	// Pass 1: build the user table in first-appearance order and the
+	// per-class counts.
+	clear(e.userIdx)
+	e.users = e.users[:0]
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	type rec struct{ user, class int }
+	for i := range reports {
+		r := &reports[i]
+		ci, ok := e.tab.idx[r.Class]
+		if !ok {
+			return nil, fmt.Errorf("%w: report %d class %q not in table", ErrBadBatch, i, r.Class)
+		}
+		e.counts[ci]++
+		if _, seen := e.userIdx[r.User]; !seen {
+			e.userIdx[r.User] = len(e.users)
+			e.users = append(e.users, r.User)
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, e.tab.hash)
+	dst = binary.AppendUvarint(dst, uint64(e.tab.Len()))
+	for _, c := range e.counts {
+		dst = binary.AppendUvarint(dst, c)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.users)))
+	for _, u := range e.users {
+		dst = binary.AppendUvarint(dst, uint64(len(u)))
+		dst = append(dst, u...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(reports)))
+	for i := range reports {
+		r := &reports[i]
+		dst = binary.AppendUvarint(dst, uint64(e.userIdx[r.User]))
+		dst = binary.AppendUvarint(dst, uint64(e.tab.idx[r.Class]))
+		dst = binary.AppendUvarint(dst, packVolume(r.VolumeMB))
+	}
+	return dst, nil
+}
+
+func (e *Encoder) appendPayloadV0(dst []byte, reports []ingest.Report) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint32(dst, e.tab.hash)
+	dst = binary.AppendUvarint(dst, uint64(len(reports)))
+	for i := range reports {
+		r := &reports[i]
+		ci, ok := e.tab.idx[r.Class]
+		if !ok {
+			return nil, fmt.Errorf("%w: report %d class %q not in table", ErrBadBatch, i, r.Class)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.User)))
+		dst = append(dst, r.User...)
+		dst = binary.AppendUvarint(dst, uint64(ci))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.VolumeMB))
+	}
+	return dst, nil
+}
+
+// Decoder turns frames back into report batches. Not safe for
+// concurrent use; pool one per connection-serving goroutine (the tube
+// server does).
+type Decoder struct {
+	tab      *ClassTable
+	maxFrame int
+	userTab  []string
+	intern   map[string]string
+	counts   []int64
+}
+
+// NewDecoder builds a decoder over the class table, accepting frames of
+// any supported version.
+func NewDecoder(tab *ClassTable) *Decoder {
+	return &Decoder{
+		tab:      tab,
+		maxFrame: DefaultMaxFrameBytes,
+		intern:   make(map[string]string),
+		counts:   make([]int64, tab.Len()),
+	}
+}
+
+// SetMaxFrameBytes bounds the accepted payload length (guards against a
+// corrupt or hostile length prefix).
+func (d *Decoder) SetMaxFrameBytes(n int) {
+	if n > 0 {
+		d.maxFrame = n
+	}
+}
+
+// ClassCounts returns the per-class report counts of the most recently
+// decoded frame, ordered as the class table. For v1 frames this is the
+// header summary (verified against the records during decode); for v0
+// it is tallied while decoding. The slice is reused across Decode calls.
+func (d *Decoder) ClassCounts() []int64 { return d.counts }
+
+// Decode consumes one frame from the front of buf, appends its reports
+// to dst and returns the extended slice plus the number of bytes
+// consumed. Callers loop Decode over a request body holding several
+// frames; io.EOF-style "no more frames" is len(buf) == 0 at the caller.
+func (d *Decoder) Decode(buf []byte, dst []ingest.Report) (out []ingest.Report, consumed int, err error) {
+	if len(buf) < headerLen+trailerLen {
+		return dst, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(buf), headerLen+trailerLen)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return dst, 0, fmt.Errorf("%w: bad magic %#x %#x", ErrCorrupt, buf[0], buf[1])
+	}
+	version := buf[2]
+	if version != VersionLegacy && version != VersionCurrent {
+		return dst, 0, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	if buf[3] != 0 {
+		return dst, 0, fmt.Errorf("%w: nonzero flags %#x", ErrCorrupt, buf[3])
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(buf[4:]))
+	if payloadLen > d.maxFrame {
+		return dst, 0, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, payloadLen, d.maxFrame)
+	}
+	total := headerLen + payloadLen + trailerLen
+	if len(buf) < total {
+		return dst, 0, fmt.Errorf("%w: frame claims %d bytes, have %d", ErrTruncated, total, len(buf))
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[headerLen+payloadLen:])
+	if got := crc32.ChecksumIEEE(buf[:headerLen+payloadLen]); got != wantCRC {
+		return dst, 0, fmt.Errorf("%w: CRC mismatch (got %#x, frame says %#x)", ErrCorrupt, got, wantCRC)
+	}
+	payload := buf[headerLen : headerLen+payloadLen]
+	switch version {
+	case VersionCurrent:
+		out, err = d.decodePayloadV1(payload, dst)
+	case VersionLegacy:
+		out, err = d.decodePayloadV0(payload, dst)
+	}
+	if err != nil {
+		return dst, 0, err
+	}
+	return out, total, nil
+}
+
+// uvarint reads one varint from p, returning the value and the rest.
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return v, p[n:], nil
+}
+
+// internUser returns a stable string for the user bytes, reusing the
+// allocation made the first time this user was seen.
+func (d *Decoder) internUser(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok { // no alloc: map lookup by []byte key conversion
+		return s
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}
+
+func (d *Decoder) decodePayloadV1(p []byte, dst []ingest.Report) ([]ingest.Report, error) {
+	if len(p) < 4 {
+		return dst, fmt.Errorf("%w: payload too short for class hash", ErrCorrupt)
+	}
+	if h := binary.LittleEndian.Uint32(p); h != d.tab.hash {
+		return dst, fmt.Errorf("%w: frame hash %#x, table hash %#x", ErrClassTable, h, d.tab.hash)
+	}
+	p = p[4:]
+	nc, p, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if int(nc) != d.tab.Len() {
+		return dst, fmt.Errorf("%w: frame has %d classes, table %d", ErrClassTable, nc, d.tab.Len())
+	}
+	var headerN uint64
+	for i := range d.counts {
+		c, rest, err := uvarint(p)
+		if err != nil {
+			return dst, err
+		}
+		d.counts[i] = int64(c)
+		headerN += c
+		p = rest
+	}
+	nu, p, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if nu > uint64(len(p)) { // each user needs ≥1 length byte
+		return dst, fmt.Errorf("%w: user table claims %d entries in %d bytes", ErrCorrupt, nu, len(p))
+	}
+	d.userTab = d.userTab[:0]
+	for i := uint64(0); i < nu; i++ {
+		l, rest, err := uvarint(p)
+		if err != nil {
+			return dst, err
+		}
+		if l > uint64(len(rest)) {
+			return dst, fmt.Errorf("%w: user %d length %d overruns payload", ErrCorrupt, i, l)
+		}
+		d.userTab = append(d.userTab, d.internUser(rest[:l]))
+		p = rest[l:]
+	}
+	n, p, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if n != headerN {
+		return dst, fmt.Errorf("%w: record count %d, class counts sum %d", ErrCorrupt, n, headerN)
+	}
+	if n > uint64(len(p)) { // each record is ≥3 bytes
+		return dst, fmt.Errorf("%w: %d records claimed in %d bytes", ErrCorrupt, n, len(p))
+	}
+	for i := uint64(0); i < n; i++ {
+		ui, rest, err := uvarint(p)
+		if err != nil {
+			return dst, err
+		}
+		if ui >= uint64(len(d.userTab)) {
+			return dst, fmt.Errorf("%w: record %d user index %d of %d", ErrCorrupt, i, ui, len(d.userTab))
+		}
+		ci, rest, err := uvarint(rest)
+		if err != nil {
+			return dst, err
+		}
+		if ci >= uint64(d.tab.Len()) {
+			return dst, fmt.Errorf("%w: record %d class index %d of %d", ErrCorrupt, i, ci, d.tab.Len())
+		}
+		vb, rest, err := uvarint(rest)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, ingest.Report{
+			User:     d.userTab[ui],
+			Class:    d.tab.names[ci],
+			VolumeMB: unpackVolume(vb),
+		})
+		p = rest
+	}
+	if len(p) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return dst, nil
+}
+
+func (d *Decoder) decodePayloadV0(p []byte, dst []ingest.Report) ([]ingest.Report, error) {
+	if len(p) < 4 {
+		return dst, fmt.Errorf("%w: payload too short for class hash", ErrCorrupt)
+	}
+	if h := binary.LittleEndian.Uint32(p); h != d.tab.hash {
+		return dst, fmt.Errorf("%w: frame hash %#x, table hash %#x", ErrClassTable, h, d.tab.hash)
+	}
+	p = p[4:]
+	n, p, err := uvarint(p)
+	if err != nil {
+		return dst, err
+	}
+	if n > uint64(len(p)) {
+		return dst, fmt.Errorf("%w: %d records claimed in %d bytes", ErrCorrupt, n, len(p))
+	}
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	for i := uint64(0); i < n; i++ {
+		l, rest, err := uvarint(p)
+		if err != nil {
+			return dst, err
+		}
+		if l > uint64(len(rest)) {
+			return dst, fmt.Errorf("%w: record %d user length %d overruns payload", ErrCorrupt, i, l)
+		}
+		user := d.internUser(rest[:l])
+		rest = rest[l:]
+		ci, rest, err := uvarint(rest)
+		if err != nil {
+			return dst, err
+		}
+		if ci >= uint64(d.tab.Len()) {
+			return dst, fmt.Errorf("%w: record %d class index %d of %d", ErrCorrupt, i, ci, d.tab.Len())
+		}
+		if len(rest) < 8 {
+			return dst, fmt.Errorf("%w: record %d truncated volume", ErrCorrupt, i)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		dst = append(dst, ingest.Report{User: user, Class: d.tab.names[ci], VolumeMB: v})
+		d.counts[ci]++
+		p = rest[8:]
+	}
+	if len(p) != 0 {
+		return dst, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return dst, nil
+}
