@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -38,6 +39,8 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	versionFlag := fs.String("V", "", "print version and exit (go command tool-ID handshake)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	jsonFlag := fs.Bool("json", false, "emit findings as newline-delimited JSON records on stdout")
+	ghaFlag := fs.Bool("gha", false, "emit findings as GitHub Actions ::error annotations on stdout")
 	enabled := make(map[string]*bool)
 	for _, a := range lint.Analyzers() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
@@ -90,19 +93,26 @@ func run(args []string) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if *jsonFlag {
+			return lint.RunUnitcheckerJSON(rest[0], active, os.Stderr)
+		}
 		return lint.RunUnitchecker(rest[0], active, os.Stderr)
 	}
 	if len(rest) == 0 {
 		fs.Usage()
 		return 2
 	}
-	return runStandalone(fs, rest)
+	return runStandalone(fs, rest, *jsonFlag, *ghaFlag)
 }
 
 // runStandalone handles `tubelint ./...`: it re-invokes the go command
 // with itself as the vettool, so standalone runs get exactly the
 // build-cache-driven, test-file-inclusive package view go vet has.
-func runStandalone(fs *flag.FlagSet, patterns []string) int {
+// With -json or -gha, the child processes' text findings are parsed
+// back into structured records (JSON lines and/or ::error annotations
+// on stdout); go vet's own -json flag would collide, so the output
+// flags are handled here in the parent and never forwarded.
+func runStandalone(fs *flag.FlagSet, patterns []string, jsonOut, ghaOut bool) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tubelint: cannot locate own executable: %v\n", err)
@@ -110,23 +120,66 @@ func runStandalone(fs *flag.FlagSet, patterns []string) int {
 	}
 	args := []string{"vet", "-vettool=" + self}
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name != "V" {
-			args = append(args, "-"+f.Name+"="+f.Value.String())
+		switch f.Name {
+		case "V", "json", "gha":
+			return
 		}
+		args = append(args, "-"+f.Name+"="+f.Value.String())
 	})
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+	if !jsonOut && !ghaOut {
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return ee.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "tubelint: running go vet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	emitStructured(stderr.String(), jsonOut, ghaOut)
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
 			return ee.ExitCode()
 		}
-		fmt.Fprintf(os.Stderr, "tubelint: running go vet: %v\n", err)
+		fmt.Fprintf(os.Stderr, "tubelint: running go vet: %v\n", runErr)
 		return 1
 	}
 	return 0
+}
+
+// emitStructured re-emits captured vettool stderr: finding lines become
+// JSON records and/or GitHub Actions annotations on stdout, everything
+// else (package banners, driver errors) streams back to stderr.
+func emitStructured(captured string, jsonOut, ghaOut bool) {
+	for _, line := range strings.Split(captured, "\n") {
+		if line == "" {
+			continue
+		}
+		f, ok := lint.ParseFinding(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		if jsonOut {
+			if rec, err := json.Marshal(f); err == nil {
+				fmt.Println(string(rec))
+			}
+		}
+		if ghaOut {
+			// The workflow-command grammar: %, \r, \n escaped in the
+			// message; the title carries the analyzer name.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Message)
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=tubelint %s::%s\n", f.File, f.Line, f.Col, f.Analyzer, msg)
+		}
+	}
 }
 
 // printVersion implements the -V handshake. `-V=full` must print a line

@@ -65,6 +65,73 @@ func TestFlagsHandshakeRegistersAllAnalyzers(t *testing.T) {
 	}
 }
 
+// captureStderr is captureStdout's twin for the pass-through stream.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatalf("reading pipe: %v", err)
+	}
+	return buf.String()
+}
+
+// TestEmitStructured checks the parent-side output rewriting: captured
+// vettool stderr is split into structured findings (stdout) and
+// pass-through driver noise (stderr).
+func TestEmitStructured(t *testing.T) {
+	captured := "# tdp/internal/core\n" +
+		"/x/a.go:12:3: exact comparison of floats, use tolerance (floateq)\n" +
+		"/x/b.go:7:1: message with 100% escaping needs (poolescape)\n" +
+		"tubelint: some driver error\n"
+
+	var stdout string
+	stderr := captureStderr(t, func() {
+		stdout = captureStdout(t, func() { emitStructured(captured, true, true) })
+	})
+
+	if !regexp.MustCompile(`(?m)^# tdp/internal/core$`).MatchString(stderr) ||
+		!regexp.MustCompile(`(?m)^tubelint: some driver error$`).MatchString(stderr) {
+		t.Errorf("non-finding lines not passed through to stderr:\n%s", stderr)
+	}
+
+	var jsonLines, ghaLines []string
+	for _, line := range bytes.Split([]byte(stdout), []byte("\n")) {
+		switch {
+		case bytes.HasPrefix(line, []byte("::error ")):
+			ghaLines = append(ghaLines, string(line))
+		case len(line) > 0:
+			jsonLines = append(jsonLines, string(line))
+		}
+	}
+	if len(jsonLines) != 2 || len(ghaLines) != 2 {
+		t.Fatalf("want 2 JSON + 2 ::error lines, got %d + %d:\n%s", len(jsonLines), len(ghaLines), stdout)
+	}
+	var f lint.Finding
+	if err := json.Unmarshal([]byte(jsonLines[0]), &f); err != nil {
+		t.Fatalf("JSON line does not decode: %v\n%s", err, jsonLines[0])
+	}
+	if f.File != "/x/a.go" || f.Line != 12 || f.Col != 3 || f.Analyzer != "floateq" {
+		t.Errorf("decoded finding %+v, want floateq at /x/a.go:12:3", f)
+	}
+	want := "::error file=/x/a.go,line=12,col=3,title=tubelint floateq::exact comparison of floats, use tolerance"
+	if ghaLines[0] != want {
+		t.Errorf("annotation line:\n got %q\nwant %q", ghaLines[0], want)
+	}
+	// The workflow-command grammar requires % escaping in messages.
+	if !regexp.MustCompile(`100%25 escaping`).MatchString(ghaLines[1]) {
+		t.Errorf("%% not escaped in annotation: %q", ghaLines[1])
+	}
+}
+
 // TestVersionHandshake checks the -V=full line the go command parses
 // into its action-cache tool ID.
 func TestVersionHandshake(t *testing.T) {

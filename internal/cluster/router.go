@@ -20,6 +20,11 @@ import (
 // router's retry rounds (every candidate owner keeps disowning them).
 var ErrRouting = errors.New("cluster: reports undeliverable")
 
+// ErrUnavailable classifies remote-node failures: a peer answered with a
+// non-success status (or not at all) on a cluster RPC. Callers decide
+// between retry and reroute with errors.Is(err, ErrUnavailable).
+var ErrUnavailable = errors.New("cluster: node unavailable")
+
 // WireAck is the response of POST /usage/wire: how many reports the
 // node accounted (or admitted to its queue) and which it disowned.
 // Rejected indices are in the request's report order, spanning all
@@ -81,7 +86,7 @@ func (s *HTTPSender) SendWire(ctx context.Context, node Member, body []byte) (Wi
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return WireAck{}, fmt.Errorf("send wire to %s: status %d: %s", node.ID, resp.StatusCode, bytes.TrimSpace(msg))
+		return WireAck{}, fmt.Errorf("%w: send wire to %s: status %d: %s", ErrUnavailable, node.ID, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	var ack WireAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
@@ -102,7 +107,7 @@ func (s *HTTPSender) FetchRing(ctx context.Context, node Member) (Config, error)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Config{}, fmt.Errorf("fetch ring from %s: status %d", node.ID, resp.StatusCode)
+		return Config{}, fmt.Errorf("%w: fetch ring from %s: status %d", ErrUnavailable, node.ID, resp.StatusCode)
 	}
 	var cfg Config
 	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
@@ -180,6 +185,7 @@ func (rt *Router) Instrument(reg *obs.Registry) {
 	})
 }
 
+//tubelint:pooled
 func (rt *Router) encoder() *wire.Encoder {
 	if v := rt.encPool.Get(); v != nil {
 		return v.(*wire.Encoder)

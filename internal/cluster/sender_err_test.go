@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPSenderStatusErrorsWrapSentinel pins the transport half of the
+// cluster error contract: a peer answering with a non-success status is
+// classified under ErrUnavailable, so the router (and operators' retry
+// logic) dispatch on errors.Is rather than status-string matching.
+func TestHTTPSenderStatusErrorsWrapSentinel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	s := &HTTPSender{}
+	node := Member{ID: "n1", Addr: srv.URL}
+	ctx := context.Background()
+
+	if _, err := s.SendWire(ctx, node, []byte("body")); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("SendWire on 503: %v, want cluster.ErrUnavailable", err)
+	}
+	if _, err := s.FetchRing(ctx, node); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("FetchRing on 503: %v, want cluster.ErrUnavailable", err)
+	}
+}

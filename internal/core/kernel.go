@@ -140,6 +140,8 @@ var vecPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // getVec borrows a length-n scratch slice; return its handle to vecPool
 // when done.
+//
+//tubelint:pooled
 func (k *deferKernel) getVec() ([]float64, *[]float64) {
 	vp := vecPool.Get().(*[]float64)
 	if cap(*vp) < k.n {
@@ -324,6 +326,7 @@ type wsPool struct {
 
 func (p *wsPool) init(n int) { p.n = n }
 
+//tubelint:pooled
 func (p *wsPool) get() *evalWS {
 	if w, ok := p.pool.Get().(*evalWS); ok {
 		return w

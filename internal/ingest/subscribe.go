@@ -104,6 +104,8 @@ func (e *Engine) Subscribers() int {
 }
 
 // deltaBuf borrows a zeroed per-class buffer from the pool.
+//
+//tubelint:pooled
 func (e *Engine) deltaBuf() *[]float64 {
 	if v := e.sub.pool.Get(); v != nil {
 		buf := v.(*[]float64)

@@ -165,6 +165,19 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					})
 					continue
 				}
+				// A typo'd analyzer name would suppress nothing, silently:
+				// the finding it meant to cover stays live while the
+				// author believes it handled. Validate against the full
+				// registry, not the enabled subset, so -<name>=false runs
+				// do not start reporting long-standing allows.
+				if ByName(m[1]) == nil && m[1] != "lintallow" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q (known: %s)", m[1], analyzerNames()),
+						Analyzer: "lintallow",
+					})
+					continue
+				}
 				pos := fset.Position(c.Pos())
 				idx.add(pos.Filename, pos.Line, m[1])
 				// A standalone comment line also covers the next line.

@@ -11,6 +11,90 @@ import (
 // anywhere in the field's doc or trailing comment.
 var guardedRe = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
 
+// tubelintRe matches a //tubelint:<markers> annotation comment. markers
+// is a comma-separated list of lowercase marker names; prose may follow
+// after the list. Like //go: directives, the marker must start the
+// comment — a mid-comment mention ("see //tubelint:pooled") is prose,
+// not an annotation, so documentation about the grammar cannot
+// annotate its own declarations.
+var tubelintRe = regexp.MustCompile(`^//tubelint:([a-z]+(?:,[a-z]+)*)`)
+
+// Markers understood by the suite. Unknown markers are reported by
+// collectStructs/collectPooledFuncs so typos cannot silently disable
+// enforcement.
+const (
+	markerNoalias = "noalias" // type: aliasret opts the type in
+	markerPooled  = "pooled"  // func: results are pool-backed (poolescape source)
+	markerCow     = "cow"     // field: copy-on-write, read-only after load (cowmut source)
+)
+
+var knownMarkers = map[string]bool{
+	markerNoalias: true,
+	markerPooled:  true,
+	markerCow:     true,
+}
+
+// markersIn collects every //tubelint: marker present in the comment
+// groups, in the order encountered. Nil groups are skipped, so callers
+// can pass doc and trailing comments unconditionally.
+func markersIn(groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if m := tubelintRe.FindStringSubmatch(c.Text); m != nil {
+				out = append(out, strings.Split(m[1], ",")...)
+			}
+		}
+	}
+	return out
+}
+
+// hasMarker reports whether the comment groups carry the marker, and
+// reports unknown marker names through pass (once per occurrence) when
+// pass is non-nil.
+func hasMarker(pass *Pass, marker string, pos func() ast.Node, groups ...*ast.CommentGroup) bool {
+	found := false
+	for _, m := range markersIn(groups...) {
+		if m == marker {
+			found = true
+		}
+		if pass != nil && !knownMarkers[m] {
+			pass.Reportf(pos().Pos(), "unknown //tubelint: marker %q (known: cow, noalias, pooled)", m)
+		}
+	}
+	return found
+}
+
+// collectPooledFuncs returns the declared functions and methods whose
+// doc carries //tubelint:pooled, keyed by their types.Object: their
+// results come from a sync.Pool and obey the poolescape contract.
+// Marker-typo reporting runs only when report is true (poolescape
+// reports; other analyzers share the structs walk, which reports there).
+func collectPooledFuncs(pass *Pass, report bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	var rp *Pass
+	if report {
+		rp = pass
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasMarker(rp, markerPooled, func() ast.Node { return fd }, fd.Doc) {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // structInfo is the annotation-derived model of one struct type in the
 // package under analysis.
 type structInfo struct {
@@ -19,7 +103,8 @@ type structInfo struct {
 	// guarded maps mutex field name → set of fields annotated
 	// `// guarded by <mutex>`.
 	guarded map[string]map[string]bool
-	noalias bool // type carries //tubelint:noalias
+	noalias bool            // type carries //tubelint:noalias
+	cow     map[string]bool // fields annotated //tubelint:cow (read-only after load)
 }
 
 // guardedBy returns the mutex that guards field, or "".
@@ -69,19 +154,15 @@ func collectStructs(pass *Pass, report bool) map[string]*structInfo {
 					name:    ts.Name.Name,
 					mutexes: make(map[string]bool),
 					guarded: make(map[string]map[string]bool),
+					cow:     make(map[string]bool),
 				}
 				// Type-level markers may sit on the TypeSpec or, for a
 				// single-spec declaration, on the GenDecl.
-				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
-					if doc == nil {
-						continue
-					}
-					for _, c := range doc.List {
-						if strings.HasPrefix(strings.TrimSpace(c.Text), "//tubelint:noalias") {
-							si.noalias = true
-						}
-					}
+				var rp *Pass
+				if report {
+					rp = pass
 				}
+				si.noalias = hasMarker(rp, markerNoalias, func() ast.Node { return ts }, gd.Doc, ts.Doc, ts.Comment)
 				// First pass: find the mutex fields.
 				for _, fld := range st.Fields.List {
 					if !isMutexField(pass, fld) {
@@ -91,8 +172,14 @@ func collectStructs(pass *Pass, report bool) map[string]*structInfo {
 						si.mutexes[name.Name] = true
 					}
 				}
-				// Second pass: bind guarded annotations.
+				// Second pass: bind guarded and cow annotations.
 				for _, fld := range st.Fields.List {
+					fld := fld
+					if hasMarker(rp, markerCow, func() ast.Node { return fld }, fld.Doc, fld.Comment) {
+						for _, name := range fld.Names {
+							si.cow[name.Name] = true
+						}
+					}
 					mu := guardAnnotation(fld)
 					if mu == "" {
 						continue

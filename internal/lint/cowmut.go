@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cowmut enforces the copy-on-write discipline behind every
+// atomic.Pointer in the streaming and cluster planes (the PR 6
+// subscriber registry, the PR 7 ring and price-snapshot views): a value
+// reached through atomic.Pointer.Load — or through a field annotated
+// //tubelint:cow — is an immutable published snapshot. Readers hold it
+// lock-free, so writing through it (element or field assignment,
+// append into its backing array, copy/clear/sort over it) is a data
+// race with every concurrent reader even when the writer holds the
+// registry's update mutex: mutate a fresh copy and Store that instead.
+//
+// Taint follows the shared dataflow-lite def-use engine: anything
+// assigned from a Load (dereferences, slices, and fields included) is
+// read-only. Known mutators are the builtins append/copy/clear (with
+// the loaded value as destination) and the sort package's in-place
+// sorts. Calling a method on a loaded value is not flagged — internally
+// synchronized fields (counters, gauges) behind a published pointer are
+// the repo's metrics idiom.
+var Cowmut = &Analyzer{
+	Name: "cowmut",
+	Doc:  "flags mutations of values loaded from atomic.Pointer or //tubelint:cow fields: copy-on-write snapshots are read-only after Load",
+	Run:  runCowmut,
+}
+
+func runCowmut(pass *Pass) error {
+	structs := collectStructs(pass, false)
+
+	// cowField reports whether sel reads a field annotated
+	// //tubelint:cow, resolved through the selection's receiver type so
+	// same-named fields on other structs do not match.
+	cowField := func(sel *ast.SelectorExpr) bool {
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return false
+		}
+		tn := namedTypeName(pass.Pkg, selection.Recv())
+		if tn == "" {
+			return false
+		}
+		si := structs[tn]
+		return si != nil && si.cow[sel.Sel.Name]
+	}
+
+	funcBodies(pass, func(fd *ast.FuncDecl) {
+		source := func(e ast.Expr) bool {
+			switch e := e.(type) {
+			case *ast.CallExpr:
+				return isMethodCallOn(pass, e, "sync/atomic", "Pointer", "Load")
+			case *ast.SelectorExpr:
+				return cowField(e)
+			}
+			return false
+		}
+		taint := newTaint(pass, fd.Body, source)
+		if len(taint.TaintedObjects()) == 0 {
+			// Still scan: direct writes like p.Load().f = x need no local.
+			hasDirect := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && source(e) {
+					hasDirect = true
+					return false
+				}
+				return true
+			})
+			if !hasDirect {
+				return
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if root := cowWriteRoot(taint, lhs); root != nil {
+						pass.Reportf(lhs.Pos(), "write through a copy-on-write value in %s; concurrent readers hold this snapshot lock-free — mutate a fresh copy and Store it", fd.Name.Name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if root := cowWriteRoot(taint, n.X); root != nil {
+					pass.Reportf(n.Pos(), "write through a copy-on-write value in %s; concurrent readers hold this snapshot lock-free — mutate a fresh copy and Store it", fd.Name.Name)
+				}
+			case *ast.CallExpr:
+				reportCowMutatorCall(pass, fd, taint, n)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// cowWriteRoot reports whether an assignment target writes *through* a
+// tainted value — an index, dereference, or field rooted at one — as
+// opposed to rebinding a tainted local (legal: the local now aliases
+// something else). It returns the offending root expression, or nil.
+func cowWriteRoot(taint *taintTracker, lhs ast.Expr) ast.Expr {
+	e := unparen(lhs)
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		if taint.Tainted(x.X) {
+			return x.X
+		}
+	case *ast.StarExpr:
+		if taint.Tainted(x.X) {
+			return x.X
+		}
+	case *ast.SelectorExpr:
+		if taint.Tainted(x.X) {
+			return x.X
+		}
+	}
+	return nil
+}
+
+// reportCowMutatorCall flags the known mutators applied to a
+// copy-on-write value: append growing into its backing array, copy or
+// clear with it as destination, and the sort package's in-place sorts.
+func reportCowMutatorCall(pass *Pass, fd *ast.FuncDecl, taint *taintTracker, call *ast.CallExpr) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "append":
+				if len(call.Args) > 0 && taint.Tainted(call.Args[0]) {
+					pass.Reportf(call.Pos(), "append onto a copy-on-write slice in %s may write into the shared backing array — build a fresh slice (make+copy) and Store it", fd.Name.Name)
+				}
+			case "copy", "clear":
+				if len(call.Args) > 0 && taint.Tainted(call.Args[0]) {
+					pass.Reportf(call.Pos(), "%s into a copy-on-write value in %s races every concurrent reader — mutate a fresh copy and Store it", obj.Name(), fd.Name.Name)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+			return
+		}
+		for _, a := range call.Args {
+			if taint.Tainted(a) {
+				pass.Reportf(call.Pos(), "sort.%s over a copy-on-write value in %s reorders the shared snapshot in place — sort a fresh copy and Store it", fun.Sel.Name, fd.Name.Name)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Dataflow-lite: a shared intra-procedural def-use engine for the
+// concurrency-contract analyzers (poolescape, cowmut, errwrapped,
+// guardorder). It deliberately stops far short of SSA: taint is a
+// per-function fixpoint over assignment chains (flow-insensitive — a
+// variable once bound to a source value stays tainted even if later
+// rebound), because every invariant it backs is "this value must never
+// reach that sink inside one function", and the pooled/COW values the
+// repo actually passes around live for a handful of statements. The
+// one-level call expansion mirrors locksplit's: annotated or summarized
+// callees act as sources/acquires at their call site, nothing deeper.
+
+// taintTracker computes which local objects of one function may alias a
+// value produced by a source expression, and answers aliasing queries
+// about arbitrary expressions in the function body.
+type taintTracker struct {
+	pass *Pass
+	// source reports whether an expression directly produces a tracked
+	// value (a sync.Pool.Get call, an atomic.Pointer.Load call, a read
+	// of a //tubelint:cow field, ...).
+	source func(e ast.Expr) bool
+	// tainted holds the local objects bound (possibly transitively) to a
+	// source value.
+	tainted map[types.Object]bool
+}
+
+// newTaint builds the def-use closure for fn's body: any object assigned
+// from a source expression — or from an expression that dereferences,
+// indexes, slices, asserts, or selects from a tainted object — joins the
+// set. The loop iterates to a fixpoint so chains like a := src();
+// b := a[i]; c := b.f resolve regardless of statement order.
+func newTaint(pass *Pass, body *ast.BlockStmt, source func(e ast.Expr) bool) *taintTracker {
+	t := &taintTracker{pass: pass, source: source, tainted: make(map[types.Object]bool)}
+	for {
+		before := len(t.tainted)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				t.bindAssign(n)
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if t.Tainted(v) {
+						for _, name := range n.Names {
+							t.add(name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && t.Tainted(n.X) {
+					if id, ok := unparen(n.Value).(*ast.Ident); ok {
+						t.add(id)
+					}
+				}
+			}
+			return true
+		})
+		if len(t.tainted) == before {
+			return t
+		}
+	}
+}
+
+// bindAssign propagates taint through one assignment or short variable
+// declaration, including the multi-value form v, h := source().
+func (t *taintTracker) bindAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			if t.Tainted(n.Rhs[i]) {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					t.add(id)
+				}
+			}
+		}
+		return
+	}
+	// Multi-value RHS (call, type assertion, map index): a tainted RHS
+	// taints every LHS — for a pooled getter returning (buf, handle),
+	// both must be tracked.
+	if len(n.Rhs) == 1 && t.Tainted(n.Rhs[0]) {
+		for _, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				t.add(id)
+			}
+		}
+	}
+}
+
+func (t *taintTracker) add(id *ast.Ident) {
+	obj := t.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = t.pass.TypesInfo.Uses[id]
+	}
+	if obj != nil {
+		t.tainted[obj] = true
+	}
+}
+
+// Tainted reports whether e may evaluate to (or alias the backing store
+// of) a source value.
+func (t *taintTracker) Tainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	e = unparen(e)
+	if t.source != nil && t.source(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := t.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = t.pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && t.tainted[obj]
+	case *ast.SelectorExpr:
+		return t.Tainted(e.X)
+	case *ast.IndexExpr:
+		return t.Tainted(e.X)
+	case *ast.SliceExpr:
+		return t.Tainted(e.X)
+	case *ast.StarExpr:
+		return t.Tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return t.Tainted(e.X)
+	case *ast.UnaryExpr:
+		return t.Tainted(e.X)
+	case *ast.CallExpr:
+		// A conversion of a tainted value stays tainted; real calls are
+		// only tainted when the source predicate says so (handled above).
+		if len(e.Args) == 1 {
+			if tv, ok := t.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return t.Tainted(e.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// TaintedObjects returns the raw object set (for closure-capture scans).
+func (t *taintTracker) TaintedObjects() map[types.Object]bool { return t.tainted }
+
+// capturesTainted reports whether the function literal's body references
+// any tainted object of the enclosing function.
+func (t *taintTracker) capturesTainted(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := t.pass.TypesInfo.Uses[id]; obj != nil && t.tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// escapeRoot walks an assignment target to its base and classifies where
+// a store lands: "" for a plain local (no escape), "field" for a store
+// through a selector on non-tainted state, "global" for a package-level
+// variable. Stores into storage the tracker already taints (wiring one
+// pooled buffer into its own pooled workspace) do not escape.
+func (t *taintTracker) escapeRoot(lhs ast.Expr) string {
+	e := unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = unparen(x.X)
+			continue
+		case *ast.StarExpr:
+			e = unparen(x.X)
+			continue
+		case *ast.SelectorExpr:
+			if t.Tainted(x.X) {
+				return ""
+			}
+			// Selection on a package: the target is a global.
+			if id, ok := unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := t.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					return "global"
+				}
+			}
+			return "field"
+		case *ast.Ident:
+			if obj := t.pass.TypesInfo.Uses[x]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && v.Parent() == t.pass.Pkg.Scope() {
+					return "global"
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// funcBodies yields every declared function in the pass with a body,
+// skipping test files. The callback receives the declaration so analyzers
+// can consult receiver, name, and doc comments.
+func funcBodies(pass *Pass, fn func(fd *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// walkShallow traverses stmts of a function body without descending into
+// nested function literals, so per-function event streams (returns, Put
+// calls, sends) are not polluted by closure bodies.
+func walkShallow(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// namedTypeOf resolves an expression's static type to a named type
+// declared in the package under analysis, unwrapping pointers and
+// generic instantiations. It returns the type name, or "".
+func namedTypeOf(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return ""
+	}
+	return namedTypeName(pass.Pkg, tv.Type)
+}
+
+func namedTypeName(pkg *types.Package, t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	named = named.Origin()
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg() != pkg {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isMethodCallOn reports whether call invokes a method named one of
+// names on a receiver whose type is declared in pkgPath (e.g. "sync" /
+// "sync/atomic"), resolving through go/types so local wrappers with the
+// same method name do not match.
+func isMethodCallOn(pass *Pass, call *ast.CallExpr, pkgPath, typeName string, names ...string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+// calleeObject resolves the called function or method to its
+// types.Object (nil for builtins, func values, and interface methods
+// without a concrete declaration in this package's type info).
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// pkgLastElement returns the final slash-separated element of the
+// package path ("tdp/internal/tube" → "tube").
+func pkgLastElement(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

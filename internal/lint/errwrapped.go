@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Errwrapped pins the sentinel-error contract PR 6's wrapping audit
+// established across the serving planes: every public entry point of
+// tube, ingest, estimate, cluster, and wire classifies its failures
+// under a package sentinel (ErrBadInput, ErrBadReport, ErrCorrupt, …)
+// so callers dispatch with errors.Is instead of string matching. The
+// audit was pinned only by tests; this analyzer pins the source: an
+// exported function or method in those packages that returns a freshly
+// constructed error — errors.New, or fmt.Errorf without a %w verb —
+// breaks the chain, because nothing errors.Is-reachable sits below it.
+//
+// Pass-through returns (err from a callee), bare sentinel returns, and
+// fmt.Errorf carrying %w are all legal: intra-procedurally the %w chain
+// is assumed to reach a sentinel (the callee wrapped, or the wrapped
+// value is one). Construction through a single local is traced by the
+// def-use engine (`err := fmt.Errorf("..."); return err`).
+var Errwrapped = &Analyzer{
+	Name: "errwrapped",
+	Doc:  "flags exported functions in the serving packages returning constructed errors that do not wrap a package sentinel with %w",
+	Run:  runErrwrapped,
+}
+
+// errwrappedPackages are the serving planes under the contract, matched
+// against the final element of the package path.
+var errwrappedPackages = map[string]bool{
+	"tube":     true,
+	"ingest":   true,
+	"estimate": true,
+	"cluster":  true,
+	"wire":     true,
+}
+
+func runErrwrapped(pass *Pass) error {
+	if !errwrappedPackages[pkgLastElement(pass.Pkg)] {
+		return nil
+	}
+
+	funcBodies(pass, func(fd *ast.FuncDecl) {
+		if !fd.Name.IsExported() {
+			return
+		}
+		if typ, _ := receiverTypeName(fd); typ != "" && !ast.IsExported(typ) {
+			return // method on an unexported type: not part of the package API
+		}
+		if !returnsError(pass, fd) {
+			return
+		}
+
+		// One-level def-use: locals assigned a bare construction. The
+		// map holds the offending call so the diagnostic lands on the
+		// return, where the fix goes.
+		bare := make(map[types.Object]*ast.CallExpr)
+		walkShallow(fd.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, lhs := range asg.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if call := bareConstruction(pass, asg.Rhs[i]); call != nil {
+					bare[obj] = call
+				} else {
+					delete(bare, obj) // rebound to something legal
+				}
+			}
+			return true
+		})
+
+		walkShallow(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if !isErrorExpr(pass, res) {
+					continue
+				}
+				res := unparen(res)
+				var offending *ast.CallExpr
+				if call := bareConstruction(pass, res); call != nil {
+					offending = call
+				} else if id, ok := res.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						offending = bare[obj]
+					}
+				}
+				if offending != nil {
+					pass.Reportf(res.Pos(), "exported %s returns a constructed error with no %%w to a package sentinel; errors.Is callers cannot classify it — wrap ErrBadInput/ErrCorrupt/… (or a wrapped callee error) with fmt.Errorf(...%%w...)", fd.Name.Name)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// bareConstruction returns the call when e constructs an error that
+// cannot reach a sentinel: errors.New(...), or fmt.Errorf whose constant
+// format string has no %w verb. Errorf with a non-constant format is
+// given the benefit of the doubt.
+func bareConstruction(pass *Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	switch {
+	case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+		return call
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return nil // dynamic format: assume the caller knows
+		}
+		if strings.Contains(constant.StringVal(tv.Value), "%w") {
+			return nil
+		}
+		return call
+	}
+	return nil
+}
+
+// returnsError reports whether fd's signature includes an error result.
+func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		if tv, ok := pass.TypesInfo.Types[res.Type]; ok {
+			if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isErrorExpr reports whether the expression's static type is error.
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -37,6 +37,24 @@ func TestFloateq(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.Floateq, "floateq")
 }
 
+func TestPoolescape(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Poolescape, "poolescape")
+}
+
+func TestCowmut(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Cowmut, "cowmut")
+}
+
+func TestErrwrapped(t *testing.T) {
+	// The contract keys off the import path's last element: the tube
+	// fixture is under it, the other fixture must stay silent.
+	linttest.Run(t, "testdata/src", lint.Errwrapped, "errwrapped/tube", "errwrapped/other")
+}
+
+func TestGuardorder(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Guardorder, "guardorder")
+}
+
 // runOnSource type-checks one synthetic file and runs a single analyzer
 // over it, for grammar-level tests that don't warrant a fixture tree.
 func runOnSource(t *testing.T, src string, a *lint.Analyzer) []lint.Diagnostic {
@@ -87,6 +105,35 @@ func f(a, b float64) bool {
 	}
 }
 
+func TestAllowUnknownAnalyzerReported(t *testing.T) {
+	// A typo'd analyzer name suppresses nothing silently; the index must
+	// say so, and the intended diagnostic must still fire.
+	src := `package p
+
+func f(a, b float64) bool {
+	return a == b //lint:allow floateqq misspelled on purpose
+}
+`
+	diags := runOnSource(t, src, lint.Floateq)
+	var sawUnknown, sawFloateq bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintallow":
+			if strings.Contains(d.Message, `unknown analyzer "floateqq"`) {
+				sawUnknown = true
+			}
+		case "floateq":
+			sawFloateq = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("typo'd //lint:allow analyzer name not reported; got %v", diags)
+	}
+	if !sawFloateq {
+		t.Errorf("typo'd //lint:allow suppressed the diagnostic anyway; got %v", diags)
+	}
+}
+
 func TestAllowOnSameLine(t *testing.T) {
 	src := `package p
 
@@ -99,8 +146,11 @@ func f(a, b float64) bool {
 	}
 }
 
-func TestSuiteRegistersAllFive(t *testing.T) {
-	want := []string{"structclone", "locksplit", "aliasret", "globalrand", "floateq"}
+func TestSuiteRegistersAllNine(t *testing.T) {
+	want := []string{
+		"structclone", "locksplit", "aliasret", "globalrand", "floateq",
+		"poolescape", "cowmut", "errwrapped", "guardorder",
+	}
 	got := lint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -11,10 +11,31 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"tdp/internal/lint"
 )
+
+// Fixture loads are shared across every Run call in the process: one
+// loader per source root, so the nine-analyzer suite type-checks each
+// fixture package (and the stdlib behind it) once, not once per
+// analyzer. The mutex also serializes Load for parallel subtests.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*lint.FixtureLoader{}
+)
+
+func loadShared(srcRoot, pkg string) (*lint.Unit, error) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	fl := loaders[srcRoot]
+	if fl == nil {
+		fl = lint.NewFixtureLoader(srcRoot)
+		loaders[srcRoot] = fl
+	}
+	return fl.Load(pkg)
+}
 
 // wantRe extracts the comment payload after "// want".
 var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
@@ -34,7 +55,7 @@ func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgs ...string) {
 		pkg := pkg
 		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
 			t.Helper()
-			unit, err := lint.LoadFixture(srcRoot, pkg)
+			unit, err := loadShared(srcRoot, pkg)
 			if err != nil {
 				t.Fatalf("loading fixture %s: %v", pkg, err)
 			}

@@ -16,9 +16,33 @@ import (
 // LoadFixture type-checks the fixture package at importPath inside a
 // GOPATH-style tree rooted at srcRoot (testdata/src), resolving
 // intra-fixture imports from the tree and the rest from the standard
-// library. It is the entry point for the linttest harness.
+// library. Each call pays for a fresh loader — including a fresh
+// source-mode stdlib importer; harnesses running many analyzers over
+// many fixtures should hold one FixtureLoader instead.
 func LoadFixture(srcRoot, importPath string) (*Unit, error) {
 	return newFixtureLoader(srcRoot).load(importPath)
+}
+
+// A FixtureLoader is a reusable fixture type-checker: loaded packages
+// AND the source-importer's std-library work are cached across Load
+// calls, so a suite running nine analyzers over a dozen fixtures
+// type-checks each package (and sync, sort, fmt, …) once instead of
+// once per analyzer. Analyzers never mutate a Unit, so sharing the
+// result is safe; Load itself is not safe for concurrent use — guard
+// it if tests run in parallel.
+type FixtureLoader struct {
+	l *fixtureLoader
+}
+
+// NewFixtureLoader returns a loader for the GOPATH-style tree at
+// srcRoot (conventionally testdata/src).
+func NewFixtureLoader(srcRoot string) *FixtureLoader {
+	return &FixtureLoader{l: newFixtureLoader(srcRoot)}
+}
+
+// Load type-checks (or returns the cached) fixture package.
+func (fl *FixtureLoader) Load(importPath string) (*Unit, error) {
+	return fl.l.load(importPath)
 }
 
 // fixtureLoader type-checks a GOPATH-style tree of fixture packages

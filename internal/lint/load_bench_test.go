@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tdp/internal/lint"
+)
+
+// The two shapes of a nine-analyzer suite run over one fixture: the
+// historical per-analyzer reload (each Run call paid a fresh loader,
+// re-type-checking the package and the stdlib behind it nine times)
+// versus one shared FixtureLoader (type-check once, analyze nine
+// times). The delta is the cost satellite work in PR 8 removed from
+// every linttest suite run.
+
+func BenchmarkFixtureLoadPerAnalyzer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for range lint.Analyzers() {
+			if _, err := lint.LoadFixture("testdata/src", "floateq"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFixtureLoadShared(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fl := lint.NewFixtureLoader("testdata/src")
+		for range lint.Analyzers() {
+			if _, err := fl.Load("floateq"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

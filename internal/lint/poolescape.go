@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Poolescape enforces the workspace-pooling contract the PR 5 evaluation
+// kernels and the PR 6 ingest delta buffers live on: a value obtained
+// from a sync.Pool (or from a function annotated //tubelint:pooled) is
+// scratch on loan. It must not outlive the borrowing function — storing
+// it to a field or global, sending it on a channel, capturing it in a
+// goroutine or escaping closure, or returning it hands a buffer to code
+// that will race the pool's next Get — and every borrow must be paid
+// back: each Get needs a matching Put (or release closure call) on every
+// return path, or the pool silently degrades to an allocator.
+//
+// Functions annotated //tubelint:pooled are accessors by design: they
+// may return the borrowed value, and their callers inherit the contract
+// (the call site is a source, exactly like a literal pool.Get). The Put
+// analysis is source-order per return path, not a CFG proof: a return
+// after a Get with no Put between them on any textual path is flagged;
+// a deferred Put (or deferred release closure) satisfies every path.
+// Release recognition: (*sync.Pool).Put, any call whose callee name
+// contains "put", "release", or "free" taking the tainted value (or its
+// handle) as an argument, and calls of a tainted func value (the
+// `s, put := getScratch(n); defer put()` idiom).
+var Poolescape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "flags pooled values that escape (field/global store, channel send, goroutine/closure capture, return) or lack a Put on a return path",
+	Run:  runPoolescape,
+}
+
+func runPoolescape(pass *Pass) error {
+	pooledFuncs := collectPooledFuncs(pass, true)
+
+	funcBodies(pass, func(fd *ast.FuncDecl) {
+		fdIsPooled := hasMarker(nil, markerPooled, func() ast.Node { return fd }, fd.Doc)
+
+		// Sources: sync.Pool Get calls and calls to annotated functions.
+		source := func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if isMethodCallOn(pass, call, "sync", "Pool", "Get") {
+				return true
+			}
+			if obj := calleeObject(pass, call); obj != nil && pooledFuncs[obj] {
+				return true
+			}
+			return false
+		}
+
+		taint := newTaint(pass, fd.Body, source)
+
+		// Collect the per-function event stream in source order: borrow
+		// sites, releases, and returns. Closure bodies are excluded — a
+		// deferred closure's Put is found separately below.
+		var (
+			gets    []token.Pos
+			puts    []token.Pos
+			returns []*ast.ReturnStmt
+		)
+		deferredPut := false
+
+		isRelease := func(call *ast.CallExpr) bool {
+			if isMethodCallOn(pass, call, "sync", "Pool", "Put") {
+				for _, a := range call.Args {
+					if taint.Tainted(a) {
+						return true
+					}
+				}
+				return false
+			}
+			// Calling a tainted func value releases (the paired put
+			// closure returned by a pooled accessor).
+			if taint.Tainted(call.Fun) {
+				return true
+			}
+			name := ""
+			switch fun := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			lower := strings.ToLower(name)
+			if !strings.Contains(lower, "put") && !strings.Contains(lower, "release") && !strings.Contains(lower, "free") {
+				return false
+			}
+			for _, a := range call.Args {
+				if taint.Tainted(a) {
+					return true
+				}
+			}
+			return false
+		}
+
+		walkShallow(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if source(n) {
+					gets = append(gets, n.Pos())
+				}
+				if isRelease(n) {
+					puts = append(puts, n.Pos())
+				}
+
+			case *ast.DeferStmt:
+				// A deferred Put — direct or inside the deferred closure —
+				// releases on every path, panic included.
+				ast.Inspect(n.Call, func(d ast.Node) bool {
+					if call, ok := d.(*ast.CallExpr); ok && isRelease(call) {
+						deferredPut = true
+					}
+					return true
+				})
+				if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(d ast.Node) bool {
+						if call, ok := d.(*ast.CallExpr); ok && isRelease(call) {
+							deferredPut = true
+						}
+						return true
+					})
+				}
+				return false
+
+			case *ast.ReturnStmt:
+				returns = append(returns, n)
+				for _, res := range n.Results {
+					if taint.Tainted(res) && !fdIsPooled {
+						pass.Reportf(res.Pos(), "%s returns a pooled value; the caller's copy races the pool's next Get — copy it out, or annotate the function //tubelint:pooled to pass the contract on", fd.Name.Name)
+					}
+				}
+
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := ast.Expr(nil)
+					if len(n.Lhs) == len(n.Rhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil || !taint.Tainted(rhs) {
+						continue
+					}
+					switch taint.escapeRoot(lhs) {
+					case "field":
+						pass.Reportf(lhs.Pos(), "pooled value stored to a field in %s; it outlives the borrow and races the pool's next Get — copy it, or keep the reference local", fd.Name.Name)
+					case "global":
+						pass.Reportf(lhs.Pos(), "pooled value stored to a global in %s; it outlives the borrow and races the pool's next Get — copy it, or keep the reference local", fd.Name.Name)
+					}
+				}
+
+			case *ast.SendStmt:
+				if taint.Tainted(n.Value) {
+					pass.Reportf(n.Value.Pos(), "pooled value sent on a channel in %s; the receiver races the pool's next Get — send a copy", fd.Name.Name)
+				}
+
+			case *ast.GoStmt:
+				if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok && taint.capturesTainted(lit) {
+					pass.Reportf(n.Pos(), "goroutine captures a pooled value in %s; it outlives the borrowing call — copy what it needs before go", fd.Name.Name)
+				}
+				for _, a := range n.Call.Args {
+					if taint.Tainted(a) {
+						pass.Reportf(a.Pos(), "pooled value passed to a goroutine in %s; it outlives the borrowing call — pass a copy", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+
+		// Escaping closures: a FuncLit that captures a pooled value is
+		// fine when invoked on the borrowing goroutine (immediately,
+		// deferred, assigned to a local and handed to a synchronous
+		// callee — the dominant eval-closure idiom), an escape when it
+		// leaves the call stack: returned, stored to a field or global,
+		// or sent on a channel.
+		reportEscapingClosures(pass, fd, taint, fdIsPooled)
+
+		// Put matching. Pooled accessors hand the contract to their
+		// callers; everyone else must release every borrow.
+		if fdIsPooled || len(gets) == 0 || deferredPut {
+			return
+		}
+		if len(puts) == 0 {
+			pass.Reportf(gets[0], "pooled value obtained in %s is never returned to the pool (no Put on any path) — the pool degrades to an allocator", fd.Name.Name)
+			return
+		}
+		for _, g := range gets {
+			for _, ret := range returns {
+				if ret.Pos() < g {
+					continue
+				}
+				ok := false
+				for _, p := range puts {
+					if p > g && p <= ret.Pos() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					pass.Reportf(ret.Pos(), "return path in %s leaks a pooled value obtained at line %d (no Put between Get and this return) — release before returning, or defer the Put", fd.Name.Name, pass.Fset.Position(g).Line)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// reportEscapingClosures flags function literals that capture pooled
+// values in positions that outlive the call stack: returned, stored to
+// a field or global, sent on a channel, or passed into a go statement.
+// A literal invoked immediately, deferred, or bound to a local and
+// handed to a synchronous callee runs on the borrowing goroutine before
+// the enclosing function's release discipline completes, so it stays
+// legal (intra-procedurally we assume callees do not retain closure
+// arguments past the call; DESIGN.md §14 records the assumption).
+// Pooled accessors are exempt: their returned release closure is how
+// the contract travels to the caller.
+func reportEscapingClosures(pass *Pass, fd *ast.FuncDecl, taint *taintTracker, fdIsPooled bool) {
+	capturing := func(e ast.Expr) (*ast.FuncLit, bool) {
+		lit, ok := unparen(e).(*ast.FuncLit)
+		if !ok {
+			return nil, false
+		}
+		return lit, taint.capturesTainted(lit)
+	}
+	walkShallow(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if fdIsPooled {
+				return true
+			}
+			for _, res := range n.Results {
+				if lit, bad := capturing(res); bad {
+					pass.Reportf(lit.Pos(), "%s returns a closure capturing a pooled value; the capture outlives the borrow — copy what it needs first, or annotate the accessor //tubelint:pooled", fd.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				lit, bad := capturing(rhs)
+				if !bad || i >= len(n.Lhs) {
+					continue
+				}
+				if root := taint.escapeRoot(n.Lhs[i]); root != "" {
+					pass.Reportf(lit.Pos(), "closure capturing a pooled value is stored to a %s in %s; the capture outlives the borrow — copy what it needs first", root, fd.Name.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if lit, bad := capturing(n.Value); bad {
+				pass.Reportf(lit.Pos(), "closure capturing a pooled value is sent on a channel in %s; the receiver outlives the borrow — send a copy of the data instead", fd.Name.Name)
+			}
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				if lit, bad := capturing(a); bad {
+					pass.Reportf(lit.Pos(), "closure capturing a pooled value is passed to a goroutine in %s; it outlives the borrowing call — copy what it needs before go", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -10,6 +10,10 @@ func Analyzers() []*Analyzer {
 		Aliasret,
 		Globalrand,
 		Floateq,
+		Poolescape,
+		Cowmut,
+		Errwrapped,
+		Guardorder,
 	}
 }
 
@@ -21,4 +25,17 @@ func ByName(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// analyzerNames returns the registered names, comma-separated, for
+// diagnostics about the //lint:allow grammar.
+func analyzerNames() string {
+	names := ""
+	for i, a := range Analyzers() {
+		if i > 0 {
+			names += ", "
+		}
+		names += a.Name
+	}
+	return names
 }

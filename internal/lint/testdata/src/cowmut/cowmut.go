@@ -1,0 +1,108 @@
+// Package cowmut holds cowmut's cases, built around a faithful
+// reconstruction of the PR 6 subscriber registry (a copy-on-write
+// slice published through atomic.Pointer) and the PR 7 price-snapshot
+// table, plus the mutation shapes the analyzer must refuse: in-place
+// element writes, appends into the shared backing array, and the
+// builtin/sort mutators aimed at a loaded snapshot.
+package cowmut
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// registry reconstructs the PR 6 delta-subscriber registry.
+type registry struct {
+	subs atomic.Pointer[[]chan int]
+}
+
+// addInPlace is the historical defect shape: writing through the loaded
+// snapshot that concurrent readers hold lock-free.
+func (r *registry) addInPlace(c chan int) {
+	p := r.subs.Load()
+	(*p)[0] = c // want "write through a copy-on-write value"
+}
+
+// addCOW is the fix: mutate a fresh copy, Store that.
+func (r *registry) addCOW(c chan int) {
+	cur := r.subs.Load()
+	next := make([]chan int, 0, 8)
+	if cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, c)
+	r.subs.Store(&next)
+}
+
+// appendShared grows into the published backing array: capacity
+// permitting, the write lands in memory readers are iterating.
+func (r *registry) appendShared(c chan int) {
+	p := r.subs.Load()
+	s := *p
+	_ = append(s, c) // want "append onto a copy-on-write slice"
+}
+
+// snapshotCopy reads out of the snapshot — copy with the loaded value
+// as the source is exactly the sanctioned direction.
+func (r *registry) snapshotCopy() []chan int {
+	p := r.subs.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]chan int, len(*p))
+	copy(out, *p)
+	return out
+}
+
+// prices reconstructs the PR 7 snapshot table: rows is handed to
+// readers without a lock and is frozen from the moment it is published.
+type prices struct {
+	rows []float64 //tubelint:cow
+	gen  int
+}
+
+func (t *prices) bumpInPlace(i int) {
+	t.rows[i]++ // want "write through a copy-on-write value"
+}
+
+func (t *prices) zeroInPlace() {
+	clear(t.rows) // want "clear into a copy-on-write value"
+}
+
+func (t *prices) overwrite(src []float64) {
+	copy(t.rows, src) // want "copy into a copy-on-write value"
+}
+
+func (t *prices) sortInPlace() {
+	sort.Float64s(t.rows) // want "sort.Float64s over a copy-on-write value"
+}
+
+// refresh is the legal publish: build a fresh slice, then rebind the
+// field — replacing the snapshot is fine, mutating it is not.
+func (t *prices) refresh(src []float64) {
+	next := make([]float64, len(src))
+	copy(next, src)
+	t.rows = next
+	t.gen++
+}
+
+// counterbox/metrics is the repo's metrics idiom: the fields behind the
+// published pointer are internally synchronized, so method calls on the
+// loaded value stay legal.
+type counterbox struct{ n atomic.Int64 }
+
+type metrics struct {
+	box atomic.Pointer[counterbox]
+}
+
+func (m *metrics) inc() {
+	if b := m.box.Load(); b != nil {
+		b.n.Add(1)
+	}
+}
+
+// scratchMutate documents a sanctioned in-place write (construction
+// phase, before the value is published).
+func (t *prices) scratchMutate() {
+	t.rows[0] = 0 //lint:allow cowmut table is private until the constructor publishes it
+}

@@ -1,0 +1,11 @@
+// Package other sits outside the serving planes (its import path does
+// not end in tube/ingest/estimate/cluster/wire), so the sentinel
+// contract does not apply and nothing here may be flagged.
+package other
+
+import "fmt"
+
+// Fail constructs freely: the contract is scoped, not global.
+func Fail() error {
+	return fmt.Errorf("not under the contract")
+}

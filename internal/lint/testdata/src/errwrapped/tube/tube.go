@@ -1,0 +1,88 @@
+// Package tube reconstructs the PR 6/7 GUI-client error paths that the
+// errwrapped audit fixed: exported entry points of the serving planes
+// returning freshly constructed errors with no %w chain to a package
+// sentinel, so errors.Is callers were reduced to string matching. The
+// fixture's import path ends in "tube", putting it under the contract.
+package tube
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRemote is the package sentinel the contract wraps toward.
+var ErrRemote = errors.New("tube: remote request failed")
+
+// Client stands in for the GUI HTTP client.
+type Client struct{ pulls int }
+
+// PullPrice is the historical defect: a status error constructed
+// inline, classifiable only by string matching.
+func (c *Client) PullPrice(status int) error {
+	if status != 200 {
+		return fmt.Errorf("pull price: status %d", status) // want "returns a constructed error with no %w"
+	}
+	c.pulls++
+	return nil
+}
+
+// PullPriceWrapped is the fixed form: the sentinel rides the %w chain.
+func (c *Client) PullPriceWrapped(status int) error {
+	if status != 200 {
+		return fmt.Errorf("%w: pull price: status %d", ErrRemote, status)
+	}
+	c.pulls++
+	return nil
+}
+
+// Configure constructs through a local; the def-use trace still lands
+// the diagnostic on the return, where the fix goes.
+func Configure(addr string) error {
+	if addr == "" {
+		err := errors.New("empty address")
+		return err // want "returns a constructed error with no %w"
+	}
+	return nil
+}
+
+// Rebind legalizes itself before returning: the bare construction is
+// overwritten by a wrapped one.
+func Rebind(status int) error {
+	err := errors.New("transient")
+	err = fmt.Errorf("%w: status %d", ErrRemote, status)
+	return err
+}
+
+// Validate returns the sentinel itself — the shortest legal chain.
+func Validate(n int) error {
+	if n < 0 {
+		return ErrRemote
+	}
+	return nil
+}
+
+// Format has a dynamic format string and gets the benefit of the doubt.
+func Format(f string) error {
+	return fmt.Errorf(f)
+}
+
+// helper is unexported: not part of the package API, free to construct.
+func helper() error { return errors.New("internal detail") }
+
+// conn is unexported, so its exported-looking method is still internal.
+type conn struct{ open bool }
+
+func (c *conn) Dial() error {
+	if c.open {
+		return nil
+	}
+	return errors.New("not open")
+}
+
+// touch keeps the unexported cases referenced.
+func touch(c *conn) error {
+	if err := helper(); err != nil {
+		_ = c.Dial()
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package guardorder holds guardorder's cases, reconstructing the PR 6
+// close-period coupling: the optimizer holds its own mutex across the
+// billing-ledger fold and the streaming-estimator refine, so every
+// critical section it enters nests other package mutexes. One inverted
+// nesting anywhere and two period closes deadlock each other.
+package guardorder
+
+import "sync"
+
+// ledger stands in for the billing ledger.
+type ledger struct {
+	mu  sync.Mutex
+	tot float64
+}
+
+// stream stands in for the streaming estimator.
+type stream struct {
+	mu sync.Mutex
+	n  int
+}
+
+// opt stands in for the optimizer that coordinates both.
+type opt struct {
+	mu sync.Mutex
+	l  *ledger
+	s  *stream
+}
+
+// closeAB is the forward direction: opt.mu, then ledger.mu.
+func (o *opt) closeAB() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.l.mu.Lock() // want "acquires ledger.mu while holding opt.mu"
+	o.l.tot = 0
+	o.l.mu.Unlock()
+}
+
+// foldBA is the inversion: ledger.mu, then opt.mu. Interleaved with
+// closeAB this deadlocks.
+func (l *ledger) foldBA(o *opt) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o.mu.Lock() // want "acquires opt.mu while holding ledger.mu"
+	o.mu.Unlock()
+}
+
+// fold locks its own receiver; callers inherit the acquire through the
+// one-level expansion.
+func (s *stream) fold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// closeVia nests stream.mu only transitively, through the fold call.
+func (o *opt) closeVia() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.s.fold() // want `acquires stream.mu while holding opt.mu \(via fold\)`
+}
+
+// replanBad inverts the closeVia order directly.
+func (s *stream) replanBad(o *opt) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o.mu.Lock() // want "acquires opt.mu while holding stream.mu"
+	o.mu.Unlock()
+}
+
+// closeConsistent repeats closeAB's direction: consistent nesting adds
+// no new hazard and no new report.
+func (o *opt) closeConsistent() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.l.mu.Lock()
+	o.l.tot++
+	o.l.mu.Unlock()
+}
+
+// sequential holds the two mutexes one after the other, never nested:
+// release-before-acquire imposes no order.
+func (o *opt) sequential() {
+	o.l.mu.Lock()
+	o.l.tot = 0
+	o.l.mu.Unlock()
+	o.s.mu.Lock()
+	o.s.n = 0
+	o.s.mu.Unlock()
+}

@@ -10,7 +10,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 )
 
@@ -49,9 +51,52 @@ type VetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// A Finding is one diagnostic in the machine-readable -json output:
+// newline-delimited JSON records, one per finding, stable field names.
+// The CI lint job turns these into GitHub Actions annotations.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// findingRe parses the text form a unitchecker child process prints:
+// path:line:col: message (analyzer). The standalone driver uses it to
+// recover structured records from `go vet` stderr.
+var findingRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*) \((\w+)\)$`)
+
+// ParseFinding recovers a Finding from one line of unitchecker text
+// output, reporting ok=false for lines in any other shape (package
+// banners, driver errors), which stream through untouched.
+func ParseFinding(line string) (Finding, bool) {
+	m := findingRe.FindStringSubmatch(line)
+	if m == nil {
+		return Finding{}, false
+	}
+	l, err1 := strconv.Atoi(m[2])
+	c, err2 := strconv.Atoi(m[3])
+	if err1 != nil || err2 != nil {
+		return Finding{}, false
+	}
+	return Finding{File: m[1], Line: l, Col: c, Message: m[4], Analyzer: m[5]}, true
+}
+
 // RunUnitchecker executes the vet protocol for one vet.cfg file and
-// returns the process exit code. Diagnostics go to w.
+// returns the process exit code. Diagnostics go to w as
+// file:line:col: message (analyzer) text lines.
 func RunUnitchecker(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	return runUnitchecker(cfgFile, analyzers, w, false)
+}
+
+// RunUnitcheckerJSON is RunUnitchecker with -json output: diagnostics
+// are emitted as newline-delimited Finding records instead of text.
+func RunUnitcheckerJSON(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	return runUnitchecker(cfgFile, analyzers, w, true)
+}
+
+func runUnitchecker(cfgFile string, analyzers []*Analyzer, w io.Writer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintf(w, "tubelint: %v\n", err)
@@ -89,6 +134,17 @@ func RunUnitchecker(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
 		return 0
 	}
 	for _, d := range diags {
+		if jsonOut {
+			pos := unit.Fset.Position(d.Pos)
+			rec, err := json.Marshal(Finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			if err == nil {
+				fmt.Fprintf(w, "%s\n", rec)
+			}
+			continue
+		}
 		fmt.Fprintf(w, "%s: %s (%s)\n", unit.Fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 	return 2

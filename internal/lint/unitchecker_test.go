@@ -1,0 +1,152 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdp/internal/lint"
+)
+
+// writeUnitFixture lays out a one-file, import-free package plus a
+// hand-built vet.cfg for it — the minimal honest instance of the go
+// vet driver protocol (no export data needed when nothing is imported).
+// The source carries one floateq violation so runs produce exactly one
+// finding.
+func writeUnitFixture(t *testing.T) (cfgPath, goFile, vetx string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile = filepath.Join(dir, "p.go")
+	src := `package p
+
+func equalish(a, b float64) bool {
+	return a == b
+}
+`
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	vetx = filepath.Join(dir, "p.vetx")
+	cfg := lint.VetConfig{
+		ID:         "p",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "p",
+		GoFiles:    []string{goFile},
+		ImportMap:  map[string]string{},
+		VetxOutput: vetx,
+		GoVersion:  "go1.22",
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal cfg: %v", err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatalf("writing cfg: %v", err)
+	}
+	return cfgPath, goFile, vetx
+}
+
+func TestUnitcheckerTextFindings(t *testing.T) {
+	cfgPath, goFile, vetx := writeUnitFixture(t)
+	var out bytes.Buffer
+	code := lint.RunUnitchecker(cfgPath, lint.Analyzers(), &out)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (findings present)\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one finding line, got %d:\n%s", len(lines), out.String())
+	}
+	f, ok := lint.ParseFinding(lines[0])
+	if !ok {
+		t.Fatalf("finding line %q does not parse back", lines[0])
+	}
+	if f.Analyzer != "floateq" || f.File != goFile || f.Line != 4 {
+		t.Errorf("parsed finding %+v, want floateq at %s:4", f, goFile)
+	}
+	// The facts file must exist even though tubelint records no facts:
+	// the go command caches on its presence.
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestUnitcheckerJSONFindings(t *testing.T) {
+	cfgPath, goFile, _ := writeUnitFixture(t)
+	var out bytes.Buffer
+	code := lint.RunUnitcheckerJSON(cfgPath, lint.Analyzers(), &out)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2\n%s", code, out.String())
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var recs []lint.Finding
+	for dec.More() {
+		var f lint.Finding
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("output is not NDJSON Finding records: %v\n%s", err, out.String())
+		}
+		recs = append(recs, f)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 JSON finding, got %d", len(recs))
+	}
+	if recs[0].Analyzer != "floateq" || recs[0].File != goFile || recs[0].Line != 4 || recs[0].Col == 0 {
+		t.Errorf("JSON finding %+v, want floateq at %s:4 with a column", recs[0], goFile)
+	}
+}
+
+func TestUnitcheckerMalformedCfg(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := lint.RunUnitchecker(bad, lint.Analyzers(), &out); code != 1 {
+		t.Errorf("malformed cfg: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "parsing") {
+		t.Errorf("malformed cfg produced no parse diagnostic: %q", out.String())
+	}
+	if code := lint.RunUnitchecker(filepath.Join(dir, "missing.cfg"), lint.Analyzers(), &out); code != 1 {
+		t.Errorf("missing cfg: exit %d, want 1", code)
+	}
+}
+
+func TestUnitcheckerCleanPackageExitsZero(t *testing.T) {
+	cfgPath, goFile, _ := writeUnitFixture(t)
+	clean := `package p
+
+func sum(a, b float64) float64 { return a + b }
+`
+	if err := os.WriteFile(goFile, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := lint.RunUnitchecker(cfgPath, lint.Analyzers(), &out); code != 0 {
+		t.Errorf("clean package: exit %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestParseFindingRejectsOtherLines(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"# tdp/internal/core",
+		"tubelint: running go vet: exit status 1",
+		"a.go:12: missing column (floateq)",
+		"a.go:12:3: no analyzer suffix",
+	} {
+		if _, ok := lint.ParseFinding(line); ok {
+			t.Errorf("ParseFinding(%q) = ok, want reject", line)
+		}
+	}
+	f, ok := lint.ParseFinding("/x/a.go:12:3: exact comparison of floats (floateq)")
+	if !ok || f.File != "/x/a.go" || f.Line != 12 || f.Col != 3 || f.Analyzer != "floateq" {
+		t.Errorf("ParseFinding round-trip failed: %+v ok=%v", f, ok)
+	}
+}

@@ -110,6 +110,8 @@ var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // getScratch returns a length-n scratch slice (contents unspecified) and a
 // put function returning it to the pool.
+//
+//tubelint:pooled
 func getScratch(n int) ([]float64, func()) {
 	sp := scratchPool.Get().(*[]float64)
 	if cap(*sp) < n {

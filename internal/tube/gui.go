@@ -58,7 +58,7 @@ func (g *GUI) PullPrice(ctx context.Context) (PriceInfo, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return PriceInfo{}, fmt.Errorf("pull price: status %d", resp.StatusCode)
+		return PriceInfo{}, fmt.Errorf("%w: pull price: status %d", ErrRemote, resp.StatusCode)
 	}
 	var info PriceInfo
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
@@ -95,7 +95,7 @@ func (g *GUI) ReportUsage(ctx context.Context, rep UsageReport) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("report usage: status %d", resp.StatusCode)
+		return fmt.Errorf("%w: report usage: status %d", ErrRemote, resp.StatusCode)
 	}
 	return nil
 }
@@ -120,14 +120,14 @@ func (g *GUI) ReportUsageBatch(ctx context.Context, reps []UsageReport) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("report usage batch: status %d", resp.StatusCode)
+		return fmt.Errorf("%w: report usage batch: status %d", ErrRemote, resp.StatusCode)
 	}
 	var ack BatchAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		return fmt.Errorf("decode batch ack: %w", err)
 	}
 	if ack.Accepted != len(reps) {
-		return fmt.Errorf("batch ack %d != %d sent", ack.Accepted, len(reps))
+		return fmt.Errorf("%w: batch ack %d != %d sent", ErrRemote, ack.Accepted, len(reps))
 	}
 	return nil
 }
@@ -169,15 +169,15 @@ func (g *GUI) ReportUsageWire(ctx context.Context, reps []UsageReport) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("report usage wire: status %d", resp.StatusCode)
+		return fmt.Errorf("%w: report usage wire: status %d", ErrRemote, resp.StatusCode)
 	}
 	var ack cluster.WireAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		return fmt.Errorf("decode wire ack: %w", err)
 	}
 	if len(ack.Rejected) > 0 || ack.Accepted != len(reps) {
-		return fmt.Errorf("wire ack accepted %d of %d (%d rejected as not owned)",
-			ack.Accepted, len(reps), len(ack.Rejected))
+		return fmt.Errorf("%w: wire ack accepted %d of %d (%d rejected as not owned)",
+			ErrRemote, ack.Accepted, len(reps), len(ack.Rejected))
 	}
 	return nil
 }
@@ -196,7 +196,7 @@ func (g *GUI) FetchBill(ctx context.Context, user string) (Statement, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Statement{}, fmt.Errorf("fetch bill: status %d", resp.StatusCode)
+		return Statement{}, fmt.Errorf("%w: fetch bill: status %d", ErrRemote, resp.StatusCode)
 	}
 	var st Statement
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {

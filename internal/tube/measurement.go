@@ -22,6 +22,12 @@ import (
 // ErrBadInput is returned for invalid engine inputs.
 var ErrBadInput = errors.New("tube: invalid input")
 
+// ErrRemote classifies server-side failures seen by the GUI client: a
+// non-success HTTP status or an ack that contradicts what was sent.
+// Callers distinguish transport errors (returned unwrapped from
+// net/http) from protocol failures with errors.Is(err, ErrRemote).
+var ErrRemote = errors.New("tube: remote request failed")
+
 // Measurement is the measurement engine: per-user, per-class byte
 // accounting for the current period, the role IPtables counters play in
 // the paper's prototype. It is a thin adapter over the sharded
