@@ -52,6 +52,7 @@ func catalogue() []experiment {
 		{"fixedduration", "Appendix G fixed-duration (streaming) sessions", func() (renderer, error) { return experiments.FixedDuration() }},
 		{"loop", "full Fig. 1 control loop with profiling feedback", func() (renderer, error) { return experiments.Loop() }},
 		{"weeklong", "multi-day control loop over the emulated testbed", func() (renderer, error) { return experiments.WeekLong(5) }},
+		{"mechzoo", "pricing-mechanism zoo head-to-head (static48)", func() (renderer, error) { return experiments.MechanismZoo() }},
 	}
 }
 

@@ -32,8 +32,8 @@ type loadNode struct {
 
 func newLoadNode(cfg loadConfig, i int) (*loadNode, error) {
 	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
-		Scenario: loadScenario(),
-		Classes:  loadClasses,
+		Scenario: cfg.optScenario(),
+		Classes:  cfg.optClasses(),
 		Shards:   cfg.shards,
 	})
 	if err != nil {
@@ -139,6 +139,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 
 	// The full report stream, user-interleaved so every wire batch spans
 	// owners, pre-sliced into router batches.
+	classes := cfg.optClasses()
 	total := cfg.users * cfg.reports
 	batches := make([][]ingest.Report, 0, (total+cfg.batch-1)/cfg.batch)
 	cur := make([]ingest.Report, 0, cfg.batch)
@@ -146,7 +147,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 		for u := 0; u < cfg.users; u++ {
 			cur = append(cur, ingest.Report{
 				User:     fmt.Sprintf("u%06d", u),
-				Class:    loadClasses[r%len(loadClasses)],
+				Class:    classes[r%len(classes)],
 				VolumeMB: 1,
 			})
 			if len(cur) == cfg.batch {
@@ -159,7 +160,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 		batches = append(batches, cur)
 	}
 
-	tab, err := wire.NewClassTable(loadClasses)
+	tab, err := wire.NewClassTable(classes)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTubeloadConfig(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", "../../examples/scenarios/static12.json",
+		"-users", "6", "-reports", "8", "-batch", "4", "-jobs", "2"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"workload config: static12 (12 periods, 10 classes)",
+		"verified: 48 reports, 48 MB accounted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTubeloadBadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x", "scenario": {"periods": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}, &strings.Builder{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "missing.json")}, &strings.Builder{}); err == nil {
+		t.Error("missing config accepted")
+	}
+}

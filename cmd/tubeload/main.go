@@ -41,6 +41,7 @@ import (
 	"tdp/internal/core"
 	"tdp/internal/obs"
 	"tdp/internal/parallel"
+	"tdp/internal/scfg"
 	"tdp/internal/tube"
 	"tdp/internal/wire"
 )
@@ -62,6 +63,26 @@ type loadConfig struct {
 	stream     bool
 	pprof      bool
 	metricsOut string
+	// scenario and classes parameterize the optimizer under load; nil
+	// falls back to the built-in 12-period deployment.
+	scenario *core.Scenario
+	classes  []string
+}
+
+// optScenario returns the deployment the optimizer runs under load.
+func (c *loadConfig) optScenario() *core.Scenario {
+	if c.scenario != nil {
+		return c.scenario.Clone()
+	}
+	return loadScenario()
+}
+
+// optClasses returns the class names reports are tagged with.
+func (c *loadConfig) optClasses() []string {
+	if c.classes != nil {
+		return c.classes
+	}
+	return loadClasses
 }
 
 func run(args []string, out io.Writer) error {
@@ -78,6 +99,7 @@ func run(args []string, out io.Writer) error {
 	stream := fs.Bool("stream", false, "attach a streaming delta subscriber to the ingest engine and verify conservation under load")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the server under load")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
+	cfgPath := fs.String("config", "", "scenario config file (scfg format): the optimizer under load runs this workload's scenario and classes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +110,18 @@ func run(args []string, out io.Writer) error {
 		addr: *addr, users: *users, reports: *reports,
 		batch: *batch, jobs: *jobs, shards: *shards,
 		stream: *stream, pprof: *pprofFlag, metricsOut: *metricsOut,
+	}
+	if *cfgPath != "" {
+		sc, err := scfg.ParseFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+		if cfg.scenario, err = sc.Compile(); err != nil {
+			return err
+		}
+		cfg.classes = sc.ClassNames()
+		fmt.Fprintf(out, "workload config: %s (%d periods, %d classes)\n",
+			sc.Name, cfg.scenario.Periods, len(cfg.classes))
 	}
 	fmt.Fprintf(out, "tubeload: %d users × %d reports = %d reports, %d workers, shards=%d\n",
 		cfg.users, cfg.reports, cfg.users*cfg.reports, parallel.Jobs(cfg.jobs), cfg.shards)
@@ -217,9 +251,10 @@ const (
 // runLoad starts a fresh optimizer+server, drives the full load, and
 // verifies the accounted totals in-process before tearing down.
 func runLoad(cfg loadConfig, loadMode string) (*loadResult, error) {
+	classes := cfg.optClasses()
 	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
-		Scenario: loadScenario(),
-		Classes:  loadClasses,
+		Scenario: cfg.optScenario(),
+		Classes:  classes,
 		Shards:   cfg.shards,
 	})
 	if err != nil {
@@ -240,7 +275,7 @@ func runLoad(cfg loadConfig, loadMode string) (*loadResult, error) {
 	if loadMode == modeWire {
 		// The wire endpoint exists on clustered servers; a one-member ring
 		// makes this node own every user.
-		tab, err = wire.NewClassTable(loadClasses)
+		tab, err = wire.NewClassTable(classes)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +348,7 @@ func runLoad(cfg loadConfig, loadMode string) (*loadResult, error) {
 					reps := make([]tube.UsageReport, 0, hi-lo)
 					for r := lo; r < hi; r++ {
 						reps = append(reps, tube.UsageReport{
-							User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
+							User: user, Class: classes[r%len(classes)], VolumeMB: 1,
 						})
 					}
 					var d time.Duration
@@ -331,7 +366,7 @@ func runLoad(cfg loadConfig, loadMode string) (*loadResult, error) {
 			default:
 				for r := 0; r < cfg.reports; r++ {
 					rep := tube.UsageReport{
-						User: user, Class: loadClasses[r%len(loadClasses)], VolumeMB: 1,
+						User: user, Class: classes[r%len(classes)], VolumeMB: 1,
 					}
 					d, err := postTimed(client, base+"/usage", rep, http.StatusNoContent)
 					if err != nil {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testConfig = `{
+  "name": "opt-test",
+  "scenario": {
+    "periods": 4,
+    "betas": [0.5, 3],
+    "demand": {"rows": [[10, 5], [2, 1], [3, 1], [12, 6]]},
+    "capacity": {"constant": 10},
+    "cost": {"slope": 2}
+  },
+  "mechanism": {"name": "rebate", "budgetFraction": 0.4}
+}`
+
+func writeTestConfig(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConfigMechanism(t *testing.T) {
+	path := writeTestConfig(t, testConfig)
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if res.Mechanism != "rebate" {
+		t.Errorf("mechanism %q, want rebate", res.Mechanism)
+	}
+	if len(res.Rewards) != 4 || len(res.Usage) != 4 {
+		t.Errorf("%d rewards / %d usage rows, want 4 / 4", len(res.Rewards), len(res.Usage))
+	}
+	if res.RewardOutlay <= 0 {
+		t.Errorf("rebate paid no rewards (outlay %v)", res.RewardOutlay)
+	}
+	if res.TIPCost <= 0 {
+		t.Errorf("TIP baseline %v not positive", res.TIPCost)
+	}
+}
+
+func TestConfigMechanismOverride(t *testing.T) {
+	path := writeTestConfig(t, testConfig)
+	var sb strings.Builder
+	if err := run([]string{"-config", path, "-mechanism", "reverse"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if res.Mechanism != "reverse" {
+		t.Errorf("mechanism %q, want reverse", res.Mechanism)
+	}
+}
+
+func TestConfigTDPMatchesScenarioSolve(t *testing.T) {
+	// A config whose mechanism is the classic optimizer takes the normal
+	// solve path: no mechanism tag, TIP baseline and savings as before.
+	path := writeTestConfig(t, `{
+	  "name": "opt-tdp",
+	  "scenario": {
+	    "periods": 4,
+	    "betas": [0.5, 3],
+	    "demand": {"rows": [[10, 5], [2, 1], [3, 1], [12, 6]]},
+	    "capacity": {"constant": 10},
+	    "cost": {"slope": 2}
+	  }
+	}`)
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res resultJSON
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if res.Mechanism != "" {
+		t.Errorf("tdp run tagged with mechanism %q", res.Mechanism)
+	}
+	if res.Cost > res.TIPCost {
+		t.Errorf("cost %v above TIP %v", res.Cost, res.TIPCost)
+	}
+}
+
+func TestConfigFlagConflicts(t *testing.T) {
+	path := writeTestConfig(t, testConfig)
+	scnPath := writeTestConfig(t, `{}`)
+	if err := run([]string{"-config", path, "-scenario", scnPath}, &strings.Builder{}); err == nil {
+		t.Error("-config with -scenario accepted")
+	}
+	if err := run([]string{"-mechanism", "rebate"}, &strings.Builder{}); err == nil {
+		t.Error("-mechanism without -config accepted")
+	}
+	if err := run([]string{"-config", path, "-mechanism", "surge"}, &strings.Builder{}); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}

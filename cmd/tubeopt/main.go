@@ -23,6 +23,8 @@ import (
 
 	"tdp/internal/core"
 	"tdp/internal/experiments"
+	"tdp/internal/mechanism"
+	"tdp/internal/scfg"
 )
 
 type scenarioJSON struct {
@@ -35,6 +37,7 @@ type scenarioJSON struct {
 }
 
 type resultJSON struct {
+	Mechanism    string    `json:"mechanism,omitempty"`
 	Rewards      []float64 `json:"rewards"`
 	Usage        []float64 `json:"usage"`
 	Cost         float64   `json:"cost"`
@@ -54,44 +57,95 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tubeopt", flag.ContinueOnError)
 	path := fs.String("scenario", "", "path to scenario JSON ('-' for stdin; default: paper §V-A)")
 	dynamic := fs.Bool("dynamic", false, "force the dynamic model regardless of the scenario file")
+	cfgPath := fs.String("config", "", "strict scenario config file (scfg format, see examples/scenarios/); richer than -scenario")
+	mech := fs.String("mechanism", "", "with -config: pricing mechanism from the zoo (default: the config's choice)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cfgPath != "" && *path != "" {
+		return fmt.Errorf("-scenario and -config are mutually exclusive")
+	}
+	if *mech != "" && *cfgPath == "" {
+		return fmt.Errorf("-mechanism requires -config")
 	}
 
 	var (
 		scn    *core.Scenario
 		useDyn bool
 	)
-	switch *path {
-	case "":
-		scn = experiments.Static48()
-	default:
-		var r io.Reader
-		if *path == "-" {
-			r = os.Stdin
-		} else {
-			f, err := os.Open(*path)
+	if *cfgPath != "" {
+		sc, err := scfg.ParseFile(*cfgPath)
+		if err != nil {
+			return err
+		}
+		if scn, err = sc.Compile(); err != nil {
+			return err
+		}
+		if sc.Mechanism != nil && sc.Mechanism.Dynamic {
+			useDyn = true
+		}
+		if sc.Sim != nil && sc.Sim.Model == "dynamic" {
+			useDyn = true
+		}
+		name := *mech
+		if name == "" {
+			name = sc.MechanismName()
+		}
+		if name != "tdp" {
+			// A zoo mechanism plans the day; score it under the common
+			// reaction model so runs across -mechanism values compare.
+			p, err := sc.PricerNamed(name)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			r = f
+			outcome, err := mechanism.PlanAndEvaluate(p, scn, nil)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(resultJSON{
+				Mechanism:    outcome.Mechanism,
+				Rewards:      outcome.Rewards,
+				Usage:        outcome.Usage,
+				Cost:         outcome.ISPCost,
+				TIPCost:      outcome.TIPCost,
+				SavingsPct:   100 * outcome.Savings(),
+				RewardOutlay: outcome.RewardOutlay,
+			})
 		}
-		var sj scenarioJSON
-		if err := json.NewDecoder(r).Decode(&sj); err != nil {
-			return fmt.Errorf("decode scenario: %w", err)
+	} else {
+		switch *path {
+		case "":
+			scn = experiments.Static48()
+		default:
+			var r io.Reader
+			if *path == "-" {
+				r = os.Stdin
+			} else {
+				f, err := os.Open(*path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				r = f
+			}
+			var sj scenarioJSON
+			if err := json.NewDecoder(r).Decode(&sj); err != nil {
+				return fmt.Errorf("decode scenario: %w", err)
+			}
+			if sj.CostSlope <= 0 {
+				sj.CostSlope = 3
+			}
+			scn = &core.Scenario{
+				Periods:  sj.Periods,
+				Demand:   sj.Demand,
+				Betas:    sj.Betas,
+				Capacity: sj.Capacity,
+				Cost:     core.LinearCost(sj.CostSlope),
+			}
+			useDyn = sj.Dynamic
 		}
-		if sj.CostSlope <= 0 {
-			sj.CostSlope = 3
-		}
-		scn = &core.Scenario{
-			Periods:  sj.Periods,
-			Demand:   sj.Demand,
-			Betas:    sj.Betas,
-			Capacity: sj.Capacity,
-			Cost:     core.LinearCost(sj.CostSlope),
-		}
-		useDyn = sj.Dynamic
 	}
 	if *dynamic {
 		useDyn = true

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallConfig is a fast 6-period workload for CLI tests.
+const smallConfig = `{
+  "name": "cli-test",
+  "scenario": {
+    "periods": 6,
+    "classes": ["web", "bulk"],
+    "betas": [3, 0.8],
+    "demand": {"rows": [[30, 50], [20, 35], [8, 12], [5, 8], [10, 16], [24, 40]]},
+    "capacity": {"constant": 60},
+    "cost": {"slope": 3}
+  },
+  "sim": {"days": 1, "users": 3, "seed": 11},
+  "mechanism": {"name": "rebate", "budgetFraction": 0.4}
+}`
+
+func writeConfig(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+	return path
+}
+
+func TestTubesimCheck(t *testing.T) {
+	path := writeConfig(t, smallConfig)
+	var sb strings.Builder
+	if err := run([]string{"-check", "-config", path}, &sb); err != nil {
+		t.Fatalf("-check: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ok "+path) || !strings.Contains(out, "mechanism rebate") {
+		t.Errorf("-check output:\n%s", out)
+	}
+}
+
+func TestTubesimCheckAllExamples(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("globbing examples: %v (%d files)", err, len(paths))
+	}
+	var sb strings.Builder
+	if err := run(append([]string{"-check"}, paths...), &sb); err != nil {
+		t.Fatalf("-check over examples: %v\n%s", err, sb.String())
+	}
+	if got := strings.Count(sb.String(), "ok "); got != len(paths) {
+		t.Errorf("%d ok lines for %d configs:\n%s", got, len(paths), sb.String())
+	}
+}
+
+func TestTubesimCheckRejectsBadConfig(t *testing.T) {
+	path := writeConfig(t, `{"name": "broken", "scenario": {"periods": 1}}`)
+	if err := run([]string{"-check", "-config", path}, &strings.Builder{}); err == nil {
+		t.Fatal("-check accepted an invalid config")
+	}
+}
+
+func TestTubesimCheckNeedsPaths(t *testing.T) {
+	if err := run([]string{"-check"}, &strings.Builder{}); err == nil {
+		t.Fatal("-check with no configs accepted")
+	}
+}
+
+func TestTubesimConfigRun(t *testing.T) {
+	path := writeConfig(t, smallConfig)
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"testbed: 3 users, 6 periods", // sim block sized the population
+		"GUI pulls: 7",
+		"mechanism rebate outcome",
+		"ISP cost",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTubesimConfigMechanismOverride(t *testing.T) {
+	path := writeConfig(t, smallConfig)
+	var sb strings.Builder
+	if err := run([]string{"-config", path, "-mechanism", "static-tod"}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "mechanism static-tod outcome") {
+		t.Errorf("override not honored:\n%s", sb.String())
+	}
+	if err := run([]string{"-config", path, "-mechanism", "surge"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestTubesimConfigRejectsPeriodsFlag(t *testing.T) {
+	path := writeConfig(t, smallConfig)
+	if err := run([]string{"-config", path, "-periods", "8"}, &strings.Builder{}); err == nil {
+		t.Fatal("-periods with -config accepted")
+	}
+}
+
+func TestTubesimMechanismList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mechanism", "list"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"none", "rebate", "reverse", "static-tod", "tdp"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTubesimSyntheticWithMechanism(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seed", "5", "-mechanism", "reverse"}, &sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "mechanism reverse outcome") {
+		t.Errorf("no outcome line:\n%s", sb.String())
+	}
+}

@@ -16,10 +16,14 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"tdp/internal/cluster"
 	"tdp/internal/core"
 	"tdp/internal/emul"
+	"tdp/internal/mechanism"
 	"tdp/internal/obs"
+	"tdp/internal/scfg"
 	"tdp/internal/tube"
 )
 
@@ -57,54 +61,144 @@ func run(args []string, out io.Writer) error {
 	streamWindow := fs.Int("stream-window", 0, "streaming profiler day window (0 = engine default)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the price server")
 	metricsOut := fs.String("metrics-out", "", "write the final Prometheus metrics snapshot to this file (- for stdout)")
+	cfgPath := fs.String("config", "", "scenario config file (JSON, see examples/scenarios/); replaces the synthetic default testbed")
+	check := fs.Bool("check", false, "parse + validate + compile the -config file and any positional config paths, then exit")
+	mech := fs.String("mechanism", "", "pricing mechanism from the zoo ('list' to enumerate; default: the config's choice, else the online TDP engine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *users < 1 {
-		return fmt.Errorf("need at least 1 user, got %d", *users)
+	if *mech == "list" {
+		fmt.Fprintln(out, strings.Join(mechanism.Names(), "\n"))
+		return nil
 	}
-	if *periods < 2 {
-		return fmt.Errorf("need at least 2 periods, got %d", *periods)
+	if *check {
+		return checkConfigs(out, *cfgPath, fs.Args())
 	}
-	if *days < 1 {
-		return fmt.Errorf("need at least 1 day, got %d", *days)
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var (
+		cfg     emul.Config
+		scn     *core.Scenario
+		classes []string
+		sc      *scfg.Config
+		err     error
+	)
+	if *cfgPath != "" {
+		// Config-driven testbed: the scenario, the population's patience,
+		// the demand shape, the mechanism — all from the declared workload.
+		if explicit["periods"] {
+			return fmt.Errorf("-periods conflicts with -config: the scenario declares the day structure")
+		}
+		if sc, err = scfg.ParseFile(*cfgPath); err != nil {
+			return err
+		}
+		if scn, err = sc.Compile(); err != nil {
+			return err
+		}
+		if s := sc.Sim; s != nil {
+			if !explicit["days"] && s.Days > 0 {
+				*days = s.Days
+			}
+			if !explicit["users"] && s.Users > 0 {
+				*users = s.Users
+			}
+			if !explicit["seed"] && s.Seed != 0 {
+				*seed = s.Seed
+			}
+		}
+		if *users < 1 {
+			return fmt.Errorf("need at least 1 user, got %d", *users)
+		}
+		if *days < 1 {
+			return fmt.Errorf("need at least 1 day, got %d", *days)
+		}
+		classes = sc.ClassNames()
+		cfg = emulFromScenario(scn, classes, *users, *seed)
+		scn.PeriodSeconds = cfg.PeriodSeconds
+	} else {
+		if *users < 1 {
+			return fmt.Errorf("need at least 1 user, got %d", *users)
+		}
+		if *periods < 2 {
+			return fmt.Errorf("need at least 2 periods, got %d", *periods)
+		}
+		if *days < 1 {
+			return fmt.Errorf("need at least 1 day, got %d", *days)
+		}
+		// The optimizer's demand estimate: the emulation's expected demand
+		// in MB per period, with per-class average patience.
+		cfg = emul.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Periods = *periods
+		if *users != len(cfg.Users) {
+			cfg.Users = synthUsers(*users, cfg.Users)
+		}
+		classes = make([]string, len(cfg.Classes))
+		betas := make([]float64, len(cfg.Classes))
+		for j, cl := range cfg.Classes {
+			classes[j] = cl.Name
+			var s float64
+			for _, u := range cfg.Users {
+				s += u.Beta[cl.Name]
+			}
+			betas[j] = s / float64(len(cfg.Users))
+		}
+		capacity := make([]float64, cfg.Periods)
+		for i := range capacity {
+			capacity[i] = 0.8 * cfg.LinkMBps * cfg.PeriodSeconds
+		}
+		scn = &core.Scenario{
+			Periods:       cfg.Periods,
+			Demand:        cfg.ExpectedDemand(),
+			Betas:         betas,
+			Capacity:      capacity,
+			Cost:          core.LinearCost(cfg.CostSlope),
+			PeriodSeconds: cfg.PeriodSeconds,
+		}
 	}
 
-	// The optimizer's demand estimate: the emulation's expected demand in
-	// MB per period, with per-class average patience.
-	cfg := emul.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Periods = *periods
-	if *users != len(cfg.Users) {
-		cfg.Users = synthUsers(*users, cfg.Users)
-	}
-	classes := make([]string, len(cfg.Classes))
-	betas := make([]float64, len(cfg.Classes))
-	for j, cl := range cfg.Classes {
-		classes[j] = cl.Name
-		var s float64
-		for _, u := range cfg.Users {
-			s += u.Beta[cl.Name]
+	// Resolve the pricing mechanism: "tdp" runs the optimizer's online
+	// per-period engine (the mechanism's live form); anything else from
+	// the zoo plans whole days through the Pricer hook.
+	mechName := *mech
+	if mechName == "" {
+		mechName = "tdp"
+		if sc != nil {
+			mechName = sc.MechanismName()
 		}
-		betas[j] = s / float64(len(cfg.Users))
 	}
-	capacity := make([]float64, cfg.Periods)
-	for i := range capacity {
-		capacity[i] = 0.8 * cfg.LinkMBps * cfg.PeriodSeconds
+	var (
+		pricer     mechanism.Pricer
+		useDynamic bool
+	)
+	switch {
+	case mechName == "tdp":
+		if sc != nil {
+			if sc.Mechanism != nil && sc.Mechanism.Dynamic {
+				useDynamic = true
+			}
+			if sc.Sim != nil && sc.Sim.Model == "dynamic" {
+				useDynamic = true
+			}
+		}
+	case sc != nil:
+		if pricer, err = sc.PricerNamed(mechName); err != nil {
+			return err
+		}
+	default:
+		if pricer, err = mechanism.New(mechName, mechanism.Params{}); err != nil {
+			return err
+		}
 	}
-	scn := &core.Scenario{
-		Periods:       cfg.Periods,
-		Demand:        cfg.ExpectedDemand(),
-		Betas:         betas,
-		Capacity:      capacity,
-		Cost:          core.LinearCost(cfg.CostSlope),
-		PeriodSeconds: cfg.PeriodSeconds,
-	}
+
 	opt, err := tube.NewOptimizer(tube.OptimizerConfig{
 		Scenario:     scn,
 		Classes:      classes,
+		UseDynamic:   useDynamic,
 		Streaming:    *stream,
 		StreamWindow: *streamWindow,
+		Pricer:       pricer,
 	})
 	if err != nil {
 		return err
@@ -215,9 +309,13 @@ func run(args []string, out io.Writer) error {
 		for _, u := range cfg.Users {
 			fmt.Fprintf(out, "%s TIP traffic (MB/period): %.0f\n", u.Name, tip.ServedByUserPeriod[u.Name])
 			fmt.Fprintf(out, "%s TDP traffic (MB/period): %.0f\n", u.Name, tdp.ServedByUserPeriod[u.Name])
-			mc := tdp.MovedByUserClass[u.Name]
-			fmt.Fprintf(out, "%s moved by TDP: web %.1f MB, ftp %.1f MB, video %.1f MB\n\n",
-				u.Name, mc["web"], mc["ftp"], mc["video"])
+			if sc != nil { // config classes carry arbitrary names
+				fmt.Fprintf(out, "%s moved by TDP: %.1f MB\n\n", u.Name, tdp.TotalMoved(u.Name))
+			} else {
+				mc := tdp.MovedByUserClass[u.Name]
+				fmt.Fprintf(out, "%s moved by TDP: web %.1f MB, ftp %.1f MB, video %.1f MB\n\n",
+					u.Name, mc["web"], mc["ftp"], mc["video"])
+			}
 		}
 	} else {
 		var tipTotal, tdpTotal, moved float64
@@ -239,6 +337,19 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "optimizer price history (%d periods closed), GUI pulls: %d\n",
 		len(hist), gui.Pulls())
+	if sc != nil || pricer != nil {
+		// Score the final published schedule under the declared scenario's
+		// reaction model, so config runs across -mechanism values are
+		// directly comparable.
+		outcome, oerr := mechanism.Evaluate(mechName, scn, info.Rewards)
+		if oerr != nil {
+			fmt.Fprintf(out, "\nmechanism %s outcome unavailable: %v\n", mechName, oerr)
+		} else {
+			fmt.Fprintf(out, "\nmechanism %s outcome (model units): ISP cost %.2f (TIP %.2f, savings %.1f%%), outlay %.2f, user welfare %.2f, overflow %.2f across %d periods\n",
+				outcome.Mechanism, outcome.ISPCost, outcome.TIPCost, 100*outcome.Savings(),
+				outcome.RewardOutlay, outcome.UserWelfare, outcome.Overflow, outcome.OverflowPeriods)
+		}
+	}
 	if sp := opt.Stream(); sp != nil {
 		betas, ok := sp.Betas()
 		div, derr := sp.Divergence()
@@ -257,6 +368,113 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// checkConfigs validates config documents without running anything:
+// strict parse, validation, and compilation — the `-check` gate CI runs
+// over every checked-in scenario. The first failure is returned (it
+// wraps scfg.ErrBadConfig), so the exit status is the verdict.
+func checkConfigs(out io.Writer, cfgPath string, extra []string) error {
+	paths := extra
+	if cfgPath != "" {
+		paths = append([]string{cfgPath}, extra...)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-check: no configs given (use -config or positional paths)")
+	}
+	for _, p := range paths {
+		c, err := scfg.ParseFile(p)
+		if err != nil {
+			return err
+		}
+		scn, err := c.Compile()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		fmt.Fprintf(out, "ok %s: %q, %d periods, %d classes, mechanism %s\n",
+			p, c.Name, scn.Periods, len(scn.Betas), c.MechanismName())
+	}
+	return nil
+}
+
+// emulFromScenario maps a compiled scenario onto the emulated testbed.
+// The emulation's session model is separable (per-class mean × a common
+// per-period shape), so the declared demand matrix is approximated at
+// rank 1: the shape follows the per-period totals and each class keeps
+// its day-average volume. Expected per-period *totals* match the
+// scenario exactly; per-class cells match exactly when the matrix is
+// itself separable (every generator-form config is). Demand values are
+// read as MB per period, capacity as MB per period reachable at every
+// period (link sized to the capacity peak), and the population shares
+// the scenario's per-class patience under the §II normalized behavior,
+// so the ISP-side profiling model is well-specified.
+func emulFromScenario(scn *core.Scenario, classes []string, users int, seed int64) emul.Config {
+	n := scn.Periods
+	ps := scn.PeriodSeconds
+	if ps <= 0 {
+		ps = 300
+	}
+	totals := scn.TotalDemand()
+	var avgTotal float64
+	for _, x := range totals {
+		avgTotal += x
+	}
+	avgTotal /= float64(n)
+	shape := make([]float64, n)
+	for i := range shape {
+		shape[i] = 1
+		if avgTotal > 0 {
+			shape[i] = totals[i] / avgTotal
+		}
+	}
+	const sessions = 8 // arrivals per user·period: enough for the Poisson mean to concentrate
+	specs := make([]emul.ClassSpec, len(classes))
+	for j, name := range classes {
+		var dj float64
+		for i := 0; i < n; i++ {
+			dj += scn.Demand[i][j]
+		}
+		dj /= float64(n)
+		spec := emul.ClassSpec{
+			Name:                  name,
+			MeanSessionsPerPeriod: sessions,
+			MeanSizeMB:            dj / (sessions * float64(users)),
+		}
+		if spec.MeanSizeMB <= 0 { // a class with no demand anywhere
+			spec.MeanSessionsPerPeriod = 0
+			spec.MeanSizeMB = 1
+		}
+		specs[j] = spec
+	}
+	var peakCap float64
+	for _, a := range scn.Capacity {
+		if a > peakCap {
+			peakCap = a
+		}
+	}
+	link := peakCap / ps
+	if link <= 0 {
+		link = 1
+	}
+	us := make([]emul.UserSpec, users)
+	for u := range us {
+		beta := make(map[string]float64, len(classes))
+		for j, name := range classes {
+			beta[name] = scn.Betas[j]
+		}
+		us[u] = emul.UserSpec{Name: fmt.Sprintf("user%d", u+1), Beta: beta}
+	}
+	return emul.Config{
+		Periods:       n,
+		PeriodSeconds: ps,
+		LinkMBps:      link,
+		Classes:       specs,
+		Users:         us,
+		DemandShape:   shape,
+		CostSlope:     scn.Cost.MaxSlope(),
+		Behavior:      emul.Normalized,
+		Seed:          seed,
+	}
 }
 
 // dumpMetrics writes the merged Prometheus exposition to path ("-" =

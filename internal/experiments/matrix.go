@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tdp/internal/core"
+	"tdp/internal/mechanism"
+)
+
+// MechanismMatrixResult is a head-to-head comparison of pricing
+// mechanisms over one identical scenario and user population: every row
+// is one mechanism's day plan scored under the same §II static reaction
+// model, so the differences are attributable to the pricing scheme
+// alone — the comparison style of Loiseau et al.'s fixed-budget-rebate
+// versus time-of-day study, extended to the full zoo.
+type MechanismMatrixResult struct {
+	// Scenario names the workload the matrix ran on.
+	Scenario string
+	// Rows holds one outcome per mechanism, in run order.
+	Rows []*mechanism.Outcome
+}
+
+// MechanismMatrix plans and evaluates every pricer over the scenario.
+// All rows share the declared TIP demand as their first-day knowledge
+// (no observation), mirroring a cold-start deployment choice between
+// mechanisms.
+func MechanismMatrix(name string, scn *core.Scenario, pricers []mechanism.Pricer) (*MechanismMatrixResult, error) {
+	if len(pricers) == 0 {
+		return nil, fmt.Errorf("mechanism matrix %q: no pricers", name)
+	}
+	res := &MechanismMatrixResult{Scenario: name}
+	for _, p := range pricers {
+		out, err := mechanism.PlanAndEvaluate(p, scn, nil)
+		if err != nil {
+			return nil, fmt.Errorf("matrix %q: %w", name, err)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// DefaultZoo builds one of every registered mechanism with sensible
+// parameters for the scenario: static-tod rewards the TIP slack periods
+// at 80% of the cap, rebate commits half the TIP congestion cost, and
+// reverse runs its default damped fixed point.
+func DefaultZoo(scn *core.Scenario) ([]mechanism.Pricer, error) {
+	specs := []struct {
+		name   string
+		params mechanism.Params
+	}{
+		{"none", mechanism.Params{}},
+		{"static-tod", mechanism.Params{Windows: mechanism.SlackWindows(scn, 0.8)}},
+		{"rebate", mechanism.Params{}},
+		{"reverse", mechanism.Params{}},
+		{"tdp", mechanism.Params{}},
+	}
+	out := make([]mechanism.Pricer, 0, len(specs))
+	for _, s := range specs {
+		p, err := mechanism.New(s.name, s.params)
+		if err != nil {
+			return nil, fmt.Errorf("default zoo: %w", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MechanismZoo runs the default zoo over the §V-A static 48-period
+// scenario — the catalogue entry for cmd/tubebench.
+func MechanismZoo() (*MechanismMatrixResult, error) {
+	scn := Static48()
+	zoo, err := DefaultZoo(scn)
+	if err != nil {
+		return nil, err
+	}
+	return MechanismMatrix("static48", scn, zoo)
+}
+
+// Render prints the comparison table: per mechanism the ISP's daily
+// cost (and its change vs TIP), how the cost splits into reward outlay
+// and congestion, the users' surplus gain, and the physical congestion
+// left over (volume above capacity and the number of over-capacity
+// periods). Money is in the model's $0.10 units, volume in 10 MBps.
+func (r *MechanismMatrixResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Mechanism matrix — scenario %s (money in $0.10, volume in 10 MBps)\n", r.Scenario)
+	fmt.Fprintf(&sb, "  %-12s %10s %8s %10s %10s %10s %10s %7s\n",
+		"mechanism", "ISP cost", "Δ vs TIP", "outlay", "congest", "welfare", "overflow", "per>cap")
+	for _, o := range r.Rows {
+		fmt.Fprintf(&sb, "  %-12s %10.2f %7.1f%% %10.2f %10.2f %10.2f %10.2f %7d\n",
+			o.Mechanism, o.ISPCost, 100*o.Savings(), o.RewardOutlay,
+			o.CongestionCost, o.UserWelfare, o.Overflow, o.OverflowPeriods)
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tdp/internal/mechanism"
+)
+
+func TestMechanismMatrixStatic12(t *testing.T) {
+	scn := Static12()
+	zoo, err := DefaultZoo(scn)
+	if err != nil {
+		t.Fatalf("DefaultZoo: %v", err)
+	}
+	if len(zoo) < 4 {
+		t.Fatalf("zoo has %d pricers, want ≥ 4", len(zoo))
+	}
+	res, err := MechanismMatrix("static12", scn, zoo)
+	if err != nil {
+		t.Fatalf("MechanismMatrix: %v", err)
+	}
+	if len(res.Rows) != len(zoo) {
+		t.Fatalf("%d rows for %d pricers", len(res.Rows), len(zoo))
+	}
+
+	byName := map[string]*mechanism.Outcome{}
+	tip := 0.0
+	for _, o := range res.Rows {
+		byName[o.Mechanism] = o
+		if tip == 0 {
+			tip = o.TIPCost
+		} else if o.TIPCost != tip {
+			t.Fatalf("TIP baseline differs across rows: %v vs %v", o.TIPCost, tip)
+		}
+	}
+	// "none" is TIP by definition.
+	if none := byName["none"]; none.ISPCost != none.TIPCost {
+		t.Fatalf("none: ISP cost %v != TIP cost %v", none.ISPCost, none.TIPCost)
+	}
+	// TDP is the cost-minimizing plan: no other mechanism beats it.
+	best := byName["tdp"].ISPCost
+	for name, o := range byName {
+		if o.ISPCost < best-1e-6 {
+			t.Fatalf("%s (%v) beats tdp (%v) — optimizer not optimal?", name, o.ISPCost, best)
+		}
+	}
+	// Every non-trivial mechanism moves some traffic (pays something).
+	for _, name := range []string{"tdp", "rebate", "reverse", "static-tod"} {
+		if byName[name].RewardOutlay <= 0 {
+			t.Fatalf("%s pays no rewards", name)
+		}
+	}
+}
+
+func TestMechanismZooRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 48-period matrix in -short mode")
+	}
+	res, err := MechanismZoo()
+	if err != nil {
+		t.Fatalf("MechanismZoo: %v", err)
+	}
+	text := res.Render()
+	for _, want := range []string{"mechanism", "ISP cost", "tdp", "rebate", "reverse", "static-tod", "none"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+	// The §V-A headline: TDP saves ~24% vs TIP; the matrix must
+	// reproduce it within a point.
+	for _, o := range res.Rows {
+		if o.Mechanism == "tdp" {
+			if s := o.Savings(); s < 0.20 || s > 0.30 {
+				t.Fatalf("tdp savings = %.1f%%, want ≈ 24%%", 100*s)
+			}
+		}
+	}
+}

@@ -29,13 +29,17 @@ var Errwrapped = &Analyzer{
 }
 
 // errwrappedPackages are the serving planes under the contract, matched
-// against the final element of the package path.
+// against the final element of the package path. scfg and mechanism
+// joined with PR 9: their sentinels (ErrBadConfig, ErrBadMechanism) are
+// the dispatch surface for tubesim -check and registry selection.
 var errwrappedPackages = map[string]bool{
-	"tube":     true,
-	"ingest":   true,
-	"estimate": true,
-	"cluster":  true,
-	"wire":     true,
+	"tube":      true,
+	"ingest":    true,
+	"estimate":  true,
+	"cluster":   true,
+	"wire":      true,
+	"scfg":      true,
+	"mechanism": true,
 }
 
 func runErrwrapped(pass *Pass) error {

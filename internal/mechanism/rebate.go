@@ -1,0 +1,133 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/core"
+)
+
+func init() {
+	Register("rebate", func(p Params) (Pricer, error) { return NewRebate(p) })
+}
+
+// Rebate is the fixed-budget rebate mechanism of Loiseau et al.
+// ("Incentive Mechanisms for Internet Congestion Management:
+// Fixed-Budget Rebate versus Time-of-Day Pricing"): the provider
+// commits to returning a *fixed* total amount per day and distributes
+// it to users who shift consumption into uncongested periods, so its
+// total exposure is known in advance — the property the paper argues
+// makes the mechanism robust to demand-forecast errors, in contrast to
+// time-of-day pricing whose outlay floats with realized demand.
+//
+// In this model family the commitment becomes: pick a per-period reward
+// surface shaped by slack (capacity minus demand, the value of filling
+// each trough), then scale the whole surface so the induced outlay
+// Σ_i p_i·In_i(p) — what the ISP actually pays under the §II reaction
+// model — meets the budget exactly. The outlay is continuous and
+// increasing in the surface scale, so a bisection pins it; when even
+// the capped surface cannot spend the budget (every reward at the cap),
+// the capped surface is returned and the leftover stays unspent.
+type Rebate struct {
+	budget float64
+	frac   float64
+}
+
+// NewRebate validates the budget parameters: Params.Budget is the fixed
+// daily budget in money units (0 derives it from the TIP cost), and
+// Params.BudgetFraction is that derivation's fraction (default 0.5 —
+// commit half of what congestion costs today).
+func NewRebate(p Params) (*Rebate, error) {
+	if p.Budget < 0 || math.IsNaN(p.Budget) || math.IsInf(p.Budget, 0) {
+		return nil, fmt.Errorf("rebate budget %v: %w", p.Budget, ErrBadMechanism)
+	}
+	if p.BudgetFraction < 0 || p.BudgetFraction > 1 || math.IsNaN(p.BudgetFraction) {
+		return nil, fmt.Errorf("rebate budget fraction %v outside [0, 1]: %w", p.BudgetFraction, ErrBadMechanism)
+	}
+	frac := p.BudgetFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	return &Rebate{budget: p.Budget, frac: frac}, nil
+}
+
+// Name implements Pricer.
+func (r *Rebate) Name() string { return "rebate" }
+
+// PlanDay implements Pricer. The slack shape uses the observed usage
+// profile when one is supplied (the rebate follows where load actually
+// sits), falling back to the declared TIP demand on the first day.
+func (r *Rebate) PlanDay(scn *core.Scenario, obs *Observation) ([]float64, error) {
+	if err := checkScenario(scn); err != nil {
+		return nil, err
+	}
+	model, err := core.NewStaticModel(scn)
+	if err != nil {
+		return nil, fmt.Errorf("rebate plan: %w", err)
+	}
+	n := scn.Periods
+	load := scn.TotalDemand()
+	if obs != nil && len(obs.Usage) == n {
+		load = obs.Usage
+	}
+
+	// Slack shape, normalized to peak 1: the deepest trough earns the
+	// full scaled reward, shallower troughs proportionally less, and
+	// congested periods nothing (paying users to move *into* an
+	// over-capacity period only buys more congestion).
+	shape := make([]float64, n)
+	var peak float64
+	for i := range shape {
+		if s := scn.Capacity[i] - load[i]; s > 0 {
+			shape[i] = s
+			if s > peak {
+				peak = s
+			}
+		}
+	}
+	if peak == 0 {
+		// Every period congested: nowhere worth paying users to move to.
+		return make([]float64, n), nil
+	}
+	for i := range shape {
+		shape[i] /= peak
+	}
+
+	budget := r.budget
+	if budget == 0 {
+		budget = r.frac * model.TIPCost()
+	}
+	if budget == 0 {
+		// No congestion under TIP: nothing to rebate against.
+		return make([]float64, n), nil
+	}
+
+	maxR := maxReward(scn)
+	surface := func(scale float64) []float64 {
+		p := make([]float64, n)
+		for i, s := range shape {
+			p[i] = math.Min(scale*s, maxR)
+		}
+		return p
+	}
+	outlayAt := func(scale float64) float64 {
+		return model.RewardOutlayAt(surface(scale))
+	}
+
+	// The capped surface is the spend ceiling; if the budget exceeds it,
+	// return it and leave the rest unspent (the fixed budget is a
+	// commitment ceiling, not an obligation to burn).
+	if outlayAt(maxR) <= budget {
+		return surface(maxR), nil
+	}
+	lo, hi := 0.0, maxR
+	for iter := 0; iter < 64; iter++ {
+		mid := 0.5 * (lo + hi)
+		if outlayAt(mid) < budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return surface(0.5 * (lo + hi)), nil
+}

@@ -1,0 +1,99 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/core"
+)
+
+func init() {
+	Register("reverse", func(p Params) (Pricer, error) { return NewReverse(p) })
+}
+
+// Reverse is reverse pricing after Jung & Kim ("Resource Allocation
+// with Reverse Pricing for Communication Networks"): instead of
+// surcharging congestion, the provider *gives back* — it posts rebates
+// that grow with instantaneous spare capacity, steering demand toward
+// under-utilized resources and recovering utilization the forward
+// price would leave stranded.
+//
+// Per period the posted reward is γ·P·slack_i/A_i — the normalization
+// reward scaled by relative under-utilization — capped at the common
+// reward cap. Usage responds to the posted rewards (deferral into a
+// rewarded trough shrinks the very slack that priced it), so the plan
+// is the damped fixed point of post → react → re-post, iterated to
+// convergence: exactly the provider/user price-update dynamic the
+// reverse-pricing scheme runs in real time, collapsed into the day
+// plan.
+type Reverse struct {
+	gamma  float64
+	rounds int
+}
+
+// NewReverse validates the gain (default 1) and iteration cap
+// (default 32 — the damped iteration halves its error per round, so the
+// default lands well below solver tolerance).
+func NewReverse(p Params) (*Reverse, error) {
+	if p.Gamma < 0 || math.IsNaN(p.Gamma) || math.IsInf(p.Gamma, 0) {
+		return nil, fmt.Errorf("reverse gamma %v: %w", p.Gamma, ErrBadMechanism)
+	}
+	if p.Rounds < 0 {
+		return nil, fmt.Errorf("reverse rounds %d: %w", p.Rounds, ErrBadMechanism)
+	}
+	r := &Reverse{gamma: p.Gamma, rounds: p.Rounds}
+	if r.gamma == 0 {
+		r.gamma = 1
+	}
+	if r.rounds == 0 {
+		r.rounds = 32
+	}
+	return r, nil
+}
+
+// Name implements Pricer.
+func (r *Reverse) Name() string { return "reverse" }
+
+// PlanDay implements Pricer. The fixed point starts from the observed
+// usage profile when one is supplied, otherwise from the declared TIP
+// demand (the zero-reward reaction).
+func (r *Reverse) PlanDay(scn *core.Scenario, obs *Observation) ([]float64, error) {
+	if err := checkScenario(scn); err != nil {
+		return nil, err
+	}
+	model, err := core.NewStaticModel(scn)
+	if err != nil {
+		return nil, fmt.Errorf("reverse plan: %w", err)
+	}
+	n := scn.Periods
+	maxR := maxReward(scn)
+	normP := scn.NormReward()
+
+	p := make([]float64, n)
+	x := scn.TotalDemand()
+	if obs != nil && len(obs.Usage) == n {
+		x = append([]float64(nil), obs.Usage...)
+	}
+	for iter := 0; iter < r.rounds; iter++ {
+		var moved float64
+		for i := 0; i < n; i++ {
+			target := 0.0
+			if a := scn.Capacity[i]; a > 0 {
+				if slack := a - x[i]; slack > 0 {
+					target = math.Min(r.gamma*normP*slack/a, maxR)
+				}
+			}
+			// Damped half-step toward the posted target: the reward a
+			// trough posts shrinks the slack that justified it, so the
+			// undamped update can ring between over- and under-posting.
+			next := 0.5*p[i] + 0.5*target
+			moved += math.Abs(next - p[i])
+			p[i] = next
+		}
+		x = model.UsageAt(p)
+		if moved < 1e-12*float64(n) {
+			break
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,141 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+
+	"tdp/internal/core"
+)
+
+func init() {
+	Register("static-tod", func(p Params) (Pricer, error) { return NewStaticTOD(p) })
+}
+
+// StaticTOD is static time-of-day multiplier pricing: a fixed reward
+// surface declared as windows × multipliers over the day, the wanctl
+// Phase-2B config idiom (the controller does not need to know *why* a
+// deployment rewards those hours — it just applies the multiplier).
+// Rewards are multiples of the scenario's common reward cap: period i
+// pays Multiplier·maxReward inside its window and
+// DefaultMultiplier·maxReward outside every window. Demand-insensitive
+// by construction — the schedule never reacts to observations, which is
+// exactly what makes it cheap to operate and the natural foil for the
+// optimizing mechanisms.
+type StaticTOD struct {
+	windows []Window
+	def     float64
+}
+
+// NewStaticTOD validates the window set: multipliers in [0, 1], 1-based
+// period lists non-empty. (Period upper bounds are checked at plan time,
+// when the scenario's n is known; overlapping windows resolve
+// first-match-wins, like wanctl's first matching window.)
+func NewStaticTOD(p Params) (*StaticTOD, error) {
+	if p.DefaultMultiplier < 0 || p.DefaultMultiplier > 1 {
+		return nil, fmt.Errorf("static-tod default multiplier %v outside [0, 1]: %w",
+			p.DefaultMultiplier, ErrBadMechanism)
+	}
+	for wi, w := range p.Windows {
+		if w.Multiplier < 0 || w.Multiplier > 1 || math.IsNaN(w.Multiplier) {
+			return nil, fmt.Errorf("static-tod window %d (%q) multiplier %v outside [0, 1]: %w",
+				wi, w.Name, w.Multiplier, ErrBadMechanism)
+		}
+		if len(w.Periods) == 0 {
+			return nil, fmt.Errorf("static-tod window %d (%q) has no periods: %w", wi, w.Name, ErrBadMechanism)
+		}
+		for _, q := range w.Periods {
+			if q < 1 {
+				return nil, fmt.Errorf("static-tod window %d (%q) period %d (periods are 1-based): %w",
+					wi, w.Name, q, ErrBadMechanism)
+			}
+		}
+	}
+	st := &StaticTOD{def: p.DefaultMultiplier}
+	for _, w := range p.Windows {
+		st.windows = append(st.windows, Window{
+			Name:       w.Name,
+			Periods:    append([]int(nil), w.Periods...),
+			Multiplier: w.Multiplier,
+		})
+	}
+	return st, nil
+}
+
+// Name implements Pricer.
+func (s *StaticTOD) Name() string { return "static-tod" }
+
+// PlanDay implements Pricer by stamping the multiplier surface onto the
+// scenario's reward cap. A fully unconfigured StaticTOD (no windows, no
+// default multiplier) self-configures from the scenario's declared
+// demand via SlackWindows at 0.8 — so `static-tod` with empty Params is
+// a usable baseline, not an all-zero surface.
+func (s *StaticTOD) PlanDay(scn *core.Scenario, _ *Observation) ([]float64, error) {
+	if err := checkScenario(scn); err != nil {
+		return nil, err
+	}
+	windows := s.windows
+	if len(windows) == 0 && s.def == 0 {
+		windows = SlackWindows(scn, 0.8)
+	}
+	maxR := maxReward(scn)
+	p := make([]float64, scn.Periods)
+	set := make([]bool, scn.Periods)
+	for i := range p {
+		p[i] = s.def * maxR
+	}
+	for wi, w := range windows {
+		for _, q := range w.Periods {
+			if q > scn.Periods {
+				return nil, fmt.Errorf("static-tod window %d (%q) period %d beyond the %d-period day: %w",
+					wi, w.Name, q, scn.Periods, ErrBadMechanism)
+			}
+			if !set[q-1] { // first matching window wins
+				set[q-1] = true
+				p[q-1] = w.Multiplier * maxR
+			}
+		}
+	}
+	return p, nil
+}
+
+// SlackWindows derives a sensible default time-of-day surface from the
+// declared demand: every period whose TIP demand sits below capacity
+// (slack — an off-peak trough worth filling) joins one "off-peak"
+// window at the given multiplier. When no period or every period has
+// slack, the below-median-demand half of the day is used instead, so
+// the surface always distinguishes peak from trough. This is what the
+// mechanism matrix uses when a config declares no explicit windows.
+func SlackWindows(scn *core.Scenario, multiplier float64) []Window {
+	totals := scn.TotalDemand()
+	var periods []int
+	for i, x := range totals {
+		if x < scn.Capacity[i] {
+			periods = append(periods, i+1)
+		}
+	}
+	if len(periods) == 0 || len(periods) == scn.Periods {
+		med := median(totals)
+		periods = periods[:0]
+		for i, x := range totals {
+			if x < med {
+				periods = append(periods, i+1)
+			}
+		}
+	}
+	if len(periods) == 0 {
+		return nil
+	}
+	return []Window{{Name: "off-peak", Periods: periods, Multiplier: multiplier}}
+}
+
+// median returns the middle order statistic (lower of the two for even
+// lengths, so a flat profile yields an empty below-median set).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort: n ≤ a few hundred periods
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[(len(s)-1)/2]
+}

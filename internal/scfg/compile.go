@@ -1,0 +1,100 @@
+package scfg
+
+import (
+	"fmt"
+
+	"tdp/internal/core"
+)
+
+// Compile materializes the validated config into a *core.Scenario. For
+// a config ported from a Go constructor (explicit demand rows, constant
+// capacity, slope-form cost) the result is bit-identical to what the
+// constructor builds: JSON decimal literals round-trip to the same
+// float64s as Go source literals, and Compile performs no arithmetic on
+// rows-form values — only copies. Generator-form demand and windowed
+// capacity are synthesized (base × multiplier per period).
+func (c *Config) Compile() (*core.Scenario, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := &c.Scenario
+	scn := &core.Scenario{
+		Periods:       s.Periods,
+		Betas:         append([]float64(nil), s.Betas...),
+		PeriodSeconds: s.PeriodSeconds,
+		MaxRewardNorm: s.MaxRewardNorm,
+		NoWrap:        s.NoWrap,
+	}
+
+	if rows := s.Demand.Rows; rows != nil {
+		scn.Demand = make([][]float64, len(rows))
+		for i, row := range rows {
+			scn.Demand[i] = append([]float64(nil), row...)
+		}
+	} else {
+		g := s.Demand.Generator
+		mult := windowMultipliers(g.Windows, s.Periods, deref(g.DefaultMultiplier, 1))
+		scn.Demand = make([][]float64, s.Periods)
+		for i := range scn.Demand {
+			row := make([]float64, len(g.Base))
+			for j, b := range g.Base {
+				row[j] = b * mult[i]
+			}
+			scn.Demand[i] = row
+		}
+	}
+
+	base := make([]float64, s.Periods)
+	if s.Capacity.Constant != nil {
+		for i := range base {
+			base[i] = *s.Capacity.Constant
+		}
+	} else {
+		copy(base, s.Capacity.Profile)
+	}
+	if len(s.Capacity.Windows) > 0 {
+		mult := windowMultipliers(s.Capacity.Windows, s.Periods, 1)
+		for i := range base {
+			base[i] *= mult[i]
+		}
+	}
+	scn.Capacity = base
+
+	if s.Cost.Slope != 0 {
+		scn.Cost = core.LinearCost(s.Cost.Slope)
+	} else {
+		scn.Cost = core.CostFunc{
+			Breaks: append([]float64(nil), s.Cost.Breaks...),
+			Slopes: append([]float64(nil), s.Cost.Slopes...),
+		}
+	}
+
+	if err := scn.Validate(); err != nil {
+		// Validate() vets every field Compile writes, so this is
+		// unreachable unless the two validators drift apart.
+		return nil, fmt.Errorf("compiled scenario: %v: %w", err, ErrBadConfig)
+	}
+	return scn, nil
+}
+
+// windowMultipliers expands a validated window list to a per-period
+// multiplier vector (1-based window periods onto 0-based slots).
+func windowMultipliers(ws []Window, periods int, def float64) []float64 {
+	out := make([]float64, periods)
+	for i := range out {
+		out[i] = def
+	}
+	for _, w := range ws {
+		for _, q := range w.Periods {
+			out[q-1] = w.Multiplier
+		}
+	}
+	return out
+}
+
+func deref(p *float64, def float64) float64 {
+	if p == nil {
+		return def
+	}
+	return *p
+}

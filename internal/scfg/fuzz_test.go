@@ -1,0 +1,38 @@
+package scfg_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tdp/internal/scfg"
+)
+
+// FuzzParse asserts the decoder's contract on arbitrary input: it never
+// panics, every rejection wraps ErrBadConfig, and anything it accepts
+// compiles into a scenario that passes core validation (Parse accepting
+// a config Compile then rejects would mean the two validators disagree).
+func FuzzParse(f *testing.F) {
+	f.Add(`{"name":"x","scenario":{"periods":3,"betas":[1],"demand":{"rows":[[1],[1],[1]]},"capacity":{"constant":5},"cost":{"slope":3}}}`)
+	f.Add(`{"name":"g","scenario":{"periods":2,"betas":[1,2],"demand":{"generator":{"base":[3,1],"windows":[{"periods":[2],"multiplier":2}]}},"capacity":{"profile":[4,4]},"cost":{"breaks":[0,2],"slopes":[1,5]}}}`)
+	f.Add(`{"name":"m","scenario":{"periods":2,"betas":[1],"demand":{"rows":[[1],[1]]},"capacity":{"constant":5},"cost":{"slope":3}},"mechanism":{"name":"rebate","budget":4}}`)
+	f.Add(`{}`)
+	f.Add(`[1, 2`)
+	f.Add(`{"name":"x","scenario":{"periods":1e9}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		cfg, err := scfg.Parse(strings.NewReader(doc))
+		if err != nil {
+			if !errors.Is(err, scfg.ErrBadConfig) {
+				t.Fatalf("rejection does not wrap ErrBadConfig: %v", err)
+			}
+			return
+		}
+		scn, err := cfg.Compile()
+		if err != nil {
+			t.Fatalf("validated config failed to compile: %v\ndoc: %s", err, doc)
+		}
+		if err := scn.Validate(); err != nil {
+			t.Fatalf("compiled scenario invalid: %v\ndoc: %s", err, doc)
+		}
+	})
+}

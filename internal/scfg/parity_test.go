@@ -1,0 +1,74 @@
+package scfg_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tdp/internal/core"
+	"tdp/internal/experiments"
+	"tdp/internal/scfg"
+)
+
+// TestCheckedInConfigParity pins every ported config under
+// examples/scenarios/ to its Go constructor, field for field: Compile()
+// must be *bit-identical* — reflect.DeepEqual over the whole Scenario,
+// no tolerance — so a drifted JSON file (or a drifted constructor) is a
+// test failure, not a silently different experiment. The files are
+// regenerated with `go run ./tools/genscenarios` when a constructor
+// legitimately changes.
+func TestCheckedInConfigParity(t *testing.T) {
+	seeds := []struct {
+		file string
+		want *core.Scenario
+	}{
+		{"static12.json", experiments.Static12()},
+		{"static48.json", experiments.Static48()},
+		{"dynamic48.json", experiments.Dynamic48()},
+		{"static12-waitperturb-p1.json", experiments.Static12WaitPerturbPeriod1()},
+		{"static12-waitperturb-all.json", experiments.Static12WaitPerturbAll()},
+	}
+	for _, s := range seeds {
+		t.Run(s.file, func(t *testing.T) {
+			cfg, err := scfg.ParseFile("../../examples/scenarios/" + s.file)
+			if err != nil {
+				t.Fatalf("ParseFile: %v", err)
+			}
+			got, err := cfg.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if !reflect.DeepEqual(got, s.want) {
+				t.Fatalf("compiled scenario differs from constructor:\n got: %+v\nwant: %+v", got, s.want)
+			}
+		})
+	}
+}
+
+// TestCheckedInConfigsAllValid sweeps every checked-in example —
+// including the generator-form one with no Go twin — through
+// parse + validate + compile, the same path `tubesim -check` runs.
+func TestCheckedInConfigsAllValid(t *testing.T) {
+	files := []string{
+		"static12.json", "static48.json", "dynamic48.json",
+		"static12-waitperturb-p1.json", "static12-waitperturb-all.json",
+		"evening-peak.json",
+	}
+	for _, f := range files {
+		t.Run(f, func(t *testing.T) {
+			cfg, err := scfg.ParseFile("../../examples/scenarios/" + f)
+			if err != nil {
+				t.Fatalf("ParseFile: %v", err)
+			}
+			scn, err := cfg.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if err := scn.Validate(); err != nil {
+				t.Fatalf("compiled scenario invalid: %v", err)
+			}
+			if _, err := cfg.Pricer(); err != nil {
+				t.Fatalf("Pricer: %v", err)
+			}
+		})
+	}
+}

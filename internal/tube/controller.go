@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tdp/internal/core"
+	"tdp/internal/mechanism"
 	"tdp/internal/obs"
 	"tdp/internal/optimize"
 )
@@ -42,6 +43,9 @@ type Controller struct {
 	// coldPlanEvals is the evaluation count of the first (cold) plan, the
 	// baseline for the evals-saved metric.
 	coldPlanEvals int // guarded by mu
+	// lastUsage is the most recent closed day's per-period usage totals,
+	// handed to a configured pricing mechanism as its observation.
+	lastUsage []float64 // guarded by mu
 }
 
 // ControllerConfig describes the deployment.
@@ -75,6 +79,12 @@ type ControllerConfig struct {
 	Streaming bool
 	// StreamWindow is the streaming engine's day window (default 3).
 	StreamWindow int
+	// Pricer, when set, replaces the optimizing day plan with a pricing
+	// mechanism from the zoo: PlanDay delegates to the mechanism under
+	// the *current patience belief* and the last closed day's usage
+	// totals, so profiling keeps improving every mechanism's model of
+	// the users, not just TDP's. When nil, the paper's solver plans.
+	Pricer mechanism.Pricer
 }
 
 // DayReport summarizes one closed day of the control loop.
@@ -233,6 +243,9 @@ func (c *Controller) PlanDay() ([]float64, error) {
 
 // planLocked is PlanDay's body. Callers must hold c.mu.
 func (c *Controller) planLocked() ([]float64, error) {
+	if c.cfg.Pricer != nil {
+		return c.planMechanismLocked()
+	}
 	scn := c.scenario()
 	warm := c.lastRewards != nil
 	var opts []optimize.Option
@@ -260,6 +273,30 @@ func (c *Controller) planLocked() ([]float64, error) {
 	c.recordPlan(pr, warm)
 	c.lastRewards = append([]float64(nil), pr.Rewards...)
 	return pr.Rewards, nil
+}
+
+// planMechanismLocked delegates the day plan to the configured pricing
+// mechanism, under the current patience belief and the last closed
+// day's usage totals. Callers must hold c.mu.
+func (c *Controller) planMechanismLocked() ([]float64, error) {
+	scn := c.scenario()
+	var ob *mechanism.Observation
+	if c.lastUsage != nil {
+		ob = &mechanism.Observation{Usage: append([]float64(nil), c.lastUsage...)}
+	}
+	rewards, err := c.cfg.Pricer.PlanDay(scn, ob)
+	if err != nil {
+		return nil, fmt.Errorf("mechanism %q day plan: %w", c.cfg.Pricer.Name(), err)
+	}
+	if len(rewards) != scn.Periods {
+		return nil, fmt.Errorf("mechanism %q planned %d periods, want %d: %w",
+			c.cfg.Pricer.Name(), len(rewards), scn.Periods, ErrBadInput)
+	}
+	c.lastRewards = append([]float64(nil), rewards...)
+	obs.Default().Counter("controller_mechanism_plans_total",
+		"mechanism day plans published, by mechanism",
+		obs.Labels{"mechanism": c.cfg.Pricer.Name()}).Inc()
+	return rewards, nil
 }
 
 // recordPlan publishes one day-plan solve to the default registry, keyed
@@ -329,6 +366,7 @@ func (c *Controller) observeDay(ctx context.Context, rewards []float64, usage []
 		}
 		report.CongestionCost += c.cfg.Cost.Value(report.UsageTotals[i] - c.cfg.Capacity[i])
 	}
+	c.lastUsage = append(c.lastUsage[:0], report.UsageTotals...)
 	obsSpan.End()
 	if c.profiler.ObservationCount() >= c.cfg.MinObservations {
 		_, estSpan := obs.StartSpan(ctx, "profile.estimate")

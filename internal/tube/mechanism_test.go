@@ -1,0 +1,203 @@
+package tube
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tdp/internal/core"
+	"tdp/internal/mechanism"
+)
+
+// mustPricer builds a zoo mechanism for tests.
+func mustPricer(t *testing.T, name string, p mechanism.Params) mechanism.Pricer {
+	t.Helper()
+	pr, err := mechanism.New(name, p)
+	if err != nil {
+		t.Fatalf("mechanism.New(%q): %v", name, err)
+	}
+	return pr
+}
+
+func TestOptimizerWithMechanism(t *testing.T) {
+	scn := testScenario()
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: scn,
+		Classes:  testClasses(),
+		Pricer: mustPricer(t, "static-tod", mechanism.Params{
+			Windows: mechanism.SlackWindows(scn, 0.8),
+		}),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+
+	// The initial schedule is the mechanism's plan: day-shaped, with at
+	// least one rewarded period (the test scenario has slack).
+	sched := opt.Schedule()
+	if len(sched) != scn.Periods {
+		t.Fatalf("schedule has %d periods, want %d", len(sched), scn.Periods)
+	}
+	var rewarded bool
+	for _, p := range sched {
+		if p > 0 {
+			rewarded = true
+		}
+	}
+	if !rewarded {
+		t.Fatalf("mechanism schedule all-zero: %v", sched)
+	}
+
+	// Run two full days of period closes; the schedule must survive the
+	// day boundary (re-planned by the mechanism, not the online engine).
+	for day := 0; day < 2; day++ {
+		for p := 0; p < scn.Periods; p++ {
+			if err := opt.Measurement().Record(fmt.Sprintf("u%d", p%3), "web", 5); err != nil {
+				t.Fatalf("Record: %v", err)
+			}
+			if _, err := opt.ClosePeriod(); err != nil {
+				t.Fatalf("ClosePeriod day %d period %d: %v", day, p, err)
+			}
+		}
+	}
+	if got := opt.Period(); got != 2*scn.Periods {
+		t.Fatalf("period = %d, want %d", got, 2*scn.Periods)
+	}
+	sched2 := opt.Schedule()
+	if len(sched2) != scn.Periods {
+		t.Fatalf("post-replan schedule has %d periods", len(sched2))
+	}
+	// Static time-of-day pricing ignores observations, so the replanned
+	// schedule is the same surface.
+	for i := range sched {
+		if sched[i] != sched2[i] {
+			t.Fatalf("static-tod schedule drifted at %d: %v → %v", i, sched[i], sched2[i])
+		}
+	}
+
+	// No online engine in mechanism mode: the demand estimate is the
+	// declared scenario, not an EMA.
+	est := opt.DemandEstimate()
+	for i, row := range est {
+		for j, v := range row {
+			if v != scn.Demand[i][j] {
+				t.Fatalf("demand estimate drifted at [%d][%d]: %v != %v", i, j, v, scn.Demand[i][j])
+			}
+		}
+	}
+}
+
+func TestOptimizerMechanismObservationShiftsPlan(t *testing.T) {
+	scn := testScenario()
+	opt, err := NewOptimizer(OptimizerConfig{
+		Scenario: scn,
+		Classes:  testClasses(),
+		Pricer:   mustPricer(t, "rebate", mechanism.Params{Budget: 6}),
+	})
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	initial := opt.Schedule()
+
+	// A day of heavy traffic concentrated in the first half of the day:
+	// the rebate's slack shape must move relative to the declared-demand
+	// plan once the observation lands.
+	for p := 0; p < scn.Periods; p++ {
+		vol := 1.0
+		if p < scn.Periods/2 {
+			vol = 30
+		}
+		if err := opt.Measurement().Record("u1", "video", vol); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+		if _, err := opt.ClosePeriod(); err != nil {
+			t.Fatalf("ClosePeriod: %v", err)
+		}
+	}
+	replanned := opt.Schedule()
+	var moved bool
+	for i := range initial {
+		if initial[i] != replanned[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatalf("rebate plan ignored the observed day: %v", replanned)
+	}
+}
+
+func TestControllerWithMechanism(t *testing.T) {
+	scn := testScenario()
+	for _, name := range []string{"static-tod", "rebate", "reverse", "tdp"} {
+		t.Run(name, func(t *testing.T) {
+			params := mechanism.Params{}
+			if name == "static-tod" {
+				params.Windows = mechanism.SlackWindows(scn, 0.7)
+			}
+			ctrl, err := NewController(ControllerConfig{
+				Demand:       scn.Demand,
+				Classes:      testClasses(),
+				InitialBetas: []float64{2, 2, 2},
+				Capacity:     scn.Capacity,
+				Cost:         scn.Cost,
+				Pricer:       mustPricer(t, name, params),
+			})
+			if err != nil {
+				t.Fatalf("NewController: %v", err)
+			}
+			react := truthModel(t)
+			for day := 1; day <= 3; day++ {
+				rep, err := ctrl.RunDay(react)
+				if err != nil {
+					t.Fatalf("RunDay %d: %v", day, err)
+				}
+				if len(rep.Rewards) != scn.Periods {
+					t.Fatalf("day %d: %d rewards", day, len(rep.Rewards))
+				}
+			}
+			// Profiling still runs under every mechanism: after 3 days the
+			// belief has been re-estimated away from the flat prior.
+			if ctrl.Days() != 3 {
+				t.Fatalf("days = %d", ctrl.Days())
+			}
+			betas := ctrl.Betas()
+			flat := true
+			for _, b := range betas {
+				if b != 2 {
+					flat = false
+				}
+			}
+			if flat {
+				t.Fatalf("betas never re-estimated under %s: %v", name, betas)
+			}
+		})
+	}
+}
+
+func TestControllerMechanismPlanError(t *testing.T) {
+	scn := testScenario()
+	ctrl, err := NewController(ControllerConfig{
+		Demand:       scn.Demand,
+		Classes:      testClasses(),
+		InitialBetas: []float64{2, 2, 2},
+		Capacity:     scn.Capacity,
+		Cost:         scn.Cost,
+		Pricer:       badPricer{},
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if _, err := ctrl.PlanDay(); !errors.Is(err, errBadPlan) {
+		t.Fatalf("PlanDay error = %v, want errBadPlan wrap", err)
+	}
+}
+
+var errBadPlan = errors.New("deliberately failing pricer")
+
+type badPricer struct{}
+
+func (badPricer) Name() string { return "bad" }
+func (badPricer) PlanDay(*core.Scenario, *mechanism.Observation) ([]float64, error) {
+	return nil, errBadPlan
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"tdp/internal/core"
+	"tdp/internal/mechanism"
 	"tdp/internal/obs"
 	"tdp/internal/rrd"
 )
@@ -39,6 +40,14 @@ type OptimizerConfig struct {
 	Streaming bool
 	// StreamWindow is the streaming engine's day window (default 3).
 	StreamWindow int
+	// Pricer, when set, replaces the online per-period price engine with
+	// a pricing mechanism from the zoo: the initial schedule comes from
+	// the mechanism's day plan, the schedule is re-planned once per day
+	// from the observed per-period usage totals, and the online engine
+	// (per-period re-optimization, demand EMA) is not constructed.
+	// Billing, measurement, history and streaming profiling are
+	// unchanged — only price determination is swapped.
+	Pricer mechanism.Pricer
 }
 
 // Optimizer is the TUBE server brain: it owns the measurement engine, the
@@ -50,12 +59,13 @@ type Optimizer struct {
 	meas      *Measurement          // internally synchronized (sharded engine)
 	profiler  *Profiler             // internally synchronized
 	stream    *StreamProfiler       // internally synchronized; nil unless cfg.Streaming
-	online    *core.OnlineOptimizer // guarded by mu: the online engine has no lock of its own
+	online    *core.OnlineOptimizer // guarded by mu: the online engine has no lock of its own; nil when cfg.Pricer is set
 	priceHist *rrd.DB
 	usageHist *rrd.DB
 	billing   *Billing
 	period    int       // guarded by mu
 	rewards   []float64 // guarded by mu: day-shaped published schedule
+	dayUsage  []float64 // guarded by mu: per-period usage totals of the day in progress (mechanism mode only)
 
 	// coldPeriodEvals is a one-shot cold-solve calibration measured at
 	// construction: the 1-D evaluation count of a full-bracket per-period
@@ -107,11 +117,28 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 			return nil, err
 		}
 	}
-	online, err := core.NewOnlineOptimizer(cfg.Scenario, core.OnlineConfig{
-		UseDynamic: cfg.UseDynamic,
-	})
-	if err != nil {
-		return nil, badInput(err)
+	var (
+		online  *core.OnlineOptimizer
+		rewards []float64
+		coldPS  core.PeriodSolve
+	)
+	if cfg.Pricer != nil {
+		rewards, err = cfg.Pricer.PlanDay(cfg.Scenario, nil)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism %q initial plan: %w", cfg.Pricer.Name(), err)
+		}
+		if len(rewards) != cfg.Scenario.Periods {
+			return nil, fmt.Errorf("mechanism %q planned %d periods, want %d: %w",
+				cfg.Pricer.Name(), len(rewards), cfg.Scenario.Periods, ErrBadInput)
+		}
+	} else {
+		online, err = core.NewOnlineOptimizer(cfg.Scenario, core.OnlineConfig{
+			UseDynamic: cfg.UseDynamic,
+		})
+		if err != nil {
+			return nil, badInput(err)
+		}
+		rewards = online.Rewards()
 	}
 	priceHist, err := rrd.New(1, rrd.ArchiveSpec{Func: rrd.Last, Steps: 1, Rows: cfg.HistoryRows})
 	if err != nil {
@@ -125,11 +152,12 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One-shot calibration: measure what a cold full-bracket per-period
-	// solve costs here, so warm solves can report evaluations saved.
-	coldPS, err := online.ColdPeriodSolve(0)
-	if err != nil {
-		return nil, err
+	if online != nil {
+		// One-shot calibration: measure what a cold full-bracket per-period
+		// solve costs here, so warm solves can report evaluations saved.
+		if coldPS, err = online.ColdPeriodSolve(0); err != nil {
+			return nil, err
+		}
 	}
 	return &Optimizer{
 		cfg:             cfg,
@@ -140,7 +168,8 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 		priceHist:       priceHist,
 		usageHist:       usageHist,
 		billing:         billing,
-		rewards:         online.Rewards(),
+		rewards:         rewards,
+		dayUsage:        make([]float64, cfg.Scenario.Periods),
 		coldPeriodEvals: coldPS.Evals,
 	}, nil
 }
@@ -213,17 +242,30 @@ func (o *Optimizer) ClosePeriod() ([]float64, error) {
 		}
 	}
 
-	ps, err := o.online.Advance(observed)
-	if err != nil {
-		return nil, fmt.Errorf("close period %d: %w", o.period, err)
-	}
-	o.rewards = o.online.Rewards()
-	o.recordPeriodSolve(ps)
-
 	var total float64
 	for _, v := range observed {
 		total += v
 	}
+
+	if o.online != nil {
+		ps, err := o.online.Advance(observed)
+		if err != nil {
+			return nil, fmt.Errorf("close period %d: %w", o.period, err)
+		}
+		o.rewards = o.online.Rewards()
+		o.recordPeriodSolve(ps)
+	} else {
+		// Mechanism mode: bank the period's usage total; at the day
+		// boundary hand the full day profile to the mechanism and publish
+		// its next-day schedule (mechanisms plan whole days, not periods).
+		o.dayUsage[idx] = total
+		if idx == o.cfg.Scenario.Periods-1 {
+			if err := o.replanMechanism(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	t := int64(o.period + 1)
 	if err := o.priceHist.Update(t, reward); err != nil {
 		return nil, fmt.Errorf("price history: %w", err)
@@ -233,6 +275,27 @@ func (o *Optimizer) ClosePeriod() ([]float64, error) {
 	}
 	o.period++
 	return observed, nil
+}
+
+// replanMechanism closes a day in mechanism mode: the day's observed
+// usage totals go to the pricing mechanism as its observation, and the
+// schedule it plans is published for the next day. Callers must hold
+// o.mu.
+func (o *Optimizer) replanMechanism() error {
+	ob := &mechanism.Observation{Usage: append([]float64(nil), o.dayUsage...)}
+	rewards, err := o.cfg.Pricer.PlanDay(o.cfg.Scenario, ob)
+	if err != nil {
+		return fmt.Errorf("mechanism %q day plan: %w", o.cfg.Pricer.Name(), err)
+	}
+	if len(rewards) != o.cfg.Scenario.Periods {
+		return fmt.Errorf("mechanism %q planned %d periods, want %d: %w",
+			o.cfg.Pricer.Name(), len(rewards), o.cfg.Scenario.Periods, ErrBadInput)
+	}
+	o.rewards = rewards
+	obs.Default().Counter("optimizer_mechanism_plans_total",
+		"mechanism day plans published, by mechanism",
+		obs.Labels{"mechanism": o.cfg.Pricer.Name()}).Inc()
+	return nil
 }
 
 // recordPeriodSolve publishes one online re-optimization to the default
@@ -274,8 +337,17 @@ func (o *Optimizer) UsageHistory() ([]rrd.Point, error) {
 }
 
 // DemandEstimate returns the online engine's current demand estimate.
+// In mechanism mode there is no online engine and no demand EMA, so the
+// declared scenario demand is returned unchanged.
 func (o *Optimizer) DemandEstimate() [][]float64 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.online == nil {
+		out := make([][]float64, len(o.cfg.Scenario.Demand))
+		for i, row := range o.cfg.Scenario.Demand {
+			out[i] = append([]float64(nil), row...)
+		}
+		return out
+	}
 	return o.online.DemandEstimate()
 }

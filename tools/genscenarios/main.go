@@ -1,0 +1,115 @@
+// Command genscenarios regenerates the checked-in scenario configs
+// under examples/scenarios/ from the Go constructors in
+// internal/experiments, so the JSON seeds can never drift from the
+// code: scfg_parity_test.go pins scfg.Compile() of each file against
+// its constructor field-for-field, and this tool is how the files are
+// (re)produced when a constructor changes.
+//
+// Usage: go run ./tools/genscenarios [-dir examples/scenarios]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tdp/internal/core"
+	"tdp/internal/experiments"
+	"tdp/internal/scfg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genscenarios: ")
+	dir := flag.String("dir", "examples/scenarios", "output directory")
+	flag.Parse()
+
+	seeds := []struct {
+		file, name, desc, model string
+		scn                     *core.Scenario
+	}{
+		{"static12.json", "static12",
+			"Appendix I 12-period scenario: Table VIII demand, A = 180 MBps, cost slope 3.",
+			"static", experiments.Static12()},
+		{"static48.json", "static48",
+			"§V-A scenario: Table VII demand, 48 half-hour periods, A = 180 MBps, cost slope 3.",
+			"static", experiments.Static48()},
+		{"dynamic48.json", "dynamic48",
+			"§V-B offline dynamic scenario: Table VII arrivals, A = 210 MBps, cost slope 1.",
+			"dynamic", experiments.Dynamic48()},
+		{"static12-waitperturb-p1.json", "static12-waitperturb-p1",
+			"Appendix I robustness: Static12 with period 1's distribution mis-estimated (Table XIII).",
+			"static", experiments.Static12WaitPerturbPeriod1()},
+		{"static12-waitperturb-all.json", "static12-waitperturb-all",
+			"Appendix I robustness: Static12 with every period's distribution mis-estimated (Table XV).",
+			"static", experiments.Static12WaitPerturbAll()},
+	}
+	for _, s := range seeds {
+		cfg := fromScenario(s.name, s.desc, s.model, s.scn)
+		if err := write(filepath.Join(*dir, s.file), cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", filepath.Join(*dir, s.file))
+	}
+}
+
+// fromScenario ports a constructor-built scenario to config form,
+// preferring the compact declarations (constant capacity, slope-form
+// cost) whenever they reproduce the scenario exactly.
+func fromScenario(name, desc, model string, scn *core.Scenario) *scfg.Config {
+	cfg := &scfg.Config{
+		Name:        name,
+		Description: desc,
+		Scenario: scfg.ScenarioConfig{
+			Periods:       scn.Periods,
+			Betas:         scn.Betas,
+			Demand:        scfg.DemandConfig{Rows: scn.Demand},
+			PeriodSeconds: scn.PeriodSeconds,
+			MaxRewardNorm: scn.MaxRewardNorm,
+			NoWrap:        scn.NoWrap,
+		},
+		Sim:       &scfg.SimConfig{Model: model},
+		Mechanism: &scfg.MechanismConfig{Name: "tdp", Dynamic: model == "dynamic"},
+	}
+	// Bit-exact equality on purpose: the compact constant form must
+	// round-trip to the identical profile, so any difference — even one
+	// ULP — forces the explicit per-period form.
+	constant := true
+	for _, a := range scn.Capacity[1:] {
+		if math.Float64bits(a) != math.Float64bits(scn.Capacity[0]) {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		a := scn.Capacity[0]
+		cfg.Scenario.Capacity.Constant = &a
+	} else {
+		cfg.Scenario.Capacity.Profile = scn.Capacity
+	}
+	if len(scn.Cost.Breaks) == 1 && scn.Cost.Breaks[0] == 0 {
+		cfg.Scenario.Cost.Slope = scn.Cost.Slopes[0]
+	} else {
+		cfg.Scenario.Cost.Breaks = scn.Cost.Breaks
+		cfg.Scenario.Cost.Slopes = scn.Cost.Slopes
+	}
+	return cfg
+}
+
+func write(path string, cfg *scfg.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	buf, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
