@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"tdp/internal/cluster"
-	"tdp/internal/ingest"
 	"tdp/internal/obs"
 	"tdp/internal/parallel"
 	"tdp/internal/tube"
@@ -63,6 +62,7 @@ func (nd *loadNode) enable(ring cluster.Config) error {
 	if leader := ring.Members[0]; leader.ID != nd.id {
 		opts.LeaderURL = leader.Addr
 		opts.ReplicateEvery = 200 * time.Millisecond
+		opts.ReplicateFanout = 2 // followers pull through the fan-out tree
 	}
 	if err := nd.srv.EnableCluster(opts); err != nil {
 		return err
@@ -137,28 +137,15 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 		}
 	}()
 
-	// The full report stream, user-interleaved so every wire batch spans
-	// owners, pre-sliced into router batches.
+	// The report stream is user-interleaved so every wire batch spans
+	// owners, and GENERATED, not pre-materialized: at a million users the
+	// old [][]ingest.Report slice was the harness's own memory ceiling
+	// (users × reports × 48 bytes before the first Send). Each worker
+	// fills a pooled buffer per batch instead.
 	classes := cfg.optClasses()
 	total := cfg.users * cfg.reports
-	batches := make([][]ingest.Report, 0, (total+cfg.batch-1)/cfg.batch)
-	cur := make([]ingest.Report, 0, cfg.batch)
-	for r := 0; r < cfg.reports; r++ {
-		for u := 0; u < cfg.users; u++ {
-			cur = append(cur, ingest.Report{
-				User:     fmt.Sprintf("u%06d", u),
-				Class:    classes[r%len(classes)],
-				VolumeMB: 1,
-			})
-			if len(cur) == cfg.batch {
-				batches = append(batches, cur)
-				cur = make([]ingest.Report, 0, cfg.batch)
-			}
-		}
-	}
-	if len(cur) > 0 {
-		batches = append(batches, cur)
-	}
+	gen := newBatchGen(cfg.users, cfg.reports, cfg.batch, classes)
+	nBatches := gen.numBatches()
 
 	tab, err := wire.NewClassTable(classes)
 	if err != nil {
@@ -168,8 +155,9 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
-	rt, err := cluster.NewRouter(tab, initialRing, &cluster.HTTPSender{Client: client})
+	sender := cluster.NewHTTPSender(30 * time.Second)
+	client := sender.Client
+	rt, err := cluster.NewRouter(tab, initialRing, sender)
 	if err != nil {
 		return err
 	}
@@ -184,8 +172,10 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 		workers := parallel.Jobs(cfg.jobs)
 		return parallel.ForEach(context.Background(), workers, workers, func(w int) error {
 			for b := from + w; b < to; b += workers {
+				buf := gen.fill(b)
 				t0 := time.Now()
-				stats, err := rt.Send(context.Background(), batches[b])
+				stats, err := rt.Send(context.Background(), *buf)
+				gen.put(buf) // Send retains nothing: release on every path
 				if err != nil {
 					return err
 				}
@@ -203,7 +193,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 		})
 	}
 
-	joinAt, leaveAt := len(batches)*40/100, len(batches)*70/100
+	joinAt, leaveAt := nBatches*40/100, nBatches*70/100
 	start := time.Now()
 	if err := drive(0, joinAt); err != nil {
 		return err
@@ -226,7 +216,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "cluster: %s joined (ring v2) at batch %d/%d\n", joiner.id, joinAt, len(batches))
+	fmt.Fprintf(out, "cluster: %s joined (ring v2) at batch %d/%d\n", joiner.id, joinAt, nBatches)
 	if err := drive(joinAt, leaveAt); err != nil {
 		return err
 	}
@@ -246,8 +236,8 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(out, "cluster: %s left the ring (ring v3) at batch %d/%d\n", leaver.id, leaveAt, len(batches))
-	if err := drive(leaveAt, len(batches)); err != nil {
+	fmt.Fprintf(out, "cluster: %s left the ring (ring v3) at batch %d/%d\n", leaver.id, leaveAt, nBatches)
+	if err := drive(leaveAt, nBatches); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -286,7 +276,7 @@ func runCluster(cfg loadConfig, n int, out io.Writer) error {
 
 	snap := lat.Snapshot()
 	fmt.Fprintf(out, "cluster:   %d reports / %d batches over %d→%d→%d nodes in %v → %.0f reports/s\n",
-		total, len(batches), n, n+1, n, elapsed.Round(time.Millisecond),
+		total, nBatches, n, n+1, n, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
 	fmt.Fprintf(out, "           latency p50 %v  p95 %v  p99 %v\n",
 		secondsToDuration(snap.Quantile(0.50)).Round(time.Microsecond),

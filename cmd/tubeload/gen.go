@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"tdp/internal/ingest"
+)
+
+// batchGen streams the cluster drive's report batches instead of
+// pre-materializing them: batch b is regenerated on demand from its
+// global report range, so the harness's footprint is O(users) for the
+// shared name table plus one pooled buffer per in-flight worker —
+// a 1M-user drive no longer holds users × reports Report structs
+// before the first Send.
+//
+// The stream order is a pure function of the global report index g
+// (round r = g/users, user u = g%users), identical to the old
+// pre-sliced loop, so conservation checks and rebalance timing are
+// unchanged.
+type batchGen struct {
+	names   []string // shared user-name table: one allocation per user, ever
+	classes []string
+	users   int
+	batch   int
+	total   int
+	pool    sync.Pool // *[]ingest.Report, cap == batch
+}
+
+func newBatchGen(users, reports, batch int, classes []string) *batchGen {
+	names := make([]string, users)
+	for u := range names {
+		names[u] = fmt.Sprintf("u%06d", u)
+	}
+	return &batchGen{
+		names:   names,
+		classes: classes,
+		users:   users,
+		batch:   batch,
+		total:   users * reports,
+	}
+}
+
+// numBatches returns how many batches the stream slices into.
+func (g *batchGen) numBatches() int { return (g.total + g.batch - 1) / g.batch }
+
+// buf borrows a batch buffer from the pool.
+//
+//tubelint:pooled
+func (g *batchGen) buf() *[]ingest.Report {
+	if v := g.pool.Get(); v != nil {
+		return v.(*[]ingest.Report)
+	}
+	buf := make([]ingest.Report, 0, g.batch)
+	return &buf
+}
+
+// fill regenerates batch b into a pooled buffer. Callers hand the
+// buffer back with put once the send is done — on every path.
+//
+//tubelint:pooled
+func (g *batchGen) fill(b int) *[]ingest.Report {
+	buf := g.buf()
+	reps := (*buf)[:0]
+	lo := b * g.batch
+	hi := lo + g.batch
+	if hi > g.total {
+		hi = g.total
+	}
+	for i := lo; i < hi; i++ {
+		r, u := i/g.users, i%g.users
+		reps = append(reps, ingest.Report{
+			User:     g.names[u],
+			Class:    g.classes[r%len(g.classes)],
+			VolumeMB: 1,
+		})
+	}
+	*buf = reps
+	return buf
+}
+
+// put releases a buffer borrowed through fill.
+func (g *batchGen) put(buf *[]ingest.Report) { g.pool.Put(buf) }

@@ -29,16 +29,36 @@ type ShedQueue struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	q        [][]ingest.Report // guarded by mu: FIFO, q[0] oldest
-	depth    int               // guarded by mu: max queued batches
-	queued   int64             // guarded by mu: reports across q
-	applying bool              // guarded by mu: worker mid-apply
-	closed   bool              // guarded by mu
-	shed     []int64           // guarded by mu: per-class shed reports
-	shedTot  int64             // guarded by mu
+	q        []Batch // guarded by mu: FIFO, q[0] oldest
+	depth    int     // guarded by mu: max queued batches
+	queued   int64   // guarded by mu: reports across q
+	applying bool    // guarded by mu: worker mid-apply
+	closed   bool    // guarded by mu
+	shed     []int64 // guarded by mu: per-class shed reports
+	shedTot  int64   // guarded by mu
 
 	shedCounters []*obs.Counter // set by Instrument, written under mu
 	wg           sync.WaitGroup
+}
+
+// Batch is one queued unit of admitted work in either of the two
+// admission forms: the classic decoded form (Reports non-nil) or the
+// zero-copy wire form (Users/Hashes/Recs, fed to Engine.ApplyWire).
+// Exactly one form is populated per batch.
+type Batch struct {
+	Reports []ingest.Report
+
+	Users  []string
+	Hashes []uint32
+	Recs   []ingest.WireRecord
+}
+
+// Len returns the number of usage reports the batch carries.
+func (b *Batch) Len() int {
+	if b.Reports != nil {
+		return len(b.Reports)
+	}
+	return len(b.Recs)
 }
 
 // NewShedQueue builds a queue bounded to depth batches over the given
@@ -64,7 +84,7 @@ func NewShedQueue(classes []string, depth int) (*ShedQueue, error) {
 
 // Start launches the drain worker: apply is called once per queued
 // batch, in FIFO order, on a single goroutine.
-func (q *ShedQueue) Start(apply func([]ingest.Report)) {
+func (q *ShedQueue) Start(apply func(Batch)) {
 	q.wg.Add(1)
 	go func() {
 		defer q.wg.Done()
@@ -79,7 +99,7 @@ func (q *ShedQueue) Start(apply func([]ingest.Report)) {
 			}
 			b := q.q[0]
 			q.q = q.q[1:]
-			q.queued -= int64(len(b))
+			q.queued -= int64(b.Len())
 			q.applying = true
 			q.mu.Unlock()
 
@@ -98,41 +118,67 @@ func (q *ShedQueue) Start(apply func([]ingest.Report)) {
 // room (0 in the common case). Pushing to a closed queue sheds the
 // whole incoming batch.
 func (q *ShedQueue) Push(batch []ingest.Report) (shed int) {
-	if len(batch) == 0 {
+	return q.push(Batch{Reports: batch})
+}
+
+// PushWire enqueues an admitted frame in zero-copy wire form. The
+// slices are retained until the batch is applied or shed, so callers
+// handing over decoder scratch must pass copies.
+func (q *ShedQueue) PushWire(users []string, hashes []uint32, recs []ingest.WireRecord) (shed int) {
+	return q.push(Batch{Users: users, Hashes: hashes, Recs: recs})
+}
+
+func (q *ShedQueue) push(batch Batch) (shed int) {
+	n := batch.Len()
+	if n == 0 {
 		return 0
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		q.countShedLocked(batch)
-		return len(batch)
+		q.countShedLocked(&batch)
+		return n
 	}
 	if len(q.q) >= q.depth {
 		old := q.q[0]
 		q.q = q.q[1:]
-		q.queued -= int64(len(old))
-		q.countShedLocked(old)
-		shed = len(old)
+		q.queued -= int64(old.Len())
+		q.countShedLocked(&old)
+		shed = old.Len()
 	}
 	q.q = append(q.q, batch)
-	q.queued += int64(len(batch))
+	q.queued += int64(n)
 	q.cond.Broadcast()
 	return shed
 }
 
 // countShedLocked tallies a dropped batch per class. Guarded by mu.
-func (q *ShedQueue) countShedLocked(batch []ingest.Report) {
-	for i := range batch {
-		ci, ok := q.classIdx[batch[i].Class]
-		if !ok {
-			continue // unknown class would be rejected by the engine anyway
+func (q *ShedQueue) countShedLocked(batch *Batch) {
+	if batch.Reports != nil {
+		for i := range batch.Reports {
+			ci, ok := q.classIdx[batch.Reports[i].Class]
+			if !ok {
+				continue // unknown class would be rejected by the engine anyway
+			}
+			q.shed[ci]++
+			if q.shedCounters != nil {
+				q.shedCounters[ci].Inc()
+			}
+		}
+		q.shedTot += int64(len(batch.Reports))
+		return
+	}
+	for i := range batch.Recs {
+		ci := int(batch.Recs[i].Class) // wire class indexes match the constructor's class order
+		if ci < 0 || ci >= len(q.shed) {
+			continue
 		}
 		q.shed[ci]++
 		if q.shedCounters != nil {
 			q.shedCounters[ci].Inc()
 		}
 	}
-	q.shedTot += int64(len(batch))
+	q.shedTot += int64(len(batch.Recs))
 }
 
 // Drain blocks until the queue is empty and no apply is in flight (or

@@ -38,9 +38,9 @@ func TestShedQueueFIFOAndDrain(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var applied []string
-	q.Start(func(b []ingest.Report) {
+	q.Start(func(b Batch) {
 		mu.Lock()
-		applied = append(applied, b[0].User)
+		applied = append(applied, b.Reports[0].User)
 		mu.Unlock()
 	})
 	for i := 0; i < 10; i++ {
@@ -95,9 +95,9 @@ func TestShedOldest(t *testing.T) {
 	// The survivors drain in order: mid then new.
 	var mu sync.Mutex
 	var order []string
-	q.Start(func(b []ingest.Report) {
+	q.Start(func(b Batch) {
 		mu.Lock()
-		order = append(order, b[0].User)
+		order = append(order, b.Reports[0].User)
 		mu.Unlock()
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -136,7 +136,7 @@ func TestShedQueueCloseShedsLatePushes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q.Start(func([]ingest.Report) {})
+	q.Start(func(Batch) {})
 	q.Close()
 	if shed := q.Push(qBatch("late", "web", 3)); shed != 3 {
 		t.Fatalf("push after close shed %d, want 3", shed)
@@ -149,8 +149,8 @@ func TestShedQueueConcurrentPush(t *testing.T) {
 		t.Fatal(err)
 	}
 	applied := obs.NewFloatAdder()
-	q.Start(func(b []ingest.Report) {
-		for range b {
+	q.Start(func(b Batch) {
+		for range b.Reports {
 			applied.Add(1)
 		}
 	})

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -23,15 +24,24 @@ type Replicator struct {
 	client   *http.Client
 	apply    func(PriceSnapshot) error
 	interval time.Duration
+	jitter   float64 // early-only pull stagger, set before Start
 
-	lastTaken atomic.Int64 // TakenUnixNano of the newest applied snapshot
+	lastTaken  atomic.Int64 // TakenUnixNano of the newest applied snapshot
+	failStreak atomic.Int32 // consecutive failed pulls (tree fallback trigger)
 
-	mu      sync.Mutex
-	stop    chan struct{} // guarded by mu: non-nil while running
-	wg      sync.WaitGroup
-	pulls   *obs.Counter // optional, set by Instrument before Start
+	mu       sync.Mutex
+	source   func() (string, bool) // guarded by mu: optional tree-parent resolver
+	stop     chan struct{}         // guarded by mu: non-nil while running
+	wg       sync.WaitGroup
+	pulls    *obs.Counter // optional, set by Instrument before Start
 	failures *obs.Counter
 }
+
+// DefaultJitter is the pull-stagger fraction: each wait is shortened by
+// up to half an interval, so a fleet of followers started together
+// spreads its pulls across the cadence instead of thundering the source
+// every tick.
+const DefaultJitter = 0.5
 
 // NewReplicator builds a replicator pulling from leaderURL every
 // interval (default 1s), applying each newer snapshot via apply.
@@ -47,7 +57,64 @@ func NewReplicator(leaderURL string, interval time.Duration, apply func(PriceSna
 		client:   &http.Client{Timeout: 10 * time.Second},
 		apply:    apply,
 		interval: interval,
+		jitter:   DefaultJitter,
 	}, nil
+}
+
+// SetJitter sets the pull-stagger fraction in [0, 1): each inter-pull
+// wait becomes interval × (1 − jitter × U) for uniform U in [0, 1).
+// Jitter is EARLY-only — a wait is never longer than the interval — so
+// the one-interval staleness contract survives any jitter setting.
+// Call before Start.
+func (r *Replicator) SetJitter(f float64) error {
+	if f < 0 || f >= 1 {
+		return fmt.Errorf("%w: jitter %v out of range [0, 1)", ErrBadConfig, f)
+	}
+	r.jitter = f
+	return nil
+}
+
+// SetSource installs a resolver for the URL to pull from — the
+// replication tree hands each follower its current tree parent here,
+// re-resolved before every pull so the topology self-heals on
+// membership change. A nil return (ok == false) or two consecutive
+// failed pulls fall back to the leader until a pull succeeds again.
+func (r *Replicator) SetSource(fn func() (string, bool)) {
+	r.mu.Lock()
+	r.source = fn
+	r.mu.Unlock()
+}
+
+// treeFallbackAfter is the failure streak at which a follower abandons
+// its tree parent for the leader (the parent may itself be partitioned
+// or stale; the leader is the replication root of truth).
+const treeFallbackAfter = 2
+
+// pullURL resolves where the next pull goes.
+func (r *Replicator) pullURL() string {
+	r.mu.Lock()
+	src := r.source
+	r.mu.Unlock()
+	if src == nil {
+		return r.leader
+	}
+	if r.failStreak.Load() >= treeFallbackAfter {
+		return r.leader
+	}
+	if u, ok := src(); ok && u != "" {
+		return u
+	}
+	return r.leader
+}
+
+// jitteredDelay returns the next inter-pull wait: the interval shortened
+// by up to jitter of itself, never lengthened.
+func (r *Replicator) jitteredDelay() time.Duration {
+	if r.jitter == 0 {
+		return r.interval
+	}
+	scale := 1 - r.jitter*rand.Float64()
+	return time.Duration(float64(r.interval) * scale)
 }
 
 // Instrument registers pull counters and the staleness gauge on reg.
@@ -88,7 +155,17 @@ func (r *Replicator) PullOnce(ctx context.Context) error {
 }
 
 func (r *Replicator) pullOnce(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.leader+"/cluster/snapshot", nil)
+	err := r.pullFrom(ctx, r.pullURL())
+	if err != nil {
+		r.failStreak.Add(1)
+	} else {
+		r.failStreak.Store(0)
+	}
+	return err
+}
+
+func (r *Replicator) pullFrom(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/cluster/snapshot", nil)
 	if err != nil {
 		return err
 	}
@@ -114,9 +191,12 @@ func (r *Replicator) pullOnce(ctx context.Context) error {
 	return nil
 }
 
-// Start launches the pull loop (one immediate pull, then one per
-// interval). Errors are counted, not fatal: replication is best-effort
-// between period closes and the staleness gauge is the alarm.
+// Start launches the pull loop: one immediate pull, then one per
+// jittered interval (each wait is interval shortened by up to the
+// jitter fraction, never lengthened, so followers de-synchronize
+// without ever exceeding one interval between pulls). Errors are
+// counted, not fatal: replication is best-effort between period closes
+// and the staleness gauge is the alarm.
 func (r *Replicator) Start() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -128,16 +208,17 @@ func (r *Replicator) Start() {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		tick := time.NewTicker(r.interval)
-		defer tick.Stop()
+		timer := time.NewTimer(r.jitteredDelay())
+		defer timer.Stop()
 		ctx := context.Background()
 		_ = r.PullOnce(ctx)
 		for {
 			select {
 			case <-stop:
 				return
-			case <-tick.C:
+			case <-timer.C:
 				_ = r.PullOnce(ctx)
+				timer.Reset(r.jitteredDelay())
 			}
 		}
 	}()

@@ -188,6 +188,22 @@ func (r *Ring) Owns(id, user string) bool {
 	return ok && int32(i) == r.ownerIdx(ingest.UserHash(user))
 }
 
+// OwnsHash reports whether member id owns a user key given its
+// precomputed ingest.UserHash — the zero-copy admission path checks
+// ownership once per frame user-table entry with the decoder's cached
+// hashes instead of re-hashing every record's user string.
+func (r *Ring) OwnsHash(id string, h uint32) bool {
+	i, ok := r.byID[id]
+	return ok && int32(i) == r.ownerIdx(h)
+}
+
+// OwnerIndex returns the member index (into Members() order) owning a
+// user key. The Router uses it to partition a batch with per-owner
+// index chains instead of a map of slices.
+func (r *Ring) OwnerIndex(user string) int {
+	return int(r.ownerIdx(ingest.UserHash(user)))
+}
+
 // Range is one owned arc of the hash circle: keys hashing into
 // (Start, End] belong to the range's owner. A wrapping arc is reported
 // as End < Start.

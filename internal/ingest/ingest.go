@@ -75,6 +75,7 @@ type Engine struct {
 	met      atomic.Pointer[engineMetrics] // nil until Instrument
 	sub      subscriptions                 // delta subscribers (see subscribe.go)
 	filter   atomic.Pointer[FilterFunc]    // nil until SetFilter: cluster ownership hook
+	wirePool wireWSHolder                  // ApplyWire grouping workspaces (see wireapply.go)
 }
 
 // FilterFunc is an ownership predicate over user keys: true means this

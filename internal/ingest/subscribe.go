@@ -133,6 +133,27 @@ func (e *Engine) notifyReport(classIdx int, volumeMB float64) {
 	}
 }
 
+// notifyWire sums an accepted wire frame per class and publishes one
+// delta. The accumulation visits records in stream order, so the delta
+// is bit-identical to notifyBatch fed the decoded equivalent.
+func (e *Engine) notifyWire(recs []WireRecord) {
+	p := e.sub.subs.Load()
+	if p == nil || len(*p) == 0 {
+		return
+	}
+	buf := e.deltaBuf()
+	for i := range recs {
+		(*buf)[recs[i].Class] += recs[i].VolumeMB
+	}
+	for i := range *p {
+		(*p)[i].fn(*buf)
+	}
+	e.sub.pool.Put(buf)
+	if m := e.metrics(); m != nil {
+		m.deltas.Inc()
+	}
+}
+
 // notifyBatch sums an accepted batch per class and publishes one delta.
 func (e *Engine) notifyBatch(reports []Report, idxs []int32) {
 	p := e.sub.subs.Load()

@@ -36,6 +36,12 @@ type ClusterOptions struct {
 	LeaderURL string
 	// ReplicateEvery is the follower pull interval (default 1s).
 	ReplicateEvery time.Duration
+	// ReplicateFanout, when > 0, arranges followers in a fan-out tree of
+	// this arity: each follower pulls snapshots from its tree parent
+	// (cluster.TreeParent over the current ring) instead of the leader,
+	// falling back to the leader when the parent fails. 0 keeps every
+	// follower pulling from the leader directly.
+	ReplicateFanout int
 }
 
 // clusterState is the per-node cluster plane hanging off a Server.
@@ -98,10 +104,14 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 	cl.decPool.New = func() any { return wire.NewDecoder(tab) }
 	cl.ring.Store(ring)
 	q.Instrument(s.reg, classes)
-	q.Start(func(batch []ingest.Report) {
+	q.Start(func(batch cluster.Batch) {
 		// Admission (ownership, validity) happened before the ack; a ring
 		// move while the batch sat queued must not un-account it.
-		_ = eng.RecordBatchAdmitted(batch)
+		if batch.Reports != nil {
+			_ = eng.RecordBatchAdmitted(batch.Reports)
+			return
+		}
+		_ = eng.ApplyWire(batch.Users, batch.Hashes, batch.Recs)
 	})
 	// The JSON ingest paths enforce ownership per the CURRENT ring view;
 	// the closure loads it atomically so ring swaps need no re-install.
@@ -117,6 +127,30 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 			return err
 		}
 		rep.Instrument(s.reg)
+		if opts.ReplicateFanout > 0 {
+			fanout := opts.ReplicateFanout
+			leaderURL := opts.LeaderURL
+			rep.SetSource(func() (string, bool) {
+				// Re-derived per pull from the CURRENT ring: membership
+				// changes reshape the tree with no coordination.
+				ring := cl.ring.Load()
+				leaderID := ""
+				for _, m := range ring.Members() {
+					if m.Addr == leaderURL {
+						leaderID = m.ID
+						break
+					}
+				}
+				if leaderID == "" {
+					return "", false
+				}
+				parent, ok := cluster.TreeParent(ring, leaderID, cl.selfID, fanout)
+				if !ok {
+					return "", false
+				}
+				return parent.Addr, true
+			})
+		}
 		cl.rep = rep
 		rep.Start()
 	}
@@ -197,13 +231,19 @@ func (s *Server) handleUsageWire(w http.ResponseWriter, r *http.Request) {
 	}
 	dec := cl.decPool.Get().(*wire.Decoder)
 	defer cl.decPool.Put(dec)
-	// The queue keeps the decoded slice alive past the handler, so each
-	// request decodes into fresh storage (user strings are still
-	// interned by the decoder).
-	var reps []ingest.Report
+	// Zero-copy admission: each frame is walked in its own terms (user
+	// table + index records) without materializing []ingest.Report.
+	// Ownership is enforced against this node's CURRENT ring view — once
+	// per DISTINCT user via the decoder's cached hashes, not once per
+	// record — and misrouted reports are rejected by index (spanning all
+	// frames in the body), never silently accepted; the ack's RingVersion
+	// tells a stale router to refetch.
+	ring := cl.ring.Load()
+	accepted, shed := 0, 0
+	var rejected []int
+	base := 0 // report index of the current frame's first record
 	for buf := body; len(buf) > 0; {
-		var n int
-		reps, n, err = dec.Decode(buf, reps)
+		users, hashes, recs, n, err := dec.DecodeRecords(buf)
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, wire.ErrTooLarge) {
@@ -214,28 +254,40 @@ func (s *Server) handleUsageWire(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		buf = buf[n:]
-	}
-	// Ownership is enforced against this node's CURRENT ring view:
-	// misrouted reports are rejected by index, never silently accepted,
-	// and the ack's RingVersion tells a stale router to refetch.
-	ring := cl.ring.Load()
-	owned := reps[:0]
-	var rejected []int
-	for i := range reps {
-		if ring.Owns(cl.selfID, reps[i].User) {
-			owned = append(owned, reps[i])
-		} else {
-			rejected = append(rejected, i)
+		ownedUser := make([]bool, len(users))
+		allOwned := true
+		for u := range users {
+			ownedUser[u] = ring.OwnsHash(cl.selfID, hashes[u])
+			allOwned = allOwned && ownedUser[u]
 		}
+		// The queue keeps the batch alive past this request (and past the
+		// decoder's next frame), so the scratch slices are copied here —
+		// the user strings themselves stay interned, only headers copy.
+		var owned []ingest.WireRecord
+		if allOwned {
+			owned = append(owned, recs...)
+		} else {
+			for i := range recs {
+				if ownedUser[recs[i].User] {
+					owned = append(owned, recs[i])
+				} else {
+					rejected = append(rejected, base+i)
+				}
+			}
+		}
+		if len(owned) > 0 {
+			shed += cl.queue.PushWire(
+				append([]string(nil), users...),
+				append([]uint32(nil), hashes...),
+				owned)
+			accepted += len(owned)
+		}
+		base += len(recs)
 	}
-	shed := 0
-	if len(owned) > 0 {
-		shed = cl.queue.Push(owned)
-	}
-	cl.wireReports.Add(int64(len(owned)))
+	cl.wireReports.Add(int64(accepted))
 	cl.wireRejected.Add(int64(len(rejected)))
 	writeJSON(w, http.StatusOK, cluster.WireAck{
-		Accepted:    len(owned),
+		Accepted:    accepted,
 		Rejected:    rejected,
 		RingVersion: ring.Version(),
 		Queued:      true,
@@ -308,7 +360,7 @@ func (s *Server) replicatedPrice() (PriceInfo, bool, error) {
 	}
 	snap := cl.snap.Load()
 	if snap == nil {
-		return PriceInfo{}, true, fmt.Errorf("price replica not yet synchronized")
+		return PriceInfo{}, true, fmt.Errorf("price replica not yet synchronized: %w", ErrNotReady)
 	}
 	return PriceInfo{
 		Period:  snap.Period,

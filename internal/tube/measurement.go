@@ -28,6 +28,11 @@ var ErrBadInput = errors.New("tube: invalid input")
 // net/http) from protocol failures with errors.Is(err, ErrRemote).
 var ErrRemote = errors.New("tube: remote request failed")
 
+// ErrNotReady classifies transient not-yet-available states: a price
+// follower asked for a price before its first snapshot replicated.
+// Callers retry after a pull interval instead of failing the request.
+var ErrNotReady = errors.New("tube: not ready")
+
 // Measurement is the measurement engine: per-user, per-class byte
 // accounting for the current period, the role IPtables counters play in
 // the paper's prototype. It is a thin adapter over the sharded

@@ -1,0 +1,69 @@
+package tube
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tdp/internal/cluster"
+)
+
+// TestReplicatedPriceNotReady pins the sentinel contract: a follower
+// asked for a price before its first snapshot replicates reports a
+// wrapped tube.ErrNotReady — callers branch on errors.Is, not on the
+// message text — and the HTTP surface maps it to 503.
+func TestReplicatedPriceNotReady(t *testing.T) {
+	cfg := cluster.Config{Version: 1}
+	nodes := make([]*Server, 2)
+	urls := make([]string, 2)
+	for i := range nodes {
+		opt, err := NewOptimizer(OptimizerConfig{Scenario: testScenario(), Classes: testClasses()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		nodes[i], urls[i] = srv, ts.URL
+		cfg.Members = append(cfg.Members, cluster.Member{ID: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	for i, srv := range nodes {
+		opts := ClusterOptions{SelfID: fmt.Sprintf("n%d", i), Ring: cfg}
+		if i > 0 {
+			opts.LeaderURL = urls[0]
+			// An hour between pulls: the follower cannot have synced yet.
+			opts.ReplicateEvery = time.Hour
+		}
+		if err := srv.EnableCluster(opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, replicated, err := nodes[1].replicatedPrice()
+	if !replicated {
+		t.Fatal("follower did not report a replicated price view")
+	}
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatalf("unsynced follower price: %v, want errors.Is(err, ErrNotReady)", err)
+	}
+
+	resp, err := http.Get(urls[1] + "/price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsynced follower /price returned %d, want 503", resp.StatusCode)
+	}
+
+	// The leader, by contrast, never reports a replicated view at all.
+	if _, replicated, _ := nodes[0].replicatedPrice(); replicated {
+		t.Fatal("leader claimed a replicated price view")
+	}
+}

@@ -165,3 +165,62 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 		b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "reports/s")
 	})
 }
+
+// BenchmarkApplyWire is the tentpole comparison: the zero-copy path
+// (DecodeRecords → Engine.ApplyWire, no []Report materialized) against
+// the classic twin (Decode → RecordBatchAdmitted) on the same frame and
+// shard count. The acceptance bar is ≥2× at batch=256 with 0 allocs/op
+// on the warm zero-copy path.
+func BenchmarkApplyWire(b *testing.B) {
+	tab, err := NewClassTable(testClasses)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const shards = 8 // pinned: DefaultShards scales with GOMAXPROCS
+	for _, n := range []int{16, 256} {
+		batch := benchBatch(n)
+		frame, err := NewEncoder(tab).Encode(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("zerocopy/batch=%d", n), func(b *testing.B) {
+			eng, err := ingest.NewEngine(testClasses, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := NewDecoder(tab)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				users, hashes, recs, _, err := dec.DecodeRecords(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.ApplyWire(users, hashes, recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "reports/s")
+		})
+		b.Run(fmt.Sprintf("decode/batch=%d", n), func(b *testing.B) {
+			eng, err := ingest.NewEngine(testClasses, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := NewDecoder(tab)
+			dst := make([]ingest.Report, 0, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reps, _, err := dec.Decode(frame, dst[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.RecordBatchAdmitted(reps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

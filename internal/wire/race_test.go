@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled mirrors the -race flag for tests whose property (exact
+// allocation counts) the race runtime's own bookkeeping invalidates.
+const raceEnabled = true

@@ -278,8 +278,19 @@ type Decoder struct {
 	tab      *ClassTable
 	maxFrame int
 	userTab  []string
-	intern   map[string]string
+	hashTab  []uint32
+	recs     []ingest.WireRecord
+	intern   map[string]internedUser
+	v0idx    map[string]int32 // per-frame user dedup for v0 DecodeRecords
 	counts   []int64
+}
+
+// internedUser is one stable user entry: the string allocated the first
+// time the user was seen plus its ingest.UserHash, computed once so the
+// zero-copy apply path never re-hashes a warm user.
+type internedUser struct {
+	s string
+	h uint32
 }
 
 // NewDecoder builds a decoder over the class table, accepting frames of
@@ -288,7 +299,7 @@ func NewDecoder(tab *ClassTable) *Decoder {
 	return &Decoder{
 		tab:      tab,
 		maxFrame: DefaultMaxFrameBytes,
-		intern:   make(map[string]string),
+		intern:   make(map[string]internedUser),
 		counts:   make([]int64, tab.Len()),
 	}
 }
@@ -312,32 +323,10 @@ func (d *Decoder) ClassCounts() []int64 { return d.counts }
 // consumed. Callers loop Decode over a request body holding several
 // frames; io.EOF-style "no more frames" is len(buf) == 0 at the caller.
 func (d *Decoder) Decode(buf []byte, dst []ingest.Report) (out []ingest.Report, consumed int, err error) {
-	if len(buf) < headerLen+trailerLen {
-		return dst, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(buf), headerLen+trailerLen)
+	version, payload, total, err := d.checkFrame(buf)
+	if err != nil {
+		return dst, 0, err
 	}
-	if buf[0] != magic0 || buf[1] != magic1 {
-		return dst, 0, fmt.Errorf("%w: bad magic %#x %#x", ErrCorrupt, buf[0], buf[1])
-	}
-	version := buf[2]
-	if version != VersionLegacy && version != VersionCurrent {
-		return dst, 0, fmt.Errorf("%w: %d", ErrVersion, version)
-	}
-	if buf[3] != 0 {
-		return dst, 0, fmt.Errorf("%w: nonzero flags %#x", ErrCorrupt, buf[3])
-	}
-	payloadLen := int(binary.LittleEndian.Uint32(buf[4:]))
-	if payloadLen > d.maxFrame {
-		return dst, 0, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, payloadLen, d.maxFrame)
-	}
-	total := headerLen + payloadLen + trailerLen
-	if len(buf) < total {
-		return dst, 0, fmt.Errorf("%w: frame claims %d bytes, have %d", ErrTruncated, total, len(buf))
-	}
-	wantCRC := binary.LittleEndian.Uint32(buf[headerLen+payloadLen:])
-	if got := crc32.ChecksumIEEE(buf[:headerLen+payloadLen]); got != wantCRC {
-		return dst, 0, fmt.Errorf("%w: CRC mismatch (got %#x, frame says %#x)", ErrCorrupt, got, wantCRC)
-	}
-	payload := buf[headerLen : headerLen+payloadLen]
 	switch version {
 	case VersionCurrent:
 		out, err = d.decodePayloadV1(payload, dst)
@@ -350,6 +339,65 @@ func (d *Decoder) Decode(buf []byte, dst []ingest.Report) (out []ingest.Report, 
 	return out, total, nil
 }
 
+// checkFrame validates one frame's envelope — magic, version, flags,
+// length bound, CRC — and returns the payload in place.
+func (d *Decoder) checkFrame(buf []byte) (version byte, payload []byte, total int, err error) {
+	if len(buf) < headerLen+trailerLen {
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(buf), headerLen+trailerLen)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return 0, nil, 0, fmt.Errorf("%w: bad magic %#x %#x", ErrCorrupt, buf[0], buf[1])
+	}
+	version = buf[2]
+	if version != VersionLegacy && version != VersionCurrent {
+		return 0, nil, 0, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	if buf[3] != 0 {
+		return 0, nil, 0, fmt.Errorf("%w: nonzero flags %#x", ErrCorrupt, buf[3])
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(buf[4:]))
+	if payloadLen > d.maxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: payload %d > limit %d", ErrTooLarge, payloadLen, d.maxFrame)
+	}
+	total = headerLen + payloadLen + trailerLen
+	if len(buf) < total {
+		return 0, nil, 0, fmt.Errorf("%w: frame claims %d bytes, have %d", ErrTruncated, total, len(buf))
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[headerLen+payloadLen:])
+	if got := crc32.ChecksumIEEE(buf[:headerLen+payloadLen]); got != wantCRC {
+		return 0, nil, 0, fmt.Errorf("%w: CRC mismatch (got %#x, frame says %#x)", ErrCorrupt, got, wantCRC)
+	}
+	return version, buf[headerLen : headerLen+payloadLen], total, nil
+}
+
+// DecodeRecords consumes one frame from the front of buf zero-copy: no
+// []ingest.Report is materialized. It returns the frame's interned user
+// table, the cached ingest.UserHash of each entry, and the records in
+// frame-index form (ingest.WireRecord.Class indexes the decoder's class
+// table, which matches the engine's class order). All three slices are
+// decoder-owned scratch, valid only until the next Decode/DecodeRecords
+// call — callers that queue the frame must copy them.
+//
+// Feeding the result to Engine.ApplyWire is the cluster fast path; it
+// produces counters bit-identical to Decode + RecordBatchAdmitted (the
+// reference twin, pinned by the property tests).
+func (d *Decoder) DecodeRecords(buf []byte) (users []string, hashes []uint32, recs []ingest.WireRecord, consumed int, err error) {
+	version, payload, total, err := d.checkFrame(buf)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	switch version {
+	case VersionCurrent:
+		err = d.decodeRecordsV1(payload)
+	case VersionLegacy:
+		err = d.decodeRecordsV0(payload)
+	}
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return d.userTab, d.hashTab, d.recs, total, nil
+}
+
 // uvarint reads one varint from p, returning the value and the rest.
 func uvarint(p []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(p)
@@ -359,15 +407,17 @@ func uvarint(p []byte) (uint64, []byte, error) {
 	return v, p[n:], nil
 }
 
-// internUser returns a stable string for the user bytes, reusing the
-// allocation made the first time this user was seen.
-func (d *Decoder) internUser(b []byte) string {
-	if s, ok := d.intern[string(b)]; ok { // no alloc: map lookup by []byte key conversion
-		return s
+// internUser returns a stable string for the user bytes plus its cached
+// ingest.UserHash, reusing the allocation (and the hash work) made the
+// first time this user was seen.
+func (d *Decoder) internUser(b []byte) (string, uint32) {
+	if e, ok := d.intern[string(b)]; ok { // no alloc: map lookup by []byte key conversion
+		return e.s, e.h
 	}
 	s := string(b)
-	d.intern[s] = s
-	return s
+	e := internedUser{s: s, h: ingest.UserHash(s)}
+	d.intern[s] = e
+	return e.s, e.h
 }
 
 func (d *Decoder) decodePayloadV1(p []byte, dst []ingest.Report) ([]ingest.Report, error) {
@@ -411,7 +461,8 @@ func (d *Decoder) decodePayloadV1(p []byte, dst []ingest.Report) ([]ingest.Repor
 		if l > uint64(len(rest)) {
 			return dst, fmt.Errorf("%w: user %d length %d overruns payload", ErrCorrupt, i, l)
 		}
-		d.userTab = append(d.userTab, d.internUser(rest[:l]))
+		s, _ := d.internUser(rest[:l])
+		d.userTab = append(d.userTab, s)
 		p = rest[l:]
 	}
 	n, p, err := uvarint(p)
@@ -482,7 +533,7 @@ func (d *Decoder) decodePayloadV0(p []byte, dst []ingest.Report) ([]ingest.Repor
 		if l > uint64(len(rest)) {
 			return dst, fmt.Errorf("%w: record %d user length %d overruns payload", ErrCorrupt, i, l)
 		}
-		user := d.internUser(rest[:l])
+		user, _ := d.internUser(rest[:l])
 		rest = rest[l:]
 		ci, rest, err := uvarint(rest)
 		if err != nil {
@@ -503,4 +554,167 @@ func (d *Decoder) decodePayloadV0(p []byte, dst []ingest.Report) ([]ingest.Repor
 		return dst, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
 	}
 	return dst, nil
+}
+
+// decodeRecordsV1 fills d.userTab/d.hashTab/d.recs from a v1 payload —
+// the same walk as decodePayloadV1, minus the per-record Report
+// materialization (class stays an index; volumes unpack in place).
+func (d *Decoder) decodeRecordsV1(p []byte) error {
+	if len(p) < 4 {
+		return fmt.Errorf("%w: payload too short for class hash", ErrCorrupt)
+	}
+	if h := binary.LittleEndian.Uint32(p); h != d.tab.hash {
+		return fmt.Errorf("%w: frame hash %#x, table hash %#x", ErrClassTable, h, d.tab.hash)
+	}
+	p = p[4:]
+	nc, p, err := uvarint(p)
+	if err != nil {
+		return err
+	}
+	if int(nc) != d.tab.Len() {
+		return fmt.Errorf("%w: frame has %d classes, table %d", ErrClassTable, nc, d.tab.Len())
+	}
+	var headerN uint64
+	for i := range d.counts {
+		c, rest, err := uvarint(p)
+		if err != nil {
+			return err
+		}
+		d.counts[i] = int64(c)
+		headerN += c
+		p = rest
+	}
+	nu, p, err := uvarint(p)
+	if err != nil {
+		return err
+	}
+	if nu > uint64(len(p)) { // each user needs ≥1 length byte
+		return fmt.Errorf("%w: user table claims %d entries in %d bytes", ErrCorrupt, nu, len(p))
+	}
+	d.userTab = d.userTab[:0]
+	d.hashTab = d.hashTab[:0]
+	for i := uint64(0); i < nu; i++ {
+		l, rest, err := uvarint(p)
+		if err != nil {
+			return err
+		}
+		if l > uint64(len(rest)) {
+			return fmt.Errorf("%w: user %d length %d overruns payload", ErrCorrupt, i, l)
+		}
+		s, h := d.internUser(rest[:l])
+		d.userTab = append(d.userTab, s)
+		d.hashTab = append(d.hashTab, h)
+		p = rest[l:]
+	}
+	n, p, err := uvarint(p)
+	if err != nil {
+		return err
+	}
+	if n != headerN {
+		return fmt.Errorf("%w: record count %d, class counts sum %d", ErrCorrupt, n, headerN)
+	}
+	if n > uint64(len(p)) { // each record is ≥3 bytes
+		return fmt.Errorf("%w: %d records claimed in %d bytes", ErrCorrupt, n, len(p))
+	}
+	d.recs = d.recs[:0]
+	for i := uint64(0); i < n; i++ {
+		ui, rest, err := uvarint(p)
+		if err != nil {
+			return err
+		}
+		if ui >= uint64(len(d.userTab)) {
+			return fmt.Errorf("%w: record %d user index %d of %d", ErrCorrupt, i, ui, len(d.userTab))
+		}
+		ci, rest, err := uvarint(rest)
+		if err != nil {
+			return err
+		}
+		if ci >= uint64(d.tab.Len()) {
+			return fmt.Errorf("%w: record %d class index %d of %d", ErrCorrupt, i, ci, d.tab.Len())
+		}
+		vb, rest, err := uvarint(rest)
+		if err != nil {
+			return err
+		}
+		d.recs = append(d.recs, ingest.WireRecord{
+			User:     int32(ui),
+			Class:    int32(ci),
+			VolumeMB: unpackVolume(vb),
+		})
+		p = rest
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return nil
+}
+
+// decodeRecordsV0 fills d.userTab/d.hashTab/d.recs from a v0 payload,
+// building the user table on the fly (v0 has none on the wire): each
+// inline user string is deduplicated through d.v0idx so the record form
+// matches what a v1 encoder would have produced for the same batch.
+func (d *Decoder) decodeRecordsV0(p []byte) error {
+	if len(p) < 4 {
+		return fmt.Errorf("%w: payload too short for class hash", ErrCorrupt)
+	}
+	if h := binary.LittleEndian.Uint32(p); h != d.tab.hash {
+		return fmt.Errorf("%w: frame hash %#x, table hash %#x", ErrClassTable, h, d.tab.hash)
+	}
+	p = p[4:]
+	n, p, err := uvarint(p)
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(p)) {
+		return fmt.Errorf("%w: %d records claimed in %d bytes", ErrCorrupt, n, len(p))
+	}
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	if d.v0idx == nil {
+		d.v0idx = make(map[string]int32)
+	}
+	clear(d.v0idx)
+	d.userTab = d.userTab[:0]
+	d.hashTab = d.hashTab[:0]
+	d.recs = d.recs[:0]
+	for i := uint64(0); i < n; i++ {
+		l, rest, err := uvarint(p)
+		if err != nil {
+			return err
+		}
+		if l > uint64(len(rest)) {
+			return fmt.Errorf("%w: record %d user length %d overruns payload", ErrCorrupt, i, l)
+		}
+		ui, ok := d.v0idx[string(rest[:l])] // no alloc: []byte-key lookup
+		if !ok {
+			s, h := d.internUser(rest[:l])
+			ui = int32(len(d.userTab))
+			d.userTab = append(d.userTab, s)
+			d.hashTab = append(d.hashTab, h)
+			d.v0idx[s] = ui
+		}
+		rest = rest[l:]
+		ci, rest, err := uvarint(rest)
+		if err != nil {
+			return err
+		}
+		if ci >= uint64(d.tab.Len()) {
+			return fmt.Errorf("%w: record %d class index %d of %d", ErrCorrupt, i, ci, d.tab.Len())
+		}
+		if len(rest) < 8 {
+			return fmt.Errorf("%w: record %d truncated volume", ErrCorrupt, i)
+		}
+		d.recs = append(d.recs, ingest.WireRecord{
+			User:     ui,
+			Class:    int32(ci),
+			VolumeMB: math.Float64frombits(binary.LittleEndian.Uint64(rest)),
+		})
+		d.counts[ci]++
+		p = rest[8:]
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return nil
 }
